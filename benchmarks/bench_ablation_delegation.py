@@ -1,0 +1,111 @@
+"""Ablation (§2.3 design alternatives) — how else could delegation work?
+
+The paper argues for native L2 delegation over the alternatives it
+rejects. This ablation quantifies the trade-offs for a PoP with N
+neighbors and E experiments:
+
+* **native vBGP (chosen)**: one virtual IP+MAC and one kernel table per
+  neighbor, shared by all experiments; per-packet selection is a dMAC
+  lookup (O(1)) + LPM;
+* **tunnel-per-neighbor (Transit Portal)**: each experiment maintains one
+  VPN tunnel per neighbor → E×N tunnel devices and per-tunnel state, plus
+  out-of-band mapping of tunnel→neighbor (incompatible with stock
+  routing engines);
+* **single best-path table**: no per-packet control at all — experiments
+  cannot override the router's decision (the ADD-PATH-only strawman of
+  §2.2.2).
+"""
+
+import pytest
+
+from benchmarks.reporting import format_table, report
+
+NEIGHBORS = 854  # AMS-IX bilateral+RS sessions (§6)
+EXPERIMENTS = 6  # typical concurrency (§4.6)
+ROUTES = 2_700_000  # AMS-IX known routes (§6)
+
+TUNNEL_DEVICE_BYTES = 4096  # per tun/tap device kernel state
+TUNNEL_DAEMON_BYTES = 1 << 20  # per OpenVPN process RSS (conservative)
+VMAC_STATE_BYTES = 128  # proxy-ARP entry + extra MAC + rule
+
+
+def native_model():
+    devices = 2  # upstream + experiment-facing
+    control_state = NEIGHBORS * VMAC_STATE_BYTES
+    tables = NEIGHBORS
+    fib_entries = ROUTES  # one entry per known route, shared
+    per_packet = "dMAC lookup + LPM"
+    supports_stock_router = True
+    per_packet_control = True
+    return (devices, tables, fib_entries, control_state,
+            per_packet, supports_stock_router, per_packet_control)
+
+
+def tunnel_model():
+    devices = NEIGHBORS * EXPERIMENTS
+    control_state = devices * (TUNNEL_DEVICE_BYTES + TUNNEL_DAEMON_BYTES)
+    tables = NEIGHBORS * EXPERIMENTS
+    fib_entries = ROUTES * EXPERIMENTS  # no sharing across experiments
+    per_packet = "tunnel encap + decap"
+    supports_stock_router = False  # needs out-of-band tunnel→route map
+    per_packet_control = True
+    return (devices, tables, fib_entries, control_state,
+            per_packet, supports_stock_router, per_packet_control)
+
+
+def single_table_model():
+    devices = 2
+    control_state = 0
+    tables = 1
+    fib_entries = ROUTES  # prefixes × 1 best route
+    per_packet = "LPM only"
+    supports_stock_router = True
+    per_packet_control = False
+    return (devices, tables, fib_entries, control_state,
+            per_packet, supports_stock_router, per_packet_control)
+
+
+def test_ablation_delegation_designs(benchmark):
+    models = benchmark.pedantic(
+        lambda: {
+            "native vBGP (chosen)": native_model(),
+            "tunnel per neighbor": tunnel_model(),
+            "single best-path table": single_table_model(),
+        },
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for label, (devices, tables, fib, control, per_packet, stock,
+                control_ok) in models.items():
+        rows.append([
+            label,
+            f"{devices:,}",
+            f"{tables:,}",
+            f"{fib / 1e6:.1f}M",
+            f"{control / (1 << 20):.0f} MiB",
+            "yes" if stock else "no",
+            "yes" if control_ok else "no",
+        ])
+    report(
+        "ablation_delegation",
+        f"Ablation: delegation designs at AMS-IX scale "
+        f"({NEIGHBORS} neighbors, {EXPERIMENTS} experiments, "
+        f"{ROUTES / 1e6:.1f}M routes)\n"
+        + format_table(
+            ["design", "devices", "tables", "FIB entries",
+             "extra state", "stock routers?", "per-packet control?"],
+            rows,
+        )
+        + "\n\nnative vBGP is the only design with per-packet control, "
+          "stock-router compatibility, AND state independent of the "
+          "number of experiments (§2.3, §7.2).",
+    )
+    native = models["native vBGP (chosen)"]
+    tunnels = models["tunnel per neighbor"]
+    single = models["single best-path table"]
+    # The claims the table supports:
+    assert native[1] == NEIGHBORS  # tables scale with neighbors only
+    assert tunnels[0] == NEIGHBORS * EXPERIMENTS  # device explosion
+    assert tunnels[2] == native[2] * EXPERIMENTS  # no FIB sharing
+    assert native[5] and not tunnels[5]  # stock-router compatibility
+    assert not single[6]  # single table forfeits per-packet control

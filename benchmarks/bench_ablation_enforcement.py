@@ -1,0 +1,102 @@
+"""Ablation (§3.3) — decoupled enforcement vs in-router filters.
+
+The paper decouples security enforcement from the routing engine because
+router filter languages cannot express the platform's policies and are
+hard to test. This ablation (a) classifies each §4.7 policy by whether
+the router filter language of :mod:`repro.router.configlang` can express
+it, and (b) measures the per-route cost of the expressible subset in the
+router's policy engine vs the full decoupled pipeline — quantifying what
+the flexibility costs.
+"""
+
+import pytest
+
+from benchmarks.reporting import format_table, report
+from repro.bgp.attributes import Community, local_route
+from repro.metrics import measure_processing
+from repro.netsim.addr import IPv4Address, IPv4Prefix
+from repro.router import parse_config
+from repro.security import ControlPlaneEnforcer, ExperimentProfile
+from repro.sim import Scheduler
+
+ALLOCATION = IPv4Prefix.parse("184.164.224.0/23")
+NH = IPv4Address.parse("100.125.0.2")
+
+POLICIES = [
+    ("prefix ownership (allocation only)", True),
+    ("origin-ASN authorization", True),
+    ("AS-path length bound", True),
+    ("community stripping", True),
+    ("per-capability gating (per-experiment)", False),
+    ("144 updates/day per prefix+PoP (stateful)", False),
+    ("cross-PoP AS-wide budgets (synchronized state)", False),
+    ("fail-closed on engine overload", False),
+    ("violation logging for attribution", False),
+]
+
+ROUTER_FILTER = """
+router id 10.0.0.1;
+local as 47065;
+filter experiment_in {
+    if net ~ 184.164.224.0/23+ then {
+        strip communities;
+        accept;
+    }
+    reject;
+}
+"""
+
+
+def test_ablation_enforcement(benchmark):
+    scheduler = Scheduler()
+    config = parse_config(ROUTER_FILTER)
+    router_filter = config.filters["experiment_in"].route_map
+    enforcer = ControlPlaneEnforcer(
+        scheduler, platform_asns=frozenset({47065})
+    )
+    enforcer.register_experiment(ExperimentProfile(
+        name="probe", asns=frozenset({47065}), prefixes=(ALLOCATION,)
+    ))
+    routes = [
+        local_route(prefix, next_hop=NH).add_communities(
+            Community(3356, index % 100)
+        )
+        for index, prefix in enumerate(ALLOCATION.subnets(24))
+    ] * 500  # 1000 route evaluations
+
+    def run_both():
+        in_router = measure_processing(
+            "router-filter", router_filter.apply, routes
+        )
+        decoupled = measure_processing(
+            "decoupled-engine",
+            lambda route: enforcer.check_routes("probe", [route], "pop"),
+            routes,
+        )
+        return in_router, decoupled
+
+    in_router, decoupled = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    expressible = sum(1 for _p, ok in POLICIES if ok)
+    rows = [[label, "router filter" if ok else "decoupled engine only"]
+            for label, ok in POLICIES]
+    overhead = decoupled.seconds_per_update / in_router.seconds_per_update
+    report(
+        "ablation_enforcement",
+        "Ablation: §4.7 policies vs where they can be enforced\n"
+        + format_table(["policy", "expressible in"], rows)
+        + "\n\nper-route cost: router filter "
+          f"{in_router.seconds_per_update * 1e6:.1f} µs, decoupled engine "
+          f"{decoupled.seconds_per_update * 1e6:.1f} µs "
+          f"({overhead:.1f}x)"
+        + f"\n{expressible}/{len(POLICIES)} policies fit a router filter "
+          "language — the stateful/cross-PoP/fail-closed policies that "
+          "motivate decoupling (§3.3) do not."
+        + "\n(The paper keeps the cheap subset in BIRD and the rest in "
+          "the ExaBGP engine — exactly this split.)",
+    )
+    assert expressible < len(POLICIES)
+    # The decoupled engine's flexibility costs a small constant factor,
+    # not an order of magnitude per route.
+    assert overhead < 25

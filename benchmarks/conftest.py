@@ -1,0 +1,27 @@
+"""Benchmark-suite conftest: echo regenerated tables in the summary."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.reporting import session_reports
+from repro.sim import Scheduler
+
+
+@pytest.fixture
+def scheduler() -> Scheduler:
+    return Scheduler()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    reports = session_reports()
+    if not reports:
+        return
+    terminalreporter.ensure_newline()
+    terminalreporter.section("regenerated paper tables & figures")
+    for name, text in reports:
+        terminalreporter.write_line(f"\n── {name} " + "─" * max(
+            0, 66 - len(name)
+        ))
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

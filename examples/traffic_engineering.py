@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Inbound traffic engineering with communities, prepending, and the
+backbone — the cloud-provider setting of §4.3.
+
+The experiment runs at two PoPs connected by the backbone and shifts
+where inbound traffic enters:
+
+* *selective announcement*: whitelist communities export the prefix only
+  to chosen neighbors (fine-grained control, §3.2.1),
+* *prepending*: inflate the path at one PoP so the other is preferred,
+* verification end to end: probes from a remote stub AS are observed
+  arriving via the intended neighbor (source-MAC attribution).
+
+Run:  python examples/traffic_engineering.py
+"""
+
+from repro.internet import InternetConfig, build_internet
+from repro.netsim.frames import IcmpMessage, IcmpType, IpProto, IPv4Packet
+from repro.platform import PeeringPlatform, PopConfig
+from repro.platform.experiment import ExperimentProposal
+from repro.sim import Scheduler
+from repro.toolkit import ExperimentClient
+from repro.vbgp.communities import announce_to_pop
+
+
+def probe_ingress(scheduler, internet, client, prefix, label):
+    """Ping the experiment prefix from a remote stub; report ingress."""
+    source = internet.stubs[0]
+    before = len(client.delivered)
+    packet = IPv4Packet(
+        src=source.prefixes[0].address_at(9),
+        dst=prefix.address_at(1),
+        proto=IpProto.ICMP,
+        payload=IcmpMessage(icmp_type=IcmpType.ECHO_REQUEST),
+    )
+    source.receive_packet(packet)
+    scheduler.run_for(20)
+    arrivals = client.delivered[before:]
+    if not arrivals:
+        print(f"  [{label}] probe did not arrive")
+        return None
+    _packet, smac, iface = arrivals[0]
+    pop = client._pop_for_iface(iface)
+    print(f"  [{label}] probe entered at PoP {pop!r} "
+          f"delivered by neighbor vMAC {smac}")
+    return pop
+
+
+def main() -> None:
+    scheduler = Scheduler()
+    platform = PeeringPlatform(scheduler, pop_configs=[
+        PopConfig(name="west", pop_id=0, kind="university", backbone=True),
+        PopConfig(name="east", pop_id=1, kind="university", backbone=True),
+    ])
+    internet = build_internet(
+        scheduler, platform,
+        InternetConfig(n_tier1=2, n_transit=4, n_stub=6),
+    )
+    scheduler.run_for(30)
+
+    platform.submit_proposal(ExperimentProposal(
+        name="te", contact="noc@example.com",
+        goals="inbound traffic engineering across PoPs",
+        execution_plan="selective announcements + prepending",
+    ))
+    client = ExperimentClient(scheduler, "te", platform)
+    for pop in platform.pops:
+        client.openvpn_up(pop)
+        client.bird_start(pop)
+    scheduler.run_for(10)
+    prefix = client.profile.prefixes[0]
+
+    print("== scenario A: announce everywhere (baseline) ==")
+    client.announce(prefix)
+    scheduler.run_for(30)
+    baseline_pop = probe_ingress(scheduler, internet, client, prefix,
+                                 "baseline")
+
+    print("\n== scenario B: selective announcement — west only ==")
+    client.withdraw(prefix)
+    scheduler.run_for(20)
+    # Whitelist community: export only to neighbors at PoP 0 (west).
+    client.announce(prefix, communities=(announce_to_pop(0),))
+    scheduler.run_for(30)
+    west_pop = probe_ingress(scheduler, internet, client, prefix,
+                             "west-only")
+
+    print("\n== scenario C: prefer east via prepending at west ==")
+    client.withdraw(prefix)
+    scheduler.run_for(20)
+    client.announce(prefix, pops=["west"], prepend=5)
+    client.announce(prefix, pops=["east"])
+    scheduler.run_for(30)
+    east_pop = probe_ingress(scheduler, internet, client, prefix,
+                             "prepend-west")
+
+    print("\n== summary ==")
+    print(f"  baseline ingress:      {baseline_pop}")
+    print(f"  west-only ingress:     {west_pop}")
+    print(f"  prepend-at-west moves ingress to: {east_pop}")
+    print("\nThe same prefix, three ingress policies — enacted purely with "
+          "standard BGP mechanisms through vBGP.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""BGP error taxonomy (RFC 4271 §6) used by the codec and FSM."""
+
+from __future__ import annotations
+
+import enum
+
+
+class ErrorCode(enum.IntEnum):
+    MESSAGE_HEADER = 1
+    OPEN_MESSAGE = 2
+    UPDATE_MESSAGE = 3
+    HOLD_TIMER_EXPIRED = 4
+    FSM_ERROR = 5
+    CEASE = 6
+
+
+class HeaderSubcode(enum.IntEnum):
+    CONNECTION_NOT_SYNCHRONIZED = 1
+    BAD_MESSAGE_LENGTH = 2
+    BAD_MESSAGE_TYPE = 3
+
+
+class OpenSubcode(enum.IntEnum):
+    UNSUPPORTED_VERSION = 1
+    BAD_PEER_AS = 2
+    BAD_BGP_IDENTIFIER = 3
+    UNSUPPORTED_OPTIONAL_PARAMETER = 4
+    UNACCEPTABLE_HOLD_TIME = 6
+
+
+class UpdateSubcode(enum.IntEnum):
+    MALFORMED_ATTRIBUTE_LIST = 1
+    UNRECOGNIZED_WELLKNOWN_ATTRIBUTE = 2
+    MISSING_WELLKNOWN_ATTRIBUTE = 3
+    ATTRIBUTE_FLAGS_ERROR = 4
+    ATTRIBUTE_LENGTH_ERROR = 5
+    INVALID_ORIGIN = 6
+    INVALID_NEXT_HOP = 8
+    OPTIONAL_ATTRIBUTE_ERROR = 9
+    INVALID_NETWORK_FIELD = 10
+    MALFORMED_AS_PATH = 11
+
+
+class CeaseSubcode(enum.IntEnum):
+    MAX_PREFIXES_REACHED = 1
+    ADMIN_SHUTDOWN = 2
+    PEER_DECONFIGURED = 3
+    ADMIN_RESET = 4
+    CONNECTION_REJECTED = 5
+    CONFIG_CHANGE = 6
+
+
+class BgpError(Exception):
+    """Base class for all BGP protocol errors."""
+
+
+class NotificationError(BgpError):
+    """An error that must be reported to the peer via NOTIFICATION.
+
+    The session layer catches this, sends the NOTIFICATION, and tears the
+    session down — the behaviour the paper's §7.3 anecdote (CVE-2019-5892,
+    sessions reset by a standards-compliant announcement) hinges on.
+    """
+
+    def __init__(self, code: ErrorCode, subcode: int = 0,
+                 data: bytes = b"", message: str = "") -> None:
+        super().__init__(message or f"NOTIFICATION {code.name}/{subcode}")
+        self.code = code
+        self.subcode = subcode
+        self.data = data

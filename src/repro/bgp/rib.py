@@ -1,0 +1,206 @@
+"""Routing Information Bases: Adj-RIB-In, Loc-RIB, Adj-RIB-Out.
+
+These are the speaker-internal tables of RFC 4271 §3.2. vBGP additionally
+keeps one *kernel* table per neighbor (see :mod:`repro.vbgp.tables`); the
+classes here are the protocol-level state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.bgp.attributes import Route
+from repro.netsim.addr import Prefix
+
+
+@dataclass(frozen=True)
+class RibEntry:
+    """A route in a RIB, tagged with the peer it came from."""
+
+    peer: str
+    route: Route
+
+    @property
+    def prefix(self) -> Prefix:
+        return self.route.prefix
+
+    @property
+    def path_id(self) -> Optional[int]:
+        return self.route.path_id
+
+
+class AdjRibIn:
+    """Routes received from one peer, keyed by (prefix, path id).
+
+    With ADD-PATH inactive every announcement for a prefix implicitly
+    replaces the previous one (path id ``None``); with ADD-PATH active the
+    peer may maintain several concurrent paths per prefix.
+    """
+
+    def __init__(self, peer: str) -> None:
+        self.peer = peer
+        self._routes: dict[Prefix, dict[Optional[int], Route]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(paths) for paths in self._routes.values())
+
+    def update(self, route: Route) -> Optional[Route]:
+        """Insert/replace; returns the replaced route if any."""
+        paths = self._routes.setdefault(route.prefix, {})
+        previous = paths.get(route.path_id)
+        paths[route.path_id] = route
+        return previous
+
+    def withdraw(self, prefix: Prefix,
+                 path_id: Optional[int] = None) -> Optional[Route]:
+        """Remove; returns the withdrawn route if it existed."""
+        paths = self._routes.get(prefix)
+        if not paths:
+            return None
+        removed = paths.pop(path_id, None)
+        if not paths:
+            del self._routes[prefix]
+        return removed
+
+    def routes_for(self, prefix: Prefix) -> list[Route]:
+        return list(self._routes.get(prefix, {}).values())
+
+    def routes(self) -> Iterator[Route]:
+        for paths in self._routes.values():
+            yield from paths.values()
+
+    def prefixes(self) -> Iterator[Prefix]:
+        yield from self._routes
+
+    def clear(self) -> list[Route]:
+        """Drop everything (session reset); returns the dropped routes."""
+        dropped = list(self.routes())
+        self._routes.clear()
+        return dropped
+
+
+class LocRib:
+    """Candidate routes per prefix across all peers, plus the best path."""
+
+    def __init__(
+        self, select: Callable[[list[RibEntry]], Optional[RibEntry]]
+    ) -> None:
+        self._select = select
+        self._candidates: dict[Prefix, list[RibEntry]] = {}
+        self._best: dict[Prefix, RibEntry] = {}
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._candidates.values())
+
+    @property
+    def prefix_count(self) -> int:
+        return len(self._candidates)
+
+    def replace(self, peer: str, route: Route) -> bool:
+        """Upsert a peer's candidate; returns True if the best changed."""
+        entries = self._candidates.setdefault(route.prefix, [])
+        entries[:] = [
+            entry for entry in entries
+            if not (entry.peer == peer and entry.path_id == route.path_id)
+        ]
+        entries.append(RibEntry(peer=peer, route=route))
+        return self._reselect(route.prefix)
+
+    def remove(self, peer: str, prefix: Prefix,
+               path_id: Optional[int] = None) -> bool:
+        """Remove a peer's candidate; returns True if the best changed."""
+        entries = self._candidates.get(prefix)
+        if entries is None:
+            return False
+        before = len(entries)
+        entries[:] = [
+            entry for entry in entries
+            if not (entry.peer == peer and entry.path_id == path_id)
+        ]
+        if len(entries) == before:
+            return False
+        if not entries:
+            del self._candidates[prefix]
+        return self._reselect(prefix)
+
+    def remove_peer(self, peer: str) -> list[Prefix]:
+        """Drop all of a peer's candidates; returns prefixes whose best changed."""
+        changed = []
+        for prefix in list(self._candidates):
+            entries = self._candidates[prefix]
+            before = len(entries)
+            entries[:] = [e for e in entries if e.peer != peer]
+            if len(entries) == before:
+                continue
+            if not entries:
+                del self._candidates[prefix]
+            if self._reselect(prefix):
+                changed.append(prefix)
+        return changed
+
+    def _reselect(self, prefix: Prefix) -> bool:
+        entries = self._candidates.get(prefix, [])
+        new_best = self._select(entries) if entries else None
+        old_best = self._best.get(prefix)
+        if new_best is None:
+            if old_best is not None:
+                del self._best[prefix]
+                return True
+            return False
+        if old_best is not None and old_best.route == new_best.route and (
+            old_best.peer == new_best.peer
+        ):
+            return False
+        self._best[prefix] = new_best
+        return True
+
+    def best(self, prefix: Prefix) -> Optional[RibEntry]:
+        return self._best.get(prefix)
+
+    def candidates(self, prefix: Prefix) -> list[RibEntry]:
+        return list(self._candidates.get(prefix, []))
+
+    def best_routes(self) -> Iterator[RibEntry]:
+        yield from self._best.values()
+
+    def prefixes(self) -> Iterator[Prefix]:
+        yield from self._candidates
+
+
+class AdjRibOut:
+    """What we have advertised to one peer, keyed by (prefix, path id).
+
+    Diffing the desired against the advertised state yields the minimal
+    announce/withdraw set — used both by the speaker's MRAI batching and by
+    vBGP's fan-out to experiments.
+    """
+
+    def __init__(self, peer: str) -> None:
+        self.peer = peer
+        self._advertised: dict[tuple[Prefix, Optional[int]], Route] = {}
+
+    def __len__(self) -> int:
+        return len(self._advertised)
+
+    def advertised(self, prefix: Prefix,
+                   path_id: Optional[int] = None) -> Optional[Route]:
+        return self._advertised.get((prefix, path_id))
+
+    def record_announce(self, route: Route) -> bool:
+        """Record an announcement; returns False if identical already sent."""
+        key = (route.prefix, route.path_id)
+        if self._advertised.get(key) == route:
+            return False
+        self._advertised[key] = route
+        return True
+
+    def record_withdraw(self, prefix: Prefix,
+                        path_id: Optional[int] = None) -> Optional[Route]:
+        return self._advertised.pop((prefix, path_id), None)
+
+    def routes(self) -> Iterator[Route]:
+        yield from self._advertised.values()
+
+    def keys(self) -> Iterator[tuple[Prefix, Optional[int]]]:
+        yield from self._advertised

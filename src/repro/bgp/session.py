@@ -1,0 +1,321 @@
+"""The BGP session finite-state machine (RFC 4271 §8, simplified).
+
+A :class:`BgpSession` owns one :class:`~repro.bgp.transport.Channel`, runs
+the OPEN exchange, negotiates capabilities (ADD-PATH, 4-octet AS), maintains
+hold/keepalive timers, frames and parses the byte stream, and delivers
+UPDATEs to its owner. Malformed input produces a NOTIFICATION and a session
+teardown — reproducing the failure mode discussed in §7.3 of the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.bgp.errors import (
+    CeaseSubcode,
+    ErrorCode,
+    NotificationError,
+    OpenSubcode,
+)
+from repro.bgp.messages import (
+    AddPathCapability,
+    FourOctetAsCapability,
+    KeepaliveMessage,
+    MessageDecoder,
+    MultiprotocolCapability,
+    NotificationMessage,
+    OpenMessage,
+    RouteRefreshMessage,
+    UpdateMessage,
+)
+from repro.bgp.transport import Channel
+from repro.netsim.addr import IPv4Address
+from repro.sim.scheduler import Scheduler
+
+
+class SessionState(enum.Enum):
+    IDLE = "idle"
+    OPEN_SENT = "open-sent"
+    OPEN_CONFIRM = "open-confirm"
+    ESTABLISHED = "established"
+    CLOSED = "closed"
+
+
+@dataclass
+class SessionConfig:
+    """Per-session configuration."""
+
+    local_asn: int
+    local_id: IPv4Address
+    peer_asn: Optional[int] = None  # None: accept any (route-server style)
+    hold_time: int = 90
+    addpath: bool = False
+    description: str = ""
+
+    @property
+    def keepalive_interval(self) -> float:
+        return self.hold_time / 3
+
+
+@dataclass
+class SessionStats:
+    updates_sent: int = 0
+    updates_received: int = 0
+    keepalives_sent: int = 0
+    keepalives_received: int = 0
+    notifications_sent: int = 0
+    notifications_received: int = 0
+
+
+class BgpSession:
+    """One BGP session over a channel.
+
+    Owner callbacks:
+
+    * ``on_established(session)`` — OPEN/KEEPALIVE handshake done,
+    * ``on_update(session, update)`` — a parsed, validated UPDATE,
+    * ``on_close(session, reason)`` — session torn down (either side).
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        config: SessionConfig,
+        channel: Channel,
+        on_update: Callable[["BgpSession", UpdateMessage], None],
+        on_established: Optional[Callable[["BgpSession"], None]] = None,
+        on_close: Optional[Callable[["BgpSession", str], None]] = None,
+        on_route_refresh: Optional[Callable[["BgpSession"], None]] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.config = config
+        self.channel = channel
+        self.state = SessionState.IDLE
+        self.stats = SessionStats()
+        self.peer_open: Optional[OpenMessage] = None
+        self.negotiated_hold_time = config.hold_time
+        self.addpath_active = False
+        self._on_update = on_update
+        self._on_established = on_established
+        self._on_close = on_close
+        self._on_route_refresh = on_route_refresh
+        self._decoder = MessageDecoder()
+        self._hold_event = None
+        self._keepalive_event = None
+        channel.on_data = self._data_received
+        channel.on_close = lambda: self._teardown("peer closed connection")
+
+    @property
+    def established(self) -> bool:
+        return self.state == SessionState.ESTABLISHED
+
+    @property
+    def peer_asn(self) -> Optional[int]:
+        if self.peer_open is not None:
+            return self.peer_open.asn
+        return self.config.peer_asn
+
+    def start(self) -> None:
+        """Send our OPEN (both sides start actively; collision handling is
+        unnecessary because the simulation pairs channels explicitly)."""
+        if self.state != SessionState.IDLE:
+            return
+        capabilities = [
+            MultiprotocolCapability(),
+            FourOctetAsCapability(asn=self.config.local_asn),
+        ]
+        if self.config.addpath:
+            capabilities.append(AddPathCapability())
+        open_message = OpenMessage(
+            asn=self.config.local_asn,
+            hold_time=self.config.hold_time,
+            bgp_id=self.config.local_id,
+            capabilities=tuple(capabilities),
+        )
+        self.channel.send(open_message.encode())
+        self.state = SessionState.OPEN_SENT
+        self._arm_hold_timer()
+
+    def send_update(self, update: UpdateMessage) -> None:
+        if not self.established:
+            raise NotificationError(
+                ErrorCode.FSM_ERROR, message="session not established"
+            )
+        self.stats.updates_sent += 1
+        self.channel.send(update.encode(addpath=self.addpath_active))
+
+    def send_route_refresh(self) -> None:
+        """Ask the peer to resend its full Adj-RIB-Out (RFC 2918)."""
+        if not self.established:
+            raise NotificationError(
+                ErrorCode.FSM_ERROR, message="session not established"
+            )
+        self.channel.send(RouteRefreshMessage().encode())
+
+    def send_keepalive(self) -> None:
+        self.stats.keepalives_sent += 1
+        self.channel.send(KeepaliveMessage().encode())
+
+    def notify_and_close(self, error: NotificationError) -> None:
+        """Send a NOTIFICATION for ``error`` and tear the session down."""
+        message = NotificationMessage(
+            code=error.code, subcode=error.subcode, data=error.data
+        )
+        self.stats.notifications_sent += 1
+        self.channel.send(message.encode())
+        self._teardown(f"sent NOTIFICATION: {error}")
+
+    def shutdown(self, subcode: CeaseSubcode = CeaseSubcode.ADMIN_SHUTDOWN) -> None:
+        if self.state in (SessionState.CLOSED, SessionState.IDLE):
+            self.state = SessionState.CLOSED
+            return
+        self.notify_and_close(
+            NotificationError(ErrorCode.CEASE, subcode, message="shutdown")
+        )
+
+    # ------------------------------------------------------------------
+
+    def _data_received(self, data: bytes) -> None:
+        self._decoder.feed(data)
+        try:
+            while True:
+                message = self._decoder.next_message()
+                if message is None:
+                    return
+                self._dispatch(message)
+                if self.state == SessionState.CLOSED:
+                    return
+        except NotificationError as error:
+            self.notify_and_close(error)
+
+    def _dispatch(self, message) -> None:
+        self._arm_hold_timer()
+        if isinstance(message, OpenMessage):
+            self._handle_open(message)
+        elif isinstance(message, KeepaliveMessage):
+            self.stats.keepalives_received += 1
+            self._handle_keepalive()
+        elif isinstance(message, UpdateMessage):
+            if not self.established:
+                raise NotificationError(
+                    ErrorCode.FSM_ERROR, message="UPDATE before ESTABLISHED"
+                )
+            self.stats.updates_received += 1
+            self._on_update(self, message)
+        elif isinstance(message, RouteRefreshMessage):
+            if not self.established:
+                raise NotificationError(
+                    ErrorCode.FSM_ERROR,
+                    message="ROUTE-REFRESH before ESTABLISHED",
+                )
+            if self._on_route_refresh is not None:
+                self._on_route_refresh(self)
+        elif isinstance(message, NotificationMessage):
+            self.stats.notifications_received += 1
+            self._teardown(
+                f"received NOTIFICATION {message.code}/{message.subcode}"
+            )
+
+    def _handle_open(self, message: OpenMessage) -> None:
+        if self.state != SessionState.OPEN_SENT:
+            raise NotificationError(
+                ErrorCode.FSM_ERROR, message="unexpected OPEN"
+            )
+        if (
+            self.config.peer_asn is not None
+            and message.asn != self.config.peer_asn
+        ):
+            raise NotificationError(
+                ErrorCode.OPEN_MESSAGE, OpenSubcode.BAD_PEER_AS,
+                message=f"expected AS{self.config.peer_asn}, got AS{message.asn}",
+            )
+        self.peer_open = message
+        self.negotiated_hold_time = min(
+            self.config.hold_time, message.hold_time
+        ) or self.config.hold_time
+        peer_addpath = message.find_addpath()
+        # Per RFC 7911 the capability is directional; the reproduction uses
+        # it symmetrically (both directions active when both sides offer it).
+        self.addpath_active = self.config.addpath and peer_addpath is not None
+        self._decoder.addpath = self.addpath_active
+        self.state = SessionState.OPEN_CONFIRM
+        self.send_keepalive()
+
+    def _handle_keepalive(self) -> None:
+        if self.state == SessionState.OPEN_CONFIRM:
+            self.state = SessionState.ESTABLISHED
+            self._arm_keepalive_timer()
+            if self._on_established is not None:
+                self._on_established(self)
+
+    # -- timers -----------------------------------------------------------
+
+    def _arm_hold_timer(self) -> None:
+        if self._hold_event is not None:
+            self._hold_event.cancel()
+        if self.negotiated_hold_time == 0:
+            return
+        self._hold_event = self.scheduler.call_later(
+            float(self.negotiated_hold_time), self._hold_expired
+        )
+
+    def _hold_expired(self) -> None:
+        if self.state == SessionState.CLOSED:
+            return
+        self.notify_and_close(
+            NotificationError(
+                ErrorCode.HOLD_TIMER_EXPIRED, message="hold timer expired"
+            )
+        )
+
+    def _arm_keepalive_timer(self) -> None:
+        interval = self.negotiated_hold_time / 3 if (
+            self.negotiated_hold_time
+        ) else self.config.keepalive_interval
+        self._keepalive_event = self.scheduler.call_later(
+            interval, self._keepalive_tick
+        )
+
+    def _keepalive_tick(self) -> None:
+        if self.state != SessionState.ESTABLISHED:
+            return
+        self.send_keepalive()
+        self._arm_keepalive_timer()
+
+    def _teardown(self, reason: str) -> None:
+        if self.state == SessionState.CLOSED:
+            return
+        self.state = SessionState.CLOSED
+        if self._hold_event is not None:
+            self._hold_event.cancel()
+        if self._keepalive_event is not None:
+            self._keepalive_event.cancel()
+        self.channel.close()
+        if self._on_close is not None:
+            self._on_close(self, reason)
+
+
+def establish_pair(
+    scheduler: Scheduler,
+    config_a: SessionConfig,
+    config_b: SessionConfig,
+    on_update_a: Callable[[BgpSession, UpdateMessage], None],
+    on_update_b: Callable[[BgpSession, UpdateMessage], None],
+    rtt: float = 0.01,
+    **session_kwargs,
+) -> tuple[BgpSession, BgpSession]:
+    """Convenience: create a channel pair and two sessions, both started."""
+    from repro.bgp.transport import connect_pair
+
+    channel_a, channel_b = connect_pair(scheduler, rtt=rtt)
+    session_a = BgpSession(
+        scheduler, config_a, channel_a, on_update=on_update_a, **session_kwargs
+    )
+    session_b = BgpSession(
+        scheduler, config_b, channel_b, on_update=on_update_b, **session_kwargs
+    )
+    session_a.start()
+    session_b.start()
+    return session_a, session_b

@@ -1,0 +1,422 @@
+"""A complete BGP speaker: sessions + RIBs + decision + policy + MRAI.
+
+:class:`BgpSpeaker` is the routing-engine core used across the
+reproduction: the BIRD-like router wraps one, every synthetic Internet AS
+runs one, and experiment-side toolkits embed one. vBGP uses the same
+sessions and RIB primitives but with its own per-neighbor fan-out logic
+(:mod:`repro.vbgp`), since its job is precisely *not* to pick one best path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.bgp.attributes import Route
+from repro.bgp.decision import PeerContext, best_path
+from repro.bgp.errors import CeaseSubcode, ErrorCode, NotificationError
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.policy import RouteMap
+from repro.bgp.rib import AdjRibIn, AdjRibOut, LocRib, RibEntry
+from repro.bgp.session import BgpSession, SessionConfig
+from repro.bgp.transport import Channel
+from repro.netsim.addr import IPv4Address, Prefix
+from repro.sim.scheduler import Scheduler
+
+LOCAL_PEER = "__local__"
+
+
+@dataclass
+class SpeakerConfig:
+    """Global speaker configuration."""
+
+    asn: int
+    router_id: IPv4Address
+    hold_time: int = 90
+    mrai: float = 0.0  # minimum route advertisement interval (seconds)
+
+
+@dataclass
+class NeighborConfig:
+    """Per-neighbor configuration."""
+
+    name: str
+    peer_asn: Optional[int] = None
+    peer_address: IPv4Address = IPv4Address(0)
+    local_address: IPv4Address = IPv4Address(0)
+    addpath: bool = False
+    is_ibgp: bool = False
+    import_policy: Optional[RouteMap] = None
+    export_policy: Optional[RouteMap] = None
+    next_hop_self: bool = True
+    max_prefixes: Optional[int] = None
+    rtt: float = 0.01
+    # Route-server style: do not prepend our ASN and preserve the original
+    # next hop when exporting to this neighbor (RFC 7947 transparency).
+    transparent: bool = False
+
+
+class Neighbor:
+    """Runtime state for one configured neighbor."""
+
+    def __init__(self, config: NeighborConfig) -> None:
+        self.config = config
+        self.session: Optional[BgpSession] = None
+        self.adj_rib_in = AdjRibIn(config.name)
+        self.adj_rib_out = AdjRibOut(config.name)
+        self.context = PeerContext(
+            is_ebgp=not config.is_ibgp,
+            peer_address=config.peer_address,
+        )
+        # Outbound ADD-PATH id allocation: stable per source candidate.
+        self._path_ids: dict[tuple[Prefix, str, Optional[int]], int] = {}
+        self._path_id_counter = itertools.count(1)
+        # MRAI batching state.
+        self.pending_announce: dict[tuple[Prefix, Optional[int]], Route] = {}
+        self.pending_withdraw: set[tuple[Prefix, Optional[int]]] = set()
+        self.mrai_event = None
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    @property
+    def established(self) -> bool:
+        return self.session is not None and self.session.established
+
+    def path_id_for(self, prefix: Prefix, source_peer: str,
+                    source_path_id: Optional[int]) -> int:
+        key = (prefix, source_peer, source_path_id)
+        if key not in self._path_ids:
+            self._path_ids[key] = next(self._path_id_counter)
+        return self._path_ids[key]
+
+    def release_path_id(self, prefix: Prefix, source_peer: str,
+                        source_path_id: Optional[int]) -> Optional[int]:
+        return self._path_ids.pop((prefix, source_peer, source_path_id), None)
+
+
+BestChangeCallback = Callable[[Prefix, Optional[RibEntry]], None]
+RouteCallback = Callable[[str, Route], None]
+
+
+class BgpSpeaker:
+    """One BGP routing process."""
+
+    def __init__(self, scheduler: Scheduler, config: SpeakerConfig) -> None:
+        self.scheduler = scheduler
+        self.config = config
+        self.neighbors: dict[str, Neighbor] = {}
+        self.loc_rib = LocRib(select=self._select)
+        self.local_routes: dict[Prefix, Route] = {}
+        self.on_best_change: list[BestChangeCallback] = []
+        self.on_route_received: list[RouteCallback] = []
+        self.updates_processed = 0
+        self.allow_own_asn_in = False  # loop-check override (poisoning tests)
+
+    # ------------------------------------------------------------------
+    # Neighbor management
+    # ------------------------------------------------------------------
+
+    def attach_neighbor(self, config: NeighborConfig,
+                        channel: Channel) -> Neighbor:
+        """Create a neighbor and start its session over ``channel``."""
+        if config.name in self.neighbors:
+            raise ValueError(f"duplicate neighbor {config.name!r}")
+        neighbor = Neighbor(config)
+        session_config = SessionConfig(
+            local_asn=self.config.asn,
+            local_id=self.config.router_id,
+            peer_asn=config.peer_asn,
+            hold_time=self.config.hold_time,
+            addpath=config.addpath,
+            description=config.name,
+        )
+        neighbor.session = BgpSession(
+            self.scheduler,
+            session_config,
+            channel,
+            on_update=lambda session, update, n=config.name: (
+                self._update_received(n, update)
+            ),
+            on_established=lambda session, n=config.name: (
+                self._session_established(n)
+            ),
+            on_close=lambda session, reason, n=config.name: (
+                self._session_closed(n, reason)
+            ),
+        )
+        self.neighbors[config.name] = neighbor
+        neighbor.session.start()
+        return neighbor
+
+    def remove_neighbor(self, name: str) -> None:
+        neighbor = self.neighbors.pop(name, None)
+        if neighbor is None:
+            return
+        if neighbor.session is not None:
+            neighbor.session.shutdown(CeaseSubcode.PEER_DECONFIGURED)
+        self._flush_peer_routes(name)
+
+    def neighbor(self, name: str) -> Neighbor:
+        return self.neighbors[name]
+
+    # ------------------------------------------------------------------
+    # Local route origination
+    # ------------------------------------------------------------------
+
+    def originate(self, route: Route) -> None:
+        """Originate a local route (empty AS path; exported with our ASN)."""
+        self.local_routes[route.prefix] = route
+        if self.loc_rib.replace(LOCAL_PEER, route):
+            self._best_changed(route.prefix)
+        self._schedule_export(route.prefix)
+
+    def withdraw(self, prefix: Prefix) -> None:
+        route = self.local_routes.pop(prefix, None)
+        if route is None:
+            return
+        if self.loc_rib.remove(LOCAL_PEER, prefix, route.path_id):
+            self._best_changed(prefix)
+        self._schedule_export(prefix)
+
+    # ------------------------------------------------------------------
+    # Inbound processing
+    # ------------------------------------------------------------------
+
+    def _update_received(self, neighbor_name: str,
+                         update: UpdateMessage) -> None:
+        neighbor = self.neighbors.get(neighbor_name)
+        if neighbor is None:
+            return
+        self.updates_processed += 1
+        changed: set[Prefix] = set()
+        for prefix, path_id in update.withdrawn:
+            removed = neighbor.adj_rib_in.withdraw(prefix, path_id)
+            if removed is not None and self.loc_rib.remove(
+                neighbor_name, prefix, path_id
+            ):
+                changed.add(prefix)
+        for route in update.routes():
+            for callback in self.on_route_received:
+                callback(neighbor_name, route)
+            if (
+                route.as_path.contains(self.config.asn)
+                and not self.allow_own_asn_in
+            ):
+                continue  # loop prevention
+            imported = route
+            if neighbor.config.import_policy is not None:
+                maybe = neighbor.config.import_policy.apply(route)
+                if maybe is None:
+                    # Policy-rejected routes still occupy Adj-RIB-In space
+                    # conceptually; we model post-policy RIBs only.
+                    neighbor.adj_rib_in.withdraw(route.prefix, route.path_id)
+                    if self.loc_rib.remove(
+                        neighbor_name, route.prefix, route.path_id
+                    ):
+                        changed.add(route.prefix)
+                    continue
+                imported = maybe
+            neighbor.adj_rib_in.update(imported)
+            if neighbor.config.max_prefixes is not None and (
+                len(neighbor.adj_rib_in) > neighbor.config.max_prefixes
+            ):
+                self._max_prefixes_exceeded(neighbor)
+                return
+            if self.loc_rib.replace(neighbor_name, imported):
+                changed.add(imported.prefix)
+        for prefix in changed:
+            self._best_changed(prefix)
+        touched = set(
+            prefix for prefix, _ in update.withdrawn
+        ) | set(prefix for prefix, _ in update.nlri)
+        for prefix in touched:
+            self._schedule_export(prefix)
+
+    def _max_prefixes_exceeded(self, neighbor: Neighbor) -> None:
+        if neighbor.session is not None:
+            neighbor.session.notify_and_close(
+                NotificationError(
+                    ErrorCode.CEASE, CeaseSubcode.MAX_PREFIXES_REACHED,
+                    message="max prefixes exceeded",
+                )
+            )
+
+    def _session_established(self, neighbor_name: str) -> None:
+        """Advertise the full desired state to a newly established peer."""
+        neighbor = self.neighbors.get(neighbor_name)
+        if neighbor is None:
+            return
+        for prefix in list(self.loc_rib.prefixes()):
+            self._enqueue_prefix(neighbor, prefix)
+        self._flush(neighbor)
+
+    def _session_closed(self, neighbor_name: str, reason: str) -> None:
+        self._flush_peer_routes(neighbor_name)
+
+    def _flush_peer_routes(self, neighbor_name: str) -> None:
+        neighbor = self.neighbors.get(neighbor_name)
+        touched: set[Prefix] = set()
+        if neighbor is not None:
+            touched.update(neighbor.adj_rib_in.prefixes())
+            neighbor.adj_rib_in.clear()
+        for prefix in self.loc_rib.remove_peer(neighbor_name):
+            touched.add(prefix)
+            self._best_changed(prefix)
+        # Re-export: routes via the dead peer must be withdrawn elsewhere.
+        for prefix in touched:
+            self._schedule_export(prefix)
+
+    # ------------------------------------------------------------------
+    # Decision
+    # ------------------------------------------------------------------
+
+    def _select(self, entries: list[RibEntry]) -> Optional[RibEntry]:
+        contexts = {
+            name: neighbor.context
+            for name, neighbor in self.neighbors.items()
+        }
+        contexts[LOCAL_PEER] = PeerContext(
+            is_ebgp=False, router_id=self.config.router_id
+        )
+        # Local routes win by convention (weight), matching BIRD defaults.
+        local = [entry for entry in entries if entry.peer == LOCAL_PEER]
+        if local:
+            return local[0]
+        return best_path(entries, contexts)
+
+    def _best_changed(self, prefix: Prefix) -> None:
+        best = self.loc_rib.best(prefix)
+        for callback in self.on_best_change:
+            callback(prefix, best)
+
+    def best_route(self, prefix: Prefix) -> Optional[Route]:
+        entry = self.loc_rib.best(prefix)
+        return entry.route if entry is not None else None
+
+    # ------------------------------------------------------------------
+    # Outbound processing
+    # ------------------------------------------------------------------
+
+    def _schedule_export(self, prefix: Prefix) -> None:
+        for neighbor in self.neighbors.values():
+            if not neighbor.established:
+                continue
+            self._enqueue_prefix(neighbor, prefix)
+            self._arm_mrai(neighbor)
+
+    def _enqueue_prefix(self, neighbor: Neighbor, prefix: Prefix) -> None:
+        desired = self._desired_routes(neighbor, prefix)
+        desired_keys = {
+            (route.prefix, route.path_id) for route in desired
+        }
+        for key in list(neighbor.adj_rib_out.keys()):
+            if key[0] == prefix and key not in desired_keys:
+                neighbor.pending_withdraw.add(key)
+                neighbor.pending_announce.pop(key, None)
+        for route in desired:
+            key = (route.prefix, route.path_id)
+            if neighbor.adj_rib_out.advertised(*key) == route:
+                continue
+            neighbor.pending_announce[key] = route
+            neighbor.pending_withdraw.discard(key)
+
+    def _desired_routes(self, neighbor: Neighbor,
+                        prefix: Prefix) -> list[Route]:
+        """Post-policy routes we want advertised to ``neighbor``."""
+        if neighbor.config.addpath:
+            candidates = self.loc_rib.candidates(prefix)
+        else:
+            entry = self.loc_rib.best(prefix)
+            candidates = [entry] if entry is not None else []
+        desired = []
+        for entry in candidates:
+            if entry.peer == neighbor.name:
+                continue  # split horizon
+            source = self.neighbors.get(entry.peer)
+            if (
+                source is not None
+                and source.config.is_ibgp
+                and neighbor.config.is_ibgp
+            ):
+                continue  # no iBGP reflection (full mesh assumed)
+            route = self._export_transform(neighbor, entry)
+            if route is None:
+                continue
+            desired.append(route)
+        return desired
+
+    def _export_transform(self, neighbor: Neighbor,
+                          entry: RibEntry) -> Optional[Route]:
+        route = entry.route
+        if neighbor.config.export_policy is not None:
+            maybe = neighbor.config.export_policy.apply(route)
+            if maybe is None:
+                return None
+            route = maybe
+        if not neighbor.config.is_ibgp and not neighbor.config.transparent:
+            route = route.prepended(self.config.asn)
+            route = route.with_attributes(local_pref=None)
+        if route.next_hop is None or (
+            neighbor.config.next_hop_self and not neighbor.config.transparent
+        ):
+            route = route.with_next_hop(neighbor.config.local_address)
+        if neighbor.config.addpath:
+            route = route.with_path_id(
+                neighbor.path_id_for(entry.prefix, entry.peer,
+                                     entry.route.path_id)
+            )
+        else:
+            route = route.with_path_id(None)
+        return route
+
+    def _arm_mrai(self, neighbor: Neighbor) -> None:
+        if neighbor.mrai_event is not None:
+            return
+        if self.config.mrai <= 0:
+            self._flush(neighbor)
+            return
+        neighbor.mrai_event = self.scheduler.call_later(
+            self.config.mrai, lambda: self._mrai_fired(neighbor)
+        )
+
+    def _mrai_fired(self, neighbor: Neighbor) -> None:
+        neighbor.mrai_event = None
+        self._flush(neighbor)
+
+    def _flush(self, neighbor: Neighbor) -> None:
+        """Emit the minimal announce/withdraw set for a neighbor."""
+        if not neighbor.established or neighbor.session is None:
+            return
+        withdrawals = []
+        for prefix, path_id in sorted(
+            neighbor.pending_withdraw, key=lambda k: (k[0].key(), k[1] or 0)
+        ):
+            removed = neighbor.adj_rib_out.record_withdraw(prefix, path_id)
+            if removed is not None:
+                withdrawals.append(
+                    Route(prefix=prefix, attributes=removed.attributes,
+                          path_id=path_id)
+                )
+        neighbor.pending_withdraw.clear()
+        if withdrawals:
+            neighbor.session.send_update(UpdateMessage.withdraw(withdrawals))
+        # Group announcements by attribute set to pack NLRI efficiently.
+        groups: list[tuple[object, list[Route]]] = []
+        for key in sorted(
+            neighbor.pending_announce, key=lambda k: (k[0].key(), k[1] or 0)
+        ):
+            route = neighbor.pending_announce[key]
+            if not neighbor.adj_rib_out.record_announce(route):
+                continue
+            for attributes, routes in groups:
+                if attributes == route.attributes:
+                    routes.append(route)
+                    break
+            else:
+                groups.append((route.attributes, [route]))
+        neighbor.pending_announce.clear()
+        for _attributes, routes in groups:
+            neighbor.session.send_update(UpdateMessage.announce(routes))

@@ -1,0 +1,74 @@
+"""Reliable byte-stream transport for BGP sessions.
+
+BGP runs over TCP; inside the reproduction, sessions exchange their encoded
+bytes over a :class:`Channel` pair — an in-order, reliable duplex stream
+with configurable one-way latency, scheduled on the shared simulator. (The
+full simulated-TCP implementation in :mod:`repro.netsim.tcp` is reserved for
+the data-plane throughput experiments, where congestion behaviour matters;
+control-plane fidelity lives in the BGP codec itself, which sees real bytes
+either way.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.scheduler import Scheduler
+
+
+class Channel:
+    """One endpoint of a reliable duplex byte stream."""
+
+    def __init__(self, scheduler: Scheduler, latency: float = 0.0) -> None:
+        self.scheduler = scheduler
+        self.latency = latency
+        self.peer: Optional["Channel"] = None
+        self.on_data: Optional[Callable[[bytes], None]] = None
+        self.on_close: Optional[Callable[[], None]] = None
+        self.closed = False
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+
+    def send(self, data: bytes) -> None:
+        """Queue bytes for in-order delivery to the peer."""
+        if self.closed or self.peer is None or not data:
+            return
+        self.tx_bytes += len(data)
+        peer = self.peer
+        self.scheduler.call_later(
+            self.latency, lambda: peer._deliver(data)
+        )
+
+    def _deliver(self, data: bytes) -> None:
+        if self.closed:
+            return
+        self.rx_bytes += len(data)
+        if self.on_data is not None:
+            self.on_data(data)
+
+    def close(self) -> None:
+        """Close both directions; the peer is notified after the latency."""
+        if self.closed:
+            return
+        self.closed = True
+        peer = self.peer
+        if peer is not None and not peer.closed:
+            self.scheduler.call_later(self.latency, peer._peer_closed)
+
+    def _peer_closed(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        if self.on_close is not None:
+            self.on_close()
+
+
+def connect_pair(
+    scheduler: Scheduler, rtt: float = 0.0
+) -> tuple[Channel, Channel]:
+    """Create a connected channel pair with the given round-trip time."""
+    a = Channel(scheduler, latency=rtt / 2)
+    b = Channel(scheduler, latency=rtt / 2)
+    a.peer = b
+    b.peer = a
+    return a, b

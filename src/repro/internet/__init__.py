@@ -1,0 +1,41 @@
+"""The synthetic Internet substrate.
+
+PEERING's neighbors are real networks; offline, we substitute a synthetic
+AS-level Internet that exercises the same code paths: full BGP speakers
+per AS with Gao–Rexford routing policies, IXP route servers (RFC 7947),
+an AS-level forwarding overlay so experiment traffic traverses real
+(simulated) inter-AS paths and generates echo replies / TTL-exceeded
+messages, a calibrated BGP churn generator, PeeringDB-style records, and
+looking glasses.
+"""
+
+from repro.internet.asnode import InternetAS, Relationship
+from repro.internet.overlay import AsOverlay
+from repro.internet.ixp import RouteServer
+from repro.internet.topology import Internet, InternetConfig, build_internet
+from repro.internet.churn import ChurnGenerator, ChurnProfile, AMSIX_PROFILE
+from repro.internet.peeringdb import (
+    NetworkType,
+    PeeringDbRecord,
+    classify_peers,
+    synthesize_records,
+)
+from repro.internet.looking_glass import LookingGlass
+
+__all__ = [
+    "AMSIX_PROFILE",
+    "AsOverlay",
+    "ChurnGenerator",
+    "ChurnProfile",
+    "Internet",
+    "InternetAS",
+    "InternetConfig",
+    "LookingGlass",
+    "NetworkType",
+    "PeeringDbRecord",
+    "Relationship",
+    "RouteServer",
+    "build_internet",
+    "classify_peers",
+    "synthesize_records",
+]

@@ -1,0 +1,116 @@
+"""IXP route servers (RFC 7947) and IXP membership wiring.
+
+At IXP PoPs, PEERING peers bilaterally with some members and reaches the
+rest via route servers (§4.2: 923 peers, 129 bilateral, the rest via
+route servers). A :class:`RouteServer` is a transparent BGP speaker: it
+does not prepend its ASN and preserves members' next hops, so traffic
+flows member↔PEERING directly across the shared fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgp.speaker import BgpSpeaker, NeighborConfig, SpeakerConfig
+from repro.bgp.transport import connect_pair
+from repro.internet.asnode import (
+    InternetAS,
+    PopAttachment,
+    Relationship,
+    export_policy,
+    import_policy,
+)
+from repro.netsim.addr import IPv4Address, IPv4Prefix
+from repro.netsim.link import Link, Port as NetPort
+from repro.netsim.stack import NetworkStack
+from repro.platform.pop import PointOfPresence
+from repro.sim.scheduler import Scheduler
+
+
+class RouteServer:
+    """A transparent multilateral-peering route server at one IXP."""
+
+    def __init__(self, scheduler: Scheduler, name: str, asn: int,
+                 router_id: IPv4Address) -> None:
+        self.scheduler = scheduler
+        self.name = name
+        self.asn = asn
+        self.speaker = BgpSpeaker(
+            scheduler, SpeakerConfig(asn=asn, router_id=router_id)
+        )
+        self.members: list[str] = []
+
+    def add_session(self, name: str, peer_asn: int, channel) -> None:
+        """One transparent session (member or PEERING side)."""
+        self.speaker.attach_neighbor(
+            NeighborConfig(
+                name=name,
+                peer_asn=peer_asn,
+                transparent=True,
+                next_hop_self=False,
+                local_address=self.speaker.config.router_id,
+            ),
+            channel,
+        )
+        self.members.append(name)
+
+
+def attach_route_server(pop: PointOfPresence, asn: int = 6777) -> RouteServer:
+    """Create the PoP's route server and vBGP's session to it."""
+    port = pop.provision_neighbor(
+        name=f"rs-{pop.name}", asn=asn, kind="route-server"
+    )
+    server = RouteServer(
+        pop.scheduler, name=f"rs-{pop.name}", asn=asn, router_id=port.address
+    )
+    server.add_session(
+        f"peering-{pop.name}", peer_asn=pop.platform_asn, channel=port.channel
+    )
+    return server
+
+
+def join_ixp_via_route_server(
+    member: InternetAS,
+    pop: PointOfPresence,
+    server: RouteServer,
+    lan_latency: float = 0.0005,
+) -> PopAttachment:
+    """Give an AS route-server-only presence at an IXP PoP.
+
+    The member gets a port on the IXP fabric (address + MAC), a transparent
+    session with the route server, and an AS-overlay attachment so traffic
+    to/from PEERING crosses the shared switch directly.
+    """
+    address, mac, lan_port = pop.provision_lan_host(f"as{member.asn}")
+    ours, theirs = connect_pair(pop.scheduler, rtt=4 * lan_latency)
+    peer_name = f"rs-{pop.name}"
+    member.speaker.attach_neighbor(
+        NeighborConfig(
+            name=peer_name,
+            peer_asn=server.asn,
+            local_address=address,  # transparent RS: next hop = member port
+            import_policy=import_policy(Relationship.PEER),
+            export_policy=export_policy(Relationship.PEER),
+        ),
+        ours,
+    )
+    member.relationships[peer_name] = Relationship.PEER
+    server.add_session(f"as{member.asn}", peer_asn=member.asn,
+                       channel=theirs)
+    if member.stack is None:
+        member.stack = NetworkStack(pop.scheduler, name=f"as{member.asn}")
+        member.stack.ingress_hooks.append(member._from_fabric)
+    iface = f"ixp-{pop.name}"
+    our_port = NetPort(f"{iface}@as{member.asn}")
+    Link(pop.scheduler, our_port, lan_port, latency=lan_latency)
+    member.stack.add_interface(iface, mac, our_port)
+    member.stack.add_address(iface, address, 24)
+    attachment = PopAttachment(
+        pop=pop.name,
+        iface=iface,
+        address=address,
+        pop_server_ip=IPv4Prefix.from_address(address, 24).address_at(1),
+        peer_name=peer_name,
+    )
+    member.attachments[peer_name] = attachment
+    return attachment

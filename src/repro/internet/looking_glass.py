@@ -1,0 +1,123 @@
+"""Looking glasses and route collectors.
+
+Existing measurement tools "provide visibility into the current state of
+BGP … [but] cannot interact with the routing ecosystem" (§1, §8) — we
+model them anyway because experiments *use* them: the backup-routes study
+observes which routes become visible, and Appendix A's debugging workflow
+relies on looking glasses' restricted command interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bgp.attributes import Route
+from repro.bgp.speaker import BgpSpeaker, NeighborConfig, SpeakerConfig
+from repro.bgp.transport import connect_pair
+from repro.internet.asnode import InternetAS
+from repro.netsim.addr import IPv4Address, Prefix
+from repro.sim.scheduler import Scheduler
+
+
+@dataclass
+class CollectedRoute:
+    peer_asn: int
+    route: Route
+    first_seen: float
+    last_updated: float
+
+
+class LookingGlass:
+    """A route collector with a restricted query interface.
+
+    Peers with ASes (like RouteViews / RIPE RIS collectors) and records
+    every route each peer advertises. The query surface is deliberately
+    narrow — ``show route for <prefix>`` — matching the paper's complaint
+    that looking glasses "only provide a restricted command line
+    interface" (Appendix A).
+    """
+
+    COLLECTOR_ASN = 6447  # RouteViews' ASN, as a nod
+
+    def __init__(self, scheduler: Scheduler, name: str = "collector") -> None:
+        self.scheduler = scheduler
+        self.name = name
+        self.speaker = BgpSpeaker(
+            scheduler,
+            SpeakerConfig(
+                asn=self.COLLECTOR_ASN,
+                router_id=IPv4Address.parse("198.32.4.1"),
+            ),
+        )
+        # (peer asn, prefix) -> collected route.
+        self.table: dict[tuple[int, tuple], CollectedRoute] = {}
+        self.speaker.on_route_received.append(self._record)
+        self._peer_asns: dict[str, int] = {}
+
+    def peer_with(self, node: InternetAS, rtt: float = 0.02) -> None:
+        """Establish a collection session with an AS."""
+        ours, theirs = connect_pair(self.scheduler, rtt=rtt)
+        name = f"as{node.asn}"
+        self.speaker.attach_neighbor(
+            NeighborConfig(name=name, peer_asn=node.asn), ours
+        )
+        self._peer_asns[name] = node.asn
+        # The AS exports to the collector as it would to a peer.
+        from repro.internet.asnode import Relationship, export_policy
+
+        node.speaker.attach_neighbor(
+            NeighborConfig(
+                name=f"collector-{self.name}",
+                peer_asn=self.COLLECTOR_ASN,
+                local_address=node.speaker.config.router_id,
+                export_policy=export_policy(Relationship.PEER),
+            ),
+            theirs,
+        )
+
+    def _record(self, peer: str, route: Route) -> None:
+        asn = self._peer_asns.get(peer)
+        if asn is None:
+            return
+        key = (asn, route.prefix.key())
+        now = self.scheduler.now
+        existing = self.table.get(key)
+        if existing is None:
+            self.table[key] = CollectedRoute(
+                peer_asn=asn, route=route, first_seen=now, last_updated=now
+            )
+        else:
+            existing.route = route
+            existing.last_updated = now
+
+    # -- the restricted CLI ------------------------------------------------
+
+    def show_route_for(self, prefix: Prefix) -> str:
+        lines = []
+        for (asn, prefix_key), collected in sorted(self.table.items()):
+            if prefix_key == prefix.key():
+                lines.append(
+                    f"from AS{asn}: {collected.route}"
+                )
+        return "\n".join(lines) or "% Network not in table"
+
+    def routes_for(self, prefix: Prefix) -> list[CollectedRoute]:
+        return [
+            collected
+            for (asn, prefix_key), collected in self.table.items()
+            if prefix_key == prefix.key()
+        ]
+
+    def visible_paths(self, prefix: Prefix) -> set[tuple[int, ...]]:
+        """Distinct AS paths *currently* visible for a prefix.
+
+        Reads the collector's live RIB (withdrawn routes disappear), which
+        is what hidden-routes studies compare across announcement
+        configurations. ``self.table`` keeps the announce history with
+        first-seen timestamps.
+        """
+        return {
+            entry.route.as_path.asns
+            for entry in self.speaker.loc_rib.candidates(prefix)
+        }

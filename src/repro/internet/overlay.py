@@ -1,0 +1,52 @@
+"""AS-level forwarding overlay.
+
+Packets that leave the PEERING fabric travel the synthetic Internet hop by
+hop *between ASes*: each hop consults the AS's own BGP best route (from
+its live speaker), decrements TTL, and hands the packet to the next AS
+after a per-hop latency. This keeps end-to-end ping/traceroute semantics
+(echo replies, TTL-exceeded from intermediate ASes) without simulating
+every internal router of every AS.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.netsim.frames import IPv4Packet
+from repro.sim.scheduler import Scheduler
+
+if TYPE_CHECKING:
+    from repro.internet.asnode import InternetAS
+
+DEFAULT_HOP_LATENCY = 0.005
+
+
+class AsOverlay:
+    """Registry + packet mover for the synthetic Internet."""
+
+    def __init__(self, scheduler: Scheduler,
+                 hop_latency: float = DEFAULT_HOP_LATENCY) -> None:
+        self.scheduler = scheduler
+        self.hop_latency = hop_latency
+        self.ases: dict[int, "InternetAS"] = {}
+        self.packets_moved = 0
+        self.packets_dropped = 0
+
+    def register(self, node: "InternetAS") -> None:
+        self.ases[node.asn] = node
+
+    def get(self, asn: int) -> Optional["InternetAS"]:
+        return self.ases.get(asn)
+
+    def deliver(self, packet: IPv4Packet, to_asn: int,
+                latency: Optional[float] = None) -> None:
+        """Hand a packet to an AS after the hop latency."""
+        node = self.ases.get(to_asn)
+        if node is None:
+            self.packets_dropped += 1
+            return
+        self.packets_moved += 1
+        self.scheduler.call_later(
+            latency if latency is not None else self.hop_latency,
+            lambda: node.receive_packet(packet),
+        )

@@ -1,0 +1,85 @@
+"""Synthetic PeeringDB: network records and peer classification (§4.2).
+
+The paper characterizes PEERING's 923 peers via PeeringDB: 33% transit
+providers, 28% cable/DSL/ISP, 23% content, 8% unclassifiable, and the
+remainder education/research, enterprise, non-profit, and route servers.
+The generator reproduces that mix deterministically so the footprint
+benchmark can regenerate the §4.2 breakdown.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+
+class NetworkType(enum.Enum):
+    TRANSIT = "Network Service Provider (transit)"
+    CABLE_DSL_ISP = "Cable/DSL/ISP"
+    CONTENT = "Content"
+    EDUCATION_RESEARCH = "Educational/Research"
+    ENTERPRISE = "Enterprise"
+    NON_PROFIT = "Non-Profit"
+    ROUTE_SERVER = "Route Server"
+    UNCLASSIFIED = "Not Disclosed"
+
+
+# Target distribution from §4.2.
+TYPE_DISTRIBUTION = (
+    (NetworkType.TRANSIT, 0.33),
+    (NetworkType.CABLE_DSL_ISP, 0.28),
+    (NetworkType.CONTENT, 0.23),
+    (NetworkType.UNCLASSIFIED, 0.08),
+    (NetworkType.EDUCATION_RESEARCH, 0.04),
+    (NetworkType.ENTERPRISE, 0.03),
+    (NetworkType.NON_PROFIT, 0.005),
+    (NetworkType.ROUTE_SERVER, 0.005),
+)
+
+
+@dataclass(frozen=True)
+class PeeringDbRecord:
+    asn: int
+    name: str
+    network_type: NetworkType
+    open_policy: bool  # most IXP members have open peering policies
+
+
+def synthesize_records(asns: Iterable[int],
+                       seed: int = 2019) -> dict[int, PeeringDbRecord]:
+    """Assign PeeringDB records matching the §4.2 distribution."""
+    rng = random.Random(seed)
+    records: dict[int, PeeringDbRecord] = {}
+    types, weights = zip(*TYPE_DISTRIBUTION)
+    for asn in asns:
+        network_type = rng.choices(types, weights=weights)[0]
+        records[asn] = PeeringDbRecord(
+            asn=asn,
+            name=f"AS{asn}",
+            network_type=network_type,
+            open_policy=rng.random() < 0.8,
+        )
+    return records
+
+
+def classify_peers(
+    records: dict[int, PeeringDbRecord], peer_asns: Iterable[int]
+) -> dict[NetworkType, float]:
+    """Fraction of peers per network type (the §4.2 pie)."""
+    peers = list(peer_asns)
+    if not peers:
+        return {}
+    counts: dict[NetworkType, int] = {}
+    for asn in peers:
+        record = records.get(asn)
+        network_type = (
+            record.network_type if record is not None
+            else NetworkType.UNCLASSIFIED
+        )
+        counts[network_type] = counts.get(network_type, 0) + 1
+    return {
+        network_type: count / len(peers)
+        for network_type, count in counts.items()
+    }

@@ -1,0 +1,176 @@
+"""Synthetic Internet topology generation and PEERING attachment.
+
+Builds a valley-free AS hierarchy (tier-1 clique → regional transits →
+stubs), connects it to a :class:`~repro.platform.peering.PeeringPlatform`
+the way the real platform connects (§4.2): transit interconnections at
+university PoPs, bilateral + route-server peering at IXP PoPs, and
+PeeringDB records for everyone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.internet.asnode import InternetAS, Relationship
+from repro.internet.ixp import (
+    RouteServer,
+    attach_route_server,
+    join_ixp_via_route_server,
+)
+from repro.internet.looking_glass import LookingGlass
+from repro.internet.overlay import AsOverlay
+from repro.internet.peeringdb import PeeringDbRecord, synthesize_records
+from repro.netsim.addr import IPv4Prefix
+from repro.platform.peering import PeeringPlatform
+from repro.sim.scheduler import Scheduler
+
+
+@dataclass
+class InternetConfig:
+    """Knobs for topology size (defaults keep test runs fast)."""
+
+    n_tier1: int = 3
+    n_transit: int = 5
+    n_stub: int = 10
+    ixp_members_per_ixp: int = 6
+    bilateral_fraction: float = 0.4
+    with_looking_glass: bool = True
+    seed: int = 42
+
+
+@dataclass
+class Internet:
+    """The built synthetic Internet, attached to a platform."""
+
+    overlay: AsOverlay
+    tier1s: list[InternetAS] = field(default_factory=list)
+    transits: list[InternetAS] = field(default_factory=list)
+    stubs: list[InternetAS] = field(default_factory=list)
+    route_servers: dict[str, RouteServer] = field(default_factory=dict)
+    records: dict[int, PeeringDbRecord] = field(default_factory=dict)
+    looking_glass: Optional[LookingGlass] = None
+    # Global ids of bilateral vs route-server-only platform peers.
+    bilateral_peers: list[int] = field(default_factory=list)
+    rs_only_peers: list[int] = field(default_factory=list)
+    transit_gids: list[int] = field(default_factory=list)
+
+    @property
+    def all_ases(self) -> list[InternetAS]:
+        return self.tier1s + self.transits + self.stubs
+
+    def as_by_asn(self, asn: int) -> Optional[InternetAS]:
+        return self.overlay.get(asn)
+
+
+def _prefix_feed() -> Iterator[IPv4Prefix]:
+    """An endless supply of /16s for synthetic ASes."""
+    for supernet in ("32.0.0.0/6", "36.0.0.0/6", "40.0.0.0/6"):
+        yield from IPv4Prefix.parse(supernet).subnets(16)
+
+
+def build_internet(
+    scheduler: Scheduler,
+    platform: PeeringPlatform,
+    config: Optional[InternetConfig] = None,
+) -> Internet:
+    """Create the synthetic Internet and wire it to the platform."""
+    config = config or InternetConfig()
+    rng = random.Random(config.seed)
+    overlay = AsOverlay(scheduler)
+    internet = Internet(overlay=overlay)
+    prefixes = _prefix_feed()
+
+    def make_as(asn: int, name: str, kind: str,
+                prefix_count: int = 1) -> InternetAS:
+        node = InternetAS(
+            scheduler, overlay, asn=asn, name=name,
+            prefixes=tuple(next(prefixes) for _ in range(prefix_count)),
+            kind=kind,
+        )
+        node.originate_all()
+        return node
+
+    # Tier-1 clique.
+    for index in range(config.n_tier1):
+        node = make_as(100 * (index + 1), f"tier1-{index}", "transit",
+                       prefix_count=2)
+        for other in internet.tier1s:
+            node.peer_with(other, Relationship.PEER)
+        internet.tier1s.append(node)
+
+    # Regional transits: customers of two tier-1s, peers of each other
+    # with some probability.
+    for index in range(config.n_transit):
+        node = make_as(1000 + index, f"transit-{index}", "transit")
+        providers = rng.sample(
+            internet.tier1s, k=min(2, len(internet.tier1s))
+        )
+        for provider in providers:
+            node.peer_with(provider, Relationship.PROVIDER)
+        for other in internet.transits:
+            if rng.random() < 0.5:
+                node.peer_with(other, Relationship.PEER)
+        internet.transits.append(node)
+
+    # Stubs: customers of one or two transits.
+    for index in range(config.n_stub):
+        kind = rng.choice(("content", "eyeball", "enterprise"))
+        node = make_as(20000 + index, f"stub-{index}", kind)
+        providers = rng.sample(
+            internet.transits, k=min(rng.randint(1, 2),
+                                     len(internet.transits))
+        )
+        for provider in providers:
+            node.peer_with(provider, Relationship.PROVIDER)
+        internet.stubs.append(node)
+
+    # --- attach to the platform ---------------------------------------
+
+    transit_pool = list(internet.transits) or list(internet.tier1s)
+    ixp_pool = internet.stubs + internet.transits
+
+    for pop in platform.pops.values():
+        if pop.config.kind == "university":
+            # One transit interconnection with the host university's
+            # upstream (§4.2).
+            provider = transit_pool[pop.config.pop_id % len(transit_pool)]
+            port = pop.provision_neighbor(
+                name=f"as{provider.asn}", asn=provider.asn, kind="transit"
+            )
+            provider.connect_to_pop(port)
+            internet.transit_gids.append(port.global_id)
+        else:
+            # IXP: route server + members, some bilateral.
+            server = attach_route_server(pop)
+            internet.route_servers[pop.name] = server
+            members = rng.sample(
+                ixp_pool, k=min(config.ixp_members_per_ixp, len(ixp_pool))
+            )
+            for member_index, member in enumerate(members):
+                # The first member always uses the route server so every
+                # IXP exercises multilateral peering; the rest follow the
+                # configured bilateral fraction (§4.2's mix).
+                bilateral = (
+                    member_index > 0
+                    and rng.random() < config.bilateral_fraction
+                )
+                if bilateral:
+                    port = pop.provision_neighbor(
+                        name=f"as{member.asn}", asn=member.asn, kind="peer"
+                    )
+                    member.connect_to_pop(port)
+                    internet.bilateral_peers.append(port.global_id)
+                else:
+                    join_ixp_via_route_server(member, pop, server)
+                    internet.rs_only_peers.append(member.asn)
+
+    internet.records = synthesize_records(
+        [node.asn for node in internet.all_ases], seed=config.seed
+    )
+    if config.with_looking_glass and internet.tier1s:
+        internet.looking_glass = LookingGlass(scheduler)
+        for node in internet.tier1s:
+            internet.looking_glass.peer_with(node)
+    return internet

@@ -1,0 +1,156 @@
+"""Automated route-propagation debugging (Appendix A's future work).
+
+The paper describes the pain of debugging improperly configured filters
+in other networks: looking glasses "cannot accurately pinpoint filters
+because they only provide a restricted command line interface. Even in
+the optimistic scenario where two directly-connected networks A and B
+have looking glasses, if network A has the route and network B does not,
+the looking glasses do not allow us to disambiguate between (1) network
+A not exporting the route to B or (2) network B filtering the route
+received from A" — and closes with: "We plan to evaluate methods for
+automated filter troubleshooting."
+
+This module implements that evaluation on the synthetic Internet:
+
+* :func:`propagation_snapshot` — which ASes currently carry the prefix,
+* :func:`expected_edges` — where valley-free policy *predicts* the route
+  should flow (using inferred relationships, as a measurement system
+  would),
+* :func:`diagnose` — the boundary edges where propagation stops; with
+  looking-glass-level access the verdict is ``ambiguous`` (the paper's
+  complaint, reproduced faithfully); with router-level access
+  (Adj-RIB-Out visibility, as inside a cooperating network) the verdict
+  pinpoints the side of the broken filter.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.internet.asnode import (
+    InternetAS,
+    Relationship,
+    TAG_CUSTOMER,
+    TAG_PEER,
+    TAG_PROVIDER,
+)
+from repro.netsim.addr import Prefix
+
+
+class Verdict(enum.Enum):
+    EXPORT_SIDE = "A is not exporting the route to B"
+    IMPORT_SIDE = "B is filtering the route received from A"
+    AMBIGUOUS = "cannot disambiguate with looking glasses alone"
+
+
+@dataclass(frozen=True)
+class SuspectEdge:
+    """One boundary where a route should propagate but does not."""
+
+    from_asn: int
+    to_asn: int
+    verdict: Verdict
+
+
+@dataclass
+class PropagationReport:
+    prefix: Prefix
+    carrying: set[int] = field(default_factory=set)
+    missing: set[int] = field(default_factory=set)
+    suspects: list[SuspectEdge] = field(default_factory=list)
+
+    def summary(self) -> str:
+        lines = [
+            f"prefix {self.prefix}: {len(self.carrying)} ASes carry it, "
+            f"{len(self.missing)} do not",
+        ]
+        for suspect in self.suspects:
+            lines.append(
+                f"  AS{suspect.from_asn} -> AS{suspect.to_asn}: "
+                f"{suspect.verdict.value}"
+            )
+        return "\n".join(lines)
+
+
+def propagation_snapshot(
+    ases: Iterable[InternetAS], prefix: Prefix
+) -> tuple[set[int], set[int]]:
+    """Partition ASes into carrying / missing for the prefix."""
+    carrying, missing = set(), set()
+    for node in ases:
+        if node.speaker.best_route(prefix) is not None:
+            carrying.add(node.asn)
+        else:
+            missing.add(node.asn)
+    return carrying, missing
+
+
+def _would_export(node: InternetAS, neighbor_name: str,
+                  prefix: Prefix) -> Optional[bool]:
+    """Does valley-free policy predict ``node`` exports to the neighbor?
+
+    Uses the route's import tag (how the node learned it) and the
+    neighbor relationship — exactly the inference a measurement system
+    makes from public relationship data.
+    """
+    best = node.speaker.loc_rib.best(prefix)
+    if best is None:
+        return None
+    relationship = node.relationships.get(neighbor_name)
+    if relationship is None:
+        return None
+    if relationship == Relationship.CUSTOMER:
+        return True  # customers get everything
+    communities = best.route.communities
+    learned_from_customer = TAG_CUSTOMER in communities or not (
+        {TAG_PEER, TAG_PROVIDER} & communities
+    )  # no tag: locally originated
+    return learned_from_customer
+
+
+def diagnose(
+    ases: Iterable[InternetAS],
+    prefix: Prefix,
+    router_access: bool = False,
+) -> PropagationReport:
+    """Find the filters blocking a prefix's propagation.
+
+    ``router_access=False`` models the Appendix A reality: looking
+    glasses only — every suspect edge is AMBIGUOUS. With
+    ``router_access=True`` (the cooperative/automated setting the paper
+    wants to evaluate) the Adj-RIB-Out of the exporting side settles
+    which filter is at fault.
+    """
+    nodes = list(ases)
+    by_asn = {node.asn: node for node in nodes}
+    carrying, missing = propagation_snapshot(nodes, prefix)
+    report = PropagationReport(prefix=prefix, carrying=carrying,
+                               missing=missing)
+    for node in nodes:
+        if node.asn not in carrying:
+            continue
+        for neighbor_name, neighbor_asn in node.neighbor_asns.items():
+            if neighbor_asn not in missing:
+                continue
+            expected = _would_export(node, neighbor_name, prefix)
+            if not expected:
+                continue  # policy predicts no propagation: not a fault
+            if not router_access:
+                verdict = Verdict.AMBIGUOUS
+            else:
+                exported = any(
+                    route.prefix == prefix
+                    for route in node.speaker.neighbors[
+                        neighbor_name
+                    ].adj_rib_out.routes()
+                )
+                verdict = (
+                    Verdict.IMPORT_SIDE if exported
+                    else Verdict.EXPORT_SIDE
+                )
+            report.suspects.append(SuspectEdge(
+                from_asn=node.asn, to_asn=neighbor_asn, verdict=verdict,
+            ))
+    return report

@@ -1,0 +1,27 @@
+"""Resource accounting and measurement used by the §6 evaluation benches."""
+
+from repro.metrics.memory import (
+    FIB_ENTRY_BYTES,
+    KERNEL_SYNC_BYTES,
+    MemoryReport,
+    fib_memory,
+    memory_report,
+    rib_memory,
+    route_memory_bytes,
+)
+from repro.metrics.cpu import CpuMeasurement, measure_processing, utilization
+from repro.metrics.throughput import estimate_tcp_throughput
+
+__all__ = [
+    "CpuMeasurement",
+    "FIB_ENTRY_BYTES",
+    "KERNEL_SYNC_BYTES",
+    "MemoryReport",
+    "estimate_tcp_throughput",
+    "fib_memory",
+    "measure_processing",
+    "memory_report",
+    "rib_memory",
+    "route_memory_bytes",
+    "utilization",
+]

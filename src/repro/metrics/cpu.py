@@ -1,0 +1,65 @@
+"""CPU utilization accounting (Figure 6b).
+
+The paper plots BIRD's CPU utilization against the rate of BGP updates
+processed, for three filter configurations (accept-all, single-router vBGP,
+multi-router vBGP). We measure the *actual* per-update processing cost of
+our filter implementations with ``time.perf_counter`` and convert a target
+update rate into utilization of one core:
+
+    utilization% = rate × seconds_per_update × 100
+
+Linearity in the rate and the ordering of the three configurations are
+properties of the real filter code; absolute percentages depend on the host
+(the paper's §6 numbers were measured on their servers, ours on yours).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class CpuMeasurement:
+    """Per-update processing cost of one configuration."""
+
+    label: str
+    updates: int
+    total_seconds: float
+
+    @property
+    def seconds_per_update(self) -> float:
+        return self.total_seconds / max(self.updates, 1)
+
+    def utilization(self, rate_per_second: float) -> float:
+        """Percent of one core consumed at the given update rate."""
+        return min(rate_per_second * self.seconds_per_update * 100, 100.0)
+
+    def max_sustainable_rate(self) -> float:
+        """Updates/second at which one core saturates."""
+        return 1 / self.seconds_per_update
+
+
+def measure_processing(
+    label: str,
+    process: Callable[[T], object],
+    updates: Sequence[T],
+    repeat: int = 1,
+) -> CpuMeasurement:
+    """Run ``process`` over ``updates`` and record wall-clock cost."""
+    count = 0
+    start = time.perf_counter()
+    for _ in range(repeat):
+        for update in updates:
+            process(update)
+            count += 1
+    elapsed = time.perf_counter() - start
+    return CpuMeasurement(label=label, updates=count, total_seconds=elapsed)
+
+
+def utilization(rate_per_second: float, seconds_per_update: float) -> float:
+    """Percent of one core consumed at ``rate_per_second``."""
+    return min(rate_per_second * seconds_per_update * 100, 100.0)

@@ -1,0 +1,35 @@
+"""TCP throughput estimation for backbone measurements (§6).
+
+Two tools reproduce the paper's iperf3 measurements across PoP pairs:
+
+* the event-driven simulated TCP (:func:`repro.netsim.tcp.run_iperf`) for
+  full-fidelity transfers over modeled links, and
+* the Mathis model here, used to cross-check the simulation and to sweep
+  the full PoP mesh cheaply.
+"""
+
+from __future__ import annotations
+
+import math
+
+MATHIS_CONSTANT = math.sqrt(3 / 2)
+
+
+def estimate_tcp_throughput(
+    rtt_seconds: float,
+    loss_rate: float,
+    bottleneck_bps: float,
+    mss_bytes: int = 1448,
+    efficiency: float = 0.95,
+) -> float:
+    """Steady-state TCP throughput in bits/second.
+
+    Uses the Mathis et al. model ``MSS/RTT * C/sqrt(p)`` capped by the
+    bottleneck capacity (scaled by protocol ``efficiency``). With zero
+    measured loss, a nominal 1e-8 is assumed (transient queue drops).
+    """
+    if rtt_seconds <= 0:
+        raise ValueError("RTT must be positive")
+    loss = max(loss_rate, 1e-8)
+    mathis_bps = (mss_bytes * 8 / rtt_seconds) * (MATHIS_CONSTANT / math.sqrt(loss))
+    return min(bottleneck_bps * efficiency, mathis_bps)

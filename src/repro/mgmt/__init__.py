@@ -1,0 +1,48 @@
+"""Intent-based configuration management (§5).
+
+The three engineering pillars of PEERING's operation:
+
+* **intent-based configuration** — a central database of desired state,
+  rendered into service configuration files (BIRD-style router configs,
+  tunnel configs, enforcement policies) by a templating engine, versioned
+  and canary-deployed,
+* **network configuration with transactional semantics** — a controller
+  that diffs desired against actual kernel state over the netlink-like
+  API, applies the minimal change set, rolls back on failure, and fixes
+  primary-address ordering (which the kernel only expresses as insertion
+  order),
+* **standardization and isolation** — containerized services deployed by
+  an Ansible-like runner with canarying and drift correction.
+"""
+
+from repro.mgmt.configdb import ConfigDatabase, Document
+from repro.mgmt.templating import TemplateError, render
+from repro.mgmt.controller import (
+    NetworkController,
+    NetworkIntent,
+    TransactionError,
+)
+from repro.mgmt.deploy import (
+    Container,
+    DeployResult,
+    Deployer,
+    Server,
+    VersionStore,
+)
+from repro.mgmt.render import render_bird_config
+
+__all__ = [
+    "ConfigDatabase",
+    "Container",
+    "DeployResult",
+    "Deployer",
+    "Document",
+    "NetworkController",
+    "NetworkIntent",
+    "Server",
+    "TemplateError",
+    "TransactionError",
+    "VersionStore",
+    "render",
+    "render_bird_config",
+]

@@ -1,0 +1,106 @@
+"""The centralized configuration database (§5).
+
+"The desired configuration is stored on a centralized database accessible
+through a web service" — experiments and capabilities, per-PoP network
+configuration, and interconnection data. Documents are dicts keyed by
+path; every write creates a new version so deployments can be inspected
+and rolled back.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class Document:
+    """One immutable version of a configuration document."""
+
+    path: str
+    version: int
+    data: dict[str, Any]
+
+    def canonical(self) -> str:
+        return json.dumps(self.data, sort_keys=True, default=str)
+
+
+class ConfigDatabase:
+    """Versioned document store with a web-service-like API."""
+
+    def __init__(self) -> None:
+        self._versions: dict[str, list[Document]] = {}
+        self.writes = 0
+
+    # -- web-service surface -------------------------------------------
+
+    def put(self, path: str, data: dict[str, Any]) -> Document:
+        """Write a new version of a document (deep-copied)."""
+        history = self._versions.setdefault(path, [])
+        document = Document(
+            path=path, version=len(history) + 1, data=copy.deepcopy(data)
+        )
+        history.append(document)
+        self.writes += 1
+        return document
+
+    def get(self, path: str,
+            version: Optional[int] = None) -> Optional[Document]:
+        history = self._versions.get(path)
+        if not history:
+            return None
+        if version is None:
+            return history[-1]
+        if 1 <= version <= len(history):
+            return history[version - 1]
+        return None
+
+    def update(self, path: str, **changes: Any) -> Document:
+        """Read-modify-write convenience."""
+        current = self.get(path)
+        data = copy.deepcopy(current.data) if current is not None else {}
+        data.update(changes)
+        return self.put(path, data)
+
+    def history(self, path: str) -> list[Document]:
+        return list(self._versions.get(path, []))
+
+    def rollback(self, path: str) -> Optional[Document]:
+        """Make the previous version current (by re-putting it)."""
+        history = self._versions.get(path)
+        if not history or len(history) < 2:
+            return None
+        return self.put(path, history[-2].data)
+
+    def list_paths(self, prefix: str = "") -> list[str]:
+        return sorted(
+            path for path in self._versions if path.startswith(prefix)
+        )
+
+    # -- domain helpers used by the platform tooling ---------------------
+
+    def record_experiment(self, name: str, *, prefixes: list[str],
+                          asn: int, capabilities: list[str]) -> Document:
+        return self.put(
+            f"experiments/{name}",
+            {
+                "name": name,
+                "prefixes": prefixes,
+                "asn": asn,
+                "capabilities": capabilities,
+            },
+        )
+
+    def record_pop(self, name: str, *, pop_id: int, kind: str,
+                   neighbors: list[dict]) -> Document:
+        return self.put(
+            f"pops/{name}",
+            {
+                "name": name,
+                "pop_id": pop_id,
+                "kind": kind,
+                "neighbors": neighbors,
+            },
+        )

@@ -1,0 +1,173 @@
+"""Standardized deployment: containers, version control, Ansible-like runs.
+
+§5's third pillar: PEERING servers run stripped-down operating systems
+with every service (BIRD, OpenVPN, the network controller, enforcement
+engines) packaged into containers; Ansible periodically converges every
+server to the desired state, canarying configuration changes on a subset
+first. Configuration files live in version control and can be rolled
+back; reloading configs does not reset BGP sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+class VersionStore:
+    """Version-controlled configuration file store."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, list[str]] = {}
+        self.commits = 0
+
+    def commit(self, path: str, content: str) -> int:
+        history = self._files.setdefault(path, [])
+        if history and history[-1] == content:
+            return len(history)  # no-op commit
+        history.append(content)
+        self.commits += 1
+        return len(history)
+
+    def head(self, path: str) -> Optional[str]:
+        history = self._files.get(path)
+        return history[-1] if history else None
+
+    def revision(self, path: str, version: int) -> Optional[str]:
+        history = self._files.get(path, [])
+        if 1 <= version <= len(history):
+            return history[version - 1]
+        return None
+
+    def revert(self, path: str) -> Optional[str]:
+        """Commit the previous revision as the new head."""
+        history = self._files.get(path)
+        if not history or len(history) < 2:
+            return None
+        self.commit(path, history[-2])
+        return self.head(path)
+
+
+@dataclass
+class Container:
+    """One isolated service (own namespaces, pinned image version)."""
+
+    name: str
+    image: str
+    version: int = 1
+    config: dict[str, str] = field(default_factory=dict)
+    running: bool = True
+    restarts: int = 0
+
+    def upgrade(self, version: int) -> None:
+        if version != self.version:
+            self.version = version
+            self.restarts += 1
+
+    def load_config(self, files: dict[str, str]) -> bool:
+        """Reload configuration; returns True when anything changed.
+
+        Config reloads do NOT restart the container (BGP sessions and
+        tunnels survive — the §5 requirement).
+        """
+        changed = False
+        for path, content in files.items():
+            if self.config.get(path) != content:
+                self.config[path] = content
+                changed = True
+        return changed
+
+
+@dataclass
+class Server:
+    """One PEERING server: a host OS plus service containers."""
+
+    name: str
+    containers: dict[str, Container] = field(default_factory=dict)
+    os_resets: int = 0
+
+    def ensure_container(self, name: str, image: str,
+                         version: int) -> Container:
+        container = self.containers.get(name)
+        if container is None:
+            container = Container(name=name, image=image, version=version)
+            self.containers[name] = container
+        else:
+            container.upgrade(version)
+        return container
+
+    def reset_os(self) -> None:
+        """Reset the host to the known desired state (§5 Ansible runs)."""
+        self.os_resets += 1
+
+
+@dataclass
+class DeployResult:
+    """Outcome of one deployment run."""
+
+    servers_converged: list[str] = field(default_factory=list)
+    servers_failed: list[str] = field(default_factory=list)
+    configs_changed: int = 0
+    canary_only: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.servers_failed
+
+
+class Deployer:
+    """Ansible-like convergence with canarying."""
+
+    def __init__(self, store: VersionStore,
+                 canary_fraction: float = 0.25) -> None:
+        self.store = store
+        self.canary_fraction = canary_fraction
+        self.servers: dict[str, Server] = {}
+        self.runs = 0
+
+    def add_server(self, name: str) -> Server:
+        server = Server(name=name)
+        self.servers[name] = server
+        return server
+
+    def deploy(
+        self,
+        service: str,
+        image: str,
+        version: int,
+        config_paths: dict[str, str],
+        verify: Optional[Callable[[Server], bool]] = None,
+        canary: bool = True,
+    ) -> DeployResult:
+        """Converge all servers to (image version, config heads).
+
+        With ``canary=True`` the change first lands on a subset; if
+        ``verify`` rejects any canary, the run stops there and the
+        remaining fleet is untouched.
+        """
+        self.runs += 1
+        result = DeployResult()
+        names = sorted(self.servers)
+        canary_count = max(1, int(len(names) * self.canary_fraction)) if (
+            canary and names
+        ) else len(names)
+        waves = [names[:canary_count], names[canary_count:]]
+        for wave_index, wave in enumerate(waves):
+            for name in wave:
+                server = self.servers[name]
+                server.reset_os()
+                container = server.ensure_container(service, image, version)
+                files = {
+                    path: self.store.head(store_path) or ""
+                    for path, store_path in config_paths.items()
+                }
+                if container.load_config(files):
+                    result.configs_changed += 1
+                if verify is not None and not verify(server):
+                    result.servers_failed.append(name)
+                else:
+                    result.servers_converged.append(name)
+            if wave_index == 0 and result.servers_failed:
+                result.canary_only = True
+                return result
+        return result

@@ -1,0 +1,164 @@
+"""A small, dependency-free template engine.
+
+Supports the constructs PEERING's configuration templates need:
+
+* ``{{ expr }}`` — substitution of dotted paths (``pop.name``,
+  ``neighbor.asn``) resolved against dicts and attributes,
+* ``{% for item in expr %} … {% endfor %}`` — iteration,
+* ``{% if expr %} … {% endif %}`` — truthiness conditionals.
+
+Deterministic output: rendering the same model twice yields identical
+text, which is what makes canarying and configuration diffing meaningful.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+
+class TemplateError(ValueError):
+    """Raised for malformed templates or unresolvable expressions."""
+
+
+_TAG_RE = re.compile(
+    r"\{\{\s*(?P<subst>[^}]+?)\s*\}\}"
+    r"|\{%\s*(?P<stmt>[^%]+?)\s*%\}"
+)
+
+
+def _resolve(expression: str, context: dict[str, Any]) -> Any:
+    """Resolve a dotted path against the context."""
+    parts = expression.strip().split(".")
+    if not parts or not parts[0]:
+        raise TemplateError(f"empty expression: {expression!r}")
+    try:
+        value: Any = context[parts[0]]
+    except KeyError as exc:
+        raise TemplateError(f"undefined name {parts[0]!r}") from exc
+    for part in parts[1:]:
+        if isinstance(value, dict):
+            if part not in value:
+                raise TemplateError(
+                    f"no key {part!r} in {expression!r}"
+                )
+            value = value[part]
+        elif hasattr(value, part):
+            value = getattr(value, part)
+        else:
+            raise TemplateError(
+                f"cannot resolve {part!r} in {expression!r}"
+            )
+    return value
+
+
+def _tokenize(template: str) -> list[tuple[str, str]]:
+    """Split into (kind, payload) tokens: text / subst / stmt."""
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    for match in _TAG_RE.finditer(template):
+        if match.start() > position:
+            tokens.append(("text", template[position:match.start()]))
+        if match.group("subst") is not None:
+            tokens.append(("subst", match.group("subst")))
+        else:
+            tokens.append(("stmt", match.group("stmt")))
+        position = match.end()
+    if position < len(template):
+        tokens.append(("text", template[position:]))
+    return tokens
+
+
+def render(template: str, context: dict[str, Any]) -> str:
+    """Render a template against a context model."""
+    tokens = _tokenize(template)
+    output, consumed = _render_block(tokens, 0, context, end=None)
+    if consumed != len(tokens):
+        raise TemplateError("unexpected endfor/endif")
+    return output
+
+
+def _render_block(
+    tokens: list[tuple[str, str]],
+    index: int,
+    context: dict[str, Any],
+    end: str | None,
+) -> tuple[str, int]:
+    parts: list[str] = []
+    while index < len(tokens):
+        kind, payload = tokens[index]
+        if kind == "text":
+            parts.append(payload)
+            index += 1
+        elif kind == "subst":
+            parts.append(str(_resolve(payload, context)))
+            index += 1
+        else:
+            statement = payload.strip()
+            if statement == end:
+                return "".join(parts), index + 1
+            if statement.startswith("for "):
+                match = re.fullmatch(
+                    r"for\s+(\w+)\s+in\s+(.+)", statement
+                )
+                if match is None:
+                    raise TemplateError(f"malformed for: {statement!r}")
+                var, expr = match.group(1), match.group(2)
+                iterable = _resolve(expr, context)
+                # Find the block once, then render per item.
+                body_start = index + 1
+                rendered_any = False
+                end_index = None
+                for item in iterable:
+                    child = dict(context)
+                    child[var] = item
+                    body, end_index = _render_block(
+                        tokens, body_start, child, end="endfor"
+                    )
+                    parts.append(body)
+                    rendered_any = True
+                if not rendered_any:
+                    _, end_index = _skip_block(tokens, body_start, "endfor")
+                assert end_index is not None
+                index = end_index
+            elif statement.startswith("if "):
+                condition = statement[3:]
+                body_start = index + 1
+                try:
+                    truthy = bool(_resolve(condition, context))
+                except TemplateError:
+                    truthy = False
+                if truthy:
+                    body, index = _render_block(
+                        tokens, body_start, context, end="endif"
+                    )
+                    parts.append(body)
+                else:
+                    _, index = _skip_block(tokens, body_start, "endif")
+            else:
+                raise TemplateError(f"unknown statement {statement!r}")
+    if end is not None:
+        raise TemplateError(f"missing {{% {end} %}}")
+    return "".join(parts), index
+
+
+def _skip_block(tokens: list[tuple[str, str]], index: int,
+                end: str) -> tuple[str, int]:
+    """Advance past a block without rendering (handles nesting)."""
+    depth = 0
+    while index < len(tokens):
+        kind, payload = tokens[index]
+        if kind == "stmt":
+            statement = payload.strip()
+            if statement.startswith(("for ", "if ")):
+                depth += 1
+            elif statement in ("endfor", "endif"):
+                if depth == 0:
+                    if statement != end:
+                        raise TemplateError(
+                            f"expected {end}, found {statement}"
+                        )
+                    return "", index + 1
+                depth -= 1
+        index += 1
+    raise TemplateError(f"missing {{% {end} %}}")

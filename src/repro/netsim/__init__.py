@@ -1,0 +1,73 @@
+"""In-process layer-2/layer-3 network substrate.
+
+This package stands in for the Linux networking stack that PEERING's vBGP is
+implemented against: Ethernet frames, ARP, IPv4/IPv6 addressing, links and
+switches, hosts with multiple policy-routing tables, and a netlink-like
+configuration API. vBGP's mechanisms (per-neighbor virtual MACs, MAC-keyed
+routing-table selection, next-hop rewriting) are built on these primitives
+exactly as the paper builds them on the kernel.
+"""
+
+from repro.netsim.addr import (
+    AddressError,
+    IPv4Address,
+    IPv4Prefix,
+    IPv6Address,
+    IPv6Prefix,
+    MacAddress,
+    parse_prefix,
+)
+from repro.netsim.frames import (
+    ArpOp,
+    ArpPacket,
+    EtherType,
+    EthernetFrame,
+    IcmpMessage,
+    IcmpType,
+    IpProto,
+    IPv4Packet,
+    UdpDatagram,
+)
+from repro.netsim.lpm import LpmTable, RouteEntry
+from repro.netsim.link import Link, Port, Switch
+from repro.netsim.stack import (
+    InterfaceConfig,
+    KernelRoute,
+    NetworkStack,
+    RoutingRule,
+    RULE_PRIORITY_DEFAULT,
+    Verdict,
+)
+from repro.netsim.netlink import Netlink, NetlinkError
+
+__all__ = [
+    "AddressError",
+    "ArpOp",
+    "ArpPacket",
+    "EtherType",
+    "EthernetFrame",
+    "IcmpMessage",
+    "IcmpType",
+    "InterfaceConfig",
+    "IpProto",
+    "IPv4Address",
+    "IPv4Packet",
+    "IPv4Prefix",
+    "IPv6Address",
+    "IPv6Prefix",
+    "KernelRoute",
+    "Link",
+    "LpmTable",
+    "MacAddress",
+    "Netlink",
+    "NetlinkError",
+    "NetworkStack",
+    "Port",
+    "RouteEntry",
+    "RoutingRule",
+    "RULE_PRIORITY_DEFAULT",
+    "Switch",
+    "UdpDatagram",
+    "Verdict",
+    "parse_prefix",
+]

@@ -1,0 +1,407 @@
+"""Address types: MAC, IPv4, IPv6, and prefixes.
+
+These are implemented from scratch (integer-backed, hashable, totally
+ordered) rather than on :mod:`ipaddress` so the rest of the reproduction can
+rely on exact semantics — e.g. the LPM trie keys on ``(value, length)`` and
+vBGP allocates virtual MAC/IP pairs arithmetically.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Iterator, Union
+
+
+class AddressError(ValueError):
+    """Raised for malformed addresses or prefixes."""
+
+
+@total_ordering
+class MacAddress:
+    """A 48-bit Ethernet MAC address."""
+
+    __slots__ = ("_value",)
+
+    BROADCAST_VALUE = (1 << 48) - 1
+
+    def __init__(self, value: int) -> None:
+        if not 0 <= value < (1 << 48):
+            raise AddressError(f"MAC value out of range: {value:#x}")
+        self._value = value
+
+    @classmethod
+    def parse(cls, text: str) -> "MacAddress":
+        """Parse ``aa:bb:cc:dd:ee:ff`` (also accepts ``-`` separators)."""
+        parts = text.replace("-", ":").split(":")
+        if len(parts) != 6:
+            raise AddressError(f"malformed MAC address: {text!r}")
+        value = 0
+        for part in parts:
+            if not 1 <= len(part) <= 2:
+                raise AddressError(f"malformed MAC address: {text!r}")
+            try:
+                octet = int(part, 16)
+            except ValueError as exc:
+                raise AddressError(f"malformed MAC address: {text!r}") from exc
+            value = (value << 8) | octet
+        return cls(value)
+
+    @classmethod
+    def broadcast(cls) -> "MacAddress":
+        return cls(cls.BROADCAST_VALUE)
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self._value == self.BROADCAST_VALUE
+
+    @property
+    def is_multicast(self) -> bool:
+        return bool((self._value >> 40) & 0x01)
+
+    @property
+    def is_locally_administered(self) -> bool:
+        return bool((self._value >> 40) & 0x02)
+
+    def __str__(self) -> str:
+        octets = [(self._value >> shift) & 0xFF for shift in range(40, -8, -8)]
+        return ":".join(f"{octet:02x}" for octet in octets)
+
+    def __repr__(self) -> str:
+        return f"MacAddress({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MacAddress) and self._value == other._value
+
+    def __lt__(self, other: "MacAddress") -> bool:
+        if not isinstance(other, MacAddress):
+            return NotImplemented
+        return self._value < other._value
+
+    def __hash__(self) -> int:
+        return hash(("mac", self._value))
+
+
+@total_ordering
+class IPv4Address:
+    """A 32-bit IPv4 address."""
+
+    __slots__ = ("_value",)
+
+    BITS = 32
+
+    def __init__(self, value: int) -> None:
+        if not 0 <= value < (1 << 32):
+            raise AddressError(f"IPv4 value out of range: {value:#x}")
+        self._value = value
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Address":
+        parts = text.split(".")
+        if len(parts) != 4:
+            raise AddressError(f"malformed IPv4 address: {text!r}")
+        value = 0
+        for part in parts:
+            if not part.isdigit() or (len(part) > 1 and part[0] == "0"):
+                raise AddressError(f"malformed IPv4 address: {text!r}")
+            octet = int(part)
+            if octet > 255:
+                raise AddressError(f"malformed IPv4 address: {text!r}")
+            value = (value << 8) | octet
+        return cls(value)
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def is_private(self) -> bool:
+        return (
+            IPv4Prefix.parse("10.0.0.0/8").contains_address(self)
+            or IPv4Prefix.parse("172.16.0.0/12").contains_address(self)
+            or IPv4Prefix.parse("192.168.0.0/16").contains_address(self)
+        )
+
+    @property
+    def is_loopback(self) -> bool:
+        return IPv4Prefix.parse("127.0.0.0/8").contains_address(self)
+
+    def packed(self) -> bytes:
+        return self._value.to_bytes(4, "big")
+
+    @classmethod
+    def from_packed(cls, data: bytes) -> "IPv4Address":
+        if len(data) != 4:
+            raise AddressError(f"need 4 bytes for IPv4, got {len(data)}")
+        return cls(int.from_bytes(data, "big"))
+
+    def __add__(self, offset: int) -> "IPv4Address":
+        return IPv4Address(self._value + offset)
+
+    def __str__(self) -> str:
+        octets = [(self._value >> shift) & 0xFF for shift in (24, 16, 8, 0)]
+        return ".".join(str(octet) for octet in octets)
+
+    def __repr__(self) -> str:
+        return f"IPv4Address({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IPv4Address) and self._value == other._value
+
+    def __lt__(self, other: "IPv4Address") -> bool:
+        if not isinstance(other, IPv4Address):
+            return NotImplemented
+        return self._value < other._value
+
+    def __hash__(self) -> int:
+        return hash(("ip4", self._value))
+
+
+@total_ordering
+class IPv6Address:
+    """A 128-bit IPv6 address (full and ``::``-compressed forms supported)."""
+
+    __slots__ = ("_value",)
+
+    BITS = 128
+
+    def __init__(self, value: int) -> None:
+        if not 0 <= value < (1 << 128):
+            raise AddressError(f"IPv6 value out of range: {value:#x}")
+        self._value = value
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv6Address":
+        if text.count("::") > 1:
+            raise AddressError(f"malformed IPv6 address: {text!r}")
+        if "::" in text:
+            head, _, tail = text.partition("::")
+            head_groups = head.split(":") if head else []
+            tail_groups = tail.split(":") if tail else []
+            fill = 8 - len(head_groups) - len(tail_groups)
+            if fill < 1:
+                raise AddressError(f"malformed IPv6 address: {text!r}")
+            groups = head_groups + ["0"] * fill + tail_groups
+        else:
+            groups = text.split(":")
+        if len(groups) != 8:
+            raise AddressError(f"malformed IPv6 address: {text!r}")
+        value = 0
+        for group in groups:
+            if not 1 <= len(group) <= 4:
+                raise AddressError(f"malformed IPv6 address: {text!r}")
+            try:
+                word = int(group, 16)
+            except ValueError as exc:
+                raise AddressError(f"malformed IPv6 address: {text!r}") from exc
+            value = (value << 16) | word
+        return cls(value)
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def packed(self) -> bytes:
+        return self._value.to_bytes(16, "big")
+
+    @classmethod
+    def from_packed(cls, data: bytes) -> "IPv6Address":
+        if len(data) != 16:
+            raise AddressError(f"need 16 bytes for IPv6, got {len(data)}")
+        return cls(int.from_bytes(data, "big"))
+
+    def __add__(self, offset: int) -> "IPv6Address":
+        return IPv6Address(self._value + offset)
+
+    def __str__(self) -> str:
+        groups = [(self._value >> shift) & 0xFFFF for shift in range(112, -16, -16)]
+        # Find the longest run of zero groups to compress with "::".
+        best_start, best_len = -1, 0
+        run_start, run_len = -1, 0
+        for i, group in enumerate(groups):
+            if group == 0:
+                if run_start < 0:
+                    run_start, run_len = i, 0
+                run_len += 1
+                if run_len > best_len:
+                    best_start, best_len = run_start, run_len
+            else:
+                run_start, run_len = -1, 0
+        if best_len < 2:
+            return ":".join(f"{group:x}" for group in groups)
+        head = ":".join(f"{g:x}" for g in groups[:best_start])
+        tail = ":".join(f"{g:x}" for g in groups[best_start + best_len:])
+        return f"{head}::{tail}"
+
+    def __repr__(self) -> str:
+        return f"IPv6Address({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IPv6Address) and self._value == other._value
+
+    def __lt__(self, other: "IPv6Address") -> bool:
+        if not isinstance(other, IPv6Address):
+            return NotImplemented
+        return self._value < other._value
+
+    def __hash__(self) -> int:
+        return hash(("ip6", self._value))
+
+
+IPAddress = Union[IPv4Address, IPv6Address]
+
+
+class _Prefix:
+    """Shared behaviour for IPv4/IPv6 prefixes."""
+
+    __slots__ = ("_network", "_length")
+
+    BITS: int = 0
+    ADDRESS_CLS: type = object
+
+    def __init__(self, network: IPAddress, length: int) -> None:
+        if not 0 <= length <= self.BITS:
+            raise AddressError(f"prefix length out of range: /{length}")
+        mask = self._mask(length)
+        if network.value & ~mask & ((1 << self.BITS) - 1):
+            raise AddressError(
+                f"host bits set in prefix {network}/{length}"
+            )
+        self._network = network
+        self._length = length
+
+    @classmethod
+    def _mask(cls, length: int) -> int:
+        if length == 0:
+            return 0
+        return ((1 << length) - 1) << (cls.BITS - length)
+
+    @classmethod
+    def parse(cls, text: str):
+        addr_text, sep, len_text = text.partition("/")
+        if not sep:
+            raise AddressError(f"prefix missing length: {text!r}")
+        try:
+            length = int(len_text)
+        except ValueError as exc:
+            raise AddressError(f"malformed prefix length: {text!r}") from exc
+        address = cls.ADDRESS_CLS.parse(addr_text)  # type: ignore[attr-defined]
+        return cls(address, length)
+
+    @classmethod
+    def from_address(cls, address: IPAddress, length: int):
+        """Build a prefix by masking ``address`` down to ``length`` bits."""
+        mask = cls._mask(length)
+        return cls(cls.ADDRESS_CLS(address.value & mask), length)  # type: ignore[call-arg]
+
+    @property
+    def network(self) -> IPAddress:
+        return self._network
+
+    @property
+    def length(self) -> int:
+        return self._length
+
+    @property
+    def netmask(self) -> int:
+        return self._mask(self._length)
+
+    @property
+    def num_addresses(self) -> int:
+        return 1 << (self.BITS - self._length)
+
+    def contains_address(self, address: IPAddress) -> bool:
+        if not isinstance(address, self.ADDRESS_CLS):
+            return False
+        return (address.value & self.netmask) == self._network.value
+
+    def contains_prefix(self, other: "_Prefix") -> bool:
+        if type(other) is not type(self):
+            return False
+        if other._length < self._length:
+            return False
+        return (other._network.value & self.netmask) == self._network.value
+
+    def subnets(self, new_length: int) -> Iterator["_Prefix"]:
+        """Iterate over the subnets of this prefix at ``new_length``."""
+        if new_length < self._length or new_length > self.BITS:
+            raise AddressError(
+                f"cannot subnet /{self._length} into /{new_length}"
+            )
+        step = 1 << (self.BITS - new_length)
+        for value in range(
+            self._network.value,
+            self._network.value + self.num_addresses,
+            step,
+        ):
+            yield type(self)(self.ADDRESS_CLS(value), new_length)  # type: ignore[call-arg]
+
+    def address_at(self, offset: int) -> IPAddress:
+        """Return the ``offset``-th address inside the prefix."""
+        if not 0 <= offset < self.num_addresses:
+            raise AddressError(
+                f"offset {offset} outside {self}"
+            )
+        return self.ADDRESS_CLS(self._network.value + offset)  # type: ignore[call-arg]
+
+    def key(self) -> tuple[int, int]:
+        """``(value, length)`` tuple used by the LPM trie."""
+        return (self._network.value, self._length)
+
+    def __str__(self) -> str:
+        return f"{self._network}/{self._length}"
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is type(self)
+            and self._network == other._network  # type: ignore[attr-defined]
+            and self._length == other._length  # type: ignore[attr-defined]
+        )
+
+    def __lt__(self, other: "_Prefix") -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.key() < other.key()
+
+    def __le__(self, other: "_Prefix") -> bool:
+        return self == other or self < other
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._network.value, self._length))
+
+
+class IPv4Prefix(_Prefix):
+    """An IPv4 CIDR prefix such as ``184.164.224.0/24``."""
+
+    BITS = 32
+    ADDRESS_CLS = IPv4Address
+
+
+class IPv6Prefix(_Prefix):
+    """An IPv6 CIDR prefix such as ``2804:269c::/32``."""
+
+    BITS = 128
+    ADDRESS_CLS = IPv6Address
+
+
+Prefix = Union[IPv4Prefix, IPv6Prefix]
+
+
+def parse_prefix(text: str) -> Prefix:
+    """Parse either an IPv4 or IPv6 prefix based on its syntax."""
+    if ":" in text:
+        return IPv6Prefix.parse(text)
+    return IPv4Prefix.parse(text)
+
+
+def parse_address(text: str) -> IPAddress:
+    """Parse either an IPv4 or IPv6 address based on its syntax."""
+    if ":" in text:
+        return IPv6Address.parse(text)
+    return IPv4Address.parse(text)

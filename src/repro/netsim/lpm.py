@@ -1,0 +1,170 @@
+"""Longest-prefix-match routing table backed by a binary trie.
+
+Each vBGP per-neighbor routing table, every router FIB, and the synthetic
+Internet's forwarding state are instances of :class:`LpmTable`. The trie
+stores one value object per prefix; lookups walk from the root following the
+destination address bits and remember the deepest populated node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generic, Iterator, Optional, TypeVar
+
+from repro.netsim.addr import IPAddress, Prefix
+
+V = TypeVar("V")
+
+
+@dataclass
+class RouteEntry(Generic[V]):
+    """A prefix→value binding returned by LPM lookups."""
+
+    prefix: Prefix
+    value: V
+
+
+class _Node:
+    __slots__ = ("children", "entry")
+
+    def __init__(self) -> None:
+        self.children: list[Optional["_Node"]] = [None, None]
+        self.entry: Optional[RouteEntry] = None
+
+
+class LpmTable(Generic[V]):
+    """A longest-prefix-match table for IPv4 or IPv6 prefixes.
+
+    The table is protocol-agnostic: IPv4 and IPv6 prefixes may technically
+    coexist but, per real-kernel practice, callers keep separate v4/v6 tables.
+    """
+
+    def __init__(self) -> None:
+        self._root = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return self.get(prefix) is not None
+
+    def _walk_to(self, prefix: Prefix, create: bool) -> Optional[_Node]:
+        node = self._root
+        value = prefix.network.value
+        bits = prefix.ADDRESS_CLS.BITS
+        for depth in range(prefix.length):
+            bit = (value >> (bits - 1 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                if not create:
+                    return None
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        return node
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Insert or replace the entry for ``prefix``."""
+        node = self._walk_to(prefix, create=True)
+        assert node is not None
+        if node.entry is None:
+            self._size += 1
+        node.entry = RouteEntry(prefix=prefix, value=value)
+
+    def get(self, prefix: Prefix) -> Optional[V]:
+        """Exact-match lookup; returns the value or ``None``."""
+        node = self._walk_to(prefix, create=False)
+        if node is None or node.entry is None:
+            return None
+        return node.entry.value
+
+    def remove(self, prefix: Prefix) -> bool:
+        """Remove the exact entry for ``prefix``. Returns ``True`` if found.
+
+        Empty trie branches are pruned so long-running simulations do not
+        leak nodes as routes churn.
+        """
+        path: list[tuple[_Node, int]] = []
+        node = self._root
+        value = prefix.network.value
+        bits = prefix.ADDRESS_CLS.BITS
+        for depth in range(prefix.length):
+            bit = (value >> (bits - 1 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                return False
+            path.append((node, bit))
+            node = child
+        if node.entry is None:
+            return False
+        node.entry = None
+        self._size -= 1
+        # Prune childless, entry-less nodes bottom-up.
+        for parent, bit in reversed(path):
+            child = parent.children[bit]
+            assert child is not None
+            if child.entry is None and child.children == [None, None]:
+                parent.children[bit] = None
+            else:
+                break
+        return True
+
+    def lookup(self, address: IPAddress) -> Optional[RouteEntry[V]]:
+        """Longest-prefix-match for ``address``."""
+        node = self._root
+        best = node.entry
+        value = address.value
+        bits = address.BITS
+        for depth in range(bits):
+            bit = (value >> (bits - 1 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            node = child
+            if node.entry is not None:
+                best = node.entry
+        return best
+
+    def lookup_all(self, address: IPAddress) -> list[RouteEntry[V]]:
+        """All matching entries, shortest prefix first."""
+        matches: list[RouteEntry[V]] = []
+        node = self._root
+        if node.entry is not None:
+            matches.append(node.entry)
+        value = address.value
+        bits = address.BITS
+        for depth in range(bits):
+            bit = (value >> (bits - 1 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            node = child
+            if node.entry is not None:
+                matches.append(node.entry)
+        return matches
+
+    def covered_by(self, prefix: Prefix) -> Iterator[RouteEntry[V]]:
+        """Iterate entries whose prefix is covered by ``prefix``."""
+        node = self._walk_to(prefix, create=False)
+        if node is None:
+            return
+        yield from self._iter_subtree(node)
+
+    def entries(self) -> Iterator[RouteEntry[V]]:
+        """Iterate all entries in trie (prefix) order."""
+        yield from self._iter_subtree(self._root)
+
+    def _iter_subtree(self, node: _Node) -> Iterator[RouteEntry[V]]:
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.entry is not None:
+                yield current.entry
+            for child in reversed(current.children):
+                if child is not None:
+                    stack.append(child)
+
+    def clear(self) -> None:
+        self._root = _Node()
+        self._size = 0

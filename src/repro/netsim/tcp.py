@@ -1,0 +1,337 @@
+"""A simplified TCP implementation over :class:`NetworkStack`.
+
+Implements enough of TCP to produce realistic bulk-transfer behaviour over
+the simulated backbone: three-way handshake, cumulative ACKs, slow start,
+AIMD congestion avoidance, fast retransmit on triple duplicate ACKs, and an
+RTO timer. This powers the iperf3-style throughput measurements of §6.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.netsim.addr import IPv4Address
+from repro.netsim.frames import IpProto, IPv4Packet
+from repro.netsim.stack import Interface, NetworkStack
+
+MSS = 1448
+HEADER_SIZE = 16
+
+FLAG_SYN = 0x1
+FLAG_ACK = 0x2
+FLAG_FIN = 0x4
+
+
+@dataclass(frozen=True)
+class TcpSegment:
+    """A simplified TCP segment (wire-encoded into the IP payload)."""
+
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int
+    flags: int = 0
+    payload_len: int = 0
+
+    def encode(self) -> bytes:
+        # Bulk payload is synthetic: we carry its length, then pad so the
+        # packet size (and thus link serialization time) is faithful.
+        header = struct.pack(
+            "!HHIIHH",
+            self.src_port,
+            self.dst_port,
+            self.seq & 0xFFFFFFFF,
+            self.ack & 0xFFFFFFFF,
+            self.flags,
+            self.payload_len,
+        )
+        return header + b"\x00" * self.payload_len
+
+    @classmethod
+    def decode(cls, data: bytes) -> "TcpSegment":
+        if len(data) < HEADER_SIZE:
+            raise ValueError("TCP segment too short")
+        src_port, dst_port, seq, ack, flags, payload_len = struct.unpack(
+            "!HHIIHH", data[:HEADER_SIZE]
+        )
+        return cls(
+            src_port=src_port,
+            dst_port=dst_port,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            payload_len=payload_len,
+        )
+
+
+@dataclass
+class TcpStats:
+    bytes_acked: int = 0
+    segments_sent: int = 0
+    retransmits: int = 0
+    rtt_estimate: float = 0.0
+    start_time: float = 0.0
+    end_time: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return max(self.end_time - self.start_time, 1e-9)
+
+    @property
+    def throughput_bps(self) -> float:
+        return self.bytes_acked * 8 / self.duration
+
+
+class TcpSender:
+    """Client side: connects, pushes ``total_bytes``, reports stats."""
+
+    INITIAL_RTO = 0.5
+    MIN_RTO = 0.1
+
+    def __init__(
+        self,
+        stack: NetworkStack,
+        src: IPv4Address,
+        dst: IPv4Address,
+        dst_port: int,
+        total_bytes: int,
+        src_port: int = 49152,
+        on_done: Optional[Callable[[TcpStats], None]] = None,
+    ) -> None:
+        self.stack = stack
+        self.src = src
+        self.dst = dst
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.total_bytes = total_bytes
+        self.on_done = on_done
+        self.stats = TcpStats()
+        self._cwnd = 10.0  # segments (IW10)
+        self._ssthresh = 1 << 30
+        self._next_seq = 0
+        self._acked = 0
+        self._dup_acks = 0
+        self._connected = False
+        self._done = False
+        self._rto = self.INITIAL_RTO
+        self._rto_event = None
+        self._sent_times: dict[int, float] = {}
+        stack.bind_raw(IpProto.TCP, self._receive)
+
+    def start(self) -> None:
+        self.stats.start_time = self.stack.scheduler.now
+        self._send_segment(TcpSegment(
+            src_port=self.src_port, dst_port=self.dst_port,
+            seq=0, ack=0, flags=FLAG_SYN,
+        ))
+        self._arm_rto()
+
+    # -- receive path -----------------------------------------------------
+
+    def _receive(self, packet: IPv4Packet, _iface: Interface) -> None:
+        if packet.src != self.dst or not isinstance(packet.payload, bytes):
+            return
+        try:
+            segment = TcpSegment.decode(packet.payload)
+        except ValueError:
+            return
+        if segment.dst_port != self.src_port:
+            return
+        if not self._connected:
+            if segment.flags & FLAG_SYN and segment.flags & FLAG_ACK:
+                self._connected = True
+                self._update_rtt()
+                self._pump()
+            return
+        self._handle_ack(segment.ack)
+
+    def _handle_ack(self, ack: int) -> None:
+        if self._done:
+            return
+        if ack > self._acked:
+            newly = ack - self._acked
+            self._acked = ack
+            self.stats.bytes_acked = self._acked
+            self._dup_acks = 0
+            self._update_rtt(ack)
+            if self._cwnd < self._ssthresh:
+                self._cwnd += newly / MSS  # slow start
+            else:
+                self._cwnd += (newly / MSS) / self._cwnd  # AIMD
+            if self._acked >= self.total_bytes:
+                self._finish()
+                return
+            self._arm_rto()
+            self._pump()
+        else:
+            self._dup_acks += 1
+            if self._dup_acks == 3:
+                # Fast retransmit + multiplicative decrease.
+                self._ssthresh = max(self._cwnd / 2, 2.0)
+                self._cwnd = self._ssthresh
+                self.stats.retransmits += 1
+                self._next_seq = self._acked
+                self._pump()
+
+    def _update_rtt(self, ack: Optional[int] = None) -> None:
+        sent_at = self._sent_times.pop(ack, None) if ack is not None else None
+        now = self.stack.scheduler.now
+        sample = (now - sent_at) if sent_at is not None else None
+        if sample is not None:
+            if self.stats.rtt_estimate == 0:
+                self.stats.rtt_estimate = sample
+            else:
+                self.stats.rtt_estimate = (
+                    0.875 * self.stats.rtt_estimate + 0.125 * sample
+                )
+            self._rto = max(self.MIN_RTO, 2.5 * self.stats.rtt_estimate)
+
+    # -- send path ---------------------------------------------------------
+
+    def _pump(self) -> None:
+        window_end = self._acked + int(self._cwnd) * MSS
+        while (
+            self._next_seq < self.total_bytes and self._next_seq < window_end
+        ):
+            size = min(MSS, self.total_bytes - self._next_seq)
+            segment = TcpSegment(
+                src_port=self.src_port, dst_port=self.dst_port,
+                seq=self._next_seq, ack=0, flags=FLAG_ACK, payload_len=size,
+            )
+            self._send_segment(segment)
+            self._sent_times[self._next_seq + size] = self.stack.scheduler.now
+            self._next_seq += size
+
+    def _send_segment(self, segment: TcpSegment) -> None:
+        self.stats.segments_sent += 1
+        self.stack.send_ip(
+            IPv4Packet(
+                src=self.src, dst=self.dst, proto=IpProto.TCP,
+                payload=segment.encode(),
+            )
+        )
+
+    def _arm_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+        self._rto_event = self.stack.scheduler.call_later(
+            self._rto, self._on_rto
+        )
+
+    def _on_rto(self) -> None:
+        if self._done:
+            return
+        if not self._connected:
+            self._send_segment(TcpSegment(
+                src_port=self.src_port, dst_port=self.dst_port,
+                seq=0, ack=0, flags=FLAG_SYN,
+            ))
+            self._arm_rto()
+            return
+        # Timeout: back to slow start from the last cumulative ACK.
+        self._ssthresh = max(self._cwnd / 2, 2.0)
+        self._cwnd = 1.0
+        self._next_seq = self._acked
+        self.stats.retransmits += 1
+        self._rto = min(self._rto * 2, 10.0)
+        self._pump()
+        self._arm_rto()
+
+    def _finish(self) -> None:
+        self._done = True
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+        self.stats.end_time = self.stack.scheduler.now
+        self._send_segment(TcpSegment(
+            src_port=self.src_port, dst_port=self.dst_port,
+            seq=self._next_seq, ack=0, flags=FLAG_FIN,
+        ))
+        if self.on_done is not None:
+            self.on_done(self.stats)
+
+
+class TcpReceiver:
+    """Server side: accepts one connection and ACKs everything in order."""
+
+    def __init__(self, stack: NetworkStack, address: IPv4Address,
+                 port: int) -> None:
+        self.stack = stack
+        self.address = address
+        self.port = port
+        self.bytes_received = 0
+        self._expected_seq = 0
+        self._peer: Optional[tuple[IPv4Address, int]] = None
+        stack.bind_raw(IpProto.TCP, self._receive)
+
+    def _receive(self, packet: IPv4Packet, _iface: Interface) -> None:
+        if packet.dst != self.address or not isinstance(packet.payload, bytes):
+            return
+        try:
+            segment = TcpSegment.decode(packet.payload)
+        except ValueError:
+            return
+        if segment.dst_port != self.port:
+            return
+        if segment.flags & FLAG_SYN:
+            self._peer = (packet.src, segment.src_port)
+            self._expected_seq = 0
+            self._send(TcpSegment(
+                src_port=self.port, dst_port=segment.src_port,
+                seq=0, ack=0, flags=FLAG_SYN | FLAG_ACK,
+            ), packet.src)
+            return
+        if segment.flags & FLAG_FIN:
+            return
+        if segment.payload_len == 0:
+            return
+        if segment.seq == self._expected_seq:
+            self._expected_seq += segment.payload_len
+            self.bytes_received = self._expected_seq
+        # Cumulative ACK (also covers out-of-order arrivals → dup ACKs).
+        self._send(TcpSegment(
+            src_port=self.port, dst_port=segment.src_port,
+            seq=0, ack=self._expected_seq, flags=FLAG_ACK,
+        ), packet.src)
+
+    def _send(self, segment: TcpSegment, dst: IPv4Address) -> None:
+        self.stack.send_ip(
+            IPv4Packet(
+                src=self.address, dst=dst, proto=IpProto.TCP,
+                payload=segment.encode(),
+            )
+        )
+
+
+def run_iperf(
+    scheduler,
+    client_stack: NetworkStack,
+    client_ip: IPv4Address,
+    server_stack: NetworkStack,
+    server_ip: IPv4Address,
+    total_bytes: int = 2_000_000,
+    port: int = 5201,
+    timeout: float = 120.0,
+) -> TcpStats:
+    """Transfer ``total_bytes`` and return sender-side stats.
+
+    The scheduler is run until the transfer completes (or ``timeout``
+    virtual seconds elapse), mirroring an iperf3 run between two PoPs.
+    """
+    TcpReceiver(server_stack, server_ip, port)
+    result: list[TcpStats] = []
+    sender = TcpSender(
+        client_stack, client_ip, server_ip, port,
+        total_bytes=total_bytes, on_done=result.append,
+    )
+    sender.start()
+    deadline = scheduler.now + timeout
+    while not result and scheduler.now < deadline:
+        if not scheduler.step():
+            break
+    if not result:
+        # Transfer did not complete: report partial progress.
+        sender.stats.end_time = scheduler.now
+        return sender.stats
+    return result[0]

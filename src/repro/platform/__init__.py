@@ -1,0 +1,45 @@
+"""The PEERING platform (§4): PoPs, resources, experiments, federation.
+
+Builds a complete, runnable platform on top of vBGP: points of presence at
+simulated IXPs and universities, numbered resources (ASNs and prefixes),
+the experiment proposal/approval workflow, OpenVPN-style tunnels, the
+AL2S-provisioned backbone, and CloudLab federation.
+"""
+
+from repro.platform.resources import (
+    PLATFORM_ASN,
+    PLATFORM_ASNS,
+    ResourcePool,
+    default_prefix_allocations,
+)
+from repro.platform.tunnels import Tunnel, TunnelManager
+from repro.platform.backbone import Backbone, BackboneLinkSpec
+from repro.platform.experiment import (
+    Experiment,
+    ExperimentProposal,
+    ExperimentStatus,
+    ReviewDecision,
+)
+from repro.platform.pop import PopConfig, PointOfPresence
+from repro.platform.peering import PeeringPlatform, default_pop_configs
+from repro.platform.federation import CloudLabSite
+
+__all__ = [
+    "Backbone",
+    "BackboneLinkSpec",
+    "CloudLabSite",
+    "Experiment",
+    "ExperimentProposal",
+    "ExperimentStatus",
+    "PLATFORM_ASN",
+    "PLATFORM_ASNS",
+    "PeeringPlatform",
+    "PointOfPresence",
+    "PopConfig",
+    "ResourcePool",
+    "ReviewDecision",
+    "Tunnel",
+    "TunnelManager",
+    "default_pop_configs",
+    "default_prefix_allocations",
+]

@@ -1,0 +1,77 @@
+"""The provisioned backbone (§4.3.1): AL2S/RNP layer-2 circuits.
+
+PEERING's backbone is VLANs provisioned across educational networks
+(Internet2 AL2S in the US, RNP in Brazil), bridging PoPs into one layer-2
+domain with per-circuit capacity. We model it as a VLAN-aware switch whose
+member links carry the provisioned latency/bandwidth, so iperf-style
+measurements between PoPs produce §6-shaped numbers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.netsim.addr import IPv4Address, IPv4Prefix, MacAddress
+from repro.netsim.link import Link, Port, Switch
+from repro.netsim.stack import NetworkStack
+from repro.sim.scheduler import Scheduler
+
+BACKBONE_SUBNET = IPv4Prefix.parse("100.126.0.0/24")
+
+
+@dataclass(frozen=True)
+class BackboneLinkSpec:
+    """Provisioned circuit characteristics for one PoP's attachment."""
+
+    latency: float = 0.020  # one-way to the backbone fabric
+    bandwidth_bps: float = 1_000_000_000.0  # provisioned capacity
+    loss: float = 0.0
+    queue_limit: int = 4096  # deep buffers on provisioned circuits
+
+
+class Backbone:
+    """The layer-2 backbone fabric connecting vBGP routers."""
+
+    _mac_counter = itertools.count(0x02BB00000000)
+
+    def __init__(self, scheduler: Scheduler, name: str = "al2s") -> None:
+        self.scheduler = scheduler
+        self.name = name
+        self.switch = Switch(scheduler, name=name)
+        self.members: dict[str, IPv4Address] = {}
+        self._host_counter = itertools.count(1)
+
+    def attach(
+        self,
+        pop_name: str,
+        stack: NetworkStack,
+        spec: Optional[BackboneLinkSpec] = None,
+        iface_name: str = "bb0",
+    ) -> IPv4Address:
+        """Provision a circuit from a PoP server into the fabric.
+
+        Creates the ``bb0`` interface on the PoP stack, assigns it an
+        address from the backbone subnet, and returns that address (used
+        as the node's backbone BGP next hop for experiment prefixes).
+        """
+        spec = spec or BackboneLinkSpec()
+        address = BACKBONE_SUBNET.address_at(next(self._host_counter))
+        mac = MacAddress(next(self._mac_counter))
+        fabric_port = self.switch.add_port(f"{self.name}-{pop_name}")
+        pop_port = Port(f"{iface_name}@{pop_name}")
+        Link(
+            self.scheduler, pop_port, fabric_port,
+            latency=spec.latency,
+            bandwidth_bps=spec.bandwidth_bps,
+            loss=spec.loss,
+            queue_limit=spec.queue_limit,
+        )
+        stack.add_interface(iface_name, mac, pop_port)
+        stack.add_address(iface_name, address, 24)
+        self.members[pop_name] = address
+        return address
+
+    def address_of(self, pop_name: str) -> Optional[IPv4Address]:
+        return self.members.get(pop_name)

@@ -1,0 +1,105 @@
+"""The experiment lifecycle (§4.6): proposal → review → deployment.
+
+Experimenters submit a proposal (goals, resources, requested capabilities)
+via "a simple web form"; approval is manual, risky proposals are rejected
+(§7.1 rejected one requiring many poisonings and one with thousand-AS
+paths), and approval generates credentials plus per-vBGP policy updates —
+all modeled here and driven by the management system in :mod:`repro.mgmt`.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.security.capabilities import (
+    Capability,
+    CapabilityGrant,
+    ExperimentProfile,
+)
+
+
+class ExperimentStatus(enum.Enum):
+    PROPOSED = "proposed"
+    APPROVED = "approved"
+    REJECTED = "rejected"
+    ACTIVE = "active"
+    FINISHED = "finished"
+
+
+class ReviewDecision(enum.Enum):
+    APPROVE = "approve"
+    REJECT = "reject"
+
+
+@dataclass
+class CapabilityRequest:
+    capability: Capability
+    limit: Optional[int] = None
+    justification: str = ""
+
+
+@dataclass
+class ExperimentProposal:
+    """What an experimenter submits via the web form."""
+
+    name: str
+    contact: str
+    goals: str
+    execution_plan: str
+    prefix_count: int = 1
+    duration_days: Optional[int] = None
+    needs_own_asn: bool = False
+    capability_requests: list[CapabilityRequest] = field(default_factory=list)
+
+
+@dataclass
+class Credentials:
+    """VPN credentials generated on approval."""
+
+    experiment: str
+    certificate: str
+
+    @classmethod
+    def issue(cls, experiment: str) -> "Credentials":
+        digest = hashlib.sha256(experiment.encode()).hexdigest()[:32]
+        return cls(experiment=experiment, certificate=f"cert-{digest}")
+
+
+@dataclass
+class Experiment:
+    """An approved experiment with its allocation and capabilities."""
+
+    name: str
+    profile: ExperimentProfile
+    credentials: Credentials
+    status: ExperimentStatus = ExperimentStatus.APPROVED
+    connected_pops: set[str] = field(default_factory=set)
+
+
+# Review guardrails matching §7.1: what gets auto-flagged as risky.
+MAX_SAFE_POISONINGS = 3
+MAX_SAFE_PATH_LENGTH = 64
+
+
+def review_proposal(proposal: ExperimentProposal) -> tuple[ReviewDecision, str]:
+    """Apply the platform's conservative review policy.
+
+    Mirrors the paper: "We rejected as risky an experiment proposal that
+    required a large number of AS poisonings and one that planned to
+    announce AS-paths with thousands of ASes. We granted all other
+    requests."
+    """
+    for request in proposal.capability_requests:
+        if request.capability == Capability.AS_PATH_POISONING:
+            if request.limit is None or request.limit > MAX_SAFE_POISONINGS:
+                return (
+                    ReviewDecision.REJECT,
+                    f"poisoning limit {request.limit} exceeds safe maximum "
+                    f"{MAX_SAFE_POISONINGS}",
+                )
+    if not proposal.goals.strip() or not proposal.execution_plan.strip():
+        return ReviewDecision.REJECT, "proposal missing goals or plan"
+    return ReviewDecision.APPROVE, "approved"

@@ -1,0 +1,193 @@
+"""A PEERING Point of Presence (§4.2).
+
+One PoP is a commodity server running vBGP, attached to either an IXP LAN
+(with tens-to-hundreds of members and route servers) or a university
+network (with a single transit interconnection). The PoP owns the
+experiment-facing switch, the tunnel manager, and its security enforcers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bgp.transport import Channel, connect_pair
+from repro.netsim.addr import IPv4Address, IPv4Prefix, MacAddress
+from repro.netsim.link import Link, Port, Switch
+from repro.netsim.stack import NetworkStack
+from repro.security.control import ControlPlaneEnforcer
+from repro.security.data import DataPlaneEnforcer
+from repro.security.state import EnforcerState
+from repro.sim.scheduler import Scheduler
+from repro.platform.tunnels import TunnelManager
+from repro.vbgp.allocator import GlobalNeighborRegistry
+from repro.vbgp.node import VbgpNode
+
+
+@dataclass
+class PopConfig:
+    """Static description of one PoP."""
+
+    name: str
+    pop_id: int
+    kind: str = "university"  # "ixp" | "university"
+    region: str = "us"
+    backbone: bool = False
+    lan_latency: float = 0.0005
+    tunnel_latency: float = 0.010
+    bandwidth_limit_bps: Optional[float] = None  # §4.7: two sites have caps
+
+
+@dataclass
+class NeighborPort:
+    """Everything an external AS needs to plug into this PoP."""
+
+    pop: str
+    name: str
+    asn: int
+    kind: str
+    address: IPv4Address
+    mac: MacAddress
+    lan_port: Port
+    channel: Channel  # the neighbor's end of the BGP transport
+    subnet_length: int
+    global_id: int
+
+
+class PointOfPresence:
+    """A built, running PoP."""
+
+    _mac_counter = itertools.count(0x02CC00000000)
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        config: PopConfig,
+        platform_asn: int,
+        platform_asns: frozenset[int],
+        registry: GlobalNeighborRegistry,
+        enforcer_state: EnforcerState,
+    ) -> None:
+        self.scheduler = scheduler
+        self.config = config
+        self.platform_asn = platform_asn
+        # LAN addressing: one /24 per PoP.
+        self.lan_subnet = IPv4Prefix.parse(f"100.{64 + config.pop_id}.0.0/24")
+        self._lan_hosts = itertools.count(10)
+        self.lan_switch = Switch(
+            scheduler, name=f"{config.name}-lan", latency=config.lan_latency
+        )
+        self.exp_switch = Switch(scheduler, name=f"{config.name}-exp")
+        self.stack = NetworkStack(scheduler, name=f"pop-{config.name}")
+        # Server interfaces: upstream (IXP/LAN) and experiment-facing.
+        self.server_lan_mac = MacAddress(next(self._mac_counter))
+        lan_port = Port(f"ixp0@{config.name}")
+        lan_switch_port = self.lan_switch.add_port(f"server-{config.name}")
+        Link(scheduler, lan_port, lan_switch_port, latency=config.lan_latency)
+        self.stack.add_interface("ixp0", self.server_lan_mac, lan_port)
+        self.server_address = self.lan_subnet.address_at(1)
+        self.stack.add_address("ixp0", self.server_address, 24)
+
+        self.server_exp_mac = MacAddress(next(self._mac_counter))
+        exp_port = Port(f"exp0@{config.name}")
+        exp_switch_port = self.exp_switch.add_port(f"server-{config.name}")
+        Link(scheduler, exp_port, exp_switch_port)
+        self.stack.add_interface("exp0", self.server_exp_mac, exp_port)
+
+        self.tunnels = TunnelManager(
+            scheduler,
+            pop_name=config.name,
+            pop_id=config.pop_id,
+            exp_switch=self.exp_switch,
+            server_mac=self.server_exp_mac,
+            latency=config.tunnel_latency,
+        )
+        self.stack.add_address("exp0", self.tunnels.server_ip, 24)
+
+        self.control_enforcer = ControlPlaneEnforcer(
+            scheduler, platform_asns=platform_asns, state=enforcer_state
+        )
+        self.data_enforcer = DataPlaneEnforcer(scheduler, pop=config.name)
+        self.node = VbgpNode(
+            scheduler,
+            name=config.name,
+            pop_id=config.pop_id,
+            platform_asn=platform_asn,
+            router_id=self.server_address,
+            stack=self.stack,
+            registry=registry,
+            upstream_iface="ixp0",
+            exp_iface="exp0",
+            control_enforcer=self.control_enforcer,
+            data_enforcer=self.data_enforcer,
+        )
+        self.neighbor_ports: dict[str, NeighborPort] = {}
+
+    # ------------------------------------------------------------------
+
+    def provision_neighbor(self, name: str, asn: int,
+                           kind: str = "peer") -> NeighborPort:
+        """Provision LAN presence + a BGP session slot for a neighbor AS.
+
+        Returns the neighbor-side plug (address, MAC, switch port, BGP
+        channel end). The vBGP side is attached immediately.
+        """
+        if name in self.neighbor_ports:
+            raise ValueError(f"neighbor {name!r} already at {self.config.name}")
+        address = self.lan_subnet.address_at(next(self._lan_hosts))
+        mac = MacAddress(next(self._mac_counter))
+        lan_port = self.lan_switch.add_port(f"{name}@{self.config.name}")
+        ours, theirs = connect_pair(
+            self.scheduler, rtt=4 * self.config.lan_latency
+        )
+        self.node.attach_upstream(
+            name=name,
+            peer_asn=asn,
+            peer_address=address,
+            peer_mac=mac,
+            channel=ours,
+            kind=kind,
+        )
+        port = NeighborPort(
+            pop=self.config.name,
+            name=name,
+            asn=asn,
+            kind=kind,
+            address=address,
+            mac=mac,
+            lan_port=lan_port,
+            channel=theirs,
+            subnet_length=24,
+            global_id=self.node.upstreams[name].virtual.global_id,
+        )
+        self.neighbor_ports[name] = port
+        return port
+
+    def provision_lan_host(
+        self, name: str
+    ) -> tuple[IPv4Address, MacAddress, Port]:
+        """LAN presence without a bilateral vBGP session.
+
+        Used for IXP members that are reachable only via the route server
+        (§4.2: 129 bilateral peers, the rest via route servers) — they
+        still exchange *traffic* with the platform over the shared fabric.
+        """
+        address = self.lan_subnet.address_at(next(self._lan_hosts))
+        mac = MacAddress(next(self._mac_counter))
+        lan_port = self.lan_switch.add_port(f"{name}@{self.config.name}")
+        return address, mac, lan_port
+
+    def enable_backbone(self, backbone, spec=None) -> IPv4Address:
+        """Attach this PoP to the backbone fabric (creates ``bb0``)."""
+        address = backbone.attach(self.config.name, self.stack, spec)
+        self.node.enable_backbone("bb0", address)
+        return address
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    @property
+    def neighbor_count(self) -> int:
+        return len(self.node.upstreams)

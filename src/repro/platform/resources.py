@@ -1,0 +1,120 @@
+"""Numbered resources (§4.2): ASNs and prefixes, with allocation.
+
+PEERING holds 8 ASNs (three of them 4-byte), 40 IPv4 /24s, and one IPv6
+/32. Experiments are allocated one or more prefixes (and optionally an
+ASN) for a lease duration; IPv4 scarcity is the practical concurrency
+limit the paper discusses (§4.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.netsim.addr import IPv4Prefix, IPv6Prefix, Prefix
+
+PLATFORM_ASN = 47065
+# Eight ASNs, three of them 4-byte — mirroring the paper's numbers.
+PLATFORM_ASNS = (
+    47065, 61574, 61575, 61576, 33207,
+    263842, 263843, 263844,
+)
+IPV6_ALLOCATION = IPv6Prefix.parse("2804:269c::/32")
+
+
+def default_prefix_allocations() -> list[IPv4Prefix]:
+    """The platform's 40 IPv4 /24s."""
+    prefixes = list(IPv4Prefix.parse("184.164.224.0/19").subnets(24))  # 32
+    prefixes += list(IPv4Prefix.parse("204.9.168.0/21").subnets(24))  # 8
+    return prefixes
+
+
+@dataclass
+class Lease:
+    """One allocation of resources to an experiment."""
+
+    experiment: str
+    prefixes: tuple[IPv4Prefix, ...]
+    asn: int
+    granted_at: float
+    duration: Optional[float] = None  # None: until released
+
+    def expired(self, now: float) -> bool:
+        return self.duration is not None and now > self.granted_at + self.duration
+
+
+class ResourcePool:
+    """Allocator for the platform's ASNs and IPv4 prefixes."""
+
+    def __init__(
+        self,
+        prefixes: Optional[list[IPv4Prefix]] = None,
+        asns: tuple[int, ...] = PLATFORM_ASNS,
+    ) -> None:
+        self._free_prefixes = (
+            list(prefixes) if prefixes is not None
+            else default_prefix_allocations()
+        )
+        self._asns = asns
+        self._leases: dict[str, Lease] = {}
+        self.ipv6 = IPV6_ALLOCATION
+
+    @property
+    def free_prefix_count(self) -> int:
+        return len(self._free_prefixes)
+
+    @property
+    def active_leases(self) -> int:
+        return len(self._leases)
+
+    def allocate(
+        self,
+        experiment: str,
+        prefix_count: int = 1,
+        now: float = 0.0,
+        duration: Optional[float] = None,
+        asn: Optional[int] = None,
+    ) -> Lease:
+        """Lease ``prefix_count`` /24s (and an ASN) to an experiment."""
+        if experiment in self._leases:
+            raise ValueError(f"experiment {experiment!r} already has a lease")
+        if prefix_count > len(self._free_prefixes):
+            raise RuntimeError(
+                f"insufficient IPv4 space: {prefix_count} requested, "
+                f"{len(self._free_prefixes)} free"
+            )
+        granted = tuple(self._free_prefixes[:prefix_count])
+        del self._free_prefixes[:prefix_count]
+        lease = Lease(
+            experiment=experiment,
+            prefixes=granted,
+            asn=asn if asn is not None else PLATFORM_ASN,
+            granted_at=now,
+            duration=duration,
+        )
+        self._leases[experiment] = lease
+        return lease
+
+    def release(self, experiment: str) -> None:
+        lease = self._leases.pop(experiment, None)
+        if lease is not None:
+            self._free_prefixes.extend(lease.prefixes)
+
+    def lease_for(self, experiment: str) -> Optional[Lease]:
+        return self._leases.get(experiment)
+
+    def reap_expired(self, now: float) -> list[str]:
+        """Release expired leases; returns the affected experiments."""
+        expired = [
+            name for name, lease in self._leases.items()
+            if lease.expired(now)
+        ]
+        for name in expired:
+            self.release(name)
+        return expired
+
+    def owner_of(self, prefix: Prefix) -> Optional[str]:
+        for name, lease in self._leases.items():
+            if any(p.contains_prefix(prefix) for p in lease.prefixes):
+                return name
+        return None

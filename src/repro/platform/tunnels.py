@@ -1,0 +1,132 @@
+"""OpenVPN-style tunnels between experiments and PoPs (§4.5, §4.6).
+
+A tunnel is a point-to-point link between an interface created on the
+experiment's stack and a port on the PoP's experiment-facing switch. It
+adds latency (the paper's §7.4 notes tunnels impact latency-sensitive
+experiments) and carries both the BGP session and the data plane.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.netsim.addr import IPv4Address, IPv4Prefix, MacAddress
+from repro.netsim.link import Link, Switch
+from repro.netsim.stack import NetworkStack
+from repro.sim.scheduler import Scheduler
+
+TUNNEL_SUBNET = IPv4Prefix.parse("100.125.0.0/16")
+
+
+@dataclass
+class Tunnel:
+    """One established experiment↔PoP tunnel."""
+
+    name: str
+    experiment: str
+    pop: str
+    client_stack: NetworkStack
+    client_iface: str
+    client_ip: IPv4Address
+    client_mac: MacAddress
+    server_ip: IPv4Address
+    server_mac: MacAddress
+    link: Link
+    up: bool = True
+
+    def status(self) -> dict:
+        return {
+            "name": self.name,
+            "experiment": self.experiment,
+            "pop": self.pop,
+            "up": self.up,
+            "client_ip": str(self.client_ip),
+            "server_ip": str(self.server_ip),
+            "latency": self.link.latency,
+        }
+
+    def set_up(self, up: bool) -> None:
+        self.up = up
+        iface = self.client_stack.interfaces.get(self.client_iface)
+        if iface is not None:
+            iface.up = up
+
+
+class TunnelManager:
+    """Creates and tracks tunnels at one PoP."""
+
+    _mac_counter = itertools.count(0x02AA00000000)
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        pop_name: str,
+        pop_id: int,
+        exp_switch: Switch,
+        server_mac: MacAddress,
+        latency: float = 0.010,
+    ) -> None:
+        self.scheduler = scheduler
+        self.pop_name = pop_name
+        self.pop_id = pop_id
+        self.exp_switch = exp_switch
+        self.server_mac = server_mac
+        self.latency = latency
+        self.tunnels: dict[str, Tunnel] = {}
+        self._host_counter = itertools.count(2)
+        # Per-PoP /24 slice of the tunnel supernet.
+        self.subnet = IPv4Prefix.from_address(
+            TUNNEL_SUBNET.address_at(pop_id * 256), 24
+        )
+        self.server_ip = self.subnet.address_at(1)
+
+    def open(
+        self,
+        experiment: str,
+        client_stack: NetworkStack,
+        latency: Optional[float] = None,
+    ) -> Tunnel:
+        """Establish a tunnel for an experiment (its ``tapN`` device)."""
+        name = f"tap-{self.pop_name}-{experiment}"
+        if name in self.tunnels:
+            raise ValueError(f"tunnel {name!r} already open")
+        client_ip = self.subnet.address_at(next(self._host_counter))
+        client_mac = MacAddress(next(self._mac_counter))
+        iface_name = f"tap{len(client_stack.interfaces)}"
+        port = self.exp_switch.add_port(name)
+        from repro.netsim.link import Port
+
+        client_port = Port(f"{iface_name}@{client_stack.name}")
+        link = Link(
+            self.scheduler, client_port, port,
+            latency=latency if latency is not None else self.latency,
+        )
+        client_stack.add_interface(iface_name, client_mac, client_port)
+        client_stack.add_address(iface_name, client_ip, 24)
+        # Point-to-point: both ends know each other without ARP.
+        client_stack.add_static_arp(self.server_ip, self.server_mac,
+                                    iface_name)
+        tunnel = Tunnel(
+            name=name,
+            experiment=experiment,
+            pop=self.pop_name,
+            client_stack=client_stack,
+            client_iface=iface_name,
+            client_ip=client_ip,
+            client_mac=client_mac,
+            server_ip=self.server_ip,
+            server_mac=self.server_mac,
+            link=link,
+        )
+        self.tunnels[name] = tunnel
+        return tunnel
+
+    def close(self, name: str) -> None:
+        tunnel = self.tunnels.pop(name, None)
+        if tunnel is not None:
+            tunnel.set_up(False)
+
+    def status(self) -> list[dict]:
+        return [tunnel.status() for tunnel in self.tunnels.values()]

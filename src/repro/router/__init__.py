@@ -1,0 +1,29 @@
+"""A BIRD-like software router.
+
+Wraps a :class:`~repro.bgp.speaker.BgpSpeaker` with the operational surface
+PEERING automates: a declarative configuration (with a BIRD-style config
+language produced by the §5 templating pipeline), kernel-FIB
+synchronization, non-disruptive reconfiguration (sessions survive config
+pushes), and a ``birdc``-style CLI.
+"""
+
+from repro.router.config import (
+    BgpProtocol,
+    FilterDef,
+    KernelProtocol,
+    RouterConfig,
+)
+from repro.router.configlang import ConfigSyntaxError, parse_config
+from repro.router.engine import Router
+from repro.router.cli import birdc
+
+__all__ = [
+    "BgpProtocol",
+    "ConfigSyntaxError",
+    "FilterDef",
+    "KernelProtocol",
+    "Router",
+    "RouterConfig",
+    "birdc",
+    "parse_config",
+]

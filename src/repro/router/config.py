@@ -1,0 +1,82 @@
+"""Declarative router configuration model.
+
+A :class:`RouterConfig` is produced either programmatically or by parsing
+BIRD-style config text (:mod:`repro.router.configlang`, which PEERING's
+templating emits). The engine diffs successive configs so reconfiguration
+does not reset unchanged BGP sessions (§5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bgp.policy import RouteMap
+from repro.netsim.addr import IPv4Address
+
+
+@dataclass
+class FilterDef:
+    """A named filter compiled to a RouteMap."""
+
+    name: str
+    route_map: RouteMap
+
+
+@dataclass
+class KernelProtocol:
+    """Kernel synchronization: export best routes to a kernel table."""
+
+    name: str
+    table: int = 254
+    export: bool = True
+
+
+@dataclass
+class BgpProtocol:
+    """One BGP neighbor definition."""
+
+    name: str
+    peer_asn: Optional[int]
+    neighbor_address: IPv4Address = IPv4Address(0)
+    local_address: IPv4Address = IPv4Address(0)
+    addpath: bool = False
+    is_ibgp: bool = False
+    transparent: bool = False
+    next_hop_self: bool = True
+    import_filter: Optional[str] = None  # None: accept all
+    export_filter: Optional[str] = None
+    reject_import: bool = False  # "import none"
+    reject_export: bool = False  # "export none"
+    max_prefixes: Optional[int] = None
+
+    def session_identity(self) -> tuple:
+        """Fields whose change requires a session reset."""
+        return (
+            self.peer_asn,
+            self.neighbor_address,
+            self.addpath,
+            self.is_ibgp,
+        )
+
+
+@dataclass
+class RouterConfig:
+    """Complete configuration for one router instance."""
+
+    router_id: IPv4Address
+    asn: int
+    hold_time: int = 90
+    mrai: float = 0.0
+    filters: dict[str, FilterDef] = field(default_factory=dict)
+    kernel_protocols: dict[str, KernelProtocol] = field(default_factory=dict)
+    bgp_protocols: dict[str, BgpProtocol] = field(default_factory=dict)
+
+    def filter_map(self, name: Optional[str]) -> Optional[RouteMap]:
+        """Resolve a filter reference to its RouteMap (None: accept all)."""
+        if name is None:
+            return None
+        definition = self.filters.get(name)
+        if definition is None:
+            raise KeyError(f"undefined filter {name!r}")
+        return definition.route_map

@@ -1,0 +1,482 @@
+"""Parser for the BIRD-style router configuration language.
+
+PEERING's intent-based tooling (§5) renders templates into router config
+files (10,000+ lines at large PoPs); the router consumes that text. The
+grammar is a compact subset of BIRD's:
+
+::
+
+    router id 10.0.0.1;
+    local as 47065;
+    hold time 90;
+    mrai 0;
+
+    filter experiment_in {
+        if net ~ 184.164.224.0/23+ then accept;
+        if community ~ (47065,100) then accept;
+        if aspath ~ 3356 then reject;
+        if aspath.len > 32 then reject;
+        if unknown_attrs then reject;
+        set localpref 200;
+        add community (47065,1);
+        reject;
+    }
+
+    protocol kernel main4 {
+        table 254;
+        export all;
+    }
+
+    protocol bgp upstream0 {
+        neighbor 10.0.0.2 as 3356;
+        local address 10.0.0.1;
+        add paths on;
+        transparent on;
+        ibgp off;
+        next hop self on;
+        import filter experiment_in;
+        export all;
+        max prefixes 1000000;
+    }
+
+Filter bodies compile to :class:`~repro.bgp.policy.RouteMap` chains; every
+``if … then …`` becomes one policy rule, bare actions apply unconditionally
+(result CONTINUE), and a trailing bare ``accept``/``reject`` sets the
+default disposition.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.bgp.policy import (
+    Match,
+    PolicyAction,
+    PolicyResult,
+    PolicyRule,
+    PrefixMatch,
+    RouteMap,
+)
+from repro.bgp.attributes import Community, LargeCommunity
+from repro.netsim.addr import IPv4Address, IPv4Prefix
+from repro.router.config import (
+    BgpProtocol,
+    FilterDef,
+    KernelProtocol,
+    RouterConfig,
+)
+
+
+class ConfigSyntaxError(ValueError):
+    """Raised on malformed configuration text."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>\#[^\n]*)
+  | (?P<punct>[{}();,])
+  | (?P<word>[^\s{}();,]+)
+  | (?P<space>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens = []
+    for match in _TOKEN_RE.finditer(text):
+        if match.lastgroup in ("comment", "space"):
+            continue
+        tokens.append(match.group())
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: list[str]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._tokens)
+
+    def peek(self) -> Optional[str]:
+        if self.exhausted:
+            return None
+        return self._tokens[self._pos]
+
+    def next(self) -> str:
+        if self.exhausted:
+            raise ConfigSyntaxError("unexpected end of configuration")
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def expect(self, expected: str) -> None:
+        token = self.next()
+        if token != expected:
+            raise ConfigSyntaxError(
+                f"expected {expected!r}, found {token!r}"
+            )
+
+    def expect_int(self) -> int:
+        token = self.next()
+        try:
+            return int(token)
+        except ValueError as exc:
+            raise ConfigSyntaxError(f"expected integer, found {token!r}") from exc
+
+    def expect_onoff(self) -> bool:
+        token = self.next()
+        if token not in ("on", "off"):
+            raise ConfigSyntaxError(f"expected on/off, found {token!r}")
+        return token == "on"
+
+
+def parse_config(text: str) -> RouterConfig:
+    """Parse configuration text into a :class:`RouterConfig`."""
+    stream = _TokenStream(_tokenize(text))
+    router_id: Optional[IPv4Address] = None
+    asn: Optional[int] = None
+    hold_time = 90
+    mrai = 0.0
+    filters: dict[str, FilterDef] = {}
+    kernels: dict[str, KernelProtocol] = {}
+    bgps: dict[str, BgpProtocol] = {}
+
+    while not stream.exhausted:
+        keyword = stream.next()
+        if keyword == "router":
+            stream.expect("id")
+            router_id = IPv4Address.parse(stream.next())
+            stream.expect(";")
+        elif keyword == "local":
+            stream.expect("as")
+            asn = stream.expect_int()
+            stream.expect(";")
+        elif keyword == "hold":
+            stream.expect("time")
+            hold_time = stream.expect_int()
+            stream.expect(";")
+        elif keyword == "mrai":
+            mrai = float(stream.next())
+            stream.expect(";")
+        elif keyword == "filter":
+            definition = _parse_filter(stream)
+            filters[definition.name] = definition
+        elif keyword == "protocol":
+            kind = stream.next()
+            if kind == "kernel":
+                protocol = _parse_kernel(stream)
+                kernels[protocol.name] = protocol
+            elif kind == "bgp":
+                protocol = _parse_bgp(stream)
+                bgps[protocol.name] = protocol
+            else:
+                raise ConfigSyntaxError(f"unknown protocol kind {kind!r}")
+        else:
+            raise ConfigSyntaxError(f"unknown top-level keyword {keyword!r}")
+
+    if router_id is None:
+        raise ConfigSyntaxError("missing 'router id'")
+    if asn is None:
+        raise ConfigSyntaxError("missing 'local as'")
+    return RouterConfig(
+        router_id=router_id,
+        asn=asn,
+        hold_time=hold_time,
+        mrai=mrai,
+        filters=filters,
+        kernel_protocols=kernels,
+        bgp_protocols=bgps,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Filters
+# ---------------------------------------------------------------------------
+
+
+def _parse_filter(stream: _TokenStream) -> FilterDef:
+    name = stream.next()
+    stream.expect("{")
+    rules: list[PolicyRule] = []
+    default = PolicyResult.ACCEPT
+    default_seen = False
+    while stream.peek() != "}":
+        if stream.peek() is None:
+            raise ConfigSyntaxError(f"unterminated filter {name!r}")
+        token = stream.next()
+        if token == "if":
+            match = _parse_condition(stream)
+            stream.expect("then")
+            action, result = _parse_then(stream)
+            rules.append(PolicyRule(match=match, action=action, result=result))
+        elif token in ("accept", "reject"):
+            stream.expect(";")
+            default = (
+                PolicyResult.ACCEPT if token == "accept" else PolicyResult.REJECT
+            )
+            default_seen = True
+            break  # statements after a bare accept/reject are unreachable
+        else:
+            action = _parse_action_statement(token, stream)
+            rules.append(
+                PolicyRule(
+                    match=Match(), action=action, result=PolicyResult.CONTINUE
+                )
+            )
+    while stream.peek() != "}":
+        stream.next()  # skip unreachable statements
+    stream.expect("}")
+    if not default_seen:
+        default = PolicyResult.REJECT  # BIRD filters reject by default
+    return FilterDef(
+        name=name, route_map=RouteMap(rules=rules, default=default, name=name)
+    )
+
+
+def _parse_condition(stream: _TokenStream) -> Match:
+    subject = stream.next()
+    if subject == "net":
+        stream.expect("~")
+        return Match(prefixes=(_parse_prefix_pattern(stream.next()),))
+    if subject == "community":
+        stream.expect("~")
+        return Match(any_community_of=(_parse_community(stream),))
+    if subject == "large_community":
+        stream.expect("~")
+        lc = _parse_large_community(stream)
+        return Match(
+            custom=lambda route, lc=lc: lc in route.attributes.large_communities
+        )
+    if subject == "aspath":
+        stream.expect("~")
+        return Match(as_path_contains=stream.expect_int())
+    if subject == "aspath.len":
+        stream.expect(">")
+        limit = stream.expect_int()
+        return Match(
+            custom=lambda route, n=limit: route.as_path.length > n
+        )
+    if subject == "origin_as":
+        stream.expect("=")
+        asn = stream.expect_int()
+        return Match(origin_as_in=frozenset({asn}))
+    if subject == "first_as":
+        stream.expect("=")
+        asn = stream.expect_int()
+        return Match(first_as_in=frozenset({asn}))
+    if subject == "unknown_attrs":
+        return Match(has_unknown_attributes=True)
+    raise ConfigSyntaxError(f"unknown condition subject {subject!r}")
+
+
+def _parse_prefix_pattern(token: str) -> PrefixMatch:
+    if token.endswith("+"):
+        prefix = IPv4Prefix.parse(token[:-1])
+        return PrefixMatch(prefix=prefix, ge=prefix.length, le=32)
+    if token.endswith("-"):
+        prefix = IPv4Prefix.parse(token[:-1])
+        return PrefixMatch(prefix=prefix, ge=prefix.length, le=prefix.length)
+    prefix = IPv4Prefix.parse(token)
+    return PrefixMatch(prefix=prefix)
+
+
+def _parse_community(stream: _TokenStream) -> Community:
+    stream.expect("(")
+    asn = stream.expect_int()
+    stream.expect(",")
+    value = stream.expect_int()
+    stream.expect(")")
+    return Community(asn, value)
+
+
+def _parse_large_community(stream: _TokenStream) -> LargeCommunity:
+    stream.expect("(")
+    global_admin = stream.expect_int()
+    stream.expect(",")
+    local1 = stream.expect_int()
+    stream.expect(",")
+    local2 = stream.expect_int()
+    stream.expect(")")
+    return LargeCommunity(global_admin, local1, local2)
+
+
+def _parse_then(stream: _TokenStream) -> tuple[PolicyAction, PolicyResult]:
+    token = stream.next()
+    if token == "accept":
+        stream.expect(";")
+        return PolicyAction(), PolicyResult.ACCEPT
+    if token == "reject":
+        stream.expect(";")
+        return PolicyAction(), PolicyResult.REJECT
+    if token == "{":
+        actions: list[PolicyAction] = []
+        result = PolicyResult.CONTINUE
+        while stream.peek() != "}":
+            inner = stream.next()
+            if inner in ("accept", "reject"):
+                stream.expect(";")
+                result = (
+                    PolicyResult.ACCEPT
+                    if inner == "accept"
+                    else PolicyResult.REJECT
+                )
+                break
+            actions.append(_parse_action_statement(inner, stream))
+        while stream.peek() != "}":
+            stream.next()
+        stream.expect("}")
+        return _merge_actions(actions), result
+    # Single inline action: "if … then set localpref 200;"
+    action = _parse_action_statement(token, stream)
+    return action, PolicyResult.CONTINUE
+
+
+def _merge_actions(actions: list[PolicyAction]) -> PolicyAction:
+    if not actions:
+        return PolicyAction()
+    if len(actions) == 1:
+        return actions[0]
+
+    def apply_all(route, actions=tuple(actions)):
+        for action in actions:
+            route = action.apply(route)
+        return route
+
+    return PolicyAction(custom=apply_all)
+
+
+def _parse_action_statement(token: str, stream: _TokenStream) -> PolicyAction:
+    if token == "set":
+        target = stream.next()
+        if target == "localpref":
+            value = stream.expect_int()
+            stream.expect(";")
+            return PolicyAction(set_local_pref=value)
+        if target == "med":
+            value = stream.expect_int()
+            stream.expect(";")
+            return PolicyAction(set_med=value)
+        raise ConfigSyntaxError(f"unknown set target {target!r}")
+    if token == "prepend":
+        asn = stream.expect_int()
+        count = 1
+        if stream.peek() == "times":
+            stream.next()
+            count = stream.expect_int()
+        stream.expect(";")
+        return PolicyAction(prepend_asn=asn, prepend_count=count)
+    if token == "add":
+        stream.expect("community")
+        community = _parse_community(stream)
+        stream.expect(";")
+        return PolicyAction(add_communities=(community,))
+    if token == "remove":
+        stream.expect("community")
+        community = _parse_community(stream)
+        stream.expect(";")
+        return PolicyAction(remove_communities=(community,))
+    if token == "strip":
+        target = stream.next()
+        stream.expect(";")
+        if target == "communities":
+            return PolicyAction(clear_communities=True)
+        if target == "unknown":
+            return PolicyAction(strip_unknown_attributes=True)
+        raise ConfigSyntaxError(f"unknown strip target {target!r}")
+    raise ConfigSyntaxError(f"unknown filter statement {token!r}")
+
+
+# ---------------------------------------------------------------------------
+# Protocols
+# ---------------------------------------------------------------------------
+
+
+def _parse_kernel(stream: _TokenStream) -> KernelProtocol:
+    name = stream.next()
+    stream.expect("{")
+    table = 254
+    export = True
+    while stream.peek() != "}":
+        token = stream.next()
+        if token == "table":
+            table = stream.expect_int()
+            stream.expect(";")
+        elif token == "export":
+            mode = stream.next()
+            stream.expect(";")
+            export = mode != "none"
+        else:
+            raise ConfigSyntaxError(f"unknown kernel option {token!r}")
+    stream.expect("}")
+    return KernelProtocol(name=name, table=table, export=export)
+
+
+def _parse_bgp(stream: _TokenStream) -> BgpProtocol:
+    name = stream.next()
+    stream.expect("{")
+    protocol = BgpProtocol(name=name, peer_asn=None)
+    while stream.peek() != "}":
+        token = stream.next()
+        if token == "neighbor":
+            protocol.neighbor_address = IPv4Address.parse(stream.next())
+            stream.expect("as")
+            asn_token = stream.next()
+            protocol.peer_asn = None if asn_token == "any" else int(asn_token)
+            stream.expect(";")
+        elif token == "local":
+            stream.expect("address")
+            protocol.local_address = IPv4Address.parse(stream.next())
+            stream.expect(";")
+        elif token == "add":
+            stream.expect("paths")
+            protocol.addpath = stream.expect_onoff()
+            stream.expect(";")
+        elif token == "transparent":
+            protocol.transparent = stream.expect_onoff()
+            stream.expect(";")
+        elif token == "ibgp":
+            protocol.is_ibgp = stream.expect_onoff()
+            stream.expect(";")
+        elif token == "next":
+            stream.expect("hop")
+            stream.expect("self")
+            protocol.next_hop_self = stream.expect_onoff()
+            stream.expect(";")
+        elif token == "import":
+            mode = stream.next()
+            if mode == "all":
+                protocol.import_filter = None
+                protocol.reject_import = False
+            elif mode == "none":
+                protocol.reject_import = True
+            elif mode == "filter":
+                protocol.import_filter = stream.next()
+            else:
+                raise ConfigSyntaxError(f"unknown import mode {mode!r}")
+            stream.expect(";")
+        elif token == "export":
+            mode = stream.next()
+            if mode == "all":
+                protocol.export_filter = None
+                protocol.reject_export = False
+            elif mode == "none":
+                protocol.reject_export = True
+            elif mode == "filter":
+                protocol.export_filter = stream.next()
+            else:
+                raise ConfigSyntaxError(f"unknown export mode {mode!r}")
+            stream.expect(";")
+        elif token == "max":
+            stream.expect("prefixes")
+            protocol.max_prefixes = stream.expect_int()
+            stream.expect(";")
+        else:
+            raise ConfigSyntaxError(f"unknown bgp option {token!r}")
+    stream.expect("}")
+    if protocol.peer_asn is None and protocol.neighbor_address == IPv4Address(0):
+        raise ConfigSyntaxError(f"bgp protocol {name!r} missing neighbor")
+    return protocol

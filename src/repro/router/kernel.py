@@ -1,0 +1,66 @@
+"""Kernel protocol: synchronize best routes from the Loc-RIB to a FIB.
+
+Equivalent to BIRD's ``protocol kernel`` (which programs Linux via
+netlink): whenever the speaker's best path for a prefix changes, the
+corresponding :class:`~repro.netsim.stack.KernelRoute` is installed into or
+removed from the configured kernel table.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bgp.rib import RibEntry
+from repro.netsim.addr import IPv4Address, Prefix
+from repro.netsim.stack import KernelRoute, NetworkStack
+from repro.router.config import KernelProtocol
+
+
+class KernelSync:
+    """Runtime for one kernel protocol instance."""
+
+    def __init__(self, config: KernelProtocol, stack: NetworkStack) -> None:
+        self.config = config
+        self.stack = stack
+        self.installed = 0
+        self.removed = 0
+        self.sync_failures = 0
+
+    def best_changed(self, prefix: Prefix, best: Optional[RibEntry]) -> None:
+        """Callback registered on the speaker's best-change hook."""
+        if not self.config.export:
+            return
+        if best is None or best.route.next_hop is None:
+            if self.stack.remove_route(prefix, table_id=self.config.table):
+                self.removed += 1
+            return
+        out_iface = self.resolve_interface(best.route.next_hop)
+        if out_iface is None:
+            self.sync_failures += 1
+            return
+        self.stack.add_route(
+            KernelRoute(
+                prefix=prefix,
+                out_iface=out_iface,
+                next_hop=best.route.next_hop,
+            ),
+            table_id=self.config.table,
+        )
+        self.installed += 1
+
+    def resolve_interface(self, next_hop: IPv4Address) -> Optional[str]:
+        """Find the interface whose connected subnet covers the next hop.
+
+        Connected subnets are installed into the main table by
+        ``NetworkStack.add_address``, so a direct-route LPM hit identifies
+        the egress interface.
+        """
+        entry = self.stack.tables.get(254)
+        if entry is not None:
+            match = entry.lookup(next_hop)
+            if match is not None and match.value.is_direct:
+                return match.value.out_iface
+        # Fall back to any single-interface stack (point-to-point hosts).
+        if len(self.stack.interfaces) == 1:
+            return next(iter(self.stack.interfaces))
+        return None

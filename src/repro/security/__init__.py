@@ -1,0 +1,48 @@
+"""Security and isolation: the vBGP enforcement engines (§3.3, §4.7).
+
+Enforcement is deliberately decoupled from the routing engine: the
+control-plane enforcer is arbitrary Python interposed on the BGP pipeline
+(the paper runs it inside ExaBGP) and the data-plane enforcer is a chain of
+eBPF-style packet programs. Both support stateful policies that router
+filter languages cannot express — cross-PoP update-rate limits, token
+buckets — and both **fail closed**.
+"""
+
+from repro.security.capabilities import (
+    Capability,
+    CapabilityGrant,
+    ExperimentProfile,
+)
+from repro.security.control import (
+    ControlPlaneEnforcer,
+    EnforcerOverloaded,
+    Violation,
+)
+from repro.security.data import (
+    AntiSpoofProgram,
+    BpfContext,
+    BpfProgram,
+    BpfVerdict,
+    CounterProgram,
+    DataPlaneEnforcer,
+    TokenBucketProgram,
+)
+from repro.security.state import EnforcerState, UPDATES_PER_DAY_LIMIT
+
+__all__ = [
+    "AntiSpoofProgram",
+    "BpfContext",
+    "BpfProgram",
+    "BpfVerdict",
+    "Capability",
+    "CapabilityGrant",
+    "ControlPlaneEnforcer",
+    "CounterProgram",
+    "DataPlaneEnforcer",
+    "EnforcerOverloaded",
+    "EnforcerState",
+    "ExperimentProfile",
+    "TokenBucketProgram",
+    "UPDATES_PER_DAY_LIMIT",
+    "Violation",
+]

@@ -1,0 +1,71 @@
+"""The capability framework (§4.7).
+
+Experiments default to "basic" announcements — their own prefixes, their
+own origin ASN, prepending, and vBGP control communities. Everything
+richer is a capability granted per experiment after review:
+
+* ``AS_PATH_POISONING`` — a limited number of foreign ASNs in the path,
+* ``BGP_COMMUNITIES`` / ``LARGE_COMMUNITIES`` — attaching a limited number
+  of (large) communities,
+* ``TRANSITIVE_ATTRIBUTES`` — optional transitive attributes pass through,
+* ``PREFIX_TRANSIT`` — announcing routes learned from another network
+  (legitimate transit for an experimental prefix),
+* ``IPV6_6TO4`` — announcing 6to4-mapped IPv6 space.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.netsim.addr import Prefix
+
+
+class Capability(enum.Enum):
+    AS_PATH_POISONING = "as-path-poisoning"
+    BGP_COMMUNITIES = "bgp-communities"
+    LARGE_COMMUNITIES = "large-communities"
+    TRANSITIVE_ATTRIBUTES = "transitive-attributes"
+    PREFIX_TRANSIT = "prefix-transit"
+    IPV6_6TO4 = "ipv6-6to4"
+
+
+@dataclass(frozen=True)
+class CapabilityGrant:
+    """One granted capability, optionally bounded (e.g. ≤2 poisoned ASNs)."""
+
+    capability: Capability
+    limit: Optional[int] = None
+
+    def within(self, count: int) -> bool:
+        return self.limit is None or count <= self.limit
+
+
+@dataclass
+class ExperimentProfile:
+    """The security-relevant identity of one approved experiment."""
+
+    name: str
+    asns: frozenset[int]
+    prefixes: tuple[Prefix, ...]
+    grants: dict[Capability, CapabilityGrant] = field(default_factory=dict)
+    max_announced_length: int = 24  # most-specific announceable IPv4 prefix
+    max_as_path_length: int = 32
+
+    def grant(self, capability: Capability,
+              limit: Optional[int] = None) -> None:
+        self.grants[capability] = CapabilityGrant(capability, limit)
+
+    def revoke(self, capability: Capability) -> None:
+        self.grants.pop(capability, None)
+
+    def has(self, capability: Capability, count: int = 0) -> bool:
+        grant = self.grants.get(capability)
+        return grant is not None and grant.within(count)
+
+    def owns_prefix(self, prefix: Prefix) -> bool:
+        return any(
+            allocation.contains_prefix(prefix)
+            for allocation in self.prefixes
+        )

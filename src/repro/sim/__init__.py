@@ -1,0 +1,11 @@
+"""Discrete-event simulation core used by all repro substrates.
+
+The simulator is deliberately small: a virtual clock plus a deterministic
+event scheduler. Every time-dependent component in the reproduction (links,
+BGP sessions, MRAI timers, token buckets, TCP) schedules callbacks here, so
+an entire PEERING deployment runs deterministically in a single process.
+"""
+
+from repro.sim.scheduler import Event, Scheduler, SimulationError
+
+__all__ = ["Event", "Scheduler", "SimulationError"]

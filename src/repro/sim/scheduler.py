@@ -1,0 +1,150 @@
+"""Deterministic discrete-event scheduler.
+
+All simulated components share one :class:`Scheduler`. Events fire in
+timestamp order; ties are broken by insertion order, which makes runs fully
+reproducible. Time is a float measured in seconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the scheduler is used inconsistently."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)`` so the heap pops them in deterministic
+    order. ``cancelled`` events stay in the heap but are skipped when popped.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent this event's callback from running."""
+        self.cancelled = True
+
+
+class Scheduler:
+    """Virtual clock plus event queue.
+
+    >>> sched = Scheduler()
+    >>> fired = []
+    >>> _ = sched.call_later(1.5, lambda: fired.append(sched.now))
+    >>> sched.run()
+    >>> fired
+    [1.5]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run at absolute time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {when} < {self._now}"
+            )
+        event = Event(time=when, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.call_at(self._now + delay, callback)
+
+    def call_soon(self, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at the current time (after pending events)."""
+        return self.call_at(self._now, callback)
+
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def step(self) -> bool:
+        """Run the next event. Returns ``False`` when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            return True
+        return False
+
+    def run(self, max_events: int = 10_000_000) -> int:
+        """Run until the queue drains. Returns the number of events fired."""
+        if self._running:
+            raise SimulationError("scheduler is already running")
+        self._running = True
+        try:
+            fired = 0
+            while self.step():
+                fired += 1
+                if fired >= max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events; likely a scheduling loop"
+                    )
+            return fired
+        finally:
+            self._running = False
+
+    def run_until(self, deadline: float, max_events: int = 10_000_000) -> int:
+        """Run events with ``time <= deadline``; advances the clock to it."""
+        fired = 0
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > deadline:
+                break
+            self.step()
+            fired += 1
+            if fired >= max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; likely a scheduling loop"
+                )
+        self._now = max(self._now, deadline)
+        return fired
+
+    def run_for(self, duration: float, max_events: int = 10_000_000) -> int:
+        """Run events for ``duration`` seconds of virtual time."""
+        return self.run_until(self._now + duration, max_events=max_events)
+
+
+_default: Optional[Scheduler] = None
+
+
+def default_scheduler() -> Scheduler:
+    """Process-wide scheduler for scripts that do not manage their own."""
+    global _default
+    if _default is None:
+        _default = Scheduler()
+    return _default
+
+
+def reset_default_scheduler() -> None:
+    """Replace the process-wide scheduler (used by tests)."""
+    global _default
+    _default = None

@@ -1,0 +1,13 @@
+"""The experiment toolkit (§4.5, Table 1).
+
+Client-side wrappers giving experimenters a turn-key interface: tunnel
+management (OpenVPN), BGP session management (BIRD), and prefix control
+(announce/withdraw with community, AS-path-prepend, and poisoning
+manipulation) — plus the per-packet egress selection that advanced
+experiments configure themselves (§3.2.2).
+"""
+
+from repro.toolkit.client import ExperimentClient, PopView
+from repro.toolkit.cli import ToolkitCli
+
+__all__ = ["ExperimentClient", "PopView", "ToolkitCli"]

@@ -1,0 +1,160 @@
+"""The ``peering`` command-line interface over :class:`ExperimentClient`.
+
+Accepts the command strings experimenters type (mirroring the real
+toolkit's ``peering <component> <action> …``) and returns printable
+output. Exercised end-to-end by the Table 1 benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bgp.attributes import Community
+from repro.netsim.addr import IPv4Prefix
+from repro.toolkit.client import ExperimentClient
+
+
+class ToolkitCli:
+    """String-command front end (``peering …``)."""
+
+    def __init__(self, client: ExperimentClient) -> None:
+        self.client = client
+
+    def run(self, command: str) -> str:
+        words = command.strip().split()
+        if not words:
+            return self._usage()
+        if words[0] == "peering":
+            words = words[1:]
+        if not words:
+            return self._usage()
+        component, *rest = words
+        handler = getattr(self, f"_cmd_{component}", None)
+        if handler is None:
+            return self._usage()
+        try:
+            return handler(rest)
+        except (KeyError, ValueError, RuntimeError) as exc:
+            return f"error: {exc}"
+
+    @staticmethod
+    def _usage() -> str:
+        return (
+            "usage: peering openvpn up|down|status [pop]\n"
+            "       peering bgp start|stop|status [pop]\n"
+            "       peering bird <pop> <command...>\n"
+            "       peering prefix announce <prefix> [-m pop] [-c asn:val]\n"
+            "                               [-p prepend] [-x poison-asn]\n"
+            "       peering prefix withdraw <prefix> [-m pop]"
+        )
+
+    # -- openvpn -----------------------------------------------------------
+
+    def _cmd_openvpn(self, args: list[str]) -> str:
+        if not args:
+            return self._usage()
+        action = args[0]
+        if action == "up":
+            view = self.client.openvpn_up(args[1])
+            return f"tunnel to {view.pop} up ({view.connection.tunnel.client_ip})"
+        if action == "down":
+            self.client.openvpn_down(args[1])
+            return f"tunnel to {args[1]} down"
+        if action == "status":
+            lines = []
+            for pop, status in sorted(self.client.openvpn_status().items()):
+                state = "up" if status["up"] else "down"
+                lines.append(f"{pop}: {state} {status['client_ip']}")
+            return "\n".join(lines) or "no tunnels"
+        return self._usage()
+
+    # -- bgp / bird ----------------------------------------------------------
+
+    def _cmd_bgp(self, args: list[str]) -> str:
+        if not args:
+            return self._usage()
+        action = args[0]
+        if action == "start":
+            session = self.client.bird_start(args[1])
+            return f"bgp to {args[1]}: {session.state.value}"
+        if action == "stop":
+            self.client.bird_stop(args[1])
+            return f"bgp to {args[1]}: stopped"
+        if action == "status":
+            lines = [
+                f"{pop}: {state}"
+                for pop, state in sorted(self.client.bird_status().items())
+            ]
+            return "\n".join(lines) or "no sessions"
+        if action == "refresh":
+            self.client.bird_refresh(args[1])
+            return f"route refresh sent to {args[1]}"
+        return self._usage()
+
+    def _cmd_bird(self, args: list[str]) -> str:
+        if len(args) < 2:
+            return self._usage()
+        return self.client.bird_cli(args[0], " ".join(args[1:]))
+
+    # -- prefix --------------------------------------------------------------
+
+    def _cmd_prefix(self, args: list[str]) -> str:
+        if not args:
+            return self._usage()
+        action, *rest = args
+        if action == "announce":
+            return self._announce(rest)
+        if action == "withdraw":
+            return self._withdraw(rest)
+        return self._usage()
+
+    def _announce(self, args: list[str]) -> str:
+        prefix, options = self._parse_options(args)
+        if prefix is None:
+            return "error: missing prefix"
+        sent = self.client.announce(
+            prefix,
+            pops=options["pops"] or None,
+            communities=options["communities"],
+            prepend=options["prepend"],
+            poison=options["poisons"],
+        )
+        targets = ", ".join(options["pops"]) if options["pops"] else "all PoPs"
+        return f"announced {prefix} to {targets} ({len(sent)} update(s))"
+
+    def _withdraw(self, args: list[str]) -> str:
+        prefix, options = self._parse_options(args)
+        if prefix is None:
+            return "error: missing prefix"
+        self.client.withdraw(prefix, pops=options["pops"] or None)
+        targets = ", ".join(options["pops"]) if options["pops"] else "all PoPs"
+        return f"withdrew {prefix} from {targets}"
+
+    @staticmethod
+    def _parse_options(args: list[str]):
+        prefix: Optional[IPv4Prefix] = None
+        options = {
+            "pops": [],
+            "communities": [],
+            "prepend": 0,
+            "poisons": [],
+        }
+        index = 0
+        while index < len(args):
+            token = args[index]
+            if token == "-m":
+                index += 1
+                options["pops"].append(args[index])
+            elif token == "-c":
+                index += 1
+                options["communities"].append(Community.parse(args[index]))
+            elif token == "-p":
+                index += 1
+                options["prepend"] = int(args[index])
+            elif token == "-x":
+                index += 1
+                options["poisons"].append(int(args[index]))
+            else:
+                prefix = IPv4Prefix.parse(token)
+            index += 1
+        return prefix, options

@@ -1,0 +1,58 @@
+"""vBGP: virtualization of a BGP edge router's data and control planes.
+
+The paper's core contribution (§3). A :class:`~repro.vbgp.node.VbgpNode`
+multiplexes one edge router across parallel experiments:
+
+* **control plane in** — every route from every neighbor is fanned out to
+  every experiment over ADD-PATH sessions, with the BGP next hop rewritten
+  to a per-neighbor virtual IP (§3.2.1, Figure 2a);
+* **control plane out** — experiments steer announcement propagation per
+  neighbor with whitelist/blacklist communities; the security enforcer
+  interposes on everything they send (§3.2.1, §3.3);
+* **data plane out** — the node answers ARP for each virtual IP with a
+  per-neighbor virtual MAC and demultiplexes ingress frames by destination
+  MAC into per-neighbor kernel routing tables (§3.2.2, Figure 2b);
+* **data plane in** — traffic delivered by a neighbor is forwarded to the
+  owning experiment with the *source* MAC rewritten to that neighbor's
+  virtual MAC, preserving attribution;
+* **backbone** — next-hop-based control extends hop-by-hop across the
+  backbone using a global pool of per-neighbor IPs (§4.4, Figure 5).
+"""
+
+from repro.vbgp.allocator import (
+    GlobalNeighborRegistry,
+    VirtualNeighbor,
+    global_neighbor_ip,
+    global_neighbor_mac,
+    neighbor_table_id,
+)
+from repro.vbgp.node import (
+    ExperimentAttachment,
+    UpstreamNeighbor,
+    VbgpNode,
+)
+from repro.vbgp.communities import (
+    ANNOUNCE_ASN,
+    BLOCK_ASN,
+    announce_to_neighbor,
+    announce_to_pop,
+    block_neighbor,
+    select_targets,
+)
+
+__all__ = [
+    "ANNOUNCE_ASN",
+    "BLOCK_ASN",
+    "ExperimentAttachment",
+    "GlobalNeighborRegistry",
+    "UpstreamNeighbor",
+    "VbgpNode",
+    "VirtualNeighbor",
+    "announce_to_neighbor",
+    "announce_to_pop",
+    "block_neighbor",
+    "global_neighbor_ip",
+    "global_neighbor_mac",
+    "neighbor_table_id",
+    "select_targets",
+]

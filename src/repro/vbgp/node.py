@@ -1,0 +1,866 @@
+"""The vBGP node: one virtualized BGP edge router (§3, §4.4).
+
+A node terminates three kinds of BGP sessions:
+
+* **upstream** — the PoP's real neighbors (transits, peers, route
+  servers); their routes are installed into per-neighbor kernel tables and
+  fanned out to experiments and backbone peers;
+* **experiment** — ADD-PATH sessions carrying *all* known routes to each
+  experiment with next hops rewritten to per-neighbor virtual IPs;
+  announcements from experiments pass through the control-plane security
+  enforcer and are exported to neighbors selected by control communities;
+* **backbone** — an iBGP-style mesh with other vBGP nodes over which both
+  neighbor routes (next hop = the neighbor's global 127.127/16 IP) and
+  experiment routes (next hop = the announcing node's backbone address)
+  propagate, extending per-packet neighbor selection platform-wide.
+
+On the data plane the node (a) answers ARP for virtual IPs with the
+deterministic per-neighbor virtual MACs, (b) demultiplexes ingress frames
+by destination MAC into the matching per-neighbor table (a policy-routing
+rule per neighbor), and (c) intercepts traffic destined to experiment
+prefixes, rewriting the source MAC to the delivering neighbor's virtual
+MAC before handing the frame to the experiment's tunnel (§3.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.bgp.attributes import PathAttributes, Route
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.session import BgpSession, SessionConfig
+from repro.bgp.transport import Channel
+from repro.netsim.addr import IPv4Address, IPv4Prefix, MacAddress, Prefix
+from repro.netsim.frames import EtherType, EthernetFrame, IPv4Packet
+from repro.netsim.link import Port
+from repro.netsim.lpm import LpmTable
+from repro.netsim.stack import (
+    Interface,
+    KernelRoute,
+    NetworkStack,
+    RoutingRule,
+)
+from repro.sim.scheduler import Scheduler
+from repro.vbgp.allocator import (
+    GLOBAL_POOL,
+    GlobalNeighborRegistry,
+    LocalVipAllocator,
+    VirtualNeighbor,
+    neighbor_mac_global_id,
+)
+from repro.vbgp.communities import select_targets, strip_control
+
+RULE_PRIORITY_VMAC = 100
+
+
+@dataclass
+class UpstreamNeighbor:
+    """A real BGP neighbor of this PoP."""
+
+    name: str
+    peer_asn: int
+    peer_address: IPv4Address
+    peer_mac: MacAddress
+    kind: str  # "transit" | "peer" | "route-server"
+    virtual: VirtualNeighbor
+    session: Optional[BgpSession] = None
+    # Routes received: (prefix, peer path id) -> route.
+    rib: dict[tuple[Prefix, Optional[int]], Route] = field(default_factory=dict)
+
+
+@dataclass
+class RemoteNeighbor:
+    """A neighbor at another PoP, learned over the backbone."""
+
+    global_id: int
+    virtual: VirtualNeighbor
+    rib: dict[tuple[Prefix, Optional[int]], Route] = field(default_factory=dict)
+
+
+@dataclass
+class ExperimentAttachment:
+    """One experiment's presence at this node."""
+
+    name: str
+    asn: int
+    prefixes: tuple[Prefix, ...]
+    tunnel_ip: IPv4Address
+    tunnel_mac: MacAddress
+    session: Optional[BgpSession] = None
+    # Announcements accepted from the experiment: (prefix, path id) -> route.
+    announced: dict[tuple[Prefix, Optional[int]], Route] = field(
+        default_factory=dict
+    )
+    # Fan-out path-id allocation: (gid, prefix, source path id) -> path id.
+    path_ids: dict[tuple[int, Prefix, Optional[int]], int] = field(
+        default_factory=dict
+    )
+    next_path_id: int = 1
+
+    def path_id_for(self, gid: int, prefix: Prefix,
+                    source_id: Optional[int]) -> int:
+        key = (gid, prefix, source_id)
+        if key not in self.path_ids:
+            self.path_ids[key] = self.next_path_id
+            self.next_path_id += 1
+        return self.path_ids[key]
+
+    def release_path_id(self, gid: int, prefix: Prefix,
+                        source_id: Optional[int]) -> Optional[int]:
+        return self.path_ids.pop((gid, prefix, source_id), None)
+
+
+ControlEnforcer = Callable[..., object]
+
+
+class VbgpNode:
+    """One vBGP instance (one PoP server)."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        name: str,
+        pop_id: int,
+        platform_asn: int,
+        router_id: IPv4Address,
+        stack: NetworkStack,
+        registry: GlobalNeighborRegistry,
+        upstream_iface: str = "ixp0",
+        exp_iface: str = "exp0",
+        backbone_iface: Optional[str] = None,
+        backbone_address: Optional[IPv4Address] = None,
+        control_enforcer: Optional[object] = None,
+        data_enforcer: Optional[object] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.name = name
+        self.pop_id = pop_id
+        self.platform_asn = platform_asn
+        self.router_id = router_id
+        self.stack = stack
+        self.registry = registry
+        self.upstream_iface = upstream_iface
+        self.exp_iface = exp_iface
+        self.backbone_iface = backbone_iface
+        self.backbone_address = backbone_address
+        self.control_enforcer = control_enforcer
+        self.data_enforcer = data_enforcer
+
+        self.vips = LocalVipAllocator()
+        self.upstreams: dict[str, UpstreamNeighbor] = {}
+        self.remote_neighbors: dict[int, RemoteNeighbor] = {}
+        self.experiments: dict[str, ExperimentAttachment] = {}
+        self.backbone_peers: dict[str, BgpSession] = {}
+        # Experiment prefixes (local and remote) for data-plane intercept.
+        self.exp_prefixes: LpmTable[dict] = LpmTable()
+        # Remote experiments' routes learned over the backbone, by prefix.
+        self.remote_exp_routes: dict[Prefix, Route] = {}
+        # MAC -> upstream neighbor, to attribute ingress traffic.
+        self._mac_to_gid: dict[MacAddress, int] = {}
+        self.counters = {
+            "updates_from_upstream": 0,
+            "updates_from_experiments": 0,
+            "updates_to_experiments": 0,
+            "updates_to_neighbors": 0,
+            "updates_to_backbone": 0,
+            "routes_installed": 0,
+            "routes_removed": 0,
+            "announcements_blocked": 0,
+            "frames_to_experiments": 0,
+            "enforcer_failures": 0,
+        }
+        self.stack.ingress_hooks.append(self._intercept_inbound)
+        if self.data_enforcer is not None:
+            self.stack.ingress_hooks.append(self._data_enforce)
+
+    # ==================================================================
+    # Upstream neighbors
+    # ==================================================================
+
+    def enable_backbone(self, iface: str, address: IPv4Address) -> None:
+        """Configure backbone attachment; retro-provisions the backbone
+        side (proxy-ARP for global IPs, extra MACs) of existing neighbors."""
+        self.backbone_iface = iface
+        self.backbone_address = address
+        backbone = self.stack.interfaces.get(iface)
+        if backbone is None:
+            return
+        for neighbor in self.upstreams.values():
+            backbone.extra_macs.add(neighbor.virtual.mac)
+            self.stack.add_proxy_arp(
+                iface, neighbor.virtual.global_ip, neighbor.virtual.mac
+            )
+
+    def attach_upstream(
+        self,
+        name: str,
+        peer_asn: int,
+        peer_address: IPv4Address,
+        peer_mac: MacAddress,
+        channel: Channel,
+        kind: str = "peer",
+        addpath: bool = False,
+    ) -> UpstreamNeighbor:
+        """Register a real neighbor and start its BGP session."""
+        if name in self.upstreams:
+            raise ValueError(f"duplicate upstream {name!r} at {self.name}")
+        global_id = self.registry.register(self.name, name)
+        virtual = self.vips.virtual_neighbor(global_id)
+        neighbor = UpstreamNeighbor(
+            name=name,
+            peer_asn=peer_asn,
+            peer_address=peer_address,
+            peer_mac=peer_mac,
+            kind=kind,
+            virtual=virtual,
+        )
+        self._provision_virtual(virtual, next_hop=peer_address,
+                                out_iface=self.upstream_iface)
+        self._mac_to_gid[peer_mac] = global_id
+        self.stack.add_static_arp(peer_address, peer_mac, self.upstream_iface)
+        session = BgpSession(
+            self.scheduler,
+            SessionConfig(
+                local_asn=self.platform_asn,
+                local_id=self.router_id,
+                peer_asn=peer_asn,
+                addpath=addpath,
+            ),
+            channel,
+            on_update=lambda _s, update, n=name: self._upstream_update(n, update),
+            on_close=lambda _s, reason, n=name: self._upstream_closed(n, reason),
+        )
+        neighbor.session = session
+        self.upstreams[name] = neighbor
+        session.start()
+        return neighbor
+
+    def _provision_virtual(self, virtual: VirtualNeighbor,
+                           next_hop: IPv4Address, out_iface: str) -> None:
+        """Install the data-plane plumbing for one (possibly remote)
+        neighbor: extra MAC, proxy-ARP, and the dMAC-keyed table rule."""
+        exp = self.stack.interfaces.get(self.exp_iface)
+        if exp is not None:
+            exp.extra_macs.add(virtual.mac)
+            self.stack.add_proxy_arp(self.exp_iface, virtual.local_ip,
+                                     virtual.mac)
+        if self.backbone_iface is not None:
+            backbone = self.stack.interfaces.get(self.backbone_iface)
+            if backbone is not None:
+                backbone.extra_macs.add(virtual.mac)
+                self.stack.add_proxy_arp(
+                    self.backbone_iface, virtual.global_ip, virtual.mac
+                )
+        self.stack.add_rule(
+            RoutingRule(
+                priority=RULE_PRIORITY_VMAC,
+                table=virtual.table_id,
+                match_dmac=virtual.mac,
+            )
+        )
+        # Ensure the table exists even before routes arrive.
+        self.stack.table(virtual.table_id)
+
+    def _upstream_update(self, name: str, update: UpdateMessage) -> None:
+        neighbor = self.upstreams.get(name)
+        if neighbor is None:
+            return
+        self.counters["updates_from_upstream"] += 1
+        gid = neighbor.virtual.global_id
+        removed: list[tuple[Prefix, Optional[int]]] = []
+        for prefix, path_id in update.withdrawn:
+            if neighbor.rib.pop((prefix, path_id), None) is not None:
+                removed.append((prefix, path_id))
+                if not any(
+                    key[0] == prefix for key in neighbor.rib
+                ):
+                    if self.stack.remove_route(
+                        prefix, table_id=neighbor.virtual.table_id
+                    ):
+                        self.counters["routes_removed"] += 1
+        announced = update.routes()
+        for route in announced:
+            neighbor.rib[(route.prefix, route.path_id)] = route
+            # Route servers are transparent (RFC 7947): the next hop is the
+            # member router on the IXP LAN, not the server itself.
+            next_hop = neighbor.peer_address
+            if neighbor.kind == "route-server" and route.next_hop is not None:
+                next_hop = route.next_hop
+            self.stack.add_route(
+                KernelRoute(
+                    prefix=route.prefix,
+                    out_iface=self.upstream_iface,
+                    next_hop=next_hop,
+                ),
+                table_id=neighbor.virtual.table_id,
+            )
+            self.counters["routes_installed"] += 1
+        # Fan out to experiments with the local virtual IP as next hop.
+        for exp in self.experiments.values():
+            self._fanout(exp, gid, neighbor.virtual.local_ip, announced,
+                         removed)
+        # Propagate over the backbone with the neighbor's global IP.
+        self._backbone_export(gid, announced, removed)
+
+    def _upstream_closed(self, name: str, _reason: str) -> None:
+        neighbor = self.upstreams.get(name)
+        if neighbor is None:
+            return
+        keys = list(neighbor.rib)
+        neighbor.rib.clear()
+        for prefix, _path_id in keys:
+            if self.stack.remove_route(prefix,
+                                       table_id=neighbor.virtual.table_id):
+                self.counters["routes_removed"] += 1
+        gid = neighbor.virtual.global_id
+        for exp in self.experiments.values():
+            self._fanout(exp, gid, neighbor.virtual.local_ip, [], keys)
+        self._backbone_export(gid, [], keys)
+
+    # ==================================================================
+    # Experiments
+    # ==================================================================
+
+    def attach_experiment(
+        self,
+        name: str,
+        asn: int,
+        prefixes: Iterable[Prefix],
+        tunnel_ip: IPv4Address,
+        tunnel_mac: MacAddress,
+        channel: Channel,
+    ) -> ExperimentAttachment:
+        """Attach an experiment over its (VPN) tunnel and start BGP."""
+        if name in self.experiments:
+            raise ValueError(f"experiment {name!r} already attached")
+        attachment = ExperimentAttachment(
+            name=name,
+            asn=asn,
+            prefixes=tuple(prefixes),
+            tunnel_ip=tunnel_ip,
+            tunnel_mac=tunnel_mac,
+        )
+        session = BgpSession(
+            self.scheduler,
+            SessionConfig(
+                local_asn=self.platform_asn,
+                local_id=self.router_id,
+                peer_asn=asn,
+                addpath=True,
+            ),
+            channel,
+            on_update=lambda _s, update, n=name: (
+                self._experiment_update(n, update)
+            ),
+            on_established=lambda _s, n=name: self._experiment_up(n),
+            on_close=lambda _s, reason, n=name: (
+                self._experiment_closed(n, reason)
+            ),
+            # ROUTE-REFRESH (soft reset): resend the full table with the
+            # same stable ADD-PATH ids.
+            on_route_refresh=lambda _s, n=name: self._experiment_up(n),
+        )
+        attachment.session = session
+        self.experiments[name] = attachment
+        self.stack.add_static_arp(tunnel_ip, tunnel_mac, self.exp_iface)
+        for prefix in attachment.prefixes:
+            entry = self.exp_prefixes.get(prefix) or {}
+            entry[name] = attachment
+            self.exp_prefixes.insert(prefix, entry)
+        session.start()
+        return attachment
+
+    def _experiment_up(self, name: str) -> None:
+        """Send the full table (every neighbor's routes) to the experiment."""
+        exp = self.experiments.get(name)
+        if exp is None:
+            return
+        for neighbor in self.upstreams.values():
+            routes = list(neighbor.rib.values())
+            if routes:
+                self._fanout(
+                    exp, neighbor.virtual.global_id,
+                    neighbor.virtual.local_ip, routes, [],
+                )
+        for remote in self.remote_neighbors.values():
+            routes = list(remote.rib.values())
+            if routes:
+                self._fanout(
+                    exp, remote.global_id, remote.virtual.local_ip,
+                    routes, [],
+                )
+
+    def _experiment_closed(self, name: str, _reason: str) -> None:
+        exp = self.experiments.pop(name, None)
+        if exp is None:
+            return
+        for prefix in exp.prefixes:
+            entry = self.exp_prefixes.get(prefix)
+            if entry is not None:
+                entry.pop(name, None)
+                if not entry:
+                    self.exp_prefixes.remove(prefix)
+        # Withdraw everything the experiment had announced.
+        for (prefix, path_id), route in list(exp.announced.items()):
+            self._retract_experiment_route(exp, route)
+        exp.announced.clear()
+
+    def _fanout(
+        self,
+        exp: ExperimentAttachment,
+        gid: int,
+        local_vip: IPv4Address,
+        announced: list[Route],
+        removed: list[tuple[Prefix, Optional[int]]],
+    ) -> None:
+        """Send neighbor-route changes to one experiment (Figure 2a)."""
+        if exp.session is None or not exp.session.established:
+            return
+        withdrawals = []
+        for prefix, source_id in removed:
+            path_id = exp.release_path_id(gid, prefix, source_id)
+            if path_id is not None:
+                withdrawals.append(
+                    Route(prefix=prefix, attributes=_EMPTY_ATTRS,
+                          path_id=path_id)
+                )
+        if withdrawals:
+            exp.session.send_update(UpdateMessage.withdraw(withdrawals))
+            self.counters["updates_to_experiments"] += 1
+        for route in announced:
+            rewritten = route.with_next_hop(local_vip).with_path_id(
+                exp.path_id_for(gid, route.prefix, route.path_id)
+            )
+            exp.session.send_update(UpdateMessage.announce([rewritten]))
+            self.counters["updates_to_experiments"] += 1
+
+    # -- announcements from experiments ---------------------------------
+
+    def _experiment_update(self, name: str, update: UpdateMessage) -> None:
+        exp = self.experiments.get(name)
+        if exp is None:
+            return
+        self.counters["updates_from_experiments"] += 1
+        for prefix, path_id in update.withdrawn:
+            route = exp.announced.pop((prefix, path_id), None)
+            if route is not None:
+                self._retract_experiment_route(exp, route)
+        routes = update.routes()
+        if not routes:
+            return
+        allowed = self._enforce_control(exp, routes)
+        for route in allowed:
+            previous = exp.announced.get((route.prefix, route.path_id))
+            exp.announced[(route.prefix, route.path_id)] = route
+            if previous is not None:
+                self._retract_experiment_route(exp, previous, keep_dataplane=True)
+            self._propagate_experiment_route(exp, route)
+
+    def _enforce_control(self, exp: ExperimentAttachment,
+                         routes: list[Route]) -> list[Route]:
+        """Run the control-plane security enforcer; fail closed (§4.7)."""
+        if self.control_enforcer is None:
+            return routes
+        try:
+            return self.control_enforcer.filter_routes(
+                experiment=exp.name, routes=routes, pop=self.name,
+            )
+        except Exception:
+            self.counters["enforcer_failures"] += 1
+            self.counters["announcements_blocked"] += len(routes)
+            return []
+
+    def _propagate_experiment_route(self, exp: ExperimentAttachment,
+                                    route: Route) -> None:
+        # Data plane: make the prefix reachable through the tunnel.
+        self.stack.add_route(
+            KernelRoute(
+                prefix=route.prefix,
+                out_iface=self.exp_iface,
+                next_hop=exp.tunnel_ip,
+            )
+        )
+        # Control plane: export to selected neighbors, and to the backbone.
+        targets = self._neighbor_targets(route)
+        for neighbor in self.upstreams.values():
+            if neighbor.virtual.global_id in targets:
+                self._export_to_neighbor(neighbor, route)
+        self._backbone_export_experiment(exp, route, withdraw=False)
+
+    def _retract_experiment_route(self, exp: ExperimentAttachment,
+                                  route: Route,
+                                  keep_dataplane: bool = False) -> None:
+        if not keep_dataplane:
+            still_announced = any(
+                r.prefix == route.prefix for r in exp.announced.values()
+            )
+            if not still_announced:
+                self.stack.remove_route(route.prefix)
+        targets = self._neighbor_targets(route)
+        for neighbor in self.upstreams.values():
+            if neighbor.virtual.global_id in targets and (
+                neighbor.session is not None and neighbor.session.established
+            ):
+                neighbor.session.send_update(
+                    UpdateMessage.withdraw(
+                        [Route(prefix=route.prefix, attributes=_EMPTY_ATTRS)]
+                    )
+                )
+                self.counters["updates_to_neighbors"] += 1
+        self._backbone_export_experiment(exp, route, withdraw=True)
+
+    def _neighbor_targets(self, route: Route) -> set[int]:
+        candidates = [
+            (n.virtual.global_id, self.pop_id)
+            for n in self.upstreams.values()
+        ]
+        return select_targets(route, candidates)
+
+    def _export_to_neighbor(self, neighbor: UpstreamNeighbor,
+                            route: Route) -> None:
+        if neighbor.session is None or not neighbor.session.established:
+            return
+        export = strip_control(route)
+        export = export.prepended(self.platform_asn)
+        export = export.with_next_hop(self._upstream_address())
+        export = export.with_path_id(None)
+        export = export.with_attributes(local_pref=None)
+        neighbor.session.send_update(UpdateMessage.announce([export]))
+        self.counters["updates_to_neighbors"] += 1
+
+    def _upstream_address(self) -> IPv4Address:
+        iface = self.stack.interfaces.get(self.upstream_iface)
+        if iface is not None and iface.addresses:
+            return iface.addresses[0].network
+        return self.router_id
+
+    # ==================================================================
+    # Backbone (§4.4)
+    # ==================================================================
+
+    def attach_backbone_peer(self, node_name: str, channel: Channel) -> None:
+        """Join the backbone BGP mesh with another vBGP node."""
+        session = BgpSession(
+            self.scheduler,
+            SessionConfig(
+                local_asn=self.platform_asn,
+                local_id=self.router_id,
+                peer_asn=self.platform_asn,
+                addpath=True,
+            ),
+            channel,
+            on_update=lambda _s, update, n=node_name: (
+                self._backbone_update(n, update)
+            ),
+            on_established=lambda _s, n=node_name: self._backbone_up(n),
+        )
+        self.backbone_peers[node_name] = session
+        session.start()
+
+    def _backbone_up(self, node_name: str) -> None:
+        """Advertise all local state to a newly joined backbone peer."""
+        session = self.backbone_peers.get(node_name)
+        if session is None or not session.established:
+            return
+        for neighbor in self.upstreams.values():
+            for route in neighbor.rib.values():
+                session.send_update(UpdateMessage.announce([
+                    self._backbone_route(neighbor.virtual, route)
+                ]))
+                self.counters["updates_to_backbone"] += 1
+        for exp in self.experiments.values():
+            for route in exp.announced.values():
+                session.send_update(UpdateMessage.announce([
+                    self._backbone_experiment_route(route)
+                ]))
+                self.counters["updates_to_backbone"] += 1
+
+    def _backbone_route(self, virtual: VirtualNeighbor, route: Route) -> Route:
+        """A neighbor route as carried on the mesh: global-IP next hop."""
+        return route.with_next_hop(virtual.global_ip).with_path_id(
+            virtual.global_id * 1_000_000 + _stable_id(route)
+        )
+
+    def _backbone_experiment_route(self, route: Route) -> Route:
+        assert self.backbone_address is not None
+        return route.with_next_hop(self.backbone_address).with_path_id(
+            _stable_id(route)
+        )
+
+    def _backbone_export(self, gid: int, announced: list[Route],
+                         removed: list[tuple[Prefix, Optional[int]]]) -> None:
+        if not self.backbone_peers:
+            return
+        neighbor = next(
+            (n for n in self.upstreams.values()
+             if n.virtual.global_id == gid), None,
+        )
+        if neighbor is None:
+            return
+        for session in self.backbone_peers.values():
+            if not session.established:
+                continue
+            for prefix, source_id in removed:
+                fake = Route(prefix=prefix, attributes=_EMPTY_ATTRS)
+                session.send_update(UpdateMessage.withdraw([
+                    fake.with_path_id(gid * 1_000_000 + _stable_id(fake))
+                ]))
+                self.counters["updates_to_backbone"] += 1
+            for route in announced:
+                session.send_update(UpdateMessage.announce([
+                    self._backbone_route(neighbor.virtual, route)
+                ]))
+                self.counters["updates_to_backbone"] += 1
+
+    def _backbone_export_experiment(self, exp: ExperimentAttachment,
+                                    route: Route, withdraw: bool) -> None:
+        if not self.backbone_peers or self.backbone_address is None:
+            return
+        carried = self._backbone_experiment_route(route)
+        for session in self.backbone_peers.values():
+            if not session.established:
+                continue
+            if withdraw:
+                session.send_update(UpdateMessage.withdraw([carried]))
+            else:
+                session.send_update(UpdateMessage.announce([carried]))
+            self.counters["updates_to_backbone"] += 1
+
+    def _backbone_update(self, node_name: str, update: UpdateMessage) -> None:
+        """Process mesh routes: remote-neighbor or remote-experiment."""
+        for prefix, path_id in update.withdrawn:
+            gid = (path_id or 0) // 1_000_000
+            if gid:
+                remote = self.remote_neighbors.get(gid)
+                if remote is None:
+                    continue
+                remote.rib.pop((prefix, path_id), None)
+                if not any(key[0] == prefix for key in remote.rib):
+                    self.stack.remove_route(prefix,
+                                            table_id=remote.virtual.table_id)
+                for exp in self.experiments.values():
+                    self._fanout(exp, gid, remote.virtual.local_ip, [],
+                                 [(prefix, path_id)])
+            else:
+                self._remote_experiment_withdraw(prefix)
+        for route in update.routes():
+            next_hop = route.next_hop
+            if next_hop is not None and GLOBAL_POOL.contains_address(next_hop):
+                self._remote_neighbor_route(route)
+            else:
+                self._remote_experiment_route(route)
+
+    def _remote_neighbor_route(self, route: Route) -> None:
+        gid = (route.path_id or 0) // 1_000_000
+        if not gid:
+            return
+        remote = self.remote_neighbors.get(gid)
+        if remote is None:
+            virtual = self.vips.virtual_neighbor(gid)
+            remote = RemoteNeighbor(global_id=gid, virtual=virtual)
+            self.remote_neighbors[gid] = remote
+            assert self.backbone_iface is not None
+            self._provision_virtual(
+                virtual, next_hop=virtual.global_ip,
+                out_iface=self.backbone_iface,
+            )
+        remote.rib[(route.prefix, route.path_id)] = route
+        self.stack.add_route(
+            KernelRoute(
+                prefix=route.prefix,
+                out_iface=self.backbone_iface or self.upstream_iface,
+                next_hop=remote.virtual.global_ip,
+            ),
+            table_id=remote.virtual.table_id,
+        )
+        self.counters["routes_installed"] += 1
+        for exp in self.experiments.values():
+            self._fanout(exp, gid, remote.virtual.local_ip, [route], [])
+
+    def _remote_experiment_route(self, route: Route) -> None:
+        """A remote experiment's prefix: route it across the backbone."""
+        if route.next_hop is None or self.backbone_iface is None:
+            return
+        self.stack.add_route(
+            KernelRoute(
+                prefix=route.prefix,
+                out_iface=self.backbone_iface,
+                next_hop=route.next_hop,
+            )
+        )
+        self.remote_exp_routes[route.prefix] = route
+        marker = self.exp_prefixes.get(route.prefix) or {}
+        marker["__remote__"] = route.next_hop
+        self.exp_prefixes.insert(route.prefix, marker)
+        # A remote experiment announcement only exits via *this* PoP's
+        # neighbors when whitelist communities direct it here (§4.4:
+        # experiments "direct announcements … across the backbone to BGP
+        # neighbors at any of the PoPs"); a plain announcement stays at
+        # the PoP where it was made.
+        for neighbor in self.upstreams.values():
+            if neighbor.virtual.global_id in self._remote_targets(route):
+                self._export_to_neighbor(neighbor, route)
+
+    def _remote_targets(self, route: Route) -> set[int]:
+        """Local neighbors a backbone-learned experiment route may exit
+        through: only those its whitelist communities name."""
+        from repro.vbgp.communities import ANNOUNCE_ASN
+
+        if not any(c.asn == ANNOUNCE_ASN for c in route.communities):
+            return set()
+        return self._neighbor_targets(route)
+
+    def _remote_experiment_withdraw(self, prefix: Prefix) -> None:
+        route = self.remote_exp_routes.pop(prefix, None)
+        if route is None:
+            return
+        self.stack.remove_route(prefix)
+        marker = self.exp_prefixes.get(prefix)
+        if marker is not None:
+            marker.pop("__remote__", None)
+            if not marker:
+                self.exp_prefixes.remove(prefix)
+        targets = self._remote_targets(route)
+        for neighbor in self.upstreams.values():
+            if neighbor.virtual.global_id in targets and (
+                neighbor.session is not None and neighbor.session.established
+            ):
+                neighbor.session.send_update(
+                    UpdateMessage.withdraw(
+                        [Route(prefix=prefix, attributes=_EMPTY_ATTRS)]
+                    )
+                )
+                self.counters["updates_to_neighbors"] += 1
+
+    # ==================================================================
+    # Data plane interposition
+    # ==================================================================
+
+    def _data_enforce(self, frame: EthernetFrame,
+                      iface: Interface) -> Optional[EthernetFrame]:
+        """Run the data-plane enforcement engine on experiment traffic."""
+        if iface.name != self.exp_iface or self.data_enforcer is None:
+            return frame
+        try:
+            return self.data_enforcer.ingress(frame, iface.name, self)
+        except Exception:
+            self.counters["enforcer_failures"] += 1
+            return None  # fail closed
+
+    def _intercept_inbound(self, frame: EthernetFrame,
+                           iface: Interface) -> Optional[EthernetFrame]:
+        """Deliver Internet traffic to experiments with source-MAC
+        attribution (§3.2.2, "Routing traffic to experiments")."""
+        if iface.name not in (self.upstream_iface, self.backbone_iface):
+            return frame
+        if frame.ethertype != EtherType.IPV4 or not isinstance(
+            frame.payload, IPv4Packet
+        ):
+            return frame
+        # Frames addressed to a virtual MAC are experiment egress relayed
+        # over the backbone; let the policy-routing rules handle them.
+        if neighbor_mac_global_id(frame.dst) is not None:
+            return frame
+        packet = frame.payload
+        entry = self.exp_prefixes.lookup(packet.dst)
+        if entry is None:
+            return frame
+        gid = self._delivering_gid(frame.src)
+        owners = entry.value
+        local = [
+            attachment for name, attachment in owners.items()
+            if name != "__remote__"
+        ]
+        if local:
+            self._deliver_to_experiment(local[0], packet, gid)
+            return None
+        remote_hop = owners.get("__remote__")
+        if remote_hop is not None and iface.name == self.upstream_iface:
+            self._relay_over_backbone(packet, gid, remote_hop)
+            return None
+        return frame
+
+    def _delivering_gid(self, src_mac: MacAddress) -> Optional[int]:
+        gid = neighbor_mac_global_id(src_mac)
+        if gid is not None:
+            return gid
+        return self._mac_to_gid.get(src_mac)
+
+    def _deliver_to_experiment(self, attachment: ExperimentAttachment,
+                               packet: IPv4Packet,
+                               gid: Optional[int]) -> None:
+        if packet.ttl <= 1:
+            return
+        exp_iface = self.stack.interfaces.get(self.exp_iface)
+        if exp_iface is None:
+            return
+        source_mac = exp_iface.mac
+        if gid is not None:
+            # The rewrite that tells the experiment *which* neighbor
+            # delivered this traffic.
+            source_mac = self.vips.virtual_neighbor(gid).mac
+        self.counters["frames_to_experiments"] += 1
+        exp_iface.send_frame(
+            EthernetFrame(
+                src=source_mac,
+                dst=attachment.tunnel_mac,
+                ethertype=EtherType.IPV4,
+                payload=packet.decrement_ttl(),
+            )
+        )
+
+    def _relay_over_backbone(self, packet: IPv4Packet, gid: Optional[int],
+                             next_hop: IPv4Address) -> None:
+        """Carry neighbor-delivered traffic toward a remote experiment,
+        preserving the delivering neighbor's identity in the source MAC."""
+        if packet.ttl <= 1 or self.backbone_iface is None:
+            return
+        backbone = self.stack.interfaces.get(self.backbone_iface)
+        if backbone is None:
+            return
+        cached = self.stack.arp_table.get(next_hop)
+        if cached is None:
+            # Resolve the remote node's MAC and retry shortly.
+            self.stack._send_arp_request(next_hop, backbone)
+            retry = packet
+            self.scheduler.call_later(
+                0.002, lambda: self._relay_over_backbone(retry, gid, next_hop)
+            )
+            return
+        source_mac = backbone.mac
+        if gid is not None:
+            source_mac = self.vips.virtual_neighbor(gid).mac
+        backbone.send_frame(
+            EthernetFrame(
+                src=source_mac,
+                dst=cached[0],
+                ethertype=EtherType.IPV4,
+                payload=packet.decrement_ttl(),
+            )
+        )
+
+    # ==================================================================
+    # Introspection (used by benches and the CLI)
+    # ==================================================================
+
+    def known_routes(self) -> list[Route]:
+        """All routes currently known across per-neighbor RIBs."""
+        routes: list[Route] = []
+        for neighbor in self.upstreams.values():
+            routes.extend(neighbor.rib.values())
+        for remote in self.remote_neighbors.values():
+            routes.extend(remote.rib.values())
+        return routes
+
+    def fib_entry_count(self) -> int:
+        return sum(len(table) for table in self.stack.tables.values())
+
+
+# A placeholder attribute set used in withdrawals (attributes are ignored).
+_EMPTY_ATTRS = PathAttributes()
+
+
+def _stable_id(route: Route) -> int:
+    """A deterministic per-route id usable as an ADD-PATH path id."""
+    return (hash((route.prefix.key(), route.path_id)) & 0xFFFFF) or 1

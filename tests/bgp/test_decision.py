@@ -1,0 +1,133 @@
+"""Best-path decision process tests and invariants."""
+
+from hypothesis import given, strategies as st
+
+from repro.bgp.attributes import Origin, originate
+from repro.bgp.decision import PeerContext, best_path, compare_routes
+from repro.bgp.rib import RibEntry
+from repro.netsim.addr import IPv4Address, IPv4Prefix
+
+P = IPv4Prefix.parse("10.0.0.0/8")
+NH = IPv4Address.parse("1.1.1.1")
+
+
+def route(origin_asn=100, prepends=0, local_pref=None, med=None,
+          origin=Origin.IGP):
+    r = originate(P, origin_asn, NH)
+    if prepends:
+        r = r.prepended(origin_asn, prepends)
+    return r.with_attributes(local_pref=local_pref, med=med, origin=origin)
+
+
+def test_higher_local_pref_wins():
+    assert compare_routes(route(local_pref=200), route(local_pref=100)) < 0
+    assert compare_routes(route(local_pref=50), route(local_pref=100)) > 0
+
+
+def test_default_local_pref_is_100():
+    assert compare_routes(route(local_pref=None), route(local_pref=100)) == 0
+
+
+def test_shorter_as_path_wins():
+    assert compare_routes(route(), route(prepends=2)) < 0
+
+
+def test_local_pref_beats_path_length():
+    assert compare_routes(route(prepends=5, local_pref=200), route()) < 0
+
+
+def test_lower_origin_wins():
+    assert compare_routes(route(origin=Origin.IGP),
+                          route(origin=Origin.INCOMPLETE)) < 0
+
+
+def test_med_compared_same_neighbor_as():
+    assert compare_routes(route(med=10), route(med=20)) < 0
+
+
+def test_med_ignored_different_neighbor_as():
+    a = route(origin_asn=100, med=99)
+    b = originate(P, 200, NH).with_attributes(med=1)
+    # Same path length, origin; MED skipped → falls through to eBGP tie.
+    assert compare_routes(a, b) == 0
+
+
+def test_ebgp_preferred_over_ibgp():
+    ebgp = PeerContext(is_ebgp=True)
+    ibgp = PeerContext(is_ebgp=False)
+    assert compare_routes(route(), route(), ebgp, ibgp) < 0
+    assert compare_routes(route(), route(), ibgp, ebgp) > 0
+
+
+def test_lower_router_id_breaks_tie():
+    low = PeerContext(router_id=IPv4Address(1))
+    high = PeerContext(router_id=IPv4Address(2))
+    assert compare_routes(route(), route(), low, high) < 0
+
+
+def test_lower_peer_address_final_tiebreak():
+    low = PeerContext(peer_address=IPv4Address(1))
+    high = PeerContext(peer_address=IPv4Address(2))
+    assert compare_routes(route(), route(), low, high) < 0
+
+
+def test_best_path_empty():
+    assert best_path([]) is None
+
+
+def test_best_path_deterministic_on_ties():
+    entries = [
+        RibEntry(peer="b", route=route()),
+        RibEntry(peer="a", route=route()),
+    ]
+    assert best_path(entries).peer == "a"
+    assert best_path(list(reversed(entries))).peer == "a"
+
+
+local_prefs = st.one_of(st.none(), st.integers(0, 1000))
+prepend_counts = st.integers(0, 5)
+
+
+@given(
+    st.lists(
+        st.tuples(local_prefs, prepend_counts),
+        min_size=1, max_size=8,
+    )
+)
+def test_best_is_undominated(params):
+    """The selected route has max local-pref, and among those, the
+    shortest AS path."""
+    entries = [
+        RibEntry(peer=f"p{index}", route=route(local_pref=lp, prepends=pp))
+        for index, (lp, pp) in enumerate(params)
+    ]
+    best = best_path(entries)
+    assert best is not None
+    effective = [
+        (e.route.attributes.local_pref if e.route.attributes.local_pref
+         is not None else 100, e.route.as_path.length)
+        for e in entries
+    ]
+    best_pref = max(pref for pref, _ in effective)
+    best_entry_pref = (
+        best.route.attributes.local_pref
+        if best.route.attributes.local_pref is not None else 100
+    )
+    assert best_entry_pref == best_pref
+    shortest = min(
+        length for pref, length in effective if pref == best_pref
+    )
+    assert best.route.as_path.length == shortest
+
+
+@given(
+    st.lists(st.tuples(local_prefs, prepend_counts), min_size=1, max_size=8)
+)
+def test_selection_order_invariant(params):
+    entries = [
+        RibEntry(peer=f"p{index}", route=route(local_pref=lp, prepends=pp))
+        for index, (lp, pp) in enumerate(params)
+    ]
+    forward = best_path(entries)
+    backward = best_path(list(reversed(entries)))
+    assert forward.peer == backward.peer

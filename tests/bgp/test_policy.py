@@ -1,0 +1,178 @@
+"""Routing-policy engine tests."""
+
+import pytest
+
+from repro.bgp.attributes import Community, LargeCommunity, originate
+from repro.bgp.policy import (
+    Match,
+    PolicyAction,
+    PolicyResult,
+    PolicyRule,
+    PrefixMatch,
+    RouteMap,
+    chain,
+)
+from repro.netsim.addr import IPv4Address, IPv4Prefix
+
+NH = IPv4Address.parse("1.1.1.1")
+
+
+def route(prefix="10.0.0.0/8", origin_asn=100, communities=()):
+    return originate(IPv4Prefix.parse(prefix), origin_asn, NH,
+                     communities=communities)
+
+
+class TestPrefixMatch:
+    def test_exact(self):
+        match = PrefixMatch(IPv4Prefix.parse("10.0.0.0/8"))
+        assert match.matches(IPv4Prefix.parse("10.0.0.0/8"))
+        assert not match.matches(IPv4Prefix.parse("10.1.0.0/16"))
+
+    def test_orlonger(self):
+        match = PrefixMatch(IPv4Prefix.parse("10.0.0.0/8"), ge=8, le=32)
+        assert match.matches(IPv4Prefix.parse("10.1.0.0/16"))
+        assert match.matches(IPv4Prefix.parse("10.0.0.0/8"))
+        assert not match.matches(IPv4Prefix.parse("11.0.0.0/8"))
+
+    def test_range(self):
+        match = PrefixMatch(IPv4Prefix.parse("10.0.0.0/8"), ge=16, le=24)
+        assert match.matches(IPv4Prefix.parse("10.1.0.0/20"))
+        assert not match.matches(IPv4Prefix.parse("10.0.0.0/8"))
+        assert not match.matches(IPv4Prefix.parse("10.0.0.0/28"))
+
+
+class TestMatch:
+    def test_empty_matches_everything(self):
+        assert Match().matches(route())
+
+    def test_communities_all_required(self):
+        c1, c2 = Community(1, 1), Community(2, 2)
+        match = Match(communities=(c1, c2))
+        assert match.matches(route(communities=(c1, c2)))
+        assert not match.matches(route(communities=(c1,)))
+
+    def test_any_community_of(self):
+        c1, c2 = Community(1, 1), Community(2, 2)
+        match = Match(any_community_of=(c1, c2))
+        assert match.matches(route(communities=(c2,)))
+        assert not match.matches(route())
+
+    def test_as_path_contains(self):
+        match = Match(as_path_contains=100)
+        assert match.matches(route(origin_asn=100))
+        assert not match.matches(route(origin_asn=200))
+
+    def test_origin_and_first_as(self):
+        r = route(origin_asn=100).prepended(999)
+        assert Match(origin_as_in=frozenset({100})).matches(r)
+        assert Match(first_as_in=frozenset({999})).matches(r)
+        assert not Match(first_as_in=frozenset({100})).matches(r)
+
+    def test_max_path_length(self):
+        r = route().prepended(100, 5)
+        assert not Match(max_as_path_length=3).matches(r)
+        assert Match(max_as_path_length=10).matches(r)
+
+    def test_unknown_attributes_flag(self):
+        assert Match(has_unknown_attributes=False).matches(route())
+        assert not Match(has_unknown_attributes=True).matches(route())
+
+    def test_custom_predicate(self):
+        match = Match(custom=lambda r: r.origin_as == 100)
+        assert match.matches(route(origin_asn=100))
+        assert not match.matches(route(origin_asn=200))
+
+
+class TestAction:
+    def test_set_local_pref_and_med(self):
+        action = PolicyAction(set_local_pref=200, set_med=5)
+        out = action.apply(route())
+        assert out.attributes.local_pref == 200
+        assert out.attributes.med == 5
+
+    def test_prepend(self):
+        out = PolicyAction(prepend_asn=47065, prepend_count=2).apply(route())
+        assert out.as_path.asns[:2] == (47065, 47065)
+
+    def test_community_add_remove_clear(self):
+        c1, c2 = Community(1, 1), Community(2, 2)
+        base = route(communities=(c1,))
+        assert PolicyAction(add_communities=(c2,)).apply(base).communities == {
+            c1, c2
+        }
+        assert PolicyAction(remove_communities=(c1,)).apply(base).communities == (
+            frozenset()
+        )
+        assert PolicyAction(clear_communities=True).apply(base).communities == (
+            frozenset()
+        )
+
+    def test_large_communities(self):
+        lc = LargeCommunity(47065, 1, 2)
+        out = PolicyAction(add_large_communities=(lc,)).apply(route())
+        assert lc in out.attributes.large_communities
+
+    def test_custom_transform(self):
+        out = PolicyAction(custom=lambda r: r.prepended(1)).apply(route())
+        assert out.as_path.first_as == 1
+
+
+class TestRouteMap:
+    def test_first_matching_rule_terminates(self):
+        c = Community(1, 1)
+        route_map = RouteMap(rules=[
+            PolicyRule(match=Match(any_community_of=(c,)),
+                       result=PolicyResult.REJECT),
+            PolicyRule(match=Match(), result=PolicyResult.ACCEPT),
+        ])
+        assert route_map.apply(route(communities=(c,))) is None
+        assert route_map.apply(route()) is not None
+
+    def test_continue_chains_actions(self):
+        route_map = RouteMap(rules=[
+            PolicyRule(match=Match(),
+                       action=PolicyAction(set_local_pref=200),
+                       result=PolicyResult.CONTINUE),
+            PolicyRule(match=Match(),
+                       action=PolicyAction(prepend_asn=9),
+                       result=PolicyResult.ACCEPT),
+        ])
+        out = route_map.apply(route())
+        assert out.attributes.local_pref == 200
+        assert out.as_path.first_as == 9
+
+    def test_default_reject(self):
+        route_map = RouteMap(default=PolicyResult.REJECT)
+        assert route_map.apply(route()) is None
+
+    def test_default_continue_invalid(self):
+        with pytest.raises(ValueError):
+            RouteMap(default=PolicyResult.CONTINUE)
+
+    def test_helpers(self):
+        assert RouteMap.accept_all().apply(route()) is not None
+        assert RouteMap.reject_all().apply(route()) is None
+
+    def test_evaluation_counter(self):
+        route_map = RouteMap.accept_all()
+        route_map.apply(route())
+        route_map.apply(route())
+        assert route_map.evaluations == 2
+
+
+class TestChain:
+    def test_chain_stops_at_rejection(self):
+        accept = RouteMap.accept_all()
+        reject = RouteMap.reject_all()
+        assert chain(route(), accept, reject, accept) is None
+        assert chain(route(), accept, None, accept) is not None
+
+    def test_chain_applies_transforms_in_order(self):
+        first = RouteMap(rules=[PolicyRule(
+            action=PolicyAction(prepend_asn=1), result=PolicyResult.ACCEPT
+        )])
+        second = RouteMap(rules=[PolicyRule(
+            action=PolicyAction(prepend_asn=2), result=PolicyResult.ACCEPT
+        )])
+        out = chain(route(), first, second)
+        assert out.as_path.asns[:2] == (2, 1)

@@ -1,0 +1,126 @@
+"""RIB tests: Adj-RIB-In/Out and Loc-RIB selection bookkeeping."""
+
+from repro.bgp.attributes import local_route, originate
+from repro.bgp.decision import best_path
+from repro.bgp.rib import AdjRibIn, AdjRibOut, LocRib
+from repro.netsim.addr import IPv4Address, IPv4Prefix
+
+P1 = IPv4Prefix.parse("10.0.0.0/8")
+P2 = IPv4Prefix.parse("20.0.0.0/8")
+NH = IPv4Address.parse("1.1.1.1")
+
+
+class TestAdjRibIn:
+    def test_update_and_withdraw(self):
+        rib = AdjRibIn("peer")
+        route = originate(P1, 100, NH)
+        assert rib.update(route) is None
+        assert len(rib) == 1
+        assert rib.withdraw(P1) == route
+        assert len(rib) == 0
+        assert rib.withdraw(P1) is None
+
+    def test_implicit_replacement(self):
+        rib = AdjRibIn("peer")
+        rib.update(originate(P1, 100, NH))
+        replaced = rib.update(originate(P1, 200, NH))
+        assert replaced is not None
+        assert replaced.origin_as == 100
+        assert len(rib) == 1
+
+    def test_addpath_multiple_paths(self):
+        rib = AdjRibIn("peer")
+        rib.update(originate(P1, 100, NH).with_path_id(1))
+        rib.update(originate(P1, 200, NH).with_path_id(2))
+        assert len(rib) == 2
+        assert len(rib.routes_for(P1)) == 2
+        rib.withdraw(P1, 1)
+        assert len(rib.routes_for(P1)) == 1
+
+    def test_clear_returns_dropped(self):
+        rib = AdjRibIn("peer")
+        rib.update(originate(P1, 100, NH))
+        rib.update(originate(P2, 100, NH))
+        dropped = rib.clear()
+        assert len(dropped) == 2
+        assert len(rib) == 0
+
+
+class TestLocRib:
+    def make(self):
+        return LocRib(select=best_path)
+
+    def test_best_changes_on_first_route(self):
+        rib = self.make()
+        assert rib.replace("a", originate(P1, 100, NH)) is True
+        assert rib.best(P1).peer == "a"
+
+    def test_shorter_path_becomes_best(self):
+        rib = self.make()
+        rib.replace("a", originate(P1, 100, NH).prepended(999))
+        assert rib.best(P1).peer == "a"
+        changed = rib.replace("b", originate(P1, 100, NH))
+        assert changed is True
+        assert rib.best(P1).peer == "b"
+
+    def test_worse_path_does_not_change_best(self):
+        rib = self.make()
+        rib.replace("a", originate(P1, 100, NH))
+        changed = rib.replace("b", originate(P1, 100, NH).prepended(999, 3))
+        assert changed is False
+        assert rib.best(P1).peer == "a"
+
+    def test_remove_candidate_reselects(self):
+        rib = self.make()
+        rib.replace("a", originate(P1, 100, NH))
+        rib.replace("b", originate(P1, 100, NH).prepended(999))
+        assert rib.remove("a", P1) is True
+        assert rib.best(P1).peer == "b"
+
+    def test_remove_last_clears_best(self):
+        rib = self.make()
+        rib.replace("a", originate(P1, 100, NH))
+        assert rib.remove("a", P1) is True
+        assert rib.best(P1) is None
+        assert rib.prefix_count == 0
+
+    def test_remove_peer_bulk(self):
+        rib = self.make()
+        rib.replace("a", originate(P1, 100, NH))
+        rib.replace("a", originate(P2, 100, NH))
+        rib.replace("b", originate(P1, 100, NH).prepended(999))
+        changed = rib.remove_peer("a")
+        assert set(changed) == {P1, P2}
+        assert rib.best(P1).peer == "b"
+        assert rib.best(P2) is None
+
+    def test_candidates_listing(self):
+        rib = self.make()
+        rib.replace("a", originate(P1, 100, NH))
+        rib.replace("b", originate(P1, 200, NH))
+        assert len(rib.candidates(P1)) == 2
+        assert len(rib) == 2
+
+
+class TestAdjRibOut:
+    def test_dedup_identical_announcement(self):
+        rib = AdjRibOut("peer")
+        route = originate(P1, 100, NH)
+        assert rib.record_announce(route) is True
+        assert rib.record_announce(route) is False
+        assert rib.record_announce(route.prepended(999)) is True
+
+    def test_withdraw_returns_advertised(self):
+        rib = AdjRibOut("peer")
+        route = originate(P1, 100, NH)
+        rib.record_announce(route)
+        assert rib.record_withdraw(P1) == route
+        assert rib.record_withdraw(P1) is None
+
+    def test_path_id_keys_independent(self):
+        rib = AdjRibOut("peer")
+        rib.record_announce(originate(P1, 100, NH).with_path_id(1))
+        rib.record_announce(originate(P1, 200, NH).with_path_id(2))
+        assert len(rib) == 2
+        rib.record_withdraw(P1, 1)
+        assert len(rib) == 1

@@ -1,0 +1,165 @@
+"""Session FSM tests: establishment, ADD-PATH, timers, error handling."""
+
+import pytest
+
+from repro.bgp.errors import ErrorCode, NotificationError
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.attributes import PathAttributes, AsPath, Origin
+from repro.bgp.session import BgpSession, SessionConfig, SessionState
+from repro.bgp.transport import connect_pair
+from repro.netsim.addr import IPv4Address, IPv4Prefix
+from repro.sim import Scheduler
+
+
+def make_pair(scheduler, addpath_a=True, addpath_b=True, peer_asn_b=65001,
+              hold_a=90, hold_b=90):
+    updates_a, updates_b = [], []
+    closed = []
+    channel_a, channel_b = connect_pair(scheduler, rtt=0.02)
+    session_a = BgpSession(
+        scheduler,
+        SessionConfig(local_asn=65001,
+                      local_id=IPv4Address.parse("1.1.1.1"),
+                      peer_asn=65002, addpath=addpath_a, hold_time=hold_a),
+        channel_a,
+        on_update=lambda s, u: updates_a.append(u),
+        on_close=lambda s, reason: closed.append(("a", reason)),
+    )
+    session_b = BgpSession(
+        scheduler,
+        SessionConfig(local_asn=65002,
+                      local_id=IPv4Address.parse("2.2.2.2"),
+                      peer_asn=peer_asn_b, addpath=addpath_b,
+                      hold_time=hold_b),
+        channel_b,
+        on_update=lambda s, u: updates_b.append(u),
+        on_close=lambda s, reason: closed.append(("b", reason)),
+    )
+    session_a.start()
+    session_b.start()
+    return session_a, session_b, updates_a, updates_b, closed
+
+
+def sample_update():
+    return UpdateMessage(
+        attributes=PathAttributes(
+            origin=Origin.IGP,
+            as_path=AsPath.from_asns(65001),
+            next_hop=IPv4Address.parse("10.0.0.1"),
+        ),
+        nlri=((IPv4Prefix.parse("10.0.0.0/8"), None),),
+    )
+
+
+def test_establishment(scheduler):
+    a, b, *_ = make_pair(scheduler)
+    scheduler.run_for(1)
+    assert a.state == SessionState.ESTABLISHED
+    assert b.state == SessionState.ESTABLISHED
+    assert a.peer_asn == 65002
+
+
+def test_addpath_negotiated_when_both_offer(scheduler):
+    a, b, *_ = make_pair(scheduler)
+    scheduler.run_for(1)
+    assert a.addpath_active and b.addpath_active
+
+
+def test_addpath_not_negotiated_one_sided(scheduler):
+    a, b, *_ = make_pair(scheduler, addpath_b=False)
+    scheduler.run_for(1)
+    assert not a.addpath_active and not b.addpath_active
+
+
+def test_update_delivery(scheduler):
+    a, b, updates_a, updates_b, _ = make_pair(scheduler)
+    scheduler.run_for(1)
+    a.send_update(sample_update())
+    scheduler.run_for(1)
+    assert len(updates_b) == 1
+    assert updates_b[0].nlri[0][0] == IPv4Prefix.parse("10.0.0.0/8")
+
+
+def test_update_before_established_raises(scheduler):
+    a, _b, *_ = make_pair(scheduler)
+    with pytest.raises(NotificationError):
+        a.send_update(sample_update())
+
+
+def test_bad_peer_asn_sends_notification(scheduler):
+    a, b, _ua, _ub, closed = make_pair(scheduler, peer_asn_b=64999)
+    scheduler.run_for(1)
+    assert b.state == SessionState.CLOSED
+    assert a.state == SessionState.CLOSED
+    assert any("NOTIFICATION" in reason for _s, reason in closed)
+
+
+def test_hold_timer_negotiated_to_minimum(scheduler):
+    a, b, *_ = make_pair(scheduler, hold_a=90, hold_b=30)
+    scheduler.run_for(1)
+    assert a.negotiated_hold_time == 30
+    assert b.negotiated_hold_time == 30
+
+
+def test_keepalives_maintain_session(scheduler):
+    a, b, *_ = make_pair(scheduler, hold_a=9, hold_b=9)
+    scheduler.run_for(120)
+    assert a.state == SessionState.ESTABLISHED
+    assert b.state == SessionState.ESTABLISHED
+    assert a.stats.keepalives_sent > 10
+
+
+def test_hold_timer_expires_without_peer(scheduler):
+    channel_a, _channel_b = connect_pair(scheduler, rtt=0.02)
+    closed = []
+    session = BgpSession(
+        scheduler,
+        SessionConfig(local_asn=65001,
+                      local_id=IPv4Address.parse("1.1.1.1"),
+                      peer_asn=65002, hold_time=9),
+        channel_a,
+        on_update=lambda s, u: None,
+        on_close=lambda s, reason: closed.append(reason),
+    )
+    session.start()
+    scheduler.run_for(20)
+    assert session.state == SessionState.CLOSED
+    assert closed and "NOTIFICATION" in closed[0]
+
+
+def test_shutdown_notifies_peer(scheduler):
+    a, b, _ua, _ub, closed = make_pair(scheduler)
+    scheduler.run_for(1)
+    a.shutdown()
+    scheduler.run_for(1)
+    assert a.state == SessionState.CLOSED
+    assert b.state == SessionState.CLOSED
+    assert b.stats.notifications_received == 1
+
+
+def test_garbage_bytes_reset_session(scheduler):
+    """Malformed input triggers NOTIFICATION + teardown — the §7.3
+    failure mode (a compliant announcement resetting sessions)."""
+    a, b, *_ = make_pair(scheduler)
+    scheduler.run_for(1)
+    a.channel.send(b"\x00" * 19)
+    scheduler.run_for(1)
+    assert b.state == SessionState.CLOSED
+    assert b.stats.notifications_sent == 1
+
+
+def test_stats_counters(scheduler):
+    a, b, _ua, updates_b, _ = make_pair(scheduler)
+    scheduler.run_for(1)
+    a.send_update(sample_update())
+    scheduler.run_for(1)
+    assert a.stats.updates_sent == 1
+    assert b.stats.updates_received == 1
+
+
+def test_channel_close_tears_down(scheduler):
+    a, b, _ua, _ub, closed = make_pair(scheduler)
+    scheduler.run_for(1)
+    a.channel.close()
+    scheduler.run_for(1)
+    assert b.state == SessionState.CLOSED

@@ -1,0 +1,70 @@
+"""Shared fixtures: schedulers, a small platform, a platform + Internet."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.internet import InternetConfig, build_internet
+from repro.platform import PeeringPlatform, PopConfig
+from repro.platform.experiment import ExperimentProposal
+from repro.sim import Scheduler
+from repro.toolkit import ExperimentClient
+
+
+@pytest.fixture
+def scheduler() -> Scheduler:
+    return Scheduler()
+
+
+def small_pop_configs() -> list[PopConfig]:
+    """Two university + one IXP PoPs, all on the backbone."""
+    return [
+        PopConfig(name="uni-a", pop_id=0, kind="university", backbone=True),
+        PopConfig(name="uni-b", pop_id=1, kind="university", backbone=True),
+        PopConfig(name="ix-c", pop_id=2, kind="ixp", backbone=True),
+    ]
+
+
+@pytest.fixture
+def small_platform(scheduler: Scheduler) -> PeeringPlatform:
+    return PeeringPlatform(scheduler, pop_configs=small_pop_configs())
+
+
+@pytest.fixture
+def small_world(scheduler: Scheduler):
+    """Platform + synthetic Internet, converged."""
+    platform = PeeringPlatform(scheduler, pop_configs=small_pop_configs())
+    internet = build_internet(
+        scheduler,
+        platform,
+        InternetConfig(n_tier1=2, n_transit=3, n_stub=5,
+                       ixp_members_per_ixp=3, with_looking_glass=False),
+    )
+    scheduler.run_for(30)
+    return scheduler, platform, internet
+
+
+def approve_experiment(platform: PeeringPlatform, name: str = "exp",
+                       **kwargs) -> None:
+    proposal = ExperimentProposal(
+        name=name,
+        contact="tester@example.edu",
+        goals="reproduction test",
+        execution_plan="announce, observe, measure",
+        **kwargs,
+    )
+    decision, reason = platform.submit_proposal(proposal)
+    assert decision.value == "approve", reason
+
+
+@pytest.fixture
+def connected_client(small_world):
+    """An approved experiment connected at all three PoPs, with BGP up."""
+    scheduler, platform, internet = small_world
+    approve_experiment(platform, "exp")
+    client = ExperimentClient(scheduler, "exp", platform)
+    for pop in platform.pops:
+        client.openvpn_up(pop)
+        client.bird_start(pop)
+    scheduler.run_for(10)
+    return scheduler, platform, internet, client

@@ -1,0 +1,56 @@
+"""Determinism: identical builds produce identical worlds.
+
+The whole reproduction runs on one virtual clock with seeded randomness,
+so two builds of the same configuration must converge to exactly the
+same state — the property that makes results (and regressions)
+reproducible.
+"""
+
+from repro.internet import InternetConfig, build_internet
+from repro.platform import PeeringPlatform
+from repro.sim import Scheduler
+
+
+def build_world():
+    scheduler = Scheduler()
+    platform = PeeringPlatform(scheduler)
+    internet = build_internet(
+        scheduler, platform,
+        InternetConfig(n_tier1=2, n_transit=4, n_stub=8,
+                       with_looking_glass=False),
+    )
+    scheduler.run_for(40)
+    return scheduler, platform, internet
+
+
+def snapshot(platform):
+    state = {}
+    for name, pop in platform.pops.items():
+        state[name] = {
+            "neighbors": sorted(pop.node.upstreams),
+            "routes": sorted(
+                (str(route.prefix), str(route.next_hop),
+                 route.as_path.asns)
+                for route in pop.node.known_routes()
+            ),
+            "fib": pop.node.fib_entry_count(),
+            "remote": sorted(pop.node.remote_neighbors),
+        }
+    return state
+
+
+def test_identical_builds_converge_identically():
+    _s1, platform_a, _i1 = build_world()
+    _s2, platform_b, _i2 = build_world()
+    assert snapshot(platform_a) == snapshot(platform_b)
+
+
+def test_event_counts_are_reproducible():
+    scheduler_a, platform_a, _ = build_world()
+    scheduler_b, platform_b, _ = build_world()
+    counters_a = {n: dict(p.node.counters)
+                  for n, p in platform_a.pops.items()}
+    counters_b = {n: dict(p.node.counters)
+                  for n, p in platform_b.pops.items()}
+    assert counters_a == counters_b
+    assert scheduler_a.now == scheduler_b.now

@@ -1,0 +1,253 @@
+"""Tests for the paper's extension / future-work features:
+
+* ROUTE-REFRESH soft resets (toolkit "bird refresh"),
+* the 6to4 IPv6 capability (§4.7),
+* automated filter troubleshooting (Appendix A's future work),
+* container-hosted experiments (§7.4's preliminary extension).
+"""
+
+import pytest
+
+from repro.bgp.messages import RouteRefreshMessage, MessageDecoder
+from repro.internet.asnode import InternetAS, Relationship
+from repro.internet.overlay import AsOverlay
+from repro.internet.troubleshoot import Verdict, diagnose
+from repro.bgp.policy import Match, PolicyResult, PolicyRule, PrefixMatch, RouteMap
+from repro.netsim.addr import IPv4Prefix, IPv6Prefix
+from repro.security.capabilities import Capability
+from repro.sim import Scheduler
+from repro.toolkit import ExperimentClient
+from tests.conftest import approve_experiment
+
+
+# ---------------------------------------------------------------------------
+# ROUTE-REFRESH
+# ---------------------------------------------------------------------------
+
+
+def test_route_refresh_wire_roundtrip():
+    decoder = MessageDecoder()
+    decoder.feed(RouteRefreshMessage().encode())
+    message = decoder.next_message()
+    assert isinstance(message, RouteRefreshMessage)
+    assert message.afi == 1 and message.safi == 1
+
+
+def test_bird_refresh_resends_full_table(connected_client):
+    scheduler, platform, internet, client = connected_client
+    view = client.pops["uni-a"]
+    before = dict(view.routes)
+    assert before
+    view.routes.clear()  # simulate a local soft-reset losing the RIB
+    client.bird_refresh("uni-a")
+    scheduler.run_for(5)
+    assert view.routes  # the table came back
+    # The same stable path ids were reused.
+    assert set(view.routes) == set(before)
+    assert view.routes == before
+
+
+def test_bird_refresh_requires_session(connected_client):
+    scheduler, platform, internet, client = connected_client
+    client.bird_stop("uni-a")
+    scheduler.run_for(2)
+    with pytest.raises(RuntimeError):
+        client.bird_refresh("uni-a")
+
+
+# ---------------------------------------------------------------------------
+# 6to4 capability
+# ---------------------------------------------------------------------------
+
+
+def six_to_four_prefix(v4: IPv4Prefix) -> IPv6Prefix:
+    """RFC 3056: 2002:<v4 bits>::/(16 + v4 length)."""
+    value = (0x2002 << 112) | (v4.network.value << (128 - 48))
+    from repro.netsim.addr import IPv6Address
+
+    return IPv6Prefix(IPv6Address(value), 16 + v4.length)
+
+
+def test_6to4_gated_by_capability(small_world):
+    scheduler, platform, internet = small_world
+    approve_experiment(platform, "v6exp")
+    pop = platform.pops["uni-a"]
+    enforcer = pop.control_enforcer
+    profile = enforcer.profiles["v6exp"]
+    v4 = profile.prefixes[0]
+    mapped = six_to_four_prefix(v4)
+    from repro.bgp.attributes import local_route
+    from repro.netsim.addr import IPv4Address
+
+    route = local_route(mapped, next_hop=IPv4Address.parse("100.125.0.2"))
+    assert enforcer.filter_routes("v6exp", [route], "uni-a") == []
+    assert "6to4" in enforcer.violations[-1].reason
+    profile.grant(Capability.IPV6_6TO4)
+    assert enforcer.filter_routes("v6exp", [route], "uni-a")
+
+
+def test_6to4_must_embed_owned_v4(small_world):
+    scheduler, platform, internet = small_world
+    approve_experiment(platform, "v6exp")
+    enforcer = platform.pops["uni-a"].control_enforcer
+    enforcer.profiles["v6exp"].grant(Capability.IPV6_6TO4)
+    foreign = six_to_four_prefix(IPv4Prefix.parse("8.8.8.0/24"))
+    from repro.bgp.attributes import local_route
+    from repro.netsim.addr import IPv4Address
+
+    route = local_route(foreign, next_hop=IPv4Address.parse("100.125.0.2"))
+    assert enforcer.filter_routes("v6exp", [route], "uni-a") == []
+    assert "unallocated" in enforcer.violations[-1].reason
+
+
+def test_non_6to4_ipv6_rejected(small_world):
+    scheduler, platform, internet = small_world
+    approve_experiment(platform, "v6exp")
+    enforcer = platform.pops["uni-a"].control_enforcer
+    enforcer.profiles["v6exp"].grant(Capability.IPV6_6TO4)
+    from repro.bgp.attributes import local_route
+    from repro.netsim.addr import IPv4Address
+
+    route = local_route(IPv6Prefix.parse("2001:db8::/32"),
+                        next_hop=IPv4Address.parse("100.125.0.2"))
+    assert enforcer.filter_routes("v6exp", [route], "uni-a") == []
+
+
+# ---------------------------------------------------------------------------
+# Automated filter troubleshooting (Appendix A)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def filtered_chain(scheduler):
+    """origin -> middle -> edge, where `edge` misfilters the prefix on
+    import (an "improperly configured or out-of-date filter")."""
+    overlay = AsOverlay(scheduler)
+    prefix = IPv4Prefix.parse("32.0.0.0/16")
+
+    def make(asn, net):
+        node = InternetAS(scheduler, overlay, asn=asn, name=f"as{asn}",
+                          prefixes=(IPv4Prefix.parse(net),))
+        node.originate_all()
+        return node
+
+    origin = make(100, "32.0.0.0/16")
+    middle = make(200, "32.1.0.0/16")
+    edge = make(300, "32.2.0.0/16")
+    middle.peer_with(origin, Relationship.CUSTOMER)
+    middle.peer_with(edge, Relationship.CUSTOMER)
+    # Break edge's import from middle for the origin's prefix only.
+    broken = RouteMap(rules=[
+        PolicyRule(
+            match=Match(prefixes=(PrefixMatch(prefix, ge=16, le=32),)),
+            result=PolicyResult.REJECT,
+            name="stale-filter",
+        ),
+    ])
+    scheduler.run_for(2)
+    edge.speaker.neighbors["as200"].config.import_policy = broken
+    # Re-announce so the (now broken) filter applies.
+    origin.speaker.withdraw(prefix)
+    scheduler.run_for(2)
+    origin.speaker.originate(
+        __import__("repro.bgp.attributes", fromlist=["local_route"])
+        .local_route(prefix, next_hop=origin.speaker.config.router_id)
+    )
+    scheduler.run_for(5)
+    return scheduler, prefix, origin, middle, edge
+
+
+def test_snapshot_partitions_carriers(filtered_chain):
+    scheduler, prefix, origin, middle, edge = filtered_chain
+    report = diagnose([origin, middle, edge], prefix)
+    assert origin.asn in report.carrying
+    assert middle.asn in report.carrying
+    assert edge.asn in report.missing
+
+
+def test_looking_glass_level_is_ambiguous(filtered_chain):
+    """Reproduces the paper's complaint: glasses cannot disambiguate."""
+    scheduler, prefix, origin, middle, edge = filtered_chain
+    report = diagnose([origin, middle, edge], prefix, router_access=False)
+    assert len(report.suspects) == 1
+    suspect = report.suspects[0]
+    assert (suspect.from_asn, suspect.to_asn) == (200, 300)
+    assert suspect.verdict == Verdict.AMBIGUOUS
+
+
+def test_router_access_pinpoints_import_filter(filtered_chain):
+    scheduler, prefix, origin, middle, edge = filtered_chain
+    report = diagnose([origin, middle, edge], prefix, router_access=True)
+    assert report.suspects[0].verdict == Verdict.IMPORT_SIDE
+    assert "AS200 -> AS300" in report.summary()
+
+
+def test_router_access_pinpoints_export_filter(scheduler):
+    """The symmetric fault: the carrier's *export* filter is broken."""
+    overlay = AsOverlay(scheduler)
+    prefix = IPv4Prefix.parse("32.0.0.0/16")
+    from repro.bgp.attributes import local_route
+
+    origin = InternetAS(scheduler, overlay, asn=100, name="as100",
+                        prefixes=(prefix,))
+    edge = InternetAS(scheduler, overlay, asn=300, name="as300",
+                      prefixes=(IPv4Prefix.parse("32.2.0.0/16"),))
+    origin.peer_with(edge, Relationship.CUSTOMER)
+    scheduler.run_for(2)
+    broken = RouteMap(rules=[
+        PolicyRule(
+            match=Match(prefixes=(PrefixMatch(prefix, ge=16, le=32),)),
+            result=PolicyResult.REJECT,
+        ),
+    ])
+    origin.speaker.neighbors["as300"].config.export_policy = broken
+    origin.originate_all()
+    scheduler.run_for(5)
+    report = diagnose([origin, edge], prefix, router_access=True)
+    assert report.suspects
+    assert report.suspects[0].verdict == Verdict.EXPORT_SIDE
+
+
+def test_valley_free_gaps_are_not_faults(scheduler):
+    """Propagation absence predicted by policy is not flagged."""
+    overlay = AsOverlay(scheduler)
+    from repro.bgp.attributes import local_route
+
+    a = InternetAS(scheduler, overlay, asn=100, name="a",
+                   prefixes=(IPv4Prefix.parse("32.0.0.0/16"),))
+    b = InternetAS(scheduler, overlay, asn=200, name="b",
+                   prefixes=(IPv4Prefix.parse("32.1.0.0/16"),))
+    c = InternetAS(scheduler, overlay, asn=300, name="c",
+                   prefixes=(IPv4Prefix.parse("32.2.0.0/16"),))
+    a.originate_all(); b.originate_all(); c.originate_all()
+    # a–b peer, b–c peer: c must not get a's prefix, and that's fine.
+    a.peer_with(b, Relationship.PEER)
+    b.peer_with(c, Relationship.PEER)
+    scheduler.run_for(5)
+    report = diagnose([a, b, c], a.prefixes[0], router_access=True)
+    assert c.asn in report.missing
+    assert report.suspects == []
+
+
+# ---------------------------------------------------------------------------
+# Container-hosted experiments (§7.4)
+# ---------------------------------------------------------------------------
+
+
+def test_container_attachment_has_lower_latency(small_world):
+    scheduler, platform, internet = small_world
+    approve_experiment(platform, "tunneled")
+    approve_experiment(platform, "contained")
+    tunneled = ExperimentClient(scheduler, "tunneled", platform)
+    contained = ExperimentClient(scheduler, "contained", platform)
+    view_t = tunneled.openvpn_up("uni-a")
+    view_c = contained.openvpn_up("uni-a", container=True)
+    assert view_c.connection.tunnel.link.latency < (
+        view_t.connection.tunnel.link.latency / 10
+    )
+    # Both still pass through the same enforcement engines.
+    tunneled.bird_start("uni-a")
+    contained.bird_start("uni-a")
+    scheduler.run_for(5)
+    assert tunneled.bird_status()["uni-a"] == "established"
+    assert contained.bird_status()["uni-a"] == "established"

@@ -1,0 +1,148 @@
+"""Integration: failure injection across the platform.
+
+Covers: enforcement-engine overload (fail closed, platform-outage-over-
+Internet-harm semantics of §4.7), session resets with route cleanup,
+tunnel loss, and isolation between parallel experiments.
+"""
+
+import pytest
+
+from repro.bgp.attributes import local_route
+from repro.bgp.speaker import BgpSpeaker, NeighborConfig, SpeakerConfig
+from repro.netsim.addr import IPv4Prefix
+from repro.platform import PeeringPlatform, PopConfig
+from repro.platform.experiment import ExperimentProposal
+from repro.sim import Scheduler
+from repro.toolkit import ExperimentClient
+
+DEST = IPv4Prefix.parse("192.168.0.0/24")
+
+
+@pytest.fixture
+def world(scheduler):
+    platform = PeeringPlatform(
+        scheduler,
+        pop_configs=[PopConfig(name="p0", pop_id=0, kind="ixp")],
+    )
+    pop = platform.pops["p0"]
+    port = pop.provision_neighbor("n1", 65010, kind="peer")
+    neighbor = BgpSpeaker(
+        scheduler, SpeakerConfig(asn=65010, router_id=port.address)
+    )
+    neighbor.attach_neighbor(
+        NeighborConfig(name="to-pop", peer_asn=None,
+                       local_address=port.address),
+        port.channel,
+    )
+    neighbor.originate(local_route(DEST, next_hop=port.address))
+    return scheduler, platform, pop, neighbor
+
+
+def connect(scheduler, platform, name="x1"):
+    platform.submit_proposal(ExperimentProposal(
+        name=name, contact="t", goals="g", execution_plan="p",
+    ))
+    client = ExperimentClient(scheduler, name, platform)
+    client.openvpn_up("p0")
+    client.bird_start("p0")
+    scheduler.run_for(10)
+    return client
+
+
+def test_enforcer_overload_blocks_all_but_recovers(world):
+    scheduler, platform, pop, neighbor = world
+    client = connect(scheduler, platform)
+    prefix = client.profile.prefixes[0]
+    pop.control_enforcer.overloaded = True
+    client.announce(prefix)
+    scheduler.run_for(5)
+    assert neighbor.best_route(prefix) is None  # failed closed
+    pop.control_enforcer.overloaded = False
+    client.announce(prefix)
+    scheduler.run_for(5)
+    assert neighbor.best_route(prefix) is not None
+
+
+def test_upstream_session_loss_withdraws_from_experiments(world):
+    scheduler, platform, pop, neighbor = world
+    client = connect(scheduler, platform)
+    assert client.routes(DEST, "p0")
+    pop.node.upstreams["n1"].session.shutdown()
+    scheduler.run_for(5)
+    assert client.routes(DEST, "p0") == []
+    # Per-neighbor kernel table was emptied too.
+    table = pop.stack.tables[pop.node.upstreams["n1"].virtual.table_id]
+    assert len(table) == 0
+
+
+def test_experiment_crash_cleans_internet_state(world):
+    scheduler, platform, pop, neighbor = world
+    client = connect(scheduler, platform)
+    prefix = client.profile.prefixes[0]
+    client.announce(prefix)
+    scheduler.run_for(5)
+    assert neighbor.best_route(prefix) is not None
+    # Simulate a crash: the BGP session dies without a clean withdraw.
+    client.pops["p0"].session.channel.close()
+    scheduler.run_for(5)
+    assert neighbor.best_route(prefix) is None
+
+
+def test_parallel_experiments_isolated(world):
+    """One experiment's announcements and limits never affect another."""
+    scheduler, platform, pop, neighbor = world
+    a = connect(scheduler, platform, "a")
+    b = connect(scheduler, platform, "b")
+    prefix_a = a.profile.prefixes[0]
+    prefix_b = b.profile.prefixes[0]
+    assert prefix_a != prefix_b
+    # Exhaust a's update budget.
+    for _ in range(200):
+        a.announce(prefix_a)
+    scheduler.run_for(5)
+    # b is unaffected.
+    b.announce(prefix_b)
+    scheduler.run_for(5)
+    assert neighbor.best_route(prefix_b) is not None
+    # a cannot announce b's prefix (hijack across experiments).
+    a.announce(prefix_b)
+    scheduler.run_for(5)
+    exported = neighbor.best_route(prefix_b)
+    assert exported is not None
+    # The route for b's prefix is b's announcement (origin path via b),
+    # and a's hijack was logged as a violation.
+    assert any(
+        "not allocated" in violation.reason and violation.experiment == "a"
+        for violation in pop.control_enforcer.violations
+    )
+
+
+def test_tunnel_down_stops_data_plane(world):
+    scheduler, platform, pop, neighbor = world
+    client = connect(scheduler, platform)
+    routes = client.routes(DEST, "p0")
+    view = client.pops["p0"]
+    view.connection.tunnel.set_up(False)
+    from repro.netsim.frames import IpProto, IPv4Packet, UdpDatagram
+
+    before = pop.stack.counters["forwarded"]
+    packet = IPv4Packet(
+        src=client.profile.prefixes[0].address_at(1),
+        dst=DEST.address_at(1),
+        proto=IpProto.UDP, payload=UdpDatagram(1, 9),
+    )
+    client.send_via("p0", routes[0], packet)
+    scheduler.run_for(5)
+    assert pop.stack.counters["forwarded"] == before
+
+
+def test_malformed_wire_input_resets_only_that_session(world):
+    scheduler, platform, pop, neighbor = world
+    client = connect(scheduler, platform)
+    # Corrupt bytes on the experiment session.
+    client.pops["p0"].session.channel.send(b"\xff" * 16 + b"\x00\x05\x09")
+    scheduler.run_for(5)
+    attachment = pop.node.experiments.get("x1")
+    assert attachment is None  # experiment session torn down and cleaned
+    # The upstream neighbor session is unaffected.
+    assert pop.node.upstreams["n1"].session.established

@@ -1,0 +1,131 @@
+"""Integration: Figure 5 — vBGP across the backbone (§4.4).
+
+Two vBGP routers (E1, E2) on the backbone; E2 has neighbor N2. An
+experiment attached at E1 must (a) see N2's routes with an E1-local
+virtual next hop, and (b) be able to send traffic through E1 → backbone →
+E2 → N2 by addressing N2's virtual MAC — the hop-by-hop next-hop rewrite.
+"""
+
+import pytest
+
+from repro.bgp.attributes import local_route
+from repro.bgp.speaker import BgpSpeaker, NeighborConfig, SpeakerConfig
+from repro.netsim.addr import IPv4Prefix
+from repro.netsim.frames import IpProto, IPv4Packet, UdpDatagram
+from repro.platform import PeeringPlatform, PopConfig
+from repro.platform.experiment import ExperimentProposal
+from repro.sim import Scheduler
+from repro.toolkit import ExperimentClient
+from repro.vbgp.allocator import GLOBAL_POOL
+
+DEST = IPv4Prefix.parse("192.168.0.0/24")
+
+
+@pytest.fixture
+def figure5(scheduler):
+    platform = PeeringPlatform(
+        scheduler,
+        pop_configs=[
+            PopConfig(name="e1", pop_id=0, kind="university", backbone=True),
+            PopConfig(name="e2", pop_id=1, kind="university", backbone=True),
+        ],
+    )
+    e2 = platform.pops["e2"]
+    port = e2.provision_neighbor("n2", 65020, kind="transit")
+    n2 = BgpSpeaker(
+        scheduler, SpeakerConfig(asn=65020, router_id=port.address)
+    )
+    n2.attach_neighbor(
+        NeighborConfig(name="to-e2", peer_asn=None,
+                       local_address=port.address),
+        port.channel,
+    )
+    n2.originate(local_route(DEST, next_hop=port.address))
+    platform.submit_proposal(ExperimentProposal(
+        name="x1", contact="t", goals="fig5", execution_plan="backbone",
+    ))
+    client = ExperimentClient(scheduler, "x1", platform)
+    client.openvpn_up("e1")
+    client.bird_start("e1")
+    scheduler.run_for(10)
+    return scheduler, platform, n2, port, client
+
+
+def test_remote_route_visible_with_local_vip(figure5):
+    scheduler, platform, n2, port, client = figure5
+    routes = client.routes(DEST, "e1")
+    assert len(routes) == 1
+    assert str(routes[0].next_hop).startswith("127.65.")
+    assert routes[0].as_path.origin_as == 65020
+
+
+def test_backbone_carries_global_next_hops(figure5):
+    scheduler, platform, n2, port, client = figure5
+    e1 = platform.pops["e1"]
+    gid = port.global_id
+    remote = e1.node.remote_neighbors[gid]
+    # E1's table for the remote neighbor points at the 127.127/16 global IP
+    # over the backbone interface (the Figure 5 rewrite).
+    entry = e1.stack.tables[remote.virtual.table_id].lookup(
+        DEST.address_at(1)
+    )
+    assert entry is not None
+    assert GLOBAL_POOL.contains_address(entry.value.next_hop)
+    assert entry.value.out_iface == "bb0"
+
+
+def test_data_plane_through_backbone(figure5):
+    scheduler, platform, n2, port, client = figure5
+    e1, e2 = platform.pops["e1"], platform.pops["e2"]
+    route = client.routes(DEST, "e1")[0]
+    packet = IPv4Packet(
+        src=client.profile.prefixes[0].address_at(1),
+        dst=DEST.address_at(1),
+        proto=IpProto.UDP, payload=UdpDatagram(1, 9),
+    )
+    before = e2.stack.counters["forwarded"]
+    client.send_via("e1", route, packet)
+    scheduler.run_for(5)
+    # The frame crossed E1 (rule → table → ARP for the global IP, answered
+    # by E2's proxy-ARP with the neighbor's virtual MAC) and then E2
+    # demuxed it into N2's table and forwarded to N2.
+    assert e1.stack.counters["forwarded"] >= 1
+    assert e2.stack.counters["forwarded"] == before + 1
+    # E1 resolved the global IP to the deterministic virtual MAC.
+    gid = port.global_id
+    from repro.vbgp.allocator import global_neighbor_ip, global_neighbor_mac
+
+    cached = e1.stack.arp_table.get(global_neighbor_ip(gid))
+    assert cached is not None and cached[0] == global_neighbor_mac(gid)
+
+
+def test_withdraw_propagates_over_backbone(figure5):
+    scheduler, platform, n2, port, client = figure5
+    assert client.routes(DEST, "e1")
+    n2.withdraw(DEST)
+    scheduler.run_for(5)
+    assert client.routes(DEST, "e1") == []
+
+
+def test_experiment_announcement_crosses_backbone(figure5):
+    """Announcements can *target* neighbors at remote PoPs (§4.4) when a
+    whitelist community directs them there; a plain announcement stays at
+    the PoP where it was made."""
+    from repro.vbgp.communities import announce_to_neighbor
+
+    scheduler, platform, n2, port, client = figure5
+    prefix = client.profile.prefixes[0]
+    client.announce(prefix)  # plain: exits only at e1 (no neighbors there)
+    scheduler.run_for(10)
+    assert n2.best_route(prefix) is None
+    client.withdraw(prefix)
+    scheduler.run_for(5)
+    client.announce(
+        prefix, communities=(announce_to_neighbor(port.global_id),)
+    )
+    scheduler.run_for(10)
+    best = n2.best_route(prefix)
+    assert best is not None
+    assert 47065 in best.as_path.asns
+    # Control communities stripped before reaching the neighbor.
+    assert announce_to_neighbor(port.global_id) not in best.communities

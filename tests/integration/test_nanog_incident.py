@@ -1,0 +1,138 @@
+"""Integration: the §7.3 incident, re-enacted.
+
+"One recent experiment ... proceeded to make (standards-compliant)
+announcements on a fixed schedule. The announcements identified a
+vulnerability in an open-source routing daemon which caused BGP sessions
+to reset [CVE-2019-5892] ... the experiment was halted until affected
+systems could be patched."
+
+We model a *buggy* neighbor daemon that crashes its session on a
+perfectly valid unknown transitive attribute, show the blast radius is
+limited to that neighbor, and show the operator response: revoking the
+experiment's transitive-attribute capability halts the harmful
+announcements platform-wide without touching anything else.
+"""
+
+import pytest
+
+from repro.bgp.attributes import UnknownAttribute, local_route
+from repro.bgp.errors import ErrorCode, NotificationError, UpdateSubcode
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.speaker import BgpSpeaker, NeighborConfig, SpeakerConfig
+from repro.netsim.addr import IPv4Address
+from repro.platform import PeeringPlatform, PopConfig
+from repro.platform.experiment import (
+    CapabilityRequest,
+    ExperimentProposal,
+)
+from repro.security.capabilities import Capability
+from repro.sim import Scheduler
+from repro.toolkit import ExperimentClient
+
+ATTRIBUTE = UnknownAttribute(
+    type_code=99,
+    flags=UnknownAttribute.FLAG_OPTIONAL | UnknownAttribute.FLAG_TRANSITIVE,
+    value=b"\x20\x19",
+)
+
+
+class BuggyDaemon(BgpSpeaker):
+    """An open-source routing daemon with a CVE-2019-5892-style bug:
+    any unknown transitive attribute crashes the session."""
+
+    def _update_received(self, neighbor_name, update):
+        if update.attributes is not None and update.attributes.unknown:
+            neighbor = self.neighbors.get(neighbor_name)
+            if neighbor is not None and neighbor.session is not None:
+                neighbor.session.notify_and_close(NotificationError(
+                    ErrorCode.UPDATE_MESSAGE,
+                    UpdateSubcode.OPTIONAL_ATTRIBUTE_ERROR,
+                    message="daemon bug: cannot handle attribute 99",
+                ))
+            return
+        super()._update_received(neighbor_name, update)
+
+
+@pytest.fixture
+def incident_world(scheduler):
+    platform = PeeringPlatform(scheduler, pop_configs=[
+        PopConfig(name="p0", pop_id=0, kind="ixp"),
+    ])
+    pop = platform.pops["p0"]
+    neighbors = {}
+    for name, asn, daemon in (
+        ("healthy", 65010, BgpSpeaker),
+        ("buggy", 65020, BuggyDaemon),
+    ):
+        port = pop.provision_neighbor(name, asn, kind="peer")
+        speaker = daemon(
+            scheduler, SpeakerConfig(asn=asn, router_id=port.address)
+        )
+        speaker.attach_neighbor(
+            NeighborConfig(name="to-pop", peer_asn=None,
+                           local_address=port.address),
+            port.channel,
+        )
+        neighbors[name] = speaker
+    platform.submit_proposal(ExperimentProposal(
+        name="probe", contact="r@example.edu",
+        goals="measure transitive attribute propagation",
+        execution_plan="announce with attribute 99 on a fixed schedule",
+        capability_requests=[
+            CapabilityRequest(Capability.TRANSITIVE_ATTRIBUTES),
+        ],
+    ))
+    client = ExperimentClient(scheduler, "probe", platform)
+    client.openvpn_up("p0")
+    client.bird_start("p0")
+    scheduler.run_for(10)
+    return scheduler, platform, pop, neighbors, client
+
+
+def announce_with_attribute(client, scheduler):
+    view = client.pops["p0"]
+    route = local_route(
+        client.profile.prefixes[0],
+        next_hop=view.connection.tunnel.client_ip,
+    ).with_attributes(unknown=(ATTRIBUTE,))
+    view.session.send_update(UpdateMessage.announce([route]))
+    scheduler.run_for(10)
+
+
+def test_compliant_announcement_resets_buggy_daemon(incident_world):
+    scheduler, platform, pop, neighbors, client = incident_world
+    announce_with_attribute(client, scheduler)
+    # The buggy daemon reset its session (the incident) ...
+    assert not pop.node.upstreams["buggy"].session.established
+    # ... while compliant implementations carried the route fine.
+    healthy = neighbors["healthy"]
+    best = healthy.best_route(client.profile.prefixes[0])
+    assert best is not None
+    carried = best.attributes.unknown[0]
+    assert carried.type_code == ATTRIBUTE.type_code
+    assert carried.value == ATTRIBUTE.value
+    # RFC 4271 §5: the PARTIAL bit is set on propagated unknown
+    # transitive attributes.
+    assert carried.flags & UnknownAttribute.FLAG_PARTIAL
+    assert healthy.neighbors["to-pop"].established
+
+
+def test_halting_the_experiment(incident_world):
+    """The operator response: revoke the capability; further
+    announcements are sanitized platform-wide, sessions stay up."""
+    scheduler, platform, pop, neighbors, client = incident_world
+    pop.control_enforcer.profiles["probe"].revoke(
+        Capability.TRANSITIVE_ATTRIBUTES
+    )
+    announce_with_attribute(client, scheduler)
+    healthy = neighbors["healthy"]
+    best = healthy.best_route(client.profile.prefixes[0])
+    assert best is not None
+    assert best.attributes.unknown == ()  # attribute stripped
+    # Nothing harmful reached the buggy daemon; both sessions intact.
+    assert pop.node.upstreams["buggy"].session.established
+    assert pop.node.upstreams["healthy"].session.established
+    assert any(
+        "transitive attributes stripped" in violation.reason
+        for violation in pop.control_enforcer.violations
+    )

@@ -1,0 +1,159 @@
+"""Integration: the §4.7 security-policy test methodology.
+
+"For each capability, we deploy two (emulated) experiments in our
+controlled environment: one that does not require the capability and one
+that does. We execute both experiments twice, with and without the
+capability. We check that the routes exported and traffic exchanged in
+each execution match the configured policy."
+
+This test builds that exact matrix against an emulated PoP with a real
+neighbor speaker and asserts on what the neighbor actually receives.
+"""
+
+import pytest
+
+from repro.bgp.attributes import (
+    Community,
+    UnknownAttribute,
+    local_route,
+)
+from repro.bgp.speaker import BgpSpeaker, NeighborConfig, SpeakerConfig
+from repro.netsim.addr import IPv4Address, IPv4Prefix
+from repro.platform import PeeringPlatform, PopConfig
+from repro.platform.experiment import (
+    CapabilityRequest,
+    ExperimentProposal,
+)
+from repro.security.capabilities import Capability
+from repro.sim import Scheduler
+from repro.toolkit import ExperimentClient
+
+
+def build_environment(scheduler, capability=None, limit=None):
+    """One PoP + one observer neighbor + one experiment (optionally with
+    the capability under test)."""
+    platform = PeeringPlatform(
+        scheduler,
+        pop_configs=[PopConfig(name="testpop", pop_id=0, kind="ixp")],
+    )
+    pop = platform.pops["testpop"]
+    port = pop.provision_neighbor("observer", 65010, kind="peer")
+    observer = BgpSpeaker(
+        scheduler, SpeakerConfig(asn=65010, router_id=port.address)
+    )
+    received = []
+    observer.on_route_received.append(
+        lambda peer, route: received.append(route)
+    )
+    observer.attach_neighbor(
+        NeighborConfig(name="to-pop", peer_asn=None,
+                       local_address=port.address),
+        port.channel,
+    )
+    requests = []
+    if capability is not None:
+        requests.append(CapabilityRequest(capability, limit=limit))
+    platform.submit_proposal(ExperimentProposal(
+        name="probe", contact="t", goals="matrix",
+        execution_plan="capability test", capability_requests=requests,
+    ))
+    client = ExperimentClient(scheduler, "probe", platform)
+    client.openvpn_up("testpop")
+    client.bird_start("testpop")
+    scheduler.run_for(10)
+    return platform, pop, observer, received, client
+
+
+def run_matrix(scheduler_factory, capability, limit, announce_kwargs):
+    """Run with and without the capability; return received routes."""
+    results = {}
+    for granted in (False, True):
+        scheduler = scheduler_factory()
+        _platform, _pop, _observer, received, client = build_environment(
+            scheduler,
+            capability=capability if granted else None,
+            limit=limit,
+        )
+        client.announce(client.profile.prefixes[0], **announce_kwargs)
+        scheduler.run_for(10)
+        results[granted] = list(received)
+    return results
+
+
+def test_communities_stripped_without_capability():
+    """The paper's worked example: 'we deploy an experiment that makes
+    announcement with BGP communities with and without the corresponding
+    capability, and check that communities are stripped from exported
+    announcements when the capability is missing.'"""
+    marker = Community(3356, 70)
+    results = run_matrix(
+        Scheduler, Capability.BGP_COMMUNITIES, 4,
+        {"communities": (marker,)},
+    )
+    without, with_grant = results[False], results[True]
+    assert without and with_grant  # announcement exported in both runs
+    assert all(marker not in route.communities for route in without)
+    assert any(marker in route.communities for route in with_grant)
+
+
+def test_poisoning_blocked_without_capability():
+    results = run_matrix(
+        Scheduler, Capability.AS_PATH_POISONING, 2,
+        {"poison": (3356,)},
+    )
+    assert results[False] == []  # rejected outright
+    assert results[True]
+    assert any(3356 in route.as_path.asns for route in results[True])
+
+
+def test_basic_announcement_unaffected_by_grants():
+    """The experiment that does NOT use the capability behaves identically
+    with and without it."""
+    results = run_matrix(
+        Scheduler, Capability.BGP_COMMUNITIES, 4, {},
+    )
+    assert len(results[False]) == len(results[True]) == 1
+    assert results[False][0].prefix == results[True][0].prefix
+
+
+def test_spoofed_traffic_dropped_but_valid_passes(scheduler):
+    """Data-plane side of the matrix: anti-spoofing."""
+    platform, pop, observer, _received, client = build_environment(scheduler)
+    client.announce(client.profile.prefixes[0])
+    scheduler.run_for(5)
+    from repro.netsim.frames import IpProto, IPv4Packet, UdpDatagram
+
+    route = client.pops["testpop"].all_routes()
+    # The observer announces nothing, so fabricate a destination route by
+    # sending toward the observer's address space directly.
+    dst = IPv4Address.parse("100.64.0.10")
+    valid = IPv4Packet(src=client.profile.prefixes[0].address_at(1),
+                       dst=dst, proto=IpProto.UDP,
+                       payload=UdpDatagram(1, 9))
+    spoofed = IPv4Packet(src=IPv4Address.parse("8.8.8.8"),
+                         dst=dst, proto=IpProto.UDP,
+                         payload=UdpDatagram(1, 9))
+    view = client.pops["testpop"]
+    client.stack.send_ip_via(valid, view.connection.tunnel.server_ip,
+                             view.iface)
+    client.stack.send_ip_via(spoofed, view.connection.tunnel.server_ip,
+                             view.iface)
+    scheduler.run_for(5)
+    assert pop.data_enforcer.anti_spoof.drops == 1
+    assert pop.data_enforcer.frames_dropped == 1
+
+
+def test_update_rate_limit_enforced_end_to_end(scheduler):
+    platform, pop, observer, received, client = build_environment(scheduler)
+    prefix = client.profile.prefixes[0]
+    for _ in range(200):
+        client.announce(prefix)
+    scheduler.run_for(20)
+    accepted = pop.control_enforcer.state.count(
+        "probe", prefix, "testpop", scheduler.now
+    )
+    assert accepted == 144
+    assert any(
+        "rate limit" in violation.reason
+        for violation in pop.control_enforcer.violations
+    )

@@ -1,0 +1,177 @@
+"""Config database, rendering pipeline, and deployment tests."""
+
+from repro.mgmt import (
+    ConfigDatabase,
+    Deployer,
+    VersionStore,
+    render_bird_config,
+)
+from repro.router import parse_config
+
+
+class TestConfigDatabase:
+    def test_put_get_versions(self):
+        db = ConfigDatabase()
+        db.put("pops/ams", {"pop_id": 1})
+        db.put("pops/ams", {"pop_id": 1, "kind": "ixp"})
+        assert db.get("pops/ams").version == 2
+        assert db.get("pops/ams", version=1).data == {"pop_id": 1}
+        assert db.get("missing") is None
+
+    def test_update_merges(self):
+        db = ConfigDatabase()
+        db.put("x", {"a": 1})
+        db.update("x", b=2)
+        assert db.get("x").data == {"a": 1, "b": 2}
+
+    def test_rollback(self):
+        db = ConfigDatabase()
+        db.put("x", {"v": 1})
+        db.put("x", {"v": 2})
+        db.rollback("x")
+        assert db.get("x").data == {"v": 1}
+        assert db.get("x").version == 3  # rollback is a new version
+
+    def test_data_is_copied(self):
+        db = ConfigDatabase()
+        payload = {"list": [1]}
+        db.put("x", payload)
+        payload["list"].append(2)
+        assert db.get("x").data == {"list": [1]}
+
+    def test_list_paths_and_domain_helpers(self):
+        db = ConfigDatabase()
+        db.record_experiment("e1", prefixes=["184.164.224.0/24"],
+                             asn=47065, capabilities=["bgp-communities"])
+        db.record_pop("ams", pop_id=1, kind="ixp", neighbors=[])
+        assert db.list_paths("experiments/") == ["experiments/e1"]
+        assert db.list_paths() == ["experiments/e1", "pops/ams"]
+
+
+class TestRenderPipeline:
+    def test_database_to_router_config(self):
+        """db → template → config text → parsed RouterConfig, end to end."""
+        text = render_bird_config(
+            pop={"router_id": "100.64.0.1",
+                 "server_address": "100.64.0.1",
+                 "tunnel_server_ip": "100.125.0.1"},
+            platform_asn=47065,
+            neighbors=[
+                {"name": "up0", "address": "100.64.0.10", "asn": 3356,
+                 "transparent": False},
+                {"name": "rs0", "address": "100.64.0.11", "asn": 6777,
+                 "transparent": True},
+            ],
+            experiments=[
+                {"name": "e1", "tunnel_ip": "100.125.0.2", "asn": 47065},
+            ],
+            experiment_prefixes=["184.164.224.0/24"],
+        )
+        config = parse_config(text)
+        assert config.asn == 47065
+        assert set(config.bgp_protocols) == {"up0", "rs0", "exp_e1"}
+        assert config.bgp_protocols["rs0"].transparent
+        assert config.bgp_protocols["exp_e1"].addpath
+        assert config.bgp_protocols["exp_e1"].import_filter == (
+            "experiments_in"
+        )
+
+    def test_rendering_is_deterministic(self):
+        args = dict(
+            pop={"router_id": "1.1.1.1", "server_address": "1.1.1.1",
+                 "tunnel_server_ip": "2.2.2.2"},
+            platform_asn=47065, neighbors=[], experiments=[],
+            experiment_prefixes=[],
+        )
+        assert render_bird_config(**args) == render_bird_config(**args)
+
+
+class TestVersionStore:
+    def test_commit_and_head(self):
+        store = VersionStore()
+        assert store.commit("bird.conf", "v1") == 1
+        assert store.commit("bird.conf", "v2") == 2
+        assert store.head("bird.conf") == "v2"
+        assert store.revision("bird.conf", 1) == "v1"
+
+    def test_noop_commit(self):
+        store = VersionStore()
+        store.commit("f", "same")
+        assert store.commit("f", "same") == 1
+        assert store.commits == 1
+
+    def test_revert(self):
+        store = VersionStore()
+        store.commit("f", "v1")
+        store.commit("f", "v2")
+        assert store.revert("f") == "v1"
+        assert store.head("f") == "v1"
+
+
+class TestDeployer:
+    def make(self, servers=4):
+        store = VersionStore()
+        store.commit("bird.conf", "router id 1.1.1.1;")
+        deployer = Deployer(store, canary_fraction=0.25)
+        for index in range(servers):
+            deployer.add_server(f"server-{index}")
+        return store, deployer
+
+    def test_full_fleet_convergence(self):
+        store, deployer = self.make()
+        result = deployer.deploy(
+            "bird", image="bird:2", version=1,
+            config_paths={"/etc/bird.conf": "bird.conf"},
+        )
+        assert result.ok
+        assert len(result.servers_converged) == 4
+        assert result.configs_changed == 4
+        for server in deployer.servers.values():
+            assert server.containers["bird"].config["/etc/bird.conf"]
+
+    def test_canary_failure_stops_rollout(self):
+        store, deployer = self.make()
+        result = deployer.deploy(
+            "bird", image="bird:2", version=1,
+            config_paths={"/etc/bird.conf": "bird.conf"},
+            verify=lambda server: False,
+        )
+        assert not result.ok
+        assert result.canary_only
+        # Only the canary wave was touched.
+        assert len(result.servers_failed) == 1
+        untouched = [
+            server for server in deployer.servers.values()
+            if "bird" not in server.containers
+        ]
+        assert len(untouched) == 3
+
+    def test_config_reload_does_not_restart_container(self):
+        """§5: reloading configs must not reset sessions/containers."""
+        store, deployer = self.make(servers=1)
+        deployer.deploy("bird", image="bird:2", version=1,
+                        config_paths={"/etc/bird.conf": "bird.conf"})
+        container = deployer.servers["server-0"].containers["bird"]
+        restarts_before = container.restarts
+        store.commit("bird.conf", "router id 2.2.2.2;")
+        result = deployer.deploy("bird", image="bird:2", version=1,
+                                 config_paths={"/etc/bird.conf": "bird.conf"})
+        assert result.configs_changed == 1
+        assert container.restarts == restarts_before
+
+    def test_image_upgrade_restarts(self):
+        store, deployer = self.make(servers=1)
+        deployer.deploy("bird", image="bird:2", version=1,
+                        config_paths={})
+        container = deployer.servers["server-0"].containers["bird"]
+        deployer.deploy("bird", image="bird:2", version=2, config_paths={})
+        assert container.version == 2
+        assert container.restarts == 1
+
+    def test_periodic_runs_reset_os(self):
+        store, deployer = self.make(servers=1)
+        for _ in range(3):
+            deployer.deploy("bird", image="bird:2", version=1,
+                            config_paths={})
+        assert deployer.servers["server-0"].os_resets == 3
+        assert deployer.runs == 3

@@ -1,0 +1,92 @@
+"""Template-engine tests."""
+
+import pytest
+
+from repro.mgmt.templating import TemplateError, render
+
+
+def test_plain_text_passthrough():
+    assert render("hello world", {}) == "hello world"
+
+
+def test_substitution():
+    assert render("as {{ asn }};", {"asn": 47065}) == "as 47065;"
+
+
+def test_dotted_paths_dict_and_attr():
+    class Pop:
+        name = "amsterdam"
+
+    context = {"pop": Pop(), "config": {"mrai": 0}}
+    assert render("{{ pop.name }}/{{ config.mrai }}", context) == "amsterdam/0"
+
+
+def test_undefined_name_raises():
+    with pytest.raises(TemplateError):
+        render("{{ missing }}", {})
+
+
+def test_undefined_attribute_raises():
+    with pytest.raises(TemplateError):
+        render("{{ pop.nope }}", {"pop": {}})
+
+
+def test_for_loop():
+    out = render(
+        "{% for n in neighbors %}bgp {{ n }};\n{% endfor %}",
+        {"neighbors": ["a", "b"]},
+    )
+    assert out == "bgp a;\nbgp b;\n"
+
+
+def test_empty_loop_renders_nothing():
+    assert render("{% for x in items %}X{% endfor %}", {"items": []}) == ""
+
+
+def test_nested_loops():
+    out = render(
+        "{% for row in grid %}{% for cell in row %}{{ cell }}{% endfor %};"
+        "{% endfor %}",
+        {"grid": [[1, 2], [3]]},
+    )
+    assert out == "12;3;"
+
+
+def test_if_truthy_and_falsy():
+    template = "{% if flag %}on{% endif %}"
+    assert render(template, {"flag": True}) == "on"
+    assert render(template, {"flag": False}) == ""
+    assert render(template, {"flag": []}) == ""
+
+
+def test_if_undefined_is_false():
+    assert render("{% if nothing %}x{% endif %}", {}) == ""
+
+
+def test_if_inside_for():
+    out = render(
+        "{% for n in ns %}{% if n.ok %}{{ n.name }} {% endif %}{% endfor %}",
+        {"ns": [{"ok": True, "name": "a"}, {"ok": False, "name": "b"}]},
+    )
+    assert out == "a "
+
+
+def test_unclosed_for_raises():
+    with pytest.raises(TemplateError):
+        render("{% for x in items %}x", {"items": [1]})
+
+
+def test_stray_endfor_raises():
+    with pytest.raises(TemplateError):
+        render("{% endfor %}", {})
+
+
+def test_unknown_statement_raises():
+    with pytest.raises(TemplateError):
+        render("{% while x %}{% endwhile %}", {})
+
+
+def test_deterministic_output():
+    context = {"items": [3, 1, 2]}
+    template = "{% for i in items %}{{ i }},{% endfor %}"
+    assert render(template, context) == render(template, context)

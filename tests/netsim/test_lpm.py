@@ -1,0 +1,152 @@
+"""LPM trie tests, including a hypothesis model check against a naive
+reference implementation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.addr import IPv4Address, IPv4Prefix
+from repro.netsim.lpm import LpmTable
+
+
+def prefix(text: str) -> IPv4Prefix:
+    return IPv4Prefix.parse(text)
+
+
+def addr(text: str) -> IPv4Address:
+    return IPv4Address.parse(text)
+
+
+def test_empty_lookup():
+    assert LpmTable().lookup(addr("1.2.3.4")) is None
+
+
+def test_exact_insert_get_remove():
+    table = LpmTable()
+    table.insert(prefix("10.0.0.0/24"), "a")
+    assert table.get(prefix("10.0.0.0/24")) == "a"
+    assert table.get(prefix("10.0.0.0/25")) is None
+    assert table.remove(prefix("10.0.0.0/24"))
+    assert table.get(prefix("10.0.0.0/24")) is None
+    assert not table.remove(prefix("10.0.0.0/24"))
+
+
+def test_longest_match_wins():
+    table = LpmTable()
+    table.insert(prefix("10.0.0.0/8"), "big")
+    table.insert(prefix("10.1.0.0/16"), "mid")
+    table.insert(prefix("10.1.2.0/24"), "small")
+    assert table.lookup(addr("10.1.2.3")).value == "small"
+    assert table.lookup(addr("10.1.9.9")).value == "mid"
+    assert table.lookup(addr("10.9.9.9")).value == "big"
+    assert table.lookup(addr("11.0.0.1")) is None
+
+
+def test_default_route():
+    table = LpmTable()
+    table.insert(prefix("0.0.0.0/0"), "default")
+    table.insert(prefix("10.0.0.0/8"), "ten")
+    assert table.lookup(addr("200.0.0.1")).value == "default"
+    assert table.lookup(addr("10.0.0.1")).value == "ten"
+
+
+def test_replace_value():
+    table = LpmTable()
+    table.insert(prefix("10.0.0.0/24"), "old")
+    table.insert(prefix("10.0.0.0/24"), "new")
+    assert len(table) == 1
+    assert table.get(prefix("10.0.0.0/24")) == "new"
+
+
+def test_lookup_all_orders_short_to_long():
+    table = LpmTable()
+    table.insert(prefix("10.0.0.0/8"), 8)
+    table.insert(prefix("10.1.0.0/16"), 16)
+    table.insert(prefix("10.1.2.0/24"), 24)
+    values = [e.value for e in table.lookup_all(addr("10.1.2.3"))]
+    assert values == [8, 16, 24]
+
+
+def test_covered_by():
+    table = LpmTable()
+    table.insert(prefix("10.1.0.0/24"), 1)
+    table.insert(prefix("10.1.1.0/24"), 2)
+    table.insert(prefix("10.2.0.0/24"), 3)
+    covered = {str(e.prefix) for e in table.covered_by(prefix("10.1.0.0/16"))}
+    assert covered == {"10.1.0.0/24", "10.1.1.0/24"}
+
+
+def test_entries_iteration_and_len():
+    table = LpmTable()
+    for index in range(50):
+        table.insert(prefix(f"10.{index}.0.0/16"), index)
+    assert len(table) == 50
+    assert {e.value for e in table.entries()} == set(range(50))
+
+
+def test_remove_prunes_nodes():
+    table = LpmTable()
+    table.insert(prefix("10.0.0.0/30"), "x")
+    table.remove(prefix("10.0.0.0/30"))
+    # Root should have no children left after pruning.
+    assert table._root.children == [None, None]
+
+
+def test_clear():
+    table = LpmTable()
+    table.insert(prefix("10.0.0.0/8"), 1)
+    table.clear()
+    assert len(table) == 0
+    assert table.lookup(addr("10.0.0.1")) is None
+
+
+def test_contains():
+    table = LpmTable()
+    table.insert(prefix("10.0.0.0/8"), 1)
+    assert prefix("10.0.0.0/8") in table
+    assert prefix("10.0.0.0/9") not in table
+
+
+prefixes_st = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=0, max_value=32),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(prefixes_st, st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_matches_naive_reference(pairs, probe):
+    """The trie agrees with a brute-force longest-match search."""
+    table = LpmTable()
+    model: dict[IPv4Prefix, int] = {}
+    for index, (value, length) in enumerate(pairs):
+        p = IPv4Prefix.from_address(IPv4Address(value), length)
+        table.insert(p, index)
+        model[p] = index
+    address = IPv4Address(probe)
+    matches = [p for p in model if p.contains_address(address)]
+    expected = max(matches, key=lambda p: p.length, default=None)
+    got = table.lookup(address)
+    if expected is None:
+        assert got is None
+    else:
+        assert got is not None
+        assert got.prefix.length == expected.length
+        assert got.value == model[expected]
+
+
+@settings(max_examples=40, deadline=None)
+@given(prefixes_st)
+def test_insert_remove_restores_empty(pairs):
+    table = LpmTable()
+    inserted = []
+    for index, (value, length) in enumerate(pairs):
+        p = IPv4Prefix.from_address(IPv4Address(value), length)
+        table.insert(p, index)
+        inserted.append(p)
+    for p in set(inserted):
+        assert table.remove(p)
+    assert len(table) == 0
+    assert table._root.children == [None, None]

@@ -1,0 +1,84 @@
+"""Simplified-TCP tests: handshake, transfer, loss recovery, throughput."""
+
+import pytest
+
+from repro.netsim.addr import IPv4Address, MacAddress
+from repro.netsim.frames import IpProto
+from repro.netsim.link import Link, Port
+from repro.netsim.stack import NetworkStack
+from repro.netsim.tcp import TcpSegment, run_iperf
+from repro.sim import Scheduler
+
+
+def build_pair(scheduler, latency=0.005, bandwidth=None, loss=0.0):
+    a = NetworkStack(scheduler, "a")
+    b = NetworkStack(scheduler, "b")
+    pa, pb = Port(), Port()
+    Link(scheduler, pa, pb, latency=latency, bandwidth_bps=bandwidth,
+         loss=loss, queue_limit=64)
+    a.add_interface("eth0", MacAddress(0x02_01), pa)
+    b.add_interface("eth0", MacAddress(0x02_02), pb)
+    a.add_address("eth0", IPv4Address.parse("10.0.0.1"), 24)
+    b.add_address("eth0", IPv4Address.parse("10.0.0.2"), 24)
+    return a, b
+
+
+def test_segment_roundtrip():
+    segment = TcpSegment(src_port=4000, dst_port=5201, seq=1448, ack=0,
+                         flags=2, payload_len=1448)
+    decoded = TcpSegment.decode(segment.encode())
+    assert decoded == segment
+    assert len(segment.encode()) == 16 + 1448
+
+
+def test_segment_too_short():
+    with pytest.raises(ValueError):
+        TcpSegment.decode(b"\x00" * 4)
+
+
+def test_transfer_completes(scheduler):
+    a, b = build_pair(scheduler)
+    stats = run_iperf(scheduler, a, IPv4Address.parse("10.0.0.1"),
+                      b, IPv4Address.parse("10.0.0.2"),
+                      total_bytes=200_000)
+    assert stats.bytes_acked == 200_000
+    assert stats.throughput_bps > 0
+
+
+def test_throughput_bounded_by_bandwidth(scheduler):
+    a, b = build_pair(scheduler, latency=0.005, bandwidth=10_000_000.0)
+    stats = run_iperf(scheduler, a, IPv4Address.parse("10.0.0.1"),
+                      b, IPv4Address.parse("10.0.0.2"),
+                      total_bytes=500_000)
+    assert stats.bytes_acked == 500_000
+    assert stats.throughput_bps <= 10_000_000.0
+
+
+def test_higher_rtt_lowers_throughput():
+    results = []
+    for latency in (0.002, 0.040):
+        sched = Scheduler()
+        a, b = build_pair(sched, latency=latency)
+        stats = run_iperf(sched, a, IPv4Address.parse("10.0.0.1"),
+                          b, IPv4Address.parse("10.0.0.2"),
+                          total_bytes=300_000)
+        assert stats.bytes_acked == 300_000
+        results.append(stats.throughput_bps)
+    assert results[0] > results[1]
+
+
+def test_recovers_from_loss(scheduler):
+    a, b = build_pair(scheduler, loss=0.02)
+    stats = run_iperf(scheduler, a, IPv4Address.parse("10.0.0.1"),
+                      b, IPv4Address.parse("10.0.0.2"),
+                      total_bytes=150_000, timeout=300.0)
+    assert stats.bytes_acked == 150_000
+    assert stats.retransmits > 0
+
+
+def test_rtt_estimate_tracks_link(scheduler):
+    a, b = build_pair(scheduler, latency=0.025)
+    stats = run_iperf(scheduler, a, IPv4Address.parse("10.0.0.1"),
+                      b, IPv4Address.parse("10.0.0.2"),
+                      total_bytes=100_000)
+    assert 0.04 <= stats.rtt_estimate <= 0.2

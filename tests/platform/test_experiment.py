@@ -1,0 +1,63 @@
+"""Experiment workflow tests: review policy, credentials, lifecycle."""
+
+from repro.platform.experiment import (
+    CapabilityRequest,
+    Credentials,
+    ExperimentProposal,
+    ReviewDecision,
+    review_proposal,
+)
+from repro.security.capabilities import Capability
+
+
+def proposal(**kwargs):
+    defaults = dict(
+        name="x1", contact="a@b.edu", goals="study backup routes",
+        execution_plan="announce with selective export",
+    )
+    defaults.update(kwargs)
+    return ExperimentProposal(**defaults)
+
+
+def test_reasonable_proposal_approved():
+    decision, _reason = review_proposal(proposal())
+    assert decision == ReviewDecision.APPROVE
+
+
+def test_small_poisoning_request_approved():
+    decision, _ = review_proposal(proposal(capability_requests=[
+        CapabilityRequest(Capability.AS_PATH_POISONING, limit=2,
+                          justification="probe backup routes"),
+    ]))
+    assert decision == ReviewDecision.APPROVE
+
+
+def test_large_poisoning_request_rejected():
+    """§7.1: 'rejected as risky an experiment proposal that required a
+    large number of AS poisonings'."""
+    decision, reason = review_proposal(proposal(capability_requests=[
+        CapabilityRequest(Capability.AS_PATH_POISONING, limit=500),
+    ]))
+    assert decision == ReviewDecision.REJECT
+    assert "poisoning" in reason
+
+
+def test_unbounded_poisoning_rejected():
+    decision, _ = review_proposal(proposal(capability_requests=[
+        CapabilityRequest(Capability.AS_PATH_POISONING, limit=None),
+    ]))
+    assert decision == ReviewDecision.REJECT
+
+
+def test_empty_goals_rejected():
+    decision, reason = review_proposal(proposal(goals="  "))
+    assert decision == ReviewDecision.REJECT
+    assert "missing" in reason
+
+
+def test_credentials_deterministic_and_distinct():
+    a1 = Credentials.issue("x1")
+    a2 = Credentials.issue("x1")
+    b = Credentials.issue("x2")
+    assert a1.certificate == a2.certificate
+    assert a1.certificate != b.certificate

@@ -1,0 +1,137 @@
+"""Platform integration tests: construction, workflow, attachment."""
+
+import pytest
+
+from repro.platform import PeeringPlatform, default_pop_configs
+from repro.platform.experiment import (
+    CapabilityRequest,
+    ExperimentProposal,
+    ReviewDecision,
+)
+from repro.security.capabilities import Capability
+from repro.netsim.stack import NetworkStack
+from tests.conftest import approve_experiment
+
+
+def test_default_deployment_matches_paper(scheduler):
+    platform = PeeringPlatform(scheduler)
+    assert len(platform.pops) == 13
+    kinds = [pop.config.kind for pop in platform.pops.values()]
+    assert kinds.count("ixp") == 4
+    assert kinds.count("university") == 9
+    backbone_members = [
+        pop for pop in platform.pops.values() if pop.config.backbone
+    ]
+    assert len(backbone_members) >= 8
+    # Full mesh among backbone members.
+    for pop in backbone_members:
+        assert len(pop.node.backbone_peers) == len(backbone_members) - 1
+
+
+def test_cloudlab_sites_colocated_at_us_universities(scheduler):
+    platform = PeeringPlatform(scheduler)
+    for name in platform.cloudlab_sites:
+        pop = platform.pops[name]
+        assert pop.config.kind == "university"
+        assert pop.config.region == "us"
+
+
+def test_proposal_approval_allocates_and_registers(small_platform):
+    platform = small_platform
+    approve_experiment(platform, "x1")
+    experiment = platform.experiments["x1"]
+    assert len(experiment.profile.prefixes) == 1
+    for pop in platform.pops.values():
+        assert "x1" in pop.control_enforcer.profiles
+
+
+def test_risky_proposal_rejected_and_recorded(small_platform):
+    platform = small_platform
+    proposal = ExperimentProposal(
+        name="risky", contact="x", goals="g", execution_plan="p",
+        capability_requests=[
+            CapabilityRequest(Capability.AS_PATH_POISONING, limit=1000)
+        ],
+    )
+    decision, _ = platform.submit_proposal(proposal)
+    assert decision == ReviewDecision.REJECT
+    assert platform.rejected_proposals
+    assert "risky" not in platform.experiments
+
+
+def test_own_asn_allocation(small_platform):
+    platform = small_platform
+    proposal = ExperimentProposal(
+        name="own-asn", contact="x", goals="g", execution_plan="p",
+        needs_own_asn=True,
+    )
+    platform.submit_proposal(proposal)
+    lease = platform.resources.lease_for("own-asn")
+    assert lease.asn != platform.platform_asn
+
+
+def test_connect_experiment_opens_tunnel_and_session(small_platform,
+                                                     scheduler):
+    platform = small_platform
+    approve_experiment(platform, "x1")
+    stack = NetworkStack(scheduler, "client")
+    connection = platform.connect_experiment("x1", "uni-a", stack)
+    assert connection.tunnel.up
+    pop = platform.pops["uni-a"]
+    assert "x1" in pop.node.experiments
+    assert pop.tunnels.status()
+    # The data-plane enforcer knows the tunnel MAC.
+    assert connection.tunnel.client_mac in (
+        pop.data_enforcer.anti_spoof._allowed
+    )
+
+
+def test_connect_unknown_experiment_rejected(small_platform, scheduler):
+    with pytest.raises(KeyError):
+        small_platform.connect_experiment(
+            "ghost", "uni-a", NetworkStack(scheduler, "x")
+        )
+
+
+def test_disconnect_cleans_up(small_platform, scheduler):
+    platform = small_platform
+    approve_experiment(platform, "x1")
+    stack = NetworkStack(scheduler, "client")
+    platform.connect_experiment("x1", "uni-a", stack)
+    scheduler.run_for(2)
+    platform.disconnect_experiment("x1", "uni-a")
+    scheduler.run_for(2)
+    pop = platform.pops["uni-a"]
+    assert "x1" not in pop.node.experiments
+    assert "uni-a" not in platform.experiments["x1"].connected_pops
+
+
+def test_finish_experiment_releases_resources(small_platform):
+    platform = small_platform
+    approve_experiment(platform, "x1")
+    before = platform.resources.free_prefix_count
+    platform.finish_experiment("x1")
+    assert platform.resources.free_prefix_count == before + 1
+    for pop in platform.pops.values():
+        assert "x1" not in pop.control_enforcer.profiles
+
+
+def test_multiple_parallel_experiments(small_platform, scheduler):
+    """The paper hosts 3–6 concurrent experiments (§4.6)."""
+    platform = small_platform
+    for index in range(6):
+        approve_experiment(platform, f"x{index}")
+    assert platform.resources.active_leases == 6
+    stacks = [
+        NetworkStack(scheduler, f"client-{index}") for index in range(6)
+    ]
+    for index, stack in enumerate(stacks):
+        platform.connect_experiment(f"x{index}", "uni-a", stack)
+    pop = platform.pops["uni-a"]
+    assert len(pop.node.experiments) == 6
+    # Each experiment has a distinct tunnel address.
+    addresses = {
+        attachment.tunnel_ip.value
+        for attachment in pop.node.experiments.values()
+    }
+    assert len(addresses) == 6

@@ -1,0 +1,70 @@
+"""Resource pool tests (§4.2 numbered resources, §4.6 concurrency)."""
+
+import pytest
+
+from repro.netsim.addr import IPv4Prefix
+from repro.platform.resources import (
+    PLATFORM_ASN,
+    PLATFORM_ASNS,
+    ResourcePool,
+    default_prefix_allocations,
+)
+
+
+def test_paper_resource_counts():
+    """8 ASNs (three 4-byte), 40 /24s, one v6 /32 — §4.2."""
+    assert len(PLATFORM_ASNS) == 8
+    assert sum(1 for asn in PLATFORM_ASNS if asn >= (1 << 16)) == 3
+    prefixes = default_prefix_allocations()
+    assert len(prefixes) == 40
+    assert all(p.length == 24 for p in prefixes)
+    assert str(ResourcePool().ipv6) == "2804:269c::/32"
+
+
+def test_allocate_and_release():
+    pool = ResourcePool()
+    lease = pool.allocate("x1", prefix_count=2)
+    assert len(lease.prefixes) == 2
+    assert pool.free_prefix_count == 38
+    assert pool.lease_for("x1") is lease
+    pool.release("x1")
+    assert pool.free_prefix_count == 40
+    assert pool.lease_for("x1") is None
+
+
+def test_default_asn_is_platform():
+    pool = ResourcePool()
+    assert pool.allocate("x1").asn == PLATFORM_ASN
+
+
+def test_duplicate_lease_rejected():
+    pool = ResourcePool()
+    pool.allocate("x1")
+    with pytest.raises(ValueError):
+        pool.allocate("x1")
+
+
+def test_exhaustion():
+    """IPv4 scarcity limits concurrency (§4.6)."""
+    pool = ResourcePool()
+    for index in range(40):
+        pool.allocate(f"x{index}")
+    with pytest.raises(RuntimeError):
+        pool.allocate("one-too-many")
+
+
+def test_lease_expiry_reaped():
+    pool = ResourcePool()
+    pool.allocate("short", now=0.0, duration=100.0)
+    pool.allocate("long", now=0.0, duration=None)
+    assert pool.reap_expired(now=50.0) == []
+    assert pool.reap_expired(now=150.0) == ["short"]
+    assert pool.lease_for("long") is not None
+
+
+def test_owner_of_prefix():
+    pool = ResourcePool()
+    lease = pool.allocate("x1")
+    inner = IPv4Prefix.from_address(lease.prefixes[0].network, 24)
+    assert pool.owner_of(inner) == "x1"
+    assert pool.owner_of(IPv4Prefix.parse("9.9.9.0/24")) is None

@@ -1,0 +1,135 @@
+"""Tests for tunnels, the backbone fabric, and CloudLab federation."""
+
+import pytest
+
+from repro.netsim.addr import IPv4Address, MacAddress
+from repro.netsim.frames import IpProto, IPv4Packet, UdpDatagram
+from repro.netsim.link import Port, Switch
+from repro.netsim.stack import NetworkStack
+from repro.platform.backbone import Backbone, BackboneLinkSpec
+from repro.platform.federation import CloudLabSite
+from repro.platform.tunnels import TunnelManager
+from repro.platform.pop import PointOfPresence, PopConfig
+from repro.security.state import EnforcerState
+from repro.vbgp.allocator import GlobalNeighborRegistry
+from repro.sim import Scheduler
+
+
+@pytest.fixture
+def manager(scheduler):
+    switch = Switch(scheduler, name="exp")
+    server_mac = MacAddress.parse("02:cc:00:00:00:01")
+    return TunnelManager(
+        scheduler, pop_name="testpop", pop_id=3,
+        exp_switch=switch, server_mac=server_mac, latency=0.015,
+    )
+
+
+class TestTunnels:
+    def test_per_pop_subnet(self, manager):
+        assert str(manager.subnet) == "100.125.3.0/24"
+        assert str(manager.server_ip) == "100.125.3.1"
+
+    def test_open_assigns_sequential_clients(self, manager, scheduler):
+        a = manager.open("x1", NetworkStack(scheduler, "a"))
+        b = manager.open("x2", NetworkStack(scheduler, "b"))
+        assert str(a.client_ip) == "100.125.3.2"
+        assert str(b.client_ip) == "100.125.3.3"
+        assert a.client_mac != b.client_mac
+
+    def test_client_iface_configured(self, manager, scheduler):
+        stack = NetworkStack(scheduler, "client")
+        tunnel = manager.open("x1", stack)
+        iface = stack.interfaces[tunnel.client_iface]
+        assert iface.up
+        assert iface.mac == tunnel.client_mac
+        # Point-to-point static ARP to the server.
+        assert stack.arp_table[manager.server_ip][0] == manager.server_mac
+
+    def test_duplicate_open_rejected(self, manager, scheduler):
+        stack = NetworkStack(scheduler, "client")
+        manager.open("x1", stack)
+        with pytest.raises(ValueError):
+            manager.open("x1", stack)
+
+    def test_close_marks_down(self, manager, scheduler):
+        stack = NetworkStack(scheduler, "client")
+        tunnel = manager.open("x1", stack)
+        manager.close(tunnel.name)
+        assert not tunnel.up
+        assert not stack.interfaces[tunnel.client_iface].up
+        assert manager.status() == []
+
+    def test_status_reports_latency(self, manager, scheduler):
+        manager.open("x1", NetworkStack(scheduler, "client"),
+                     latency=0.042)
+        status = manager.status()[0]
+        assert status["latency"] == 0.042
+        assert status["pop"] == "testpop"
+
+
+class TestBackbone:
+    def test_attach_assigns_addresses(self, scheduler):
+        backbone = Backbone(scheduler)
+        a = NetworkStack(scheduler, "a")
+        b = NetworkStack(scheduler, "b")
+        addr_a = backbone.attach("pop-a", a)
+        addr_b = backbone.attach("pop-b", b)
+        assert addr_a != addr_b
+        assert backbone.address_of("pop-a") == addr_a
+        assert "bb0" in a.interfaces
+
+    def test_fabric_carries_traffic(self, scheduler):
+        backbone = Backbone(scheduler)
+        a = NetworkStack(scheduler, "a")
+        b = NetworkStack(scheduler, "b")
+        addr_a = backbone.attach("pop-a", a, BackboneLinkSpec(latency=0.01))
+        addr_b = backbone.attach("pop-b", b, BackboneLinkSpec(latency=0.01))
+        received = []
+        b.bind_udp(7, lambda packet, dgram: received.append(packet))
+        a.send_ip(IPv4Packet(src=addr_a, dst=addr_b, proto=IpProto.UDP,
+                             payload=UdpDatagram(1, 7)))
+        scheduler.run_for(1)
+        assert received
+
+    def test_latency_is_enforced(self, scheduler):
+        backbone = Backbone(scheduler)
+        a = NetworkStack(scheduler, "a")
+        b = NetworkStack(scheduler, "b")
+        addr_a = backbone.attach("pop-a", a, BackboneLinkSpec(latency=0.05))
+        addr_b = backbone.attach("pop-b", b, BackboneLinkSpec(latency=0.05))
+        arrival = []
+        b.bind_udp(7, lambda packet, dgram: arrival.append(scheduler.now))
+        a.send_ip(IPv4Packet(src=addr_a, dst=addr_b, proto=IpProto.UDP,
+                             payload=UdpDatagram(1, 7)))
+        scheduler.run_for(2)
+        # ARP round trip (≥ 2 × one-way each direction) + the data packet:
+        # at minimum 3 × (0.05 + 0.05).
+        assert arrival and arrival[0] >= 0.3
+
+
+class TestCloudLab:
+    def make_pop(self, scheduler):
+        return PointOfPresence(
+            scheduler, PopConfig(name="utah", pop_id=0),
+            platform_asn=47065, platform_asns=frozenset({47065}),
+            registry=GlobalNeighborRegistry(),
+            enforcer_state=EnforcerState(),
+        )
+
+    def test_allocation_and_capacity(self, scheduler):
+        site = CloudLabSite(scheduler, "cloudlab-utah",
+                            self.make_pop(scheduler), capacity=2)
+        first = site.allocate_node("x1")
+        second = site.allocate_node("x2")
+        assert first.name != second.name
+        with pytest.raises(RuntimeError):
+            site.allocate_node("x3")
+        site.release_node(first.name)
+        site.allocate_node("x3")
+
+    def test_nodes_have_stacks(self, scheduler):
+        site = CloudLabSite(scheduler, "cl", self.make_pop(scheduler))
+        node = site.allocate_node("x1")
+        assert isinstance(node.stack, NetworkStack)
+        assert node.site == "cl"

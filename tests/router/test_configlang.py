@@ -1,0 +1,207 @@
+"""Configuration-language parser tests."""
+
+import pytest
+
+from repro.bgp.attributes import Community, originate
+from repro.netsim.addr import IPv4Address, IPv4Prefix
+from repro.router import ConfigSyntaxError, parse_config
+
+NH = IPv4Address.parse("1.1.1.1")
+
+BASE = """
+router id 10.0.0.1;
+local as 47065;
+"""
+
+
+def test_minimal_config():
+    config = parse_config(BASE)
+    assert config.asn == 47065
+    assert str(config.router_id) == "10.0.0.1"
+    assert config.hold_time == 90
+
+
+def test_hold_time_and_mrai():
+    config = parse_config(BASE + "hold time 30;\nmrai 5.0;")
+    assert config.hold_time == 30
+    assert config.mrai == 5.0
+
+
+def test_missing_router_id():
+    with pytest.raises(ConfigSyntaxError):
+        parse_config("local as 1;")
+
+
+def test_missing_local_as():
+    with pytest.raises(ConfigSyntaxError):
+        parse_config("router id 1.1.1.1;")
+
+
+def test_comments_ignored():
+    config = parse_config(BASE + "# a comment\nhold time 10; # trailing\n")
+    assert config.hold_time == 10
+
+
+def test_kernel_protocol():
+    config = parse_config(BASE + """
+protocol kernel k1 { table 100; export all; }
+protocol kernel k2 { export none; }
+""")
+    assert config.kernel_protocols["k1"].table == 100
+    assert config.kernel_protocols["k2"].export is False
+
+
+def test_bgp_protocol_options():
+    config = parse_config(BASE + """
+protocol bgp up0 {
+    neighbor 10.0.0.2 as 3356;
+    local address 10.0.0.1;
+    add paths on;
+    transparent on;
+    ibgp off;
+    next hop self off;
+    import all;
+    export none;
+    max prefixes 1000;
+}
+""")
+    protocol = config.bgp_protocols["up0"]
+    assert protocol.peer_asn == 3356
+    assert protocol.addpath and protocol.transparent
+    assert not protocol.is_ibgp and not protocol.next_hop_self
+    assert protocol.reject_export and not protocol.reject_import
+    assert protocol.max_prefixes == 1000
+
+
+def test_bgp_neighbor_as_any():
+    config = parse_config(BASE + """
+protocol bgp rs { neighbor 10.0.0.9 as any; }
+""")
+    assert config.bgp_protocols["rs"].peer_asn is None
+
+
+def test_filter_prefix_accept_reject():
+    config = parse_config(BASE + """
+filter f {
+    if net ~ 184.164.224.0/23+ then accept;
+    reject;
+}
+""")
+    route_map = config.filters["f"].route_map
+    ok = originate(IPv4Prefix.parse("184.164.224.0/24"), 1, NH)
+    bad = originate(IPv4Prefix.parse("10.0.0.0/24"), 1, NH)
+    assert route_map.apply(ok) is not None
+    assert route_map.apply(bad) is None
+
+
+def test_filter_exact_prefix_match():
+    config = parse_config(BASE + """
+filter f { if net ~ 10.0.0.0/8- then accept; reject; }
+""")
+    route_map = config.filters["f"].route_map
+    assert route_map.apply(originate(IPv4Prefix.parse("10.0.0.0/8"), 1, NH))
+    assert route_map.apply(
+        originate(IPv4Prefix.parse("10.1.0.0/16"), 1, NH)
+    ) is None
+
+
+def test_filter_community_match_and_action():
+    config = parse_config(BASE + """
+filter f {
+    if community ~ (47065,100) then { prepend 47065 times 3; accept; }
+    reject;
+}
+""")
+    route_map = config.filters["f"].route_map
+    tagged = originate(IPv4Prefix.parse("10.0.0.0/8"), 1, NH,
+                       communities=(Community(47065, 100),))
+    out = route_map.apply(tagged)
+    assert out is not None
+    assert out.as_path.asns[:3] == (47065, 47065, 47065)
+    assert route_map.apply(originate(IPv4Prefix.parse("10.0.0.0/8"), 1,
+                                     NH)) is None
+
+
+def test_filter_aspath_conditions():
+    config = parse_config(BASE + """
+filter f {
+    if aspath ~ 666 then reject;
+    if aspath.len > 4 then reject;
+    accept;
+}
+""")
+    route_map = config.filters["f"].route_map
+    assert route_map.apply(
+        originate(IPv4Prefix.parse("10.0.0.0/8"), 666, NH)
+    ) is None
+    long_path = originate(IPv4Prefix.parse("10.0.0.0/8"), 1, NH).prepended(
+        2, 5
+    )
+    assert route_map.apply(long_path) is None
+    assert route_map.apply(
+        originate(IPv4Prefix.parse("10.0.0.0/8"), 1, NH)
+    ) is not None
+
+
+def test_filter_unknown_attrs_condition():
+    from repro.bgp.attributes import UnknownAttribute
+
+    config = parse_config(BASE + """
+filter f { if unknown_attrs then reject; accept; }
+""")
+    route_map = config.filters["f"].route_map
+    plain = originate(IPv4Prefix.parse("10.0.0.0/8"), 1, NH)
+    weird = plain.with_attributes(unknown=(
+        UnknownAttribute(type_code=99, flags=0xC0, value=b"x"),
+    ))
+    assert route_map.apply(plain) is not None
+    assert route_map.apply(weird) is None
+
+
+def test_filter_unconditional_actions():
+    config = parse_config(BASE + """
+filter f {
+    set localpref 200;
+    add community (47065,1);
+    accept;
+}
+""")
+    out = config.filters["f"].route_map.apply(
+        originate(IPv4Prefix.parse("10.0.0.0/8"), 1, NH)
+    )
+    assert out.attributes.local_pref == 200
+    assert Community(47065, 1) in out.communities
+
+
+def test_filter_default_reject_when_no_terminator():
+    config = parse_config(BASE + "filter f { set localpref 1; }")
+    # BIRD filters reject if they fall off the end.
+    out = config.filters["f"].route_map.apply(
+        originate(IPv4Prefix.parse("10.0.0.0/8"), 1, NH)
+    )
+    assert out is None
+
+
+def test_strip_statements():
+    config = parse_config(BASE + """
+filter f { strip communities; strip unknown; accept; }
+""")
+    tagged = originate(IPv4Prefix.parse("10.0.0.0/8"), 1, NH,
+                       communities=(Community(1, 1),))
+    out = config.filters["f"].route_map.apply(tagged)
+    assert out.communities == frozenset()
+
+
+def test_unknown_statement_rejected():
+    with pytest.raises(ConfigSyntaxError):
+        parse_config(BASE + "filter f { frobnicate; }")
+
+
+def test_unknown_protocol_kind_rejected():
+    with pytest.raises(ConfigSyntaxError):
+        parse_config(BASE + "protocol ospf x { }")
+
+
+def test_unterminated_filter_rejected():
+    with pytest.raises(ConfigSyntaxError):
+        parse_config(BASE + "filter f { accept;")

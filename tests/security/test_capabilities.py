@@ -1,0 +1,71 @@
+"""Capability framework and shared-state tests."""
+
+from repro.netsim.addr import IPv4Prefix
+from repro.security import (
+    Capability,
+    CapabilityGrant,
+    EnforcerState,
+    ExperimentProfile,
+)
+
+ALLOCATION = IPv4Prefix.parse("184.164.224.0/23")
+
+
+def profile(**kwargs):
+    defaults = dict(name="x1", asns=frozenset({47065}),
+                    prefixes=(ALLOCATION,))
+    defaults.update(kwargs)
+    return ExperimentProfile(**defaults)
+
+
+def test_default_has_no_capabilities():
+    p = profile()
+    for capability in Capability:
+        assert not p.has(capability)
+
+
+def test_grant_and_revoke():
+    p = profile()
+    p.grant(Capability.BGP_COMMUNITIES, limit=4)
+    assert p.has(Capability.BGP_COMMUNITIES)
+    p.revoke(Capability.BGP_COMMUNITIES)
+    assert not p.has(Capability.BGP_COMMUNITIES)
+
+
+def test_limit_checked():
+    p = profile()
+    p.grant(Capability.AS_PATH_POISONING, limit=2)
+    assert p.has(Capability.AS_PATH_POISONING, count=2)
+    assert not p.has(Capability.AS_PATH_POISONING, count=3)
+
+
+def test_unlimited_grant():
+    grant = CapabilityGrant(Capability.PREFIX_TRANSIT)
+    assert grant.within(10_000)
+
+
+def test_owns_prefix_covers_subprefixes():
+    p = profile()
+    assert p.owns_prefix(IPv4Prefix.parse("184.164.224.0/24"))
+    assert p.owns_prefix(ALLOCATION)
+    assert not p.owns_prefix(IPv4Prefix.parse("184.164.226.0/24"))
+    assert not p.owns_prefix(IPv4Prefix.parse("184.164.224.0/22"))
+
+
+def test_enforcer_state_window_prunes():
+    state = EnforcerState(per_pop_limit=5, window=100.0)
+    prefix = IPv4Prefix.parse("184.164.224.0/24")
+    for t in range(5):
+        assert state.record("x1", prefix, "pop", float(t))
+    assert not state.record("x1", prefix, "pop", 50.0)
+    # After the window slides, old events expire.
+    assert state.record("x1", prefix, "pop", 105.0)
+
+
+def test_enforcer_state_total_counter():
+    state = EnforcerState()
+    prefix = IPv4Prefix.parse("184.164.224.0/24")
+    state.record("x1", prefix, "a", 0.0)
+    state.record("x1", prefix, "b", 0.0)
+    assert state.total_updates == 2
+    assert state.platform_count("x1", prefix, 0.0) == 2

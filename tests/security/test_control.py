@@ -1,0 +1,231 @@
+"""Control-plane enforcement engine tests (§4.7 policies)."""
+
+import pytest
+
+from repro.bgp.attributes import (
+    Community,
+    LargeCommunity,
+    UnknownAttribute,
+    local_route,
+    originate,
+)
+from repro.netsim.addr import IPv4Address, IPv4Prefix
+from repro.security import (
+    Capability,
+    ControlPlaneEnforcer,
+    EnforcerOverloaded,
+    EnforcerState,
+    ExperimentProfile,
+)
+from repro.sim import Scheduler
+from repro.vbgp.communities import announce_to_neighbor
+
+ALLOCATION = IPv4Prefix.parse("184.164.224.0/23")
+NH = IPv4Address.parse("100.125.0.2")
+
+
+@pytest.fixture
+def enforcer(scheduler):
+    engine = ControlPlaneEnforcer(
+        scheduler, platform_asns=frozenset({47065, 61574})
+    )
+    engine.register_experiment(
+        ExperimentProfile(name="x1", asns=frozenset({47065}),
+                          prefixes=(ALLOCATION,))
+    )
+    return engine
+
+
+def announce(enforcer, route, experiment="x1", pop="pop0"):
+    return enforcer.filter_routes(experiment, [route], pop)
+
+
+def ok_route(prefix="184.164.224.0/24", **kwargs):
+    return local_route(IPv4Prefix.parse(prefix), next_hop=NH, **kwargs)
+
+
+def test_own_prefix_accepted(enforcer):
+    assert announce(enforcer, ok_route())
+
+
+def test_subprefix_of_allocation_accepted(enforcer):
+    assert announce(enforcer, ok_route("184.164.225.0/24"))
+
+
+def test_foreign_prefix_rejected(enforcer):
+    assert announce(enforcer, ok_route("8.8.8.0/24")) == []
+    assert enforcer.violations[-1].reason.startswith("prefix")
+
+
+def test_too_specific_rejected(enforcer):
+    assert announce(enforcer, ok_route("184.164.224.0/25")) == []
+    assert "more specific" in enforcer.violations[-1].reason
+
+
+def test_unknown_experiment_rejected(enforcer):
+    assert announce(enforcer, ok_route(), experiment="ghost") == []
+
+
+def test_unauthorized_origin_rejected(enforcer):
+    spoofed = originate(IPv4Prefix.parse("184.164.224.0/24"), 3356, NH)
+    assert announce(enforcer, spoofed) == []
+    assert "origin" in enforcer.violations[-1].reason
+
+
+def test_platform_asn_origin_accepted(enforcer):
+    route = originate(IPv4Prefix.parse("184.164.224.0/24"), 61574, NH)
+    assert announce(enforcer, route)
+
+
+def test_prepending_own_asn_is_basic(enforcer):
+    route = originate(IPv4Prefix.parse("184.164.224.0/24"), 47065, NH)
+    assert announce(enforcer, route.prepended(47065, 5))
+
+
+def test_poisoning_requires_capability(enforcer):
+    poisoned = originate(IPv4Prefix.parse("184.164.224.0/24"), 47065, NH)
+    poisoned = poisoned.with_attributes(
+        as_path=poisoned.as_path.prepended(3356).prepended(47065)
+    )
+    assert announce(enforcer, poisoned) == []
+    profile = enforcer.profiles["x1"]
+    profile.grant(Capability.AS_PATH_POISONING, limit=2)
+    assert announce(enforcer, poisoned)
+
+
+def test_poisoning_limit_enforced(enforcer):
+    profile = enforcer.profiles["x1"]
+    profile.grant(Capability.AS_PATH_POISONING, limit=1)
+    route = originate(IPv4Prefix.parse("184.164.224.0/24"), 47065, NH)
+    path = route.as_path
+    for asn in (111, 222):
+        path = path.prepended(asn)
+    route = route.with_attributes(as_path=path.prepended(47065))
+    assert announce(enforcer, route) == []
+
+
+def test_transit_capability_allows_foreign_path(enforcer):
+    profile = enforcer.profiles["x1"]
+    profile.grant(Capability.PREFIX_TRANSIT)
+    route = originate(IPv4Prefix.parse("184.164.224.0/24"), 47065, NH)
+    route = route.with_attributes(
+        as_path=route.as_path.prepended(3356).prepended(174)
+    )
+    assert announce(enforcer, route)
+
+
+def test_long_as_path_rejected(enforcer):
+    """The §7.1 'thousands of ASes' experiment class is rejected."""
+    route = ok_route().prepended(47065, 60)
+    assert announce(enforcer, route) == []
+
+
+def test_communities_stripped_without_capability(enforcer):
+    route = ok_route().add_communities(Community(3356, 70))
+    accepted = announce(enforcer, route)
+    assert accepted
+    assert accepted[0].communities == frozenset()
+    assert any("communities stripped" in v.reason
+               for v in enforcer.violations)
+
+
+def test_communities_pass_with_capability(enforcer):
+    enforcer.profiles["x1"].grant(Capability.BGP_COMMUNITIES, limit=4)
+    route = ok_route().add_communities(Community(3356, 70))
+    accepted = announce(enforcer, route)
+    assert accepted[0].communities == {Community(3356, 70)}
+
+
+def test_community_limit_strips_over_budget(enforcer):
+    enforcer.profiles["x1"].grant(Capability.BGP_COMMUNITIES, limit=1)
+    route = ok_route().add_communities(Community(1, 1), Community(2, 2))
+    accepted = announce(enforcer, route)
+    assert accepted[0].communities == frozenset()
+
+
+def test_control_communities_always_allowed(enforcer):
+    route = ok_route().add_communities(announce_to_neighbor(3))
+    accepted = announce(enforcer, route)
+    assert announce_to_neighbor(3) in accepted[0].communities
+
+
+def test_large_communities_gated(enforcer):
+    lc = LargeCommunity(47065, 1, 2)
+    route = ok_route().with_attributes(large_communities=frozenset({lc}))
+    accepted = announce(enforcer, route)
+    assert accepted[0].attributes.large_communities == frozenset()
+    enforcer.profiles["x1"].grant(Capability.LARGE_COMMUNITIES, limit=4)
+    accepted = announce(enforcer, route)
+    assert lc in accepted[0].attributes.large_communities
+
+
+def test_transitive_attributes_gated(enforcer):
+    unknown = UnknownAttribute(type_code=99, flags=0xC0, value=b"x")
+    route = ok_route().with_attributes(unknown=(unknown,))
+    accepted = announce(enforcer, route)
+    assert accepted[0].attributes.unknown == ()
+    enforcer.profiles["x1"].grant(Capability.TRANSITIVE_ATTRIBUTES)
+    accepted = announce(enforcer, route)
+    assert accepted[0].attributes.unknown == (unknown,)
+
+
+def test_rate_limit_144_per_day(scheduler, enforcer):
+    route = ok_route()
+    accepted_total = 0
+    for _ in range(150):
+        accepted_total += len(announce(enforcer, route))
+    assert accepted_total == 144
+    assert any("rate limit" in v.reason for v in enforcer.violations)
+
+
+def test_rate_limit_window_slides(scheduler, enforcer):
+    route = ok_route()
+    for _ in range(144):
+        announce(enforcer, route)
+    assert announce(enforcer, route) == []
+    scheduler.run_for(25 * 3600)  # a day later the budget refreshes
+    assert announce(enforcer, route)
+
+
+def test_rate_limit_is_per_pop(scheduler, enforcer):
+    route = ok_route()
+    for _ in range(144):
+        announce(enforcer, route, pop="pop0")
+    assert announce(enforcer, route, pop="pop0") == []
+    assert announce(enforcer, route, pop="pop1")  # separate budget
+
+
+def test_rate_limit_is_per_prefix(scheduler, enforcer):
+    for _ in range(144):
+        announce(enforcer, ok_route("184.164.224.0/24"))
+    assert announce(enforcer, ok_route("184.164.224.0/24")) == []
+    assert announce(enforcer, ok_route("184.164.225.0/24"))
+
+
+def test_withdraw_counts_against_budget(scheduler, enforcer):
+    prefix = IPv4Prefix.parse("184.164.224.0/24")
+    for _ in range(144):
+        assert enforcer.check_withdraw("x1", prefix, "pop0")
+    assert not enforcer.check_withdraw("x1", prefix, "pop0")
+
+
+def test_overload_raises(enforcer):
+    enforcer.overloaded = True
+    with pytest.raises(EnforcerOverloaded):
+        announce(enforcer, ok_route())
+
+
+def test_state_shared_across_engines(scheduler):
+    """Cross-PoP AS-wide policies: two engines, one state store (§3.3)."""
+    state = EnforcerState(per_pop_limit=10)
+    profile = ExperimentProfile(name="x1", asns=frozenset({47065}),
+                                prefixes=(ALLOCATION,))
+    engine_a = ControlPlaneEnforcer(scheduler, frozenset({47065}), state)
+    engine_b = ControlPlaneEnforcer(scheduler, frozenset({47065}), state)
+    engine_a.register_experiment(profile)
+    engine_b.register_experiment(profile)
+    for _ in range(10):
+        engine_a.filter_routes("x1", [ok_route()], "pop-a")
+    prefix = IPv4Prefix.parse("184.164.224.0/24")
+    assert state.platform_count("x1", prefix, scheduler.now) == 10
+    assert state.count("x1", prefix, "pop-b", scheduler.now) == 0

@@ -1,0 +1,114 @@
+"""Toolkit CLI tests (the Table 1 command surface)."""
+
+import pytest
+
+from repro.toolkit import ExperimentClient, ToolkitCli
+from tests.conftest import approve_experiment
+
+
+@pytest.fixture
+def cli(small_world):
+    scheduler, platform, internet = small_world
+    approve_experiment(platform, "exp")
+    client = ExperimentClient(scheduler, "exp", platform)
+    return scheduler, client, ToolkitCli(client)
+
+
+def test_usage_on_empty(cli):
+    _s, _c, toolkit = cli
+    assert "usage" in toolkit.run("")
+    assert "usage" in toolkit.run("peering")
+    assert "usage" in toolkit.run("peering bogus")
+
+
+def test_openvpn_lifecycle(cli):
+    scheduler, client, toolkit = cli
+    out = toolkit.run("peering openvpn up uni-a")
+    assert "tunnel to uni-a up" in out
+    status = toolkit.run("peering openvpn status")
+    assert "uni-a: up" in status
+    out = toolkit.run("peering openvpn down uni-a")
+    assert "down" in out
+
+
+def test_bgp_lifecycle(cli):
+    scheduler, client, toolkit = cli
+    toolkit.run("peering openvpn up uni-a")
+    out = toolkit.run("peering bgp start uni-a")
+    assert "bgp to uni-a" in out
+    scheduler.run_for(5)
+    assert "uni-a: established" in toolkit.run("peering bgp status")
+    assert "stopped" in toolkit.run("peering bgp stop uni-a")
+
+
+def test_bird_cli_passthrough(cli):
+    scheduler, client, toolkit = cli
+    toolkit.run("peering openvpn up uni-a")
+    toolkit.run("peering bgp start uni-a")
+    scheduler.run_for(5)
+    assert "127.65." in toolkit.run("peering bird uni-a show route")
+
+
+def test_prefix_announce_and_withdraw(cli):
+    scheduler, client, toolkit = cli
+    toolkit.run("peering openvpn up uni-a")
+    toolkit.run("peering bgp start uni-a")
+    scheduler.run_for(5)
+    prefix = str(client.profile.prefixes[0])
+    out = toolkit.run(f"peering prefix announce {prefix}")
+    assert "announced" in out
+    out = toolkit.run(f"peering prefix withdraw {prefix}")
+    assert "withdrew" in out
+
+
+def test_announce_options_parsed(cli):
+    scheduler, client, toolkit = cli
+    toolkit.run("peering openvpn up uni-a")
+    toolkit.run("peering openvpn up uni-b")
+    toolkit.run("peering bgp start uni-a")
+    toolkit.run("peering bgp start uni-b")
+    scheduler.run_for(5)
+    prefix = str(client.profile.prefixes[0])
+    out = toolkit.run(
+        f"peering prefix announce {prefix} -m uni-a -p 2 -c 47065:3"
+    )
+    assert "to uni-a" in out
+    assert "1 update(s)" in out
+    announced = client.pops["uni-a"].announced[client.profile.prefixes[0]]
+    assert announced.as_path.length == 2
+    assert prefix not in [str(p) for p in client.pops["uni-b"].announced]
+
+
+def test_poison_option(cli):
+    scheduler, client, toolkit = cli
+    toolkit.run("peering openvpn up uni-a")
+    toolkit.run("peering bgp start uni-a")
+    scheduler.run_for(5)
+    prefix = str(client.profile.prefixes[0])
+    toolkit.run(f"peering prefix announce {prefix} -m uni-a -x 3356")
+    announced = client.pops["uni-a"].announced[client.profile.prefixes[0]]
+    assert 3356 in announced.as_path.asns
+
+
+def test_missing_prefix_error(cli):
+    _s, _c, toolkit = cli
+    assert "error" in toolkit.run("peering prefix announce -m uni-a")
+
+
+def test_errors_are_reported_not_raised(cli):
+    _s, _c, toolkit = cli
+    out = toolkit.run("peering openvpn up nonexistent-pop")
+    assert out.startswith("error:")
+
+
+def test_bgp_refresh_command(cli):
+    scheduler, client, toolkit = cli
+    toolkit.run("peering openvpn up uni-a")
+    toolkit.run("peering bgp start uni-a")
+    scheduler.run_for(5)
+    view = client.pops["uni-a"]
+    view.routes.clear()
+    out = toolkit.run("peering bgp refresh uni-a")
+    assert "route refresh sent" in out
+    scheduler.run_for(5)
+    assert view.routes

@@ -1,0 +1,81 @@
+"""Virtual neighbor allocation tests."""
+
+import pytest
+
+from repro.netsim.addr import MacAddress
+from repro.vbgp.allocator import (
+    GlobalNeighborRegistry,
+    LocalVipAllocator,
+    global_neighbor_ip,
+    global_neighbor_mac,
+    neighbor_mac_global_id,
+    neighbor_table_id,
+)
+
+
+def test_global_ip_deterministic():
+    assert str(global_neighbor_ip(1)) == "127.127.0.1"
+    assert str(global_neighbor_ip(257)) == "127.127.1.1"
+
+
+def test_global_ip_range_checked():
+    with pytest.raises(ValueError):
+        global_neighbor_ip(0)
+    with pytest.raises(ValueError):
+        global_neighbor_ip(1 << 17)
+
+
+def test_global_mac_roundtrip():
+    for gid in (1, 255, 4096, 65535):
+        mac = global_neighbor_mac(gid)
+        assert neighbor_mac_global_id(mac) == gid
+        assert mac.is_locally_administered
+        assert not mac.is_multicast
+
+
+def test_foreign_mac_not_decoded():
+    assert neighbor_mac_global_id(MacAddress.parse("aa:bb:cc:00:00:01")) is None
+    assert neighbor_mac_global_id(MacAddress.parse("02:7f:00:00:00:00")) is None
+
+
+def test_table_id_layout():
+    assert neighbor_table_id(1) == 1001
+    assert neighbor_table_id(500) == 1500
+
+
+def test_registry_assigns_sequential_ids():
+    registry = GlobalNeighborRegistry()
+    first = registry.register("amsterdam", "as3356")
+    second = registry.register("amsterdam", "as174")
+    assert (first, second) == (1, 2)
+    assert registry.register("amsterdam", "as3356") == first  # idempotent
+    assert registry.lookup("amsterdam", "as174") == second
+    assert registry.owner(second) == ("amsterdam", "as174")
+    assert len(registry) == 2
+
+
+def test_registry_distinct_per_pop():
+    registry = GlobalNeighborRegistry()
+    a = registry.register("amsterdam", "as3356")
+    b = registry.register("seattle", "as3356")
+    assert a != b
+
+
+def test_local_vip_allocator_stable():
+    allocator = LocalVipAllocator()
+    vip5 = allocator.vip_for(5)
+    vip9 = allocator.vip_for(9)
+    assert allocator.vip_for(5) == vip5
+    assert vip5 != vip9
+    assert allocator.gid_for(vip9) == 9
+    assert allocator.gid_for(vip5) == 5
+
+
+def test_virtual_neighbor_bundle():
+    allocator = LocalVipAllocator()
+    virtual = allocator.virtual_neighbor(7)
+    assert virtual.global_id == 7
+    assert str(virtual.global_ip) == "127.127.0.7"
+    assert virtual.table_id == 1007
+    assert neighbor_mac_global_id(virtual.mac) == 7
+    assert str(virtual.local_ip).startswith("127.65.")

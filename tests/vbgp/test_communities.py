@@ -1,0 +1,84 @@
+"""vBGP control-community scheme tests."""
+
+from repro.bgp.attributes import Community, originate
+from repro.netsim.addr import IPv4Address, IPv4Prefix
+from repro.vbgp.communities import (
+    announce_to_neighbor,
+    announce_to_pop,
+    block_neighbor,
+    is_control,
+    select_targets,
+    strip_control,
+)
+
+NEIGHBORS = [(1, 0), (2, 0), (3, 1), (4, 1)]  # (gid, pop)
+
+
+def route(*communities):
+    return originate(IPv4Prefix.parse("184.164.224.0/24"), 47065,
+                     IPv4Address(1), communities=communities)
+
+
+def test_default_announces_everywhere():
+    assert select_targets(route(), NEIGHBORS) == {1, 2, 3, 4}
+
+
+def test_whitelist_single_neighbor():
+    selected = select_targets(route(announce_to_neighbor(2)), NEIGHBORS)
+    assert selected == {2}
+
+
+def test_whitelist_union():
+    selected = select_targets(
+        route(announce_to_neighbor(1), announce_to_neighbor(3)), NEIGHBORS
+    )
+    assert selected == {1, 3}
+
+
+def test_blacklist_excludes():
+    selected = select_targets(route(block_neighbor(4)), NEIGHBORS)
+    assert selected == {1, 2, 3}
+
+
+def test_blacklist_beats_whitelist():
+    selected = select_targets(
+        route(announce_to_neighbor(2), block_neighbor(2)), NEIGHBORS
+    )
+    assert selected == set()
+
+
+def test_pop_whitelist():
+    selected = select_targets(route(announce_to_pop(1)), NEIGHBORS)
+    assert selected == {3, 4}
+
+
+def test_pop_whitelist_with_blacklist():
+    selected = select_targets(
+        route(announce_to_pop(1), block_neighbor(3)), NEIGHBORS
+    )
+    assert selected == {4}
+
+
+def test_is_control():
+    assert is_control(announce_to_neighbor(1))
+    assert is_control(block_neighbor(1))
+    assert not is_control(Community(3356, 100))
+
+
+def test_strip_control_keeps_free_form():
+    free = Community(3356, 100)
+    stripped = strip_control(route(announce_to_neighbor(1), free))
+    assert stripped.communities == {free}
+
+
+def test_strip_control_noop_without_control():
+    original = route(Community(3356, 100))
+    assert strip_control(original) is original
+
+
+def test_per_neighbor_and_pop_combined():
+    """A whitelist can mix a specific neighbor with a whole PoP."""
+    selected = select_targets(
+        route(announce_to_neighbor(1), announce_to_pop(1)), NEIGHBORS
+    )
+    assert selected == {1, 3, 4}
