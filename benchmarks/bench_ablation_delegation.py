@@ -16,7 +16,6 @@ neighbors and E experiments:
   §2.2.2).
 """
 
-import pytest
 
 from benchmarks.reporting import format_table, report
 

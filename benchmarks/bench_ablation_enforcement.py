@@ -9,7 +9,6 @@ router's policy engine vs the full decoupled pipeline — quantifying what
 the flexibility costs.
 """
 
-import pytest
 
 from benchmarks.reporting import format_table, report
 from repro.bgp.attributes import Community, local_route

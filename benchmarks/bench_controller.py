@@ -19,7 +19,6 @@ from repro.netsim.addr import IPv4Address, IPv4Prefix, MacAddress
 from repro.netsim.link import Port
 from repro.netsim.netlink import Netlink, RouteRecord, RuleRecord
 from repro.netsim.stack import NetworkStack
-from repro.sim import Scheduler
 
 NEIGHBOR_COUNT = 200
 ROUTES_PER_NEIGHBOR = 25
@@ -70,7 +69,7 @@ def test_minimal_diff_vs_full_rebuild(server, benchmark):
         return controller.apply(base_intent)
 
     first = benchmark.pedantic(full_apply, rounds=1, iterations=1)
-    requests_after_build = netlink.requests
+    _requests_after_build = netlink.requests
 
     # Incremental: one new experiment tunnel address.
     incremental = build_intent(extra_experiments=1)

@@ -57,7 +57,6 @@ def test_fig6a_memory_series(route_sets, benchmark):
     per_route = (
         reports[ROUTE_COUNTS[-1]].control_plane / ROUTE_COUNTS[-1]
     )
-    biggest = reports[ROUTE_COUNTS[-1]]
     amsix_gb = per_route * 2_700_000 / (1 << 30)
     hundred_m_gb = per_route * 100_000_000 / (1 << 30)
     text = (

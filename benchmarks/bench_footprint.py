@@ -6,7 +6,6 @@ of bilateral and route-server peers, and the PeeringDB classification of
 peers (33% transit, 28% cable/DSL/ISP, 23% content, …).
 """
 
-import pytest
 
 from benchmarks.reporting import format_table, report
 from repro.internet import (

@@ -8,10 +8,8 @@ experiment, and checks that the experiment sees every member's routes
 with per-member next hops — then measures the whole thing.
 """
 
-import pytest
 
 from benchmarks.reporting import format_table, report
-from repro.bgp.attributes import local_route
 from repro.internet.asnode import InternetAS
 from repro.internet.ixp import attach_route_server, join_ixp_via_route_server
 from repro.internet.overlay import AsOverlay

@@ -7,7 +7,6 @@ engine's filtering throughput (it must keep up with experiment
 announcement load with margin, since it fails closed under overload).
 """
 
-import pytest
 
 from benchmarks.reporting import format_table, report
 from repro.bgp.attributes import (

@@ -11,7 +11,6 @@ import pytest
 from benchmarks.reporting import format_table, report
 from repro.bgp.attributes import Community
 from repro.bgp.speaker import BgpSpeaker, NeighborConfig, SpeakerConfig
-from repro.internet import InternetConfig, build_internet
 from repro.platform import PeeringPlatform, PopConfig
 from repro.platform.experiment import (
     CapabilityRequest,

@@ -11,7 +11,7 @@ hop — i.e. which destination MAC — to use. No vBGP cooperation needed.
 Run:  python examples/espresso_controller.py
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.bgp.attributes import Route

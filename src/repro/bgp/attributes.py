@@ -13,7 +13,8 @@ import enum
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional
 
-from repro.netsim.addr import IPv4Address, IPv4Prefix, Prefix
+from repro import perf
+from repro.netsim.addr import IPv4Address, Prefix
 
 
 class Origin(enum.IntEnum):
@@ -58,6 +59,16 @@ class AsPath:
     """An AS_PATH: a tuple of segments, empty for locally originated routes."""
 
     segments: tuple[AsPathSegment, ...] = ()
+
+    def __hash__(self) -> int:
+        # Cached: paths are hashed repeatedly (interning pools, attribute
+        # hashing, wire-encode memo keys) and segment-tuple hashing chains
+        # through every ASN.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(self.segments)
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     @classmethod
     def from_asns(cls, *asns: int) -> "AsPath":
@@ -214,6 +225,112 @@ class PathAttributes:
     large_communities: frozenset[LargeCommunity] = frozenset()
     unknown: tuple[UnknownAttribute, ...] = ()
 
+    def __hash__(self) -> int:
+        # Cached: attribute sets key every hot dict on the control plane
+        # (interning pool, wire-encode memo, fan-out batching groups), and
+        # the generated hash walks the whole attribute tree each call.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((
+                self.origin,
+                self.as_path,
+                self.next_hop,
+                self.med,
+                self.local_pref,
+                self.atomic_aggregate,
+                self.aggregator,
+                self.communities,
+                self.large_communities,
+                self.unknown,
+            ))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def with_next_hop(self, next_hop: Optional[IPv4Address]) -> (
+        "PathAttributes"
+    ):
+        """Fast next-hop rewrite (the datapath's dominant manipulation).
+
+        Builds the copy via the constructor directly: ``dataclasses.replace``
+        pays for generic kwargs plumbing on every fan-out.  With the
+        ``encode_memo`` flag on, the rewrite is memoized per target next
+        hop on this (frozen) instance, so repeated fan-outs of a pooled
+        attribute set return the same object — which in turn keeps its
+        cached hash and wire encoding warm downstream.
+        """
+        if perf.FLAGS.encode_memo:
+            memo = self.__dict__.get("_nh_memo")
+            if memo is None:
+                memo = {}
+                object.__setattr__(self, "_nh_memo", memo)
+            rewritten = memo.get(next_hop)
+            if rewritten is None:
+                rewritten = self._with_next_hop_uncached(next_hop)
+                memo[next_hop] = rewritten
+            return rewritten
+        return self._with_next_hop_uncached(next_hop)
+
+    def _with_next_hop_uncached(
+        self, next_hop: Optional[IPv4Address]
+    ) -> "PathAttributes":
+        return PathAttributes(
+            origin=self.origin,
+            as_path=self.as_path,
+            next_hop=next_hop,
+            med=self.med,
+            local_pref=self.local_pref,
+            atomic_aggregate=self.atomic_aggregate,
+            aggregator=self.aggregator,
+            communities=self.communities,
+            large_communities=self.large_communities,
+            unknown=self.unknown,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Interning pools (Fig. 6a memory): RIBs holding equal attribute sets share
+# one object.  Real-world churn concentrates on a small set of attribute
+# combinations (Krenc et al.), so the pools stay small and hot.
+# ---------------------------------------------------------------------------
+
+_INTERN_POOL_CAP = 16384
+_AS_PATH_POOL: dict[AsPath, AsPath] = {}
+_ATTRIBUTES_POOL: dict[PathAttributes, PathAttributes] = {}
+
+
+def intern_as_path(path: AsPath) -> AsPath:
+    """Return the canonical shared instance for an equal ``AsPath``."""
+    if not perf.FLAGS.intern_attrs:
+        return path
+    pooled = _AS_PATH_POOL.get(path)
+    if pooled is not None:
+        return pooled
+    if len(_AS_PATH_POOL) >= _INTERN_POOL_CAP:
+        _AS_PATH_POOL.clear()
+    _AS_PATH_POOL[path] = path
+    return path
+
+
+def intern_attributes(attributes: PathAttributes) -> PathAttributes:
+    """Return the canonical shared instance for equal ``PathAttributes``."""
+    if not perf.FLAGS.intern_attrs:
+        return attributes
+    pooled = _ATTRIBUTES_POOL.get(attributes)
+    if pooled is not None:
+        return pooled
+    if len(_ATTRIBUTES_POOL) >= _INTERN_POOL_CAP:
+        _ATTRIBUTES_POOL.clear()
+    _ATTRIBUTES_POOL[attributes] = attributes
+    return attributes
+
+
+def _clear_intern_pools() -> None:
+    _AS_PATH_POOL.clear()
+    _ATTRIBUTES_POOL.clear()
+
+
+perf.register_cache_clearer(_clear_intern_pools)
+
 
 @dataclass(frozen=True)
 class Route:
@@ -252,7 +369,7 @@ class Route:
         return replace(self, attributes=replace(self.attributes, **changes))
 
     def with_next_hop(self, next_hop: IPv4Address) -> "Route":
-        return self.with_attributes(next_hop=next_hop)
+        return replace(self, attributes=self.attributes.with_next_hop(next_hop))
 
     def with_path_id(self, path_id: Optional[int]) -> "Route":
         return replace(self, path_id=path_id)

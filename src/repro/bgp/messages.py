@@ -23,6 +23,7 @@ import struct
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence, Union
 
+from repro import perf
 from repro.bgp.attributes import (
     AsPath,
     AsPathSegment,
@@ -33,6 +34,8 @@ from repro.bgp.attributes import (
     Route,
     SegmentType,
     UnknownAttribute,
+    intern_as_path,
+    intern_attributes,
 )
 from repro.bgp.errors import (
     ErrorCode,
@@ -321,7 +324,13 @@ class UpdateMessage:
         if not routes:
             raise ValueError("announce() needs at least one route")
         attrs = routes[0].attributes
-        if any(route.attributes != attrs for route in routes[1:]):
+        # Identity-first comparison: batched fan-out passes routes that
+        # share one interned attribute object, so the common case skips the
+        # field-by-field dataclass equality entirely.
+        if any(
+            route.attributes is not attrs and route.attributes != attrs
+            for route in routes
+        ):
             raise ValueError("routes in one UPDATE must share attributes")
         return cls(
             attributes=attrs,
@@ -346,21 +355,43 @@ class UpdateMessage:
     # -- wire format ------------------------------------------------------
 
     def encode(self, addpath: bool = False) -> bytes:
+        """Encode to wire bytes; memoized per (message, addpath).
+
+        ADD-PATH fan-out sends the *same* UpdateMessage object to E
+        experiment sessions; with the ``encode_memo`` perf flag on, the
+        bytes are computed once.  The cache lives in the (frozen)
+        instance's ``__dict__`` so it is garbage-collected with the
+        message and invisible to ``__eq__``/``__hash__``.
+        """
+        memo = perf.FLAGS.encode_memo
+        if memo:
+            cached = self.__dict__.get("_wire_cache")
+            if cached is not None:
+                wire = cached.get(addpath)
+                if wire is not None:
+                    return wire
         withdrawn = b"".join(
-            _encode_nlri(prefix, path_id, addpath)
-            for prefix, path_id in self.withdrawn
+            [_encode_nlri(prefix, path_id, addpath)
+             for prefix, path_id in self.withdrawn]
         )
         attrs = _encode_attributes(self.attributes) if self.nlri else b""
         nlri = b"".join(
-            _encode_nlri(prefix, path_id, addpath)
-            for prefix, path_id in self.nlri
+            [_encode_nlri(prefix, path_id, addpath)
+             for prefix, path_id in self.nlri]
         )
         body = (
             struct.pack("!H", len(withdrawn)) + withdrawn
             + struct.pack("!H", len(attrs)) + attrs
             + nlri
         )
-        return _wrap(MSG_UPDATE, body)
+        wire = _wrap(MSG_UPDATE, body)
+        if memo:
+            cached = self.__dict__.get("_wire_cache")
+            if cached is None:
+                cached = {}
+                object.__setattr__(self, "_wire_cache", cached)
+            cached[addpath] = wire
+        return wire
 
     @classmethod
     def decode(cls, body: bytes, addpath: bool = False) -> "UpdateMessage":
@@ -411,15 +442,31 @@ BgpMessage = Union[OpenMessage, UpdateMessage, NotificationMessage,
 # ---------------------------------------------------------------------------
 
 
+# Memoized per-prefix NLRI bytes (length octet + truncated network).  The
+# same prefixes churn over and over (flaps), and the encoding is pure.
+_NLRI_WIRE_CACHE: dict[IPv4Prefix, bytes] = {}
+_NLRI_WIRE_CACHE_CAP = 65536
+
+
+def _prefix_wire(prefix: IPv4Prefix) -> bytes:
+    nbytes = (prefix.length + 7) // 8
+    return bytes([prefix.length]) + prefix.network.packed()[:nbytes]
+
+
 def _encode_nlri(prefix: IPv4Prefix, path_id: Optional[int],
                  addpath: bool) -> bytes:
-    data = b""
+    if perf.FLAGS.encode_memo:
+        wire = _NLRI_WIRE_CACHE.get(prefix)
+        if wire is None:
+            if len(_NLRI_WIRE_CACHE) >= _NLRI_WIRE_CACHE_CAP:
+                _NLRI_WIRE_CACHE.clear()
+            wire = _prefix_wire(prefix)
+            _NLRI_WIRE_CACHE[prefix] = wire
+    else:
+        wire = _prefix_wire(prefix)
     if addpath:
-        data += struct.pack("!I", path_id or 0)
-    nbytes = (prefix.length + 7) // 8
-    data += bytes([prefix.length])
-    data += prefix.network.packed()[:nbytes]
-    return data
+        return struct.pack("!I", path_id or 0) + wire
+    return wire
 
 
 def _decode_nlri_block(
@@ -476,38 +523,74 @@ def _attr(flags: int, type_code: int, value: bytes) -> bytes:
     return struct.pack("!BBB", flags, type_code, len(value)) + value
 
 
+# Memoized attribute encodings, keyed by the (frozen, hashable)
+# PathAttributes value.  Real churn concentrates on a small set of
+# attribute combinations, so the hit rate is high; fan-out to E
+# experiments encodes each set once instead of E times.
+_ATTR_WIRE_CACHE: dict[PathAttributes, bytes] = {}
+_ATTR_WIRE_CACHE_CAP = 8192
+
+
+def _clear_wire_caches() -> None:
+    _ATTR_WIRE_CACHE.clear()
+    _NLRI_WIRE_CACHE.clear()
+
+
+perf.register_cache_clearer(_clear_wire_caches)
+
+
 def _encode_attributes(attributes: Optional[PathAttributes]) -> bytes:
     if attributes is None:
         return b""
-    out = b""
-    out += _attr(FLAG_TRANSITIVE, ATTR_ORIGIN, bytes([attributes.origin]))
-    path_value = b""
+    if perf.FLAGS.encode_memo:
+        cached = _ATTR_WIRE_CACHE.get(attributes)
+        if cached is not None:
+            return cached
+    out = _encode_attributes_uncached(attributes)
+    if perf.FLAGS.encode_memo:
+        if len(_ATTR_WIRE_CACHE) >= _ATTR_WIRE_CACHE_CAP:
+            _ATTR_WIRE_CACHE.clear()
+        _ATTR_WIRE_CACHE[attributes] = out
+    return out
+
+
+def attributes_wire_length(attributes: Optional[PathAttributes]) -> int:
+    """Encoded length of an attribute set (used for UPDATE packing)."""
+    return len(_encode_attributes(attributes))
+
+
+def _encode_attributes_uncached(attributes: PathAttributes) -> bytes:
+    parts = [_attr(FLAG_TRANSITIVE, ATTR_ORIGIN, bytes([attributes.origin]))]
+    path_parts = []
     for segment in attributes.as_path.segments:
-        path_value += struct.pack("!BB", segment.kind, len(segment.asns))
-        for asn in segment.asns:
-            path_value += struct.pack("!I", asn)
-    out += _attr(FLAG_TRANSITIVE, ATTR_AS_PATH, path_value)
+        path_parts.append(
+            struct.pack("!BB", segment.kind, len(segment.asns))
+        )
+        path_parts.append(
+            struct.pack(f"!{len(segment.asns)}I", *segment.asns)
+        )
+    parts.append(_attr(FLAG_TRANSITIVE, ATTR_AS_PATH, b"".join(path_parts)))
     if attributes.next_hop is not None:
-        out += _attr(
+        parts.append(_attr(
             FLAG_TRANSITIVE, ATTR_NEXT_HOP, attributes.next_hop.packed()
-        )
+        ))
     if attributes.med is not None:
-        out += _attr(
+        parts.append(_attr(
             FLAG_OPTIONAL, ATTR_MED, struct.pack("!I", attributes.med)
-        )
+        ))
     if attributes.local_pref is not None:
-        out += _attr(
+        parts.append(_attr(
             FLAG_TRANSITIVE, ATTR_LOCAL_PREF,
             struct.pack("!I", attributes.local_pref),
-        )
+        ))
     if attributes.atomic_aggregate:
-        out += _attr(FLAG_TRANSITIVE, ATTR_ATOMIC_AGGREGATE, b"")
+        parts.append(_attr(FLAG_TRANSITIVE, ATTR_ATOMIC_AGGREGATE, b""))
     if attributes.aggregator is not None:
         asn, address = attributes.aggregator
-        out += _attr(
+        parts.append(_attr(
             FLAG_OPTIONAL | FLAG_TRANSITIVE, ATTR_AGGREGATOR,
             struct.pack("!I", asn) + address.packed(),
-        )
+        ))
     if attributes.communities:
         value = b"".join(
             struct.pack("!I", community.packed())
@@ -515,7 +598,9 @@ def _encode_attributes(attributes: Optional[PathAttributes]) -> bytes:
                 attributes.communities, key=lambda c: (c.asn, c.value)
             )
         )
-        out += _attr(FLAG_OPTIONAL | FLAG_TRANSITIVE, ATTR_COMMUNITIES, value)
+        parts.append(
+            _attr(FLAG_OPTIONAL | FLAG_TRANSITIVE, ATTR_COMMUNITIES, value)
+        )
     if attributes.large_communities:
         value = b"".join(
             struct.pack("!III", lc.global_admin, lc.local1, lc.local2)
@@ -524,15 +609,17 @@ def _encode_attributes(attributes: Optional[PathAttributes]) -> bytes:
                 key=lambda c: (c.global_admin, c.local1, c.local2),
             )
         )
-        out += _attr(
+        parts.append(_attr(
             FLAG_OPTIONAL | FLAG_TRANSITIVE, ATTR_LARGE_COMMUNITIES, value
-        )
+        ))
     for unknown in attributes.unknown:
         flags = unknown.flags
         if unknown.is_optional and unknown.is_transitive:
             flags |= FLAG_PARTIAL
-        out += _attr(flags & ~FLAG_EXTENDED, unknown.type_code, unknown.value)
-    return out
+        parts.append(
+            _attr(flags & ~FLAG_EXTENDED, unknown.type_code, unknown.value)
+        )
+    return b"".join(parts)
 
 
 def _decode_attributes(data: bytes) -> PathAttributes:
@@ -650,9 +737,12 @@ def _decode_attributes(data: bytes) -> PathAttributes:
             unknown.append(
                 UnknownAttribute(type_code=type_code, flags=flags, value=value)
             )
-    return PathAttributes(
+    # Interning (perf flag ``intern_attrs``): every RIB holding this
+    # attribute set shares one object (Fig. 6a memory), and downstream
+    # encode memoization hits on the pooled instance's hash.
+    return intern_attributes(PathAttributes(
         origin=origin,
-        as_path=as_path,
+        as_path=intern_as_path(as_path),
         next_hop=next_hop,
         med=med,
         local_pref=local_pref,
@@ -661,7 +751,7 @@ def _decode_attributes(data: bytes) -> PathAttributes:
         communities=frozenset(communities),
         large_communities=frozenset(large_communities),
         unknown=tuple(unknown),
-    )
+    ))
 
 
 def _decode_as_path(value: bytes) -> AsPath:

@@ -7,7 +7,7 @@ classes here are the protocol-level state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
 from repro.bgp.attributes import Route
@@ -81,13 +81,23 @@ class AdjRibIn:
 
 
 class LocRib:
-    """Candidate routes per prefix across all peers, plus the best path."""
+    """Candidate routes per prefix across all peers, plus the best path.
+
+    Candidates are keyed by ``(peer, path id)`` per prefix so upsert and
+    withdrawal are O(1) dict operations instead of candidate-list scans
+    (those scans dominated withdrawal processing on full tables).  Insertion
+    order is preserved — a replaced candidate moves to the end, matching
+    the behaviour of the list-based implementation it replaces — so
+    order-sensitive tie-breaking in ``select`` is unchanged.
+    """
 
     def __init__(
         self, select: Callable[[list[RibEntry]], Optional[RibEntry]]
     ) -> None:
         self._select = select
-        self._candidates: dict[Prefix, list[RibEntry]] = {}
+        self._candidates: dict[
+            Prefix, dict[tuple[str, Optional[int]], RibEntry]
+        ] = {}
         self._best: dict[Prefix, RibEntry] = {}
 
     def __len__(self) -> int:
@@ -99,12 +109,11 @@ class LocRib:
 
     def replace(self, peer: str, route: Route) -> bool:
         """Upsert a peer's candidate; returns True if the best changed."""
-        entries = self._candidates.setdefault(route.prefix, [])
-        entries[:] = [
-            entry for entry in entries
-            if not (entry.peer == peer and entry.path_id == route.path_id)
-        ]
-        entries.append(RibEntry(peer=peer, route=route))
+        entries = self._candidates.setdefault(route.prefix, {})
+        key = (peer, route.path_id)
+        # pop-then-set keeps list semantics: a replacement moves to the end.
+        entries.pop(key, None)
+        entries[key] = RibEntry(peer=peer, route=route)
         return self._reselect(route.prefix)
 
     def remove(self, peer: str, prefix: Prefix,
@@ -113,12 +122,7 @@ class LocRib:
         entries = self._candidates.get(prefix)
         if entries is None:
             return False
-        before = len(entries)
-        entries[:] = [
-            entry for entry in entries
-            if not (entry.peer == peer and entry.path_id == path_id)
-        ]
-        if len(entries) == before:
+        if entries.pop((peer, path_id), None) is None:
             return False
         if not entries:
             del self._candidates[prefix]
@@ -129,10 +133,11 @@ class LocRib:
         changed = []
         for prefix in list(self._candidates):
             entries = self._candidates[prefix]
-            before = len(entries)
-            entries[:] = [e for e in entries if e.peer != peer]
-            if len(entries) == before:
+            stale = [key for key in entries if key[0] == peer]
+            if not stale:
                 continue
+            for key in stale:
+                del entries[key]
             if not entries:
                 del self._candidates[prefix]
             if self._reselect(prefix):
@@ -140,8 +145,8 @@ class LocRib:
         return changed
 
     def _reselect(self, prefix: Prefix) -> bool:
-        entries = self._candidates.get(prefix, [])
-        new_best = self._select(entries) if entries else None
+        entries = self._candidates.get(prefix)
+        new_best = self._select(list(entries.values())) if entries else None
         old_best = self._best.get(prefix)
         if new_best is None:
             if old_best is not None:
@@ -159,7 +164,8 @@ class LocRib:
         return self._best.get(prefix)
 
     def candidates(self, prefix: Prefix) -> list[RibEntry]:
-        return list(self._candidates.get(prefix, []))
+        entries = self._candidates.get(prefix)
+        return list(entries.values()) if entries else []
 
     def best_routes(self) -> Iterator[RibEntry]:
         yield from self._best.values()

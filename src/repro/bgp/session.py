@@ -10,7 +10,7 @@ teardown — reproducing the failure mode discussed in §7.3 of the paper.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.bgp.errors import (

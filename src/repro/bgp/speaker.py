@@ -10,8 +10,8 @@ sessions and RIB primitives but with its own per-neighbor fan-out logic
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.bgp.attributes import Route
 from repro.bgp.decision import PeerContext, best_path

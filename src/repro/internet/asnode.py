@@ -37,7 +37,6 @@ from repro.netsim.frames import (
     IcmpType,
     IpProto,
     IPv4Packet,
-    UdpDatagram,
 )
 from repro.netsim.lpm import LpmTable
 from repro.netsim.stack import NetworkStack

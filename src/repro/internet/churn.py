@@ -11,15 +11,14 @@ pipeline, a bare decoder, a filter chain, …).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Iterator, Optional
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.bgp.attributes import (
     AsPath,
     Community,
     Origin,
     PathAttributes,
-    Route,
 )
 from repro.bgp.messages import UpdateMessage
 from repro.netsim.addr import IPv4Address, IPv4Prefix
@@ -60,6 +59,7 @@ class ChurnGenerator:
         prefix_count: int = 5000,
         seed: int = 7,
         base_prefix: str = "60.0.0.0/8",
+        attribute_combinations: int = 512,
     ) -> None:
         self.profile = profile
         self._rng = random.Random(seed)
@@ -72,6 +72,39 @@ class ChurnGenerator:
             except StopIteration:
                 break
         self._announced: set[IPv4Prefix] = set()
+        # Real-world churn concentrates on a small set of attribute
+        # combinations (Krenc et al.): most updates are path flaps that
+        # re-announce a prefix with attributes seen before, not brand-new
+        # paths. The generator mirrors that by drawing announcements from a
+        # bounded pool of combinations, filled lazily with fresh random
+        # attributes until it reaches ``attribute_combinations``.
+        self.attribute_combinations = attribute_combinations
+        self._attribute_pool: list[PathAttributes] = []
+
+    def _draw_attributes(self) -> PathAttributes:
+        """A random attribute combination from the (lazily filled) pool."""
+        pool = self._attribute_pool
+        if len(pool) < self.attribute_combinations:
+            path_length = self._rng.randint(2, 6)
+            asns = tuple(
+                self._rng.randint(1000, 60000) for _ in range(path_length)
+            )
+            communities = frozenset(
+                Community(asns[0] & 0xFFFF or 1, self._rng.randint(1, 999))
+                for _ in range(self._rng.randint(0, 3))
+            )
+            attributes = PathAttributes(
+                origin=Origin.IGP,
+                as_path=AsPath.from_asns(*asns),
+                next_hop=IPv4Address(
+                    self._rng.randint(1 << 24, (1 << 32) - 2)
+                ),
+                communities=communities,
+                med=self._rng.choice((None, 0, 10, 100)),
+            )
+            pool.append(attributes)
+            return attributes
+        return self._rng.choice(pool)
 
     def make_update(self) -> UpdateMessage:
         """One synthetic UPDATE (announce or withdraw)."""
@@ -86,22 +119,9 @@ class ChurnGenerator:
                 withdrawn=((prefix, None),)
             )
         self._announced.add(prefix)
-        path_length = self._rng.randint(2, 6)
-        asns = tuple(
-            self._rng.randint(1000, 60000) for _ in range(path_length)
+        return UpdateMessage(
+            attributes=self._draw_attributes(), nlri=((prefix, None),)
         )
-        communities = frozenset(
-            Community(asns[0] & 0xFFFF or 1, self._rng.randint(1, 999))
-            for _ in range(self._rng.randint(0, 3))
-        )
-        attributes = PathAttributes(
-            origin=Origin.IGP,
-            as_path=AsPath.from_asns(*asns),
-            next_hop=IPv4Address(self._rng.randint(1 << 24, (1 << 32) - 2)),
-            communities=communities,
-            med=self._rng.choice((None, 0, 10, 100)),
-        )
-        return UpdateMessage(attributes=attributes, nlri=((prefix, None),))
 
     def make_updates(self, count: int) -> list[UpdateMessage]:
         return [self.make_update() for _ in range(count)]

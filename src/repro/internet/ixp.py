@@ -9,7 +9,6 @@ flows member↔PEERING directly across the shared fabric.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 from repro.bgp.speaker import BgpSpeaker, NeighborConfig, SpeakerConfig
 from repro.bgp.transport import connect_pair

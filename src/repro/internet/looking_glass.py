@@ -9,8 +9,7 @@ relies on looking glasses' restricted command interface.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from repro.bgp.attributes import Route
 from repro.bgp.speaker import BgpSpeaker, NeighborConfig, SpeakerConfig

@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable
 
 
 class NetworkType(enum.Enum):

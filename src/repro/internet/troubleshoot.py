@@ -124,7 +124,6 @@ def diagnose(
     which filter is at fault.
     """
     nodes = list(ases)
-    by_asn = {node.asn: node for node in nodes}
     carrying, missing = propagation_snapshot(nodes, prefix)
     report = PropagationReport(prefix=prefix, carrying=carrying,
                                missing=missing)

@@ -15,9 +15,10 @@ properties of the real filter code; absolute percentages depend on the host
 
 from __future__ import annotations
 
+import gc
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Sequence, TypeVar
 
 T = TypeVar("T")
 
@@ -49,14 +50,28 @@ def measure_processing(
     updates: Sequence[T],
     repeat: int = 1,
 ) -> CpuMeasurement:
-    """Run ``process`` over ``updates`` and record wall-clock cost."""
+    """Run ``process`` over ``updates`` and record wall-clock cost.
+
+    The cyclic garbage collector is paused for the timed region (the
+    standard benchmarking hygiene pytest-benchmark applies too):
+    otherwise the measurement charges this workload for collection
+    passes over whatever unrelated object graphs the process has
+    accumulated, which made results depend on what ran before.
+    """
     count = 0
-    start = time.perf_counter()
-    for _ in range(repeat):
-        for update in updates:
-            process(update)
-            count += 1
-    elapsed = time.perf_counter() - start
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        for _ in range(repeat):
+            for update in updates:
+                process(update)
+                count += 1
+        elapsed = time.perf_counter() - start
+    finally:
+        if was_enabled:
+            gc.enable()
     return CpuMeasurement(label=label, updates=count, total_seconds=elapsed)
 
 

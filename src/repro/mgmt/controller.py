@@ -20,14 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.netsim.addr import IPv4Address, IPv4Prefix, MacAddress
-from repro.netsim.netlink import (
-    AddressRecord,
-    Netlink,
-    NetlinkError,
-    RouteRecord,
-    RuleRecord,
-)
+from repro.netsim.addr import IPv4Address
+from repro.netsim.netlink import Netlink, NetlinkError, RouteRecord, RuleRecord
 
 
 class TransactionError(RuntimeError):

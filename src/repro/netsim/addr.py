@@ -9,7 +9,7 @@ vBGP allocates virtual MAC/IP pairs arithmetically.
 from __future__ import annotations
 
 from functools import total_ordering
-from typing import Iterator, Union
+from typing import Iterator, Optional, Union
 
 
 class AddressError(ValueError):
@@ -82,7 +82,9 @@ class MacAddress:
         return self._value < other._value
 
     def __hash__(self) -> int:
-        return hash(("mac", self._value))
+        # Salted raw value: cheaper than hashing a ("mac", value) tuple on
+        # every dict operation, distinct from the address-type hashes.
+        return self._value ^ 0x6D61635F6D61635F
 
 
 @total_ordering
@@ -157,7 +159,9 @@ class IPv4Address:
         return self._value < other._value
 
     def __hash__(self) -> int:
-        return hash(("ip4", self._value))
+        # Raw value (non-negative, < 2**32): avoids allocating and hashing
+        # a tuple per call — addresses key nearly every hot dict.
+        return self._value
 
 
 @total_ordering
@@ -248,7 +252,8 @@ class IPv6Address:
         return self._value < other._value
 
     def __hash__(self) -> int:
-        return hash(("ip6", self._value))
+        # Salted value hash; avoids tuple allocation per call.
+        return hash(self._value) ^ 0x6970365F69703636
 
 
 IPAddress = Union[IPv4Address, IPv6Address]
@@ -257,7 +262,7 @@ IPAddress = Union[IPv4Address, IPv6Address]
 class _Prefix:
     """Shared behaviour for IPv4/IPv6 prefixes."""
 
-    __slots__ = ("_network", "_length")
+    __slots__ = ("_network", "_length", "_hash")
 
     BITS: int = 0
     ADDRESS_CLS: type = object
@@ -272,6 +277,7 @@ class _Prefix:
             )
         self._network = network
         self._length = length
+        self._hash: Optional[int] = None
 
     @classmethod
     def _mask(cls, length: int) -> int:
@@ -373,7 +379,15 @@ class _Prefix:
         return self == other or self < other
 
     def __hash__(self) -> int:
-        return hash((type(self).__name__, self._network.value, self._length))
+        # Prefixes key the RIBs, kernel tables, and path-id maps, so the
+        # hash is computed once and cached (the instance is immutable).
+        h = self._hash
+        if h is None:
+            h = hash(
+                (type(self).__name__, self._network.value, self._length)
+            )
+            self._hash = h
+        return h
 
 
 class IPv4Prefix(_Prefix):

@@ -10,9 +10,10 @@ from __future__ import annotations
 
 import enum
 import struct
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Optional, Union
 
+from repro import perf
 from repro.netsim.addr import AddressError, IPv4Address, MacAddress
 
 
@@ -168,13 +169,39 @@ class IPv4Packet:
     HEADER_SIZE = 20
 
     def decrement_ttl(self) -> "IPv4Packet":
-        """Return a copy with TTL reduced by one."""
-        return replace(self, ttl=self.ttl - 1)
+        """Return a copy with TTL reduced by one.
+
+        Built via the constructor directly (``dataclasses.replace`` showed
+        up in the forwarding profile), carrying over the memoized payload
+        bytes — the payload object is unchanged.
+        """
+        clone = IPv4Packet(
+            src=self.src,
+            dst=self.dst,
+            proto=self.proto,
+            payload=self.payload,
+            ttl=self.ttl - 1,
+            dscp=self.dscp,
+            identification=self.identification,
+        )
+        cached = self.__dict__.get("_payload_wire")
+        if cached is not None:
+            object.__setattr__(clone, "_payload_wire", cached)
+        return clone
 
     @property
     def payload_bytes(self) -> bytes:
         if isinstance(self.payload, bytes):
             return self.payload
+        # Memoized on the (frozen) packet: the datapath asks for the
+        # serialized payload several times per hop (size accounting, frame
+        # encode, enforcement), and payloads are immutable.
+        if perf.FLAGS.encode_memo:
+            cached = self.__dict__.get("_payload_wire")
+            if cached is None:
+                cached = self.payload.encode()
+                object.__setattr__(self, "_payload_wire", cached)
+            return cached
         return self.payload.encode()
 
     @property
@@ -183,6 +210,10 @@ class IPv4Packet:
         return self.HEADER_SIZE + len(self.payload_bytes)
 
     def encode(self) -> bytes:
+        if perf.FLAGS.encode_memo:
+            cached = self.__dict__.get("_wire")
+            if cached is not None:
+                return cached
         payload = self.payload_bytes
         total_length = self.HEADER_SIZE + len(payload)
         header = struct.pack(
@@ -200,7 +231,10 @@ class IPv4Packet:
         )
         checksum = _inet_checksum(header)
         header = header[:10] + struct.pack("!H", checksum) + header[12:]
-        return header + payload
+        wire = header + payload
+        if perf.FLAGS.encode_memo:
+            object.__setattr__(self, "_wire", wire)
+        return wire
 
     @classmethod
     def decode(cls, data: bytes) -> "IPv4Packet":
@@ -263,6 +297,12 @@ class EthernetFrame:
     @property
     def size(self) -> int:
         tag = 4 if self.vlan is not None else 0
+        if perf.FLAGS.encode_memo:
+            cached = self.__dict__.get("_size")
+            if cached is None:
+                cached = 14 + tag + len(self.payload_bytes)
+                object.__setattr__(self, "_size", cached)
+            return cached
         return 14 + tag + len(self.payload_bytes)
 
     def encode(self) -> bytes:
@@ -306,8 +346,9 @@ def _inet_checksum(data: bytes) -> int:
     """Standard Internet 16-bit one's-complement checksum."""
     if len(data) % 2:
         data += b"\x00"
-    total = 0
-    for i in range(0, len(data), 2):
-        total += (data[i] << 8) | data[i + 1]
+    # Sum whole 16-bit words in one struct call, then fold the carries —
+    # an order of magnitude faster than the per-byte loop it replaces.
+    total = sum(struct.unpack(f"!{len(data) // 2}H", data))
+    while total >> 16:
         total = (total & 0xFFFF) + (total >> 16)
     return ~total & 0xFFFF

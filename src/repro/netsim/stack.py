@@ -201,6 +201,9 @@ class NetworkStack:
         self._udp_handlers: dict[int, UdpHandler] = {}
         self._icmp_handlers: list[IcmpHandler] = []
         self._raw_handlers: dict[IpProto, RawHandler] = {}
+        # Cached set of locally assigned addresses; rebuilt on address or
+        # interface changes instead of per packet in ``_handle_ip``.
+        self._local_ips: set[IPv4Address] = set()
         self.counters = {
             "rx_packets": 0,
             "tx_packets": 0,
@@ -228,6 +231,7 @@ class NetworkStack:
         if iface is None:
             return
         self.proxy_arp.pop(name, None)
+        self._rebuild_local_ips()
         for table in self.tables.values():
             stale = [
                 entry.prefix
@@ -250,6 +254,7 @@ class NetworkStack:
         if any(existing.network == address for existing in iface.addresses):
             return
         iface.addresses.append(assignment)
+        self._local_ips.add(address)
         subnet = IPv4Prefix.from_address(address, length)
         self.add_route(KernelRoute(prefix=subnet, out_iface=iface_name))
 
@@ -259,6 +264,7 @@ class NetworkStack:
             existing for existing in iface.addresses
             if existing.network != address
         ]
+        self._rebuild_local_ips()
 
     def interface_addresses(self, iface_name: str) -> list[IPv4Address]:
         return [p.network for p in self.interfaces[iface_name].addresses]
@@ -323,10 +329,13 @@ class NetworkStack:
         self._raw_handlers[proto] = handler
 
     def local_ips(self) -> set[IPv4Address]:
+        return self._local_ips
+
+    def _rebuild_local_ips(self) -> None:
         ips: set[IPv4Address] = set()
         for iface in self.interfaces.values():
             ips.update(p.network for p in iface.addresses)
-        return ips
+        self._local_ips = ips
 
     # ------------------------------------------------------------------
     # Datapath

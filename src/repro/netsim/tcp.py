@@ -9,7 +9,7 @@ RTO timer. This powers the iperf3-style throughput measurements of §6.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.netsim.addr import IPv4Address

@@ -1,0 +1,88 @@
+"""Central fast-path feature flags (the ablation control surface).
+
+The vBGP pipeline has four independent optimizations, each gated behind a
+module-level toggle so ``benchmarks/bench_ablation_fastpath.py`` can
+measure them on/off without code changes:
+
+* ``stride_lpm``   — multi-bit (8-bit stride) trie walk in
+  :class:`repro.netsim.lpm.LpmTable` instead of the 1-bit-per-level
+  binary trie reference,
+* ``lpm_cache``    — bounded per-table LRU lookup cache keyed by
+  destination address, invalidated on insert/remove of any covering
+  prefix (negative results are cached too),
+* ``encode_memo``  — memoized ``_encode_attributes`` on the frozen
+  ``PathAttributes`` value plus per-``UpdateMessage`` wire caching, so
+  ADD-PATH fan-out to E experiments encodes each attribute set once,
+* ``intern_attrs`` — interning pool for decoded ``PathAttributes`` /
+  ``AsPath`` so RIBs holding equal attributes share one object
+  (Fig. 6a memory),
+* ``fanout_batch`` — coalesce routes sharing identical post-rewrite
+  attributes into single multi-NLRI UPDATEs in the vBGP fan-out and
+  backbone export paths.
+
+Flags are read at call time (and, for the LPM backend choice, at table
+construction time).  Toggling flags clears all registered caches so
+on/off comparisons are honest.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator
+
+__all__ = ["FLAGS", "PerfFlags", "set_flags", "flags", "clear_caches",
+           "register_cache_clearer"]
+
+
+@dataclass(frozen=True)
+class PerfFlags:
+    """The fast-path toggles (all on by default)."""
+
+    stride_lpm: bool = True
+    lpm_cache: bool = True
+    lpm_cache_size: int = 1024
+    encode_memo: bool = True
+    intern_attrs: bool = True
+    fanout_batch: bool = True
+
+
+FLAGS = PerfFlags()
+
+_cache_clearers: list[Callable[[], None]] = []
+
+
+def register_cache_clearer(clearer: Callable[[], None]) -> None:
+    """Modules owning a flag-gated cache register a clearer here."""
+    _cache_clearers.append(clearer)
+
+
+def clear_caches() -> None:
+    """Drop every registered flag-gated cache (used when flags change)."""
+    for clearer in _cache_clearers:
+        clearer()
+
+
+def set_flags(**changes: object) -> PerfFlags:
+    """Update the global flags; returns the new flag set.
+
+    Unknown flag names raise ``TypeError`` (via ``dataclasses.replace``).
+    All registered caches are cleared so stale entries from the previous
+    configuration cannot leak across an ablation boundary.
+    """
+    global FLAGS
+    FLAGS = replace(FLAGS, **changes)
+    clear_caches()
+    return FLAGS
+
+
+@contextmanager
+def flags(**changes: object) -> Iterator[PerfFlags]:
+    """Temporarily override flags (tests and ablation benchmarks)."""
+    global FLAGS
+    saved = FLAGS
+    try:
+        yield set_flags(**changes)
+    finally:
+        FLAGS = saved
+        clear_caches()

@@ -14,11 +14,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.security.capabilities import (
-    Capability,
-    CapabilityGrant,
-    ExperimentProfile,
-)
+from repro.security.capabilities import Capability, ExperimentProfile
 
 
 class ExperimentStatus(enum.Enum):

@@ -10,11 +10,8 @@ experiment switch directly.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
-from repro.netsim.addr import MacAddress
-from repro.netsim.link import Link, Port
 from repro.netsim.stack import NetworkStack
 from repro.platform.pop import PointOfPresence
 from repro.sim.scheduler import Scheduler

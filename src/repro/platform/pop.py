@@ -9,7 +9,7 @@ experiment-facing switch, the tunnel manager, and its security enforcers.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.bgp.transport import Channel, connect_pair

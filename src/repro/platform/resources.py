@@ -8,7 +8,7 @@ limit the paper discusses (§4.6).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.netsim.addr import IPv4Prefix, IPv6Prefix, Prefix

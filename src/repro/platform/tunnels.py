@@ -9,7 +9,7 @@ experiments) and carries both the BGP session and the data plane.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.netsim.addr import IPv4Address, IPv4Prefix, MacAddress

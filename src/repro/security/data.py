@@ -18,7 +18,7 @@ experiment-facing interface. Built-ins implement the platform's policies:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.netsim.addr import IPv4Prefix, MacAddress

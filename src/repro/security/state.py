@@ -10,7 +10,6 @@ is the replicated non-volatile store the paper describes.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Deque
 
 from repro.netsim.addr import Prefix

@@ -32,8 +32,8 @@ from repro.bgp.attributes import (
 )
 from repro.bgp.messages import UpdateMessage
 from repro.bgp.session import BgpSession, SessionConfig
-from repro.netsim.addr import IPv4Address, IPv4Prefix, Prefix
-from repro.netsim.frames import IcmpMessage, IcmpType, IpProto, IPv4Packet, UdpDatagram
+from repro.netsim.addr import IPv4Address, Prefix
+from repro.netsim.frames import IcmpMessage, IcmpType, IpProto, IPv4Packet
 from repro.netsim.stack import NetworkStack
 from repro.platform.peering import ExperimentConnection, PeeringPlatform
 from repro.sim.scheduler import Scheduler

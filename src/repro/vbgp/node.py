@@ -25,15 +25,20 @@ MAC before handing the frame to the experiment's tunnel (§3.2.2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from typing import Callable, Iterable, Iterator, Optional
 
+from repro import perf
 from repro.bgp.attributes import PathAttributes, Route
-from repro.bgp.messages import UpdateMessage
+from repro.bgp.messages import (
+    HEADER_SIZE,
+    MAX_MESSAGE_SIZE,
+    UpdateMessage,
+    attributes_wire_length,
+)
 from repro.bgp.session import BgpSession, SessionConfig
 from repro.bgp.transport import Channel
-from repro.netsim.addr import IPv4Address, IPv4Prefix, MacAddress, Prefix
+from repro.netsim.addr import IPv4Address, MacAddress, Prefix
 from repro.netsim.frames import EtherType, EthernetFrame, IPv4Packet
-from repro.netsim.link import Port
 from repro.netsim.lpm import LpmTable
 from repro.netsim.stack import (
     Interface,
@@ -53,6 +58,81 @@ from repro.vbgp.communities import select_targets, strip_control
 
 RULE_PRIORITY_VMAC = 100
 
+_RIB_MISS = object()
+
+
+class PathRib:
+    """A per-neighbor Adj-RIB-In keyed by ``(prefix, path id)``.
+
+    Drop-in for the plain dict it replaces, but additionally maintains a
+    per-prefix reference count so "does any path for this prefix remain?"
+    is O(1).  The previous ``any(key[0] == prefix for key in rib)`` scan
+    made every withdrawal O(table size) — the dominant cost of withdrawal
+    storms against full-table neighbors.
+    """
+
+    __slots__ = ("_routes", "_prefix_counts")
+
+    def __init__(self) -> None:
+        self._routes: dict[tuple[Prefix, Optional[int]], Route] = {}
+        self._prefix_counts: dict[Prefix, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __iter__(self) -> Iterator[tuple[Prefix, Optional[int]]]:
+        return iter(self._routes)
+
+    def __contains__(self, key: tuple[Prefix, Optional[int]]) -> bool:
+        return key in self._routes
+
+    def __getitem__(self, key: tuple[Prefix, Optional[int]]) -> Route:
+        return self._routes[key]
+
+    def __setitem__(self, key: tuple[Prefix, Optional[int]],
+                    route: Route) -> None:
+        if key not in self._routes:
+            prefix = key[0]
+            self._prefix_counts[prefix] = (
+                self._prefix_counts.get(prefix, 0) + 1
+            )
+        self._routes[key] = route
+
+    def __bool__(self) -> bool:
+        return bool(self._routes)
+
+    def get(self, key: tuple[Prefix, Optional[int]], default=None):
+        return self._routes.get(key, default)
+
+    def pop(self, key: tuple[Prefix, Optional[int]], default=None):
+        route = self._routes.pop(key, _RIB_MISS)
+        if route is _RIB_MISS:
+            return default
+        prefix = key[0]
+        remaining = self._prefix_counts.get(prefix, 0) - 1
+        if remaining <= 0:
+            self._prefix_counts.pop(prefix, None)
+        else:
+            self._prefix_counts[prefix] = remaining
+        return route
+
+    def clear(self) -> None:
+        self._routes.clear()
+        self._prefix_counts.clear()
+
+    def keys(self):
+        return self._routes.keys()
+
+    def values(self):
+        return self._routes.values()
+
+    def items(self):
+        return self._routes.items()
+
+    def has_prefix(self, prefix: Prefix) -> bool:
+        """O(1): does at least one path for ``prefix`` remain?"""
+        return prefix in self._prefix_counts
+
 
 @dataclass
 class UpstreamNeighbor:
@@ -66,7 +146,7 @@ class UpstreamNeighbor:
     virtual: VirtualNeighbor
     session: Optional[BgpSession] = None
     # Routes received: (prefix, peer path id) -> route.
-    rib: dict[tuple[Prefix, Optional[int]], Route] = field(default_factory=dict)
+    rib: PathRib = field(default_factory=PathRib)
 
 
 @dataclass
@@ -75,7 +155,7 @@ class RemoteNeighbor:
 
     global_id: int
     virtual: VirtualNeighbor
-    rib: dict[tuple[Prefix, Optional[int]], Route] = field(default_factory=dict)
+    rib: PathRib = field(default_factory=PathRib)
 
 
 @dataclass
@@ -272,9 +352,7 @@ class VbgpNode:
         for prefix, path_id in update.withdrawn:
             if neighbor.rib.pop((prefix, path_id), None) is not None:
                 removed.append((prefix, path_id))
-                if not any(
-                    key[0] == prefix for key in neighbor.rib
-                ):
+                if not neighbor.rib.has_prefix(prefix):
                     if self.stack.remove_route(
                         prefix, table_id=neighbor.virtual.table_id
                     ):
@@ -414,7 +492,14 @@ class VbgpNode:
         announced: list[Route],
         removed: list[tuple[Prefix, Optional[int]]],
     ) -> None:
-        """Send neighbor-route changes to one experiment (Figure 2a)."""
+        """Send neighbor-route changes to one experiment (Figure 2a).
+
+        With the ``fanout_batch`` perf flag on, announced routes sharing
+        one attribute set are coalesced into multi-NLRI UPDATEs (one
+        attribute encode + one message per batch instead of per route).
+        Withdrawals carry no attributes and are always chunked to respect
+        the 4096-byte message ceiling.
+        """
         if exp.session is None or not exp.session.established:
             return
         withdrawals = []
@@ -425,15 +510,34 @@ class VbgpNode:
                     Route(prefix=prefix, attributes=_EMPTY_ATTRS,
                           path_id=path_id)
                 )
-        if withdrawals:
-            exp.session.send_update(UpdateMessage.withdraw(withdrawals))
+        for chunk in _chunk_routes(withdrawals, _MAX_WITHDRAW_PER_UPDATE):
+            exp.session.send_update(UpdateMessage.withdraw(chunk))
             self.counters["updates_to_experiments"] += 1
-        for route in announced:
-            rewritten = route.with_next_hop(local_vip).with_path_id(
-                exp.path_id_for(gid, route.prefix, route.path_id)
-            )
-            exp.session.send_update(UpdateMessage.announce([rewritten]))
-            self.counters["updates_to_experiments"] += 1
+        if not announced:
+            return
+        if perf.FLAGS.fanout_batch:
+            for attrs, group in _group_by_attributes(announced).items():
+                rewritten_attrs = attrs.with_next_hop(local_vip)
+                batch = [
+                    Route(
+                        prefix=route.prefix,
+                        attributes=rewritten_attrs,
+                        path_id=exp.path_id_for(gid, route.prefix,
+                                                route.path_id),
+                    )
+                    for route in group
+                ]
+                limit = _max_nlri_per_update(rewritten_attrs)
+                for chunk in _chunk_routes(batch, limit):
+                    exp.session.send_update(UpdateMessage.announce(chunk))
+                    self.counters["updates_to_experiments"] += 1
+        else:
+            for route in announced:
+                rewritten = route.with_next_hop(local_vip).with_path_id(
+                    exp.path_id_for(gid, route.prefix, route.path_id)
+                )
+                exp.session.send_update(UpdateMessage.announce([rewritten]))
+                self.counters["updates_to_experiments"] += 1
 
     # -- announcements from experiments ---------------------------------
 
@@ -563,7 +667,18 @@ class VbgpNode:
         session = self.backbone_peers.get(node_name)
         if session is None or not session.established:
             return
+        batch = perf.FLAGS.fanout_batch
         for neighbor in self.upstreams.values():
+            if batch:
+                for group in _group_by_attributes(
+                    neighbor.rib.values()
+                ).values():
+                    carried = self._backbone_batch(neighbor.virtual, group)
+                    limit = _max_nlri_per_update(carried[0].attributes)
+                    for chunk in _chunk_routes(carried, limit):
+                        session.send_update(UpdateMessage.announce(chunk))
+                        self.counters["updates_to_backbone"] += 1
+                continue
             for route in neighbor.rib.values():
                 session.send_update(UpdateMessage.announce([
                     self._backbone_route(neighbor.virtual, route)
@@ -582,6 +697,21 @@ class VbgpNode:
             virtual.global_id * 1_000_000 + _stable_id(route)
         )
 
+    def _backbone_batch(self, virtual: VirtualNeighbor,
+                        group: list[Route]) -> list[Route]:
+        """Batched ``_backbone_route``: rewrite the shared attribute set
+        once, keep the per-route stable path ids."""
+        carried_attrs = group[0].attributes.with_next_hop(virtual.global_ip)
+        base = virtual.global_id * 1_000_000
+        return [
+            Route(
+                prefix=route.prefix,
+                attributes=carried_attrs,
+                path_id=base + _stable_id(route),
+            )
+            for route in group
+        ]
+
     def _backbone_experiment_route(self, route: Route) -> Route:
         assert self.backbone_address is not None
         return route.with_next_hop(self.backbone_address).with_path_id(
@@ -598,8 +728,26 @@ class VbgpNode:
         )
         if neighbor is None:
             return
+        batch = perf.FLAGS.fanout_batch
         for session in self.backbone_peers.values():
             if not session.established:
+                continue
+            if batch:
+                fakes = []
+                for prefix, source_id in removed:
+                    fake = Route(prefix=prefix, attributes=_EMPTY_ATTRS)
+                    fakes.append(fake.with_path_id(
+                        gid * 1_000_000 + _stable_id(fake)
+                    ))
+                for chunk in _chunk_routes(fakes, _MAX_WITHDRAW_PER_UPDATE):
+                    session.send_update(UpdateMessage.withdraw(chunk))
+                    self.counters["updates_to_backbone"] += 1
+                for group in _group_by_attributes(announced).values():
+                    carried = self._backbone_batch(neighbor.virtual, group)
+                    limit = _max_nlri_per_update(carried[0].attributes)
+                    for chunk in _chunk_routes(carried, limit):
+                        session.send_update(UpdateMessage.announce(chunk))
+                        self.counters["updates_to_backbone"] += 1
                 continue
             for prefix, source_id in removed:
                 fake = Route(prefix=prefix, attributes=_EMPTY_ATTRS)
@@ -636,7 +784,7 @@ class VbgpNode:
                 if remote is None:
                     continue
                 remote.rib.pop((prefix, path_id), None)
-                if not any(key[0] == prefix for key in remote.rib):
+                if not remote.rib.has_prefix(prefix):
                     self.stack.remove_route(prefix,
                                             table_id=remote.virtual.table_id)
                 for exp in self.experiments.values():
@@ -860,7 +1008,50 @@ class VbgpNode:
 # A placeholder attribute set used in withdrawals (attributes are ignored).
 _EMPTY_ATTRS = PathAttributes()
 
+# An ADD-PATH IPv4 NLRI is at most 4 (path id) + 1 (length) + 4 (prefix)
+# bytes; a withdrawal-only UPDATE has 4 bytes of fixed body overhead.
+_NLRI_MAX_BYTES = 9
+_MAX_WITHDRAW_PER_UPDATE = (
+    (MAX_MESSAGE_SIZE - HEADER_SIZE - 4) // _NLRI_MAX_BYTES
+)
+
+
+def _max_nlri_per_update(attributes: PathAttributes) -> int:
+    """How many NLRI fit in one UPDATE carrying ``attributes``."""
+    budget = (
+        MAX_MESSAGE_SIZE - HEADER_SIZE - 4
+        - attributes_wire_length(attributes)
+    )
+    return max(1, budget // _NLRI_MAX_BYTES)
+
+
+def _chunk_routes(routes: list[Route], size: int) -> Iterator[list[Route]]:
+    for start in range(0, len(routes), size):
+        yield routes[start:start + size]
+
+
+def _group_by_attributes(
+    routes: Iterable[Route],
+) -> dict[PathAttributes, list[Route]]:
+    """Group routes by their (hashable) attribute set, preserving order."""
+    groups: dict[PathAttributes, list[Route]] = {}
+    for route in routes:
+        groups.setdefault(route.attributes, []).append(route)
+    return groups
+
 
 def _stable_id(route: Route) -> int:
-    """A deterministic per-route id usable as an ADD-PATH path id."""
-    return (hash((route.prefix.key(), route.path_id)) & 0xFFFFF) or 1
+    """A deterministic per-route id usable as an ADD-PATH path id.
+
+    Mixed explicitly rather than via ``hash()``: on Python < 3.12
+    ``hash(None)`` is id-based, which made the "stable" id vary between
+    runs (and its 20-bit truncation collide run-dependently) for routes
+    without a source path id.
+    """
+    network, length = route.prefix.key()
+    source = -1 if route.path_id is None else route.path_id
+    mixed = (
+        network * 0x9E3779B1 + length * 0x85EBCA77 + source * 0xC2B2AE3D
+    )
+    mixed ^= mixed >> 17
+    return (mixed & 0xFFFFF) or 1

@@ -8,7 +8,6 @@ from repro.bgp.attributes import (
     AsPathSegment,
     Community,
     LargeCommunity,
-    PathAttributes,
     Route,
     SegmentType,
     local_route,

@@ -5,13 +5,11 @@ from hypothesis import given, settings, strategies as st
 
 from repro.bgp.attributes import (
     AsPath,
-    AsPathSegment,
     Community,
     LargeCommunity,
     Origin,
     PathAttributes,
     Route,
-    SegmentType,
     UnknownAttribute,
 )
 from repro.bgp.errors import NotificationError

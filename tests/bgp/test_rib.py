@@ -1,6 +1,6 @@
 """RIB tests: Adj-RIB-In/Out and Loc-RIB selection bookkeeping."""
 
-from repro.bgp.attributes import local_route, originate
+from repro.bgp.attributes import originate
 from repro.bgp.decision import best_path
 from repro.bgp.rib import AdjRibIn, AdjRibOut, LocRib
 from repro.netsim.addr import IPv4Address, IPv4Prefix

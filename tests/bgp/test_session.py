@@ -2,13 +2,12 @@
 
 import pytest
 
-from repro.bgp.errors import ErrorCode, NotificationError
+from repro.bgp.errors import NotificationError
 from repro.bgp.messages import UpdateMessage
 from repro.bgp.attributes import PathAttributes, AsPath, Origin
 from repro.bgp.session import BgpSession, SessionConfig, SessionState
 from repro.bgp.transport import connect_pair
 from repro.netsim.addr import IPv4Address, IPv4Prefix
-from repro.sim import Scheduler
 
 
 def make_pair(scheduler, addpath_a=True, addpath_b=True, peer_asn_b=65001,

@@ -1,7 +1,6 @@
 """Speaker integration tests: propagation, policy, ADD-PATH export,
 split horizon, iBGP rules, max-prefix protection."""
 
-import pytest
 
 from repro.bgp.attributes import Community, local_route, originate
 from repro.bgp.policy import (
@@ -14,7 +13,6 @@ from repro.bgp.policy import (
 from repro.bgp.speaker import BgpSpeaker, NeighborConfig, SpeakerConfig
 from repro.bgp.transport import connect_pair
 from repro.netsim.addr import IPv4Address, IPv4Prefix
-from repro.sim import Scheduler
 
 P1 = IPv4Prefix.parse("10.10.0.0/16")
 

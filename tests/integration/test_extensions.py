@@ -15,7 +15,6 @@ from repro.internet.troubleshoot import Verdict, diagnose
 from repro.bgp.policy import Match, PolicyResult, PolicyRule, PrefixMatch, RouteMap
 from repro.netsim.addr import IPv4Prefix, IPv6Prefix
 from repro.security.capabilities import Capability
-from repro.sim import Scheduler
 from repro.toolkit import ExperimentClient
 from tests.conftest import approve_experiment
 

@@ -12,7 +12,6 @@ from repro.bgp.speaker import BgpSpeaker, NeighborConfig, SpeakerConfig
 from repro.netsim.addr import IPv4Prefix
 from repro.platform import PeeringPlatform, PopConfig
 from repro.platform.experiment import ExperimentProposal
-from repro.sim import Scheduler
 from repro.toolkit import ExperimentClient
 
 DEST = IPv4Prefix.parse("192.168.0.0/24")

@@ -15,7 +15,6 @@ from repro.netsim.addr import IPv4Address, IPv4Prefix
 from repro.netsim.frames import IpProto, IPv4Packet, UdpDatagram
 from repro.platform import PeeringPlatform, PopConfig
 from repro.platform.experiment import ExperimentProposal
-from repro.sim import Scheduler
 from repro.toolkit import ExperimentClient
 
 DEST = IPv4Prefix.parse("192.168.0.0/24")
@@ -91,8 +90,8 @@ def test_steps_8_to_11_mac_demux_to_neighbor_table(figure2):
         speaker, port = neighbors[name]
         chosen = [r for r in client.routes(DEST, "e1")
                   if r.as_path.origin_as == asn][0]
-        node = speaker  # the neighbor's speaker has an attached stack? no —
-        # assert on delivery into the neighbor's LAN stack instead:
+        # The neighbor's speaker has no attached stack, so assert on
+        # delivery into the neighbor's LAN stack instead:
         before = pop.stack.counters["forwarded"]
         packet = IPv4Packet(
             src=client.profile.prefixes[0].address_at(1),

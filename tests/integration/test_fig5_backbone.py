@@ -14,7 +14,6 @@ from repro.netsim.addr import IPv4Prefix
 from repro.netsim.frames import IpProto, IPv4Packet, UdpDatagram
 from repro.platform import PeeringPlatform, PopConfig
 from repro.platform.experiment import ExperimentProposal
-from repro.sim import Scheduler
 from repro.toolkit import ExperimentClient
 from repro.vbgp.allocator import GLOBAL_POOL
 

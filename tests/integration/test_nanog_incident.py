@@ -19,14 +19,12 @@ from repro.bgp.attributes import UnknownAttribute, local_route
 from repro.bgp.errors import ErrorCode, NotificationError, UpdateSubcode
 from repro.bgp.messages import UpdateMessage
 from repro.bgp.speaker import BgpSpeaker, NeighborConfig, SpeakerConfig
-from repro.netsim.addr import IPv4Address
 from repro.platform import PeeringPlatform, PopConfig
 from repro.platform.experiment import (
     CapabilityRequest,
     ExperimentProposal,
 )
 from repro.security.capabilities import Capability
-from repro.sim import Scheduler
 from repro.toolkit import ExperimentClient
 
 ATTRIBUTE = UnknownAttribute(

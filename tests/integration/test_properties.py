@@ -8,7 +8,6 @@ state always mirrors the per-neighbor RIBs under arbitrary churn).
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.bgp.attributes import (
@@ -20,7 +19,7 @@ from repro.bgp.attributes import (
 )
 from repro.bgp.messages import MessageDecoder, UpdateMessage
 from repro.netsim.addr import IPv4Address, IPv4Prefix, MacAddress
-from repro.netsim.frames import EtherType, EthernetFrame, IpProto, IPv4Packet
+from repro.netsim.frames import EtherType, EthernetFrame
 from repro.security import ControlPlaneEnforcer, ExperimentProfile
 from repro.security.data import BpfContext, BpfVerdict, TokenBucketProgram
 from repro.sim import Scheduler

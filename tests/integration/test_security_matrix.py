@@ -10,15 +10,10 @@ This test builds that exact matrix against an emulated PoP with a real
 neighbor speaker and asserts on what the neighbor actually receives.
 """
 
-import pytest
 
-from repro.bgp.attributes import (
-    Community,
-    UnknownAttribute,
-    local_route,
-)
+from repro.bgp.attributes import Community
 from repro.bgp.speaker import BgpSpeaker, NeighborConfig, SpeakerConfig
-from repro.netsim.addr import IPv4Address, IPv4Prefix
+from repro.netsim.addr import IPv4Address
 from repro.platform import PeeringPlatform, PopConfig
 from repro.platform.experiment import (
     CapabilityRequest,
@@ -123,7 +118,7 @@ def test_spoofed_traffic_dropped_but_valid_passes(scheduler):
     scheduler.run_for(5)
     from repro.netsim.frames import IpProto, IPv4Packet, UdpDatagram
 
-    route = client.pops["testpop"].all_routes()
+    _route = client.pops["testpop"].all_routes()
     # The observer announces nothing, so fabricate a destination route by
     # sending toward the observer's address space directly.
     dst = IPv4Address.parse("100.64.0.10")

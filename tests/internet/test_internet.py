@@ -1,14 +1,11 @@
 """Synthetic-Internet tests: topology, Gao–Rexford invariants, overlay
 forwarding, route servers, PeeringDB, churn, looking glass."""
 
-import pytest
 
 from repro.internet import (
     AMSIX_PROFILE,
     ChurnGenerator,
-    InternetConfig,
     NetworkType,
-    build_internet,
     classify_peers,
     synthesize_records,
 )

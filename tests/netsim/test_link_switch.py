@@ -1,6 +1,6 @@
 """Link and learning-switch behaviour."""
 
-from repro.netsim.addr import IPv4Address, MacAddress
+from repro.netsim.addr import MacAddress
 from repro.netsim.frames import EtherType, EthernetFrame
 from repro.netsim.link import Link, Port, Switch
 from repro.sim import Scheduler

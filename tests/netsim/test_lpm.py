@@ -1,10 +1,15 @@
 """LPM trie tests, including a hypothesis model check against a naive
-reference implementation."""
+reference implementation and differential tests of the stride-trie fast
+path (with and without the lookup cache) against a linear-scan oracle."""
 
+import random
+
+import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.netsim.addr import IPv4Address, IPv4Prefix
-from repro.netsim.lpm import LpmTable
+from repro import perf
+from repro.netsim.addr import IPv4Address, IPv4Prefix, IPv6Address, IPv6Prefix
+from repro.netsim.lpm import LinearScanLpm, LpmTable
 
 
 def prefix(text: str) -> IPv4Prefix:
@@ -86,8 +91,8 @@ def test_remove_prunes_nodes():
     table = LpmTable()
     table.insert(prefix("10.0.0.0/30"), "x")
     table.remove(prefix("10.0.0.0/30"))
-    # Root should have no children left after pruning.
-    assert table._root.children == [None, None]
+    # No internal nodes should be left after pruning.
+    assert table.node_count() == 0
 
 
 def test_clear():
@@ -149,4 +154,186 @@ def test_insert_remove_restores_empty(pairs):
     for p in set(inserted):
         assert table.remove(p)
     assert len(table) == 0
-    assert table._root.children == [None, None]
+    assert table.node_count() == 0
+
+
+# ---------------------------------------------------------------------------
+# Fast-path edge cases and cache-invalidation behaviour (PR 1)
+# ---------------------------------------------------------------------------
+
+
+BACKENDS = [
+    pytest.param({"stride": True, "cache": False}, id="stride"),
+    pytest.param({"stride": True, "cache": True}, id="stride+cache"),
+    pytest.param({"stride": False, "cache": False}, id="binary"),
+    pytest.param({"stride": False, "cache": True}, id="binary+cache"),
+]
+
+
+@pytest.mark.parametrize("kwargs", BACKENDS)
+def test_default_route_all_backends(kwargs):
+    table = LpmTable(**kwargs)
+    table.insert(prefix("0.0.0.0/0"), "default")
+    assert table.lookup(addr("1.2.3.4")).value == "default"
+    assert table.lookup(addr("255.255.255.255")).value == "default"
+    table.insert(prefix("10.0.0.0/8"), "ten")
+    assert table.lookup(addr("10.200.0.1")).value == "ten"
+    assert table.lookup(addr("11.0.0.1")).value == "default"
+    assert table.remove(prefix("0.0.0.0/0"))
+    assert table.lookup(addr("11.0.0.1")) is None
+
+
+@pytest.mark.parametrize("kwargs", BACKENDS)
+def test_host_route_wins_all_backends(kwargs):
+    table = LpmTable(**kwargs)
+    table.insert(prefix("10.0.0.0/24"), "net")
+    table.insert(prefix("10.0.0.7/32"), "host")
+    assert table.lookup(addr("10.0.0.7")).value == "host"
+    assert table.lookup(addr("10.0.0.8")).value == "net"
+    assert table.get(prefix("10.0.0.7/32")) == "host"
+    assert table.remove(prefix("10.0.0.7/32"))
+    assert table.lookup(addr("10.0.0.7")).value == "net"
+
+
+def test_remove_then_lookup_invalidates_cache():
+    table = LpmTable(stride=True, cache=True)
+    table.insert(prefix("10.0.0.0/8"), "big")
+    table.insert(prefix("10.1.0.0/16"), "small")
+    probe = addr("10.1.2.3")
+    assert table.lookup(probe).value == "small"
+    assert table.lookup(probe).value == "small"  # cached
+    assert table.cache_hits >= 1
+    assert table.remove(prefix("10.1.0.0/16"))
+    # The cached result covering 10.1/16 must have been dropped.
+    assert table.lookup(probe).value == "big"
+    assert table.remove(prefix("10.0.0.0/8"))
+    assert table.lookup(probe) is None
+
+
+def test_covering_insert_invalidates_cached_miss():
+    table = LpmTable(stride=True, cache=True)
+    probe = addr("192.0.2.55")
+    assert table.lookup(probe) is None
+    assert table.lookup(probe) is None  # the miss itself is cached
+    assert table.cache_hits >= 1
+    table.insert(prefix("192.0.2.0/24"), "now")
+    assert table.lookup(probe).value == "now"
+    # A covering insert must also supersede a cached *shorter* hit.
+    other = addr("192.0.2.200")
+    assert table.lookup(other).value == "now"
+    table.insert(prefix("192.0.2.128/25"), "more-specific")
+    assert table.lookup(other).value == "more-specific"
+
+
+def test_unrelated_insert_keeps_cache_entries():
+    table = LpmTable(stride=True, cache=True)
+    table.insert(prefix("10.0.0.0/8"), "ten")
+    probe = addr("10.1.2.3")
+    assert table.lookup(probe).value == "ten"
+    before = table.cache_len()
+    table.insert(prefix("172.16.0.0/12"), "unrelated")
+    assert table.cache_len() == before  # not covered -> not invalidated
+    hits = table.cache_hits
+    assert table.lookup(probe).value == "ten"
+    assert table.cache_hits == hits + 1
+
+
+def test_cache_is_bounded_lru():
+    table = LpmTable(stride=True, cache=True, cache_size=4)
+    table.insert(prefix("0.0.0.0/0"), "d")
+    for i in range(10):
+        table.lookup(IPv4Address(i))
+    assert table.cache_len() <= 4
+
+
+def test_lpm_table_honours_perf_flags():
+    with perf.flags(stride_lpm=False, lpm_cache=False):
+        table = LpmTable()
+        assert table.cache_len() == 0
+        table.insert(prefix("10.0.0.0/8"), 1)
+        table.lookup(addr("10.0.0.1"))
+        assert table.cache_misses == 0  # no cache layer at all
+    with perf.flags(stride_lpm=True, lpm_cache=True):
+        table = LpmTable()
+        table.insert(prefix("10.0.0.0/8"), 1)
+        table.lookup(addr("10.0.0.1"))
+        assert table.cache_misses == 1
+
+
+def test_ipv6_prefixes_supported_by_stride_trie():
+    table = LpmTable(stride=True, cache=True)
+    table.insert(IPv6Prefix.parse("2804:269c::/32"), "peering")
+    table.insert(IPv6Prefix.parse("2804:269c:fe::/48"), "pop")
+    assert table.lookup(
+        IPv6Address.parse("2804:269c:fe::1")
+    ).value == "pop"
+    assert table.lookup(
+        IPv6Address.parse("2804:269c:1::1")
+    ).value == "peering"
+    assert table.lookup(IPv6Address.parse("2001:db8::1")) is None
+
+
+@pytest.mark.parametrize("kwargs", BACKENDS)
+def test_randomized_differential_against_linear_scan(kwargs):
+    """≥1k random prefixes: the trie agrees with the linear-scan oracle
+    through a churn of inserts, removes, and lookups."""
+    rng = random.Random(20260806)
+    table = LpmTable(**kwargs)
+    oracle = LinearScanLpm()
+    live = []
+    for index in range(1200):
+        value = rng.getrandbits(32)
+        length = rng.choice(
+            [0, 1, 7, 8, 9, 15, 16, 17, 20, 23, 24, 25, 30, 31, 32]
+        )
+        p = IPv4Prefix.from_address(IPv4Address(value), length)
+        table.insert(p, index)
+        oracle.insert(p, index)
+        live.append(p)
+        if rng.random() < 0.25 and live:
+            victim = live.pop(rng.randrange(len(live)))
+            assert table.remove(victim) == (victim in oracle._entries)
+            oracle.remove(victim)
+        if index % 3 == 0:
+            probe = IPv4Address(rng.getrandbits(32))
+            got = table.lookup(probe)
+            want = oracle.lookup(probe)
+            if want is None:
+                assert got is None
+            else:
+                assert got is not None
+                assert got.prefix == want.prefix
+    assert len(table) == len(oracle)
+    # Full sweep at the end, including repeat (cached) probes.
+    for _ in range(500):
+        probe = IPv4Address(rng.getrandbits(32))
+        for attempt in range(2):
+            got = table.lookup(probe)
+            want = oracle.lookup(probe)
+            assert (got is None) == (want is None)
+            if got is not None:
+                assert got.prefix == want.prefix
+
+
+@settings(max_examples=40, deadline=None)
+@given(prefixes_st, st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_stride_and_binary_backends_agree(pairs, probe):
+    stride = LpmTable(stride=True, cache=False)
+    binary = LpmTable(stride=False, cache=False)
+    for index, (value, length) in enumerate(pairs):
+        p = IPv4Prefix.from_address(IPv4Address(value), length)
+        stride.insert(p, index)
+        binary.insert(p, index)
+    address = IPv4Address(probe)
+    got_s = stride.lookup(address)
+    got_b = binary.lookup(address)
+    assert (got_s is None) == (got_b is None)
+    if got_s is not None:
+        assert got_s.prefix == got_b.prefix
+        assert got_s.value == got_b.value
+    all_s = [e.prefix for e in stride.lookup_all(address)]
+    all_b = [e.prefix for e in binary.lookup_all(address)]
+    assert all_s == all_b
+    assert sorted(e.prefix.key() for e in stride.entries()) == sorted(
+        e.prefix.key() for e in binary.entries()
+    )

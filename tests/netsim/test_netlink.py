@@ -11,7 +11,6 @@ from repro.netsim.netlink import (
     RuleRecord,
 )
 from repro.netsim.stack import NetworkStack
-from repro.sim import Scheduler
 
 
 @pytest.fixture

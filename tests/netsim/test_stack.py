@@ -18,7 +18,6 @@ from repro.netsim.stack import (
     NetworkStack,
     RoutingRule,
 )
-from repro.sim import Scheduler
 
 
 def build_pair(scheduler, latency=0.001):

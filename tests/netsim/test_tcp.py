@@ -3,7 +3,6 @@
 import pytest
 
 from repro.netsim.addr import IPv4Address, MacAddress
-from repro.netsim.frames import IpProto
 from repro.netsim.link import Link, Port
 from repro.netsim.stack import NetworkStack
 from repro.netsim.tcp import TcpSegment, run_iperf

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.platform import PeeringPlatform, default_pop_configs
+from repro.platform import PeeringPlatform
 from repro.platform.experiment import (
     CapabilityRequest,
     ExperimentProposal,

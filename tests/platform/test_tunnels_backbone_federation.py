@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.netsim.addr import IPv4Address, MacAddress
+from repro.netsim.addr import MacAddress
 from repro.netsim.frames import IpProto, IPv4Packet, UdpDatagram
-from repro.netsim.link import Port, Switch
+from repro.netsim.link import Switch
 from repro.netsim.stack import NetworkStack
 from repro.platform.backbone import Backbone, BackboneLinkSpec
 from repro.platform.federation import CloudLabSite
@@ -12,7 +12,6 @@ from repro.platform.tunnels import TunnelManager
 from repro.platform.pop import PointOfPresence, PopConfig
 from repro.security.state import EnforcerState
 from repro.vbgp.allocator import GlobalNeighborRegistry
-from repro.sim import Scheduler
 
 
 @pytest.fixture

@@ -9,7 +9,6 @@ from repro.netsim.addr import IPv4Address, IPv4Prefix, MacAddress
 from repro.netsim.link import Port
 from repro.netsim.stack import NetworkStack
 from repro.router import Router, birdc, parse_config
-from repro.sim import Scheduler
 
 CONFIG = """
 router id 10.0.0.1;

@@ -17,7 +17,6 @@ from repro.security import (
     EnforcerState,
     ExperimentProfile,
 )
-from repro.sim import Scheduler
 from repro.vbgp.communities import announce_to_neighbor
 
 ALLOCATION = IPv4Prefix.parse("184.164.224.0/23")

@@ -1,6 +1,5 @@
 """Data-plane enforcement tests: anti-spoof, rate limiting, counters."""
 
-import pytest
 
 from repro.netsim.addr import IPv4Address, IPv4Prefix, MacAddress
 from repro.netsim.frames import (
@@ -18,7 +17,6 @@ from repro.security.data import (
     DataPlaneEnforcer,
     TokenBucketProgram,
 )
-from repro.sim import Scheduler
 
 EXP_MAC = MacAddress.parse("02:aa:00:00:00:02")
 ALLOCATION = IPv4Prefix.parse("184.164.224.0/24")

@@ -2,10 +2,6 @@
 
 import pytest
 
-from repro.bgp.attributes import Community
-from repro.netsim.addr import IPv4Prefix
-from repro.toolkit import ExperimentClient
-from repro.vbgp.communities import announce_to_neighbor
 
 
 def test_tunnels_and_sessions_up(connected_client):

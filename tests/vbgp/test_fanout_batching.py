@@ -1,0 +1,100 @@
+"""Fan-out batching must be functionally invisible.
+
+With ``fanout_batch`` on, routes sharing one attribute set are coalesced
+into multi-NLRI UPDATEs; experiments must see exactly the same routes
+(prefixes, next hops, AS paths, stable path ids) as with per-route
+messages — only the message count may drop.
+"""
+
+import pytest
+
+from repro import perf
+from repro.bgp.attributes import local_route
+from repro.netsim.addr import IPv4Prefix
+from repro.platform.pop import PointOfPresence, PopConfig
+from repro.security.capabilities import ExperimentProfile
+from repro.security.state import EnforcerState
+from repro.sim import Scheduler
+from repro.vbgp.allocator import GlobalNeighborRegistry
+
+from tests.vbgp.test_node import EXP_PREFIX, ExperimentEndpoint, add_neighbor
+
+PREFIXES = tuple(IPv4Prefix.parse("70.0.0.0/8").subnets(24))[:64]
+
+
+def _run_scenario(batch: bool):
+    """Announce a table, then attach a late experiment (full-table fanout),
+    then withdraw half; return what the experiment ended up with."""
+    with perf.flags(fanout_batch=batch):
+        scheduler = Scheduler()
+        pop = PointOfPresence(
+            scheduler,
+            PopConfig(name="testpop", pop_id=0),
+            platform_asn=47065,
+            platform_asns=frozenset({47065}),
+            registry=GlobalNeighborRegistry(),
+            enforcer_state=EnforcerState(),
+        )
+        pop.control_enforcer.register_experiment(
+            ExperimentProfile(name="x1", asns=frozenset({47065}),
+                              prefixes=(EXP_PREFIX,))
+        )
+        speaker, port = add_neighbor(
+            scheduler, pop, "n1", 65010, announce=PREFIXES
+        )
+        scheduler.run_for(5)
+        experiment = ExperimentEndpoint(scheduler, pop)
+        scheduler.run_for(5)
+        for prefix in PREFIXES[::2]:
+            speaker.withdraw(prefix)
+        scheduler.run_for(5)
+        routes = {
+            (route.prefix, route.path_id): (
+                route.next_hop, route.as_path.asns,
+                tuple(sorted(map(str, route.communities))),
+            )
+            for route in experiment.routes.values()
+        }
+        return routes, len(experiment.updates)
+
+
+def test_batching_is_functionally_invisible():
+    batched_routes, batched_updates = _run_scenario(batch=True)
+    plain_routes, plain_updates = _run_scenario(batch=False)
+    assert batched_routes == plain_routes
+    assert len(batched_routes) == len(PREFIXES) - len(PREFIXES[::2])
+    # The whole point: fewer messages for the same state.
+    assert batched_updates < plain_updates
+
+
+@pytest.mark.parametrize("batch", [True, False])
+def test_oversized_batches_are_chunked(batch):
+    """A full-table fanout larger than one UPDATE's NLRI budget must be
+    split, never raise message-too-large."""
+    with perf.flags(fanout_batch=batch):
+        scheduler = Scheduler()
+        pop = PointOfPresence(
+            scheduler,
+            PopConfig(name="testpop", pop_id=0),
+            platform_asn=47065,
+            platform_asns=frozenset({47065}),
+            registry=GlobalNeighborRegistry(),
+            enforcer_state=EnforcerState(),
+        )
+        pop.control_enforcer.register_experiment(
+            ExperimentProfile(name="x1", asns=frozenset({47065}),
+                              prefixes=(EXP_PREFIX,))
+        )
+        many = tuple(IPv4Prefix.parse("80.0.0.0/8").subnets(24))[:700]
+        speaker, port = add_neighbor(scheduler, pop, "n1", 65010)
+        experiment = ExperimentEndpoint(scheduler, pop)
+        scheduler.run_for(5)
+        for prefix in many:
+            speaker.originate(local_route(prefix, next_hop=port.address))
+        scheduler.run_for(10)
+        assert len(experiment.routes) == len(many)
+        # Withdraw everything at once: 700 withdrawals > one message.
+        for prefix in many:
+            speaker.withdraw(prefix)
+        scheduler.run_for(10)
+        assert len(experiment.routes) == 0

@@ -8,7 +8,7 @@ observable in isolation.
 
 import pytest
 
-from repro.bgp.attributes import Community, local_route, originate
+from repro.bgp.attributes import local_route, originate
 from repro.bgp.messages import UpdateMessage
 from repro.bgp.session import BgpSession, SessionConfig
 from repro.bgp.speaker import BgpSpeaker, NeighborConfig, SpeakerConfig
@@ -17,7 +17,6 @@ from repro.netsim.addr import IPv4Address, IPv4Prefix
 from repro.platform.pop import PointOfPresence, PopConfig
 from repro.security.state import EnforcerState
 from repro.security.capabilities import ExperimentProfile
-from repro.sim import Scheduler
 from repro.vbgp.allocator import GlobalNeighborRegistry
 from repro.vbgp.communities import announce_to_neighbor, block_neighbor
 
