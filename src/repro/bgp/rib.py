@@ -80,6 +80,21 @@ class AdjRibIn:
         return dropped
 
 
+@dataclass
+class LocRibStats:
+    """Always-on decision-process tallies (read by telemetry gauges).
+
+    Plain integer increments inside work the RIB is already doing — cheap
+    enough to keep unconditionally, so best-path churn is observable even
+    on deployments that never attach a telemetry hub.
+    """
+
+    reselects: int = 0
+    best_changes: int = 0
+    inserts: int = 0
+    removals: int = 0
+
+
 class LocRib:
     """Candidate routes per prefix across all peers, plus the best path.
 
@@ -99,6 +114,7 @@ class LocRib:
             Prefix, dict[tuple[str, Optional[int]], RibEntry]
         ] = {}
         self._best: dict[Prefix, RibEntry] = {}
+        self.stats = LocRibStats()
 
     def __len__(self) -> int:
         return sum(len(entries) for entries in self._candidates.values())
@@ -114,6 +130,7 @@ class LocRib:
         # pop-then-set keeps list semantics: a replacement moves to the end.
         entries.pop(key, None)
         entries[key] = RibEntry(peer=peer, route=route)
+        self.stats.inserts += 1
         return self._reselect(route.prefix)
 
     def remove(self, peer: str, prefix: Prefix,
@@ -124,6 +141,7 @@ class LocRib:
             return False
         if entries.pop((peer, path_id), None) is None:
             return False
+        self.stats.removals += 1
         if not entries:
             del self._candidates[prefix]
         return self._reselect(prefix)
@@ -138,6 +156,7 @@ class LocRib:
                 continue
             for key in stale:
                 del entries[key]
+            self.stats.removals += len(stale)
             if not entries:
                 del self._candidates[prefix]
             if self._reselect(prefix):
@@ -145,12 +164,14 @@ class LocRib:
         return changed
 
     def _reselect(self, prefix: Prefix) -> bool:
+        self.stats.reselects += 1
         entries = self._candidates.get(prefix)
         new_best = self._select(list(entries.values())) if entries else None
         old_best = self._best.get(prefix)
         if new_best is None:
             if old_best is not None:
                 del self._best[prefix]
+                self.stats.best_changes += 1
                 return True
             return False
         if old_best is not None and old_best.route == new_best.route and (
@@ -158,6 +179,7 @@ class LocRib:
         ):
             return False
         self._best[prefix] = new_best
+        self.stats.best_changes += 1
         return True
 
     def best(self, prefix: Prefix) -> Optional[RibEntry]:

@@ -10,8 +10,9 @@ teardown — reproducing the failure mode discussed in §7.3 of the paper.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Callable, Optional
+import itertools
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.bgp.errors import (
     CeaseSubcode,
@@ -33,6 +34,18 @@ from repro.bgp.messages import (
 from repro.bgp.transport import Channel
 from repro.netsim.addr import IPv4Address
 from repro.sim.scheduler import Scheduler
+from repro.telemetry.station import (
+    PeerDown,
+    PeerUp,
+    RouteMonitoring,
+    StatsReport,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import TelemetryHub
+
+# Fallback peer keys for sessions with neither description nor peer ASN.
+_anonymous_peers = itertools.count(1)
 
 
 class SessionState(enum.Enum):
@@ -88,12 +101,36 @@ class BgpSession:
         on_established: Optional[Callable[["BgpSession"], None]] = None,
         on_close: Optional[Callable[["BgpSession", str], None]] = None,
         on_route_refresh: Optional[Callable[["BgpSession"], None]] = None,
+        telemetry: Optional["TelemetryHub"] = None,
     ) -> None:
         self.scheduler = scheduler
         self.config = config
         self.channel = channel
         self.state = SessionState.IDLE
         self.stats = SessionStats()
+        self.telemetry = telemetry
+        if config.description:
+            self.peer_key = config.description
+        elif config.peer_asn is not None:
+            self.peer_key = f"as{config.peer_asn}"
+        else:
+            self.peer_key = f"session-{next(_anonymous_peers)}"
+        self._m_updates_in = None
+        self._m_updates_out = None
+        self._m_transitions = None
+        if telemetry is not None:
+            updates = telemetry.registry.counter(
+                "bgp_session_updates",
+                "UPDATE messages per session and direction",
+                labels=("peer", "direction"),
+            )
+            self._m_updates_in = updates.labels(self.peer_key, "in")
+            self._m_updates_out = updates.labels(self.peer_key, "out")
+            self._m_transitions = telemetry.registry.counter(
+                "bgp_session_transitions",
+                "BGP FSM transitions per session",
+                labels=("peer", "state"),
+            )
         self.peer_open: Optional[OpenMessage] = None
         self.negotiated_hold_time = config.hold_time
         self.addpath_active = False
@@ -110,6 +147,16 @@ class BgpSession:
     @property
     def established(self) -> bool:
         return self.state == SessionState.ESTABLISHED
+
+    def _transition(self, state: SessionState) -> None:
+        """Move the FSM; counts and traces the transition when telemetry
+        is attached (the disabled path is one None test)."""
+        self.state = state
+        if self._m_transitions is not None:
+            self._m_transitions.labels(self.peer_key, state.value).inc()
+            self.telemetry.tracer.event(
+                "bgp.session.fsm", peer=self.peer_key, state=state.value
+            )
 
     @property
     def peer_asn(self) -> Optional[int]:
@@ -135,7 +182,7 @@ class BgpSession:
             capabilities=tuple(capabilities),
         )
         self.channel.send(open_message.encode())
-        self.state = SessionState.OPEN_SENT
+        self._transition(SessionState.OPEN_SENT)
         self._arm_hold_timer()
 
     def send_update(self, update: UpdateMessage) -> None:
@@ -144,6 +191,8 @@ class BgpSession:
                 ErrorCode.FSM_ERROR, message="session not established"
             )
         self.stats.updates_sent += 1
+        if self._m_updates_out is not None:
+            self._m_updates_out.inc()
         self.channel.send(update.encode(addpath=self.addpath_active))
 
     def send_route_refresh(self) -> None:
@@ -169,7 +218,7 @@ class BgpSession:
 
     def shutdown(self, subcode: CeaseSubcode = CeaseSubcode.ADMIN_SHUTDOWN) -> None:
         if self.state in (SessionState.CLOSED, SessionState.IDLE):
-            self.state = SessionState.CLOSED
+            self._transition(SessionState.CLOSED)
             return
         self.notify_and_close(
             NotificationError(ErrorCode.CEASE, subcode, message="shutdown")
@@ -203,6 +252,15 @@ class BgpSession:
                     ErrorCode.FSM_ERROR, message="UPDATE before ESTABLISHED"
                 )
             self.stats.updates_received += 1
+            tele = self.telemetry
+            if tele is not None:
+                self._m_updates_in.inc()
+                tele.station.publish(RouteMonitoring(
+                    peer=self.peer_key,
+                    time=self.scheduler.now,
+                    announced=tuple(message.routes()),
+                    withdrawn=tuple(message.withdrawn),
+                ))
             self._on_update(self, message)
         elif isinstance(message, RouteRefreshMessage):
             if not self.established:
@@ -240,13 +298,24 @@ class BgpSession:
         # it symmetrically (both directions active when both sides offer it).
         self.addpath_active = self.config.addpath and peer_addpath is not None
         self._decoder.addpath = self.addpath_active
-        self.state = SessionState.OPEN_CONFIRM
+        self._transition(SessionState.OPEN_CONFIRM)
         self.send_keepalive()
 
     def _handle_keepalive(self) -> None:
         if self.state == SessionState.OPEN_CONFIRM:
-            self.state = SessionState.ESTABLISHED
+            self._transition(SessionState.ESTABLISHED)
             self._arm_keepalive_timer()
+            tele = self.telemetry
+            if tele is not None:
+                tele.station.publish(PeerUp(
+                    peer=self.peer_key,
+                    time=self.scheduler.now,
+                    local_asn=self.config.local_asn,
+                    peer_asn=self.peer_asn,
+                    local_id=str(self.config.local_id),
+                    addpath=self.addpath_active,
+                    hold_time=self.negotiated_hold_time,
+                ))
             if self._on_established is not None:
                 self._on_established(self)
 
@@ -284,10 +353,32 @@ class BgpSession:
         self.send_keepalive()
         self._arm_keepalive_timer()
 
+    def publish_stats(self) -> None:
+        """Stream a BMP-style Stats Report for this session now."""
+        tele = self.telemetry
+        if tele is None:
+            return
+        tele.station.publish(StatsReport(
+            peer=self.peer_key,
+            time=self.scheduler.now,
+            stats=tuple(
+                (stat.name, getattr(self.stats, stat.name))
+                for stat in dataclass_fields(self.stats)
+            ),
+        ))
+
     def _teardown(self, reason: str) -> None:
         if self.state == SessionState.CLOSED:
             return
-        self.state = SessionState.CLOSED
+        was_established = self.state == SessionState.ESTABLISHED
+        self._transition(SessionState.CLOSED)
+        tele = self.telemetry
+        if tele is not None and was_established:
+            # BMP ordering: final stats, then Peer Down.
+            self.publish_stats()
+            tele.station.publish(PeerDown(
+                peer=self.peer_key, time=self.scheduler.now, reason=reason
+            ))
         if self._hold_event is not None:
             self._hold_event.cancel()
         if self._keepalive_event is not None:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.bgp.attributes import Route
 from repro.bgp.decision import PeerContext, best_path
@@ -23,6 +23,9 @@ from repro.bgp.session import BgpSession, SessionConfig
 from repro.bgp.transport import Channel
 from repro.netsim.addr import IPv4Address, Prefix
 from repro.sim.scheduler import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import TelemetryHub
 
 LOCAL_PEER = "__local__"
 
@@ -104,7 +107,8 @@ RouteCallback = Callable[[str, Route], None]
 class BgpSpeaker:
     """One BGP routing process."""
 
-    def __init__(self, scheduler: Scheduler, config: SpeakerConfig) -> None:
+    def __init__(self, scheduler: Scheduler, config: SpeakerConfig,
+                 telemetry: Optional["TelemetryHub"] = None) -> None:
         self.scheduler = scheduler
         self.config = config
         self.neighbors: dict[str, Neighbor] = {}
@@ -114,6 +118,44 @@ class BgpSpeaker:
         self.on_route_received: list[RouteCallback] = []
         self.updates_processed = 0
         self.allow_own_asn_in = False  # loop-check override (poisoning tests)
+        self.telemetry = telemetry
+        self.telemetry_name = f"as{config.asn}/{config.router_id}"
+        self._m_updates = None
+        if telemetry is not None:
+            self._register_telemetry(telemetry)
+
+    def _register_telemetry(self, telemetry: "TelemetryHub") -> None:
+        """Declare this speaker's instruments on the shared registry.
+
+        RIB sizes and decision-process tallies are *function gauges*:
+        evaluated only at scrape time, so they cost nothing per update.
+        """
+        registry = telemetry.registry
+        name = self.telemetry_name
+        self._m_updates = registry.counter(
+            "bgp_speaker_updates",
+            "UPDATE messages processed by the routing engine",
+            labels=("speaker",),
+        ).labels(name)
+        rib_gauges = (
+            ("bgp_rib_loc_routes", "Loc-RIB candidate routes",
+             lambda: len(self.loc_rib)),
+            ("bgp_rib_loc_prefixes", "Loc-RIB distinct prefixes",
+             lambda: self.loc_rib.prefix_count),
+            ("bgp_rib_best_changes", "Cumulative best-path changes",
+             lambda: self.loc_rib.stats.best_changes),
+            ("bgp_rib_reselects", "Cumulative decision-process runs",
+             lambda: self.loc_rib.stats.reselects),
+            ("bgp_speaker_neighbors_established",
+             "Neighbors with an ESTABLISHED session",
+             lambda: sum(
+                 1 for n in self.neighbors.values() if n.established
+             )),
+        )
+        for metric, help_text, fn in rib_gauges:
+            registry.gauge(metric, help_text, labels=("speaker",)).labels(
+                name
+            ).set_function(fn)
 
     # ------------------------------------------------------------------
     # Neighbor management
@@ -146,6 +188,7 @@ class BgpSpeaker:
             on_close=lambda session, reason, n=config.name: (
                 self._session_closed(n, reason)
             ),
+            telemetry=self.telemetry,
         )
         self.neighbors[config.name] = neighbor
         neighbor.session.start()
@@ -191,6 +234,22 @@ class BgpSpeaker:
         if neighbor is None:
             return
         self.updates_processed += 1
+        tele = self.telemetry
+        if tele is None:
+            self._apply_update(neighbor, neighbor_name, update)
+            return
+        self._m_updates.inc()
+        token = tele.tracer.begin(
+            "bgp.speaker.update", speaker=self.telemetry_name,
+            peer=neighbor_name,
+        )
+        try:
+            self._apply_update(neighbor, neighbor_name, update)
+        finally:
+            tele.tracer.end(token)
+
+    def _apply_update(self, neighbor: Neighbor, neighbor_name: str,
+                      update: UpdateMessage) -> None:
         changed: set[Prefix] = set()
         for prefix, path_id in update.withdrawn:
             removed = neighbor.adj_rib_in.withdraw(prefix, path_id)

@@ -10,6 +10,7 @@ relies on looking glasses' restricted command interface.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.bgp.attributes import Route
 from repro.bgp.speaker import BgpSpeaker, NeighborConfig, SpeakerConfig
@@ -17,6 +18,7 @@ from repro.bgp.transport import connect_pair
 from repro.internet.asnode import InternetAS
 from repro.netsim.addr import IPv4Address, Prefix
 from repro.sim.scheduler import Scheduler
+from repro.telemetry import BmpMessage, RouteMonitoring, TelemetryHub
 
 
 @dataclass
@@ -39,19 +41,33 @@ class LookingGlass:
 
     COLLECTOR_ASN = 6447  # RouteViews' ASN, as a nod
 
-    def __init__(self, scheduler: Scheduler, name: str = "collector") -> None:
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        name: str = "collector",
+        telemetry: Optional[TelemetryHub] = None,
+    ) -> None:
         self.scheduler = scheduler
         self.name = name
+        # The collector *is* a BMP monitoring station: its sessions stream
+        # PeerUp/RouteMonitoring/PeerDown to the station, which maintains
+        # the per-peer RIB-in mirrors the query surface reads.
+        self.telemetry = (
+            telemetry if telemetry is not None
+            else TelemetryHub(scheduler, name=f"lg-{name}")
+        )
+        self.station = self.telemetry.station
         self.speaker = BgpSpeaker(
             scheduler,
             SpeakerConfig(
                 asn=self.COLLECTOR_ASN,
                 router_id=IPv4Address.parse("198.32.4.1"),
             ),
+            telemetry=self.telemetry,
         )
-        # (peer asn, prefix) -> collected route.
+        # (peer asn, prefix) -> collected route (announce history).
         self.table: dict[tuple[int, tuple], CollectedRoute] = {}
-        self.speaker.on_route_received.append(self._record)
+        self.station.subscribe(self._on_bmp)
         self._peer_asns: dict[str, int] = {}
 
     def peer_with(self, node: InternetAS, rtt: float = 0.02) -> None:
@@ -75,20 +91,25 @@ class LookingGlass:
             theirs,
         )
 
-    def _record(self, peer: str, route: Route) -> None:
-        asn = self._peer_asns.get(peer)
+    def _on_bmp(self, message: BmpMessage) -> None:
+        """Station subscriber: fold RouteMonitoring into the history table."""
+        if not isinstance(message, RouteMonitoring):
+            return
+        asn = self._peer_asns.get(message.peer)
         if asn is None:
             return
-        key = (asn, route.prefix.key())
         now = self.scheduler.now
-        existing = self.table.get(key)
-        if existing is None:
-            self.table[key] = CollectedRoute(
-                peer_asn=asn, route=route, first_seen=now, last_updated=now
-            )
-        else:
-            existing.route = route
-            existing.last_updated = now
+        for route in message.announced:
+            key = (asn, route.prefix.key())
+            existing = self.table.get(key)
+            if existing is None:
+                self.table[key] = CollectedRoute(
+                    peer_asn=asn, route=route,
+                    first_seen=now, last_updated=now,
+                )
+            else:
+                existing.route = route
+                existing.last_updated = now
 
     # -- the restricted CLI ------------------------------------------------
 
@@ -111,12 +132,12 @@ class LookingGlass:
     def visible_paths(self, prefix: Prefix) -> set[tuple[int, ...]]:
         """Distinct AS paths *currently* visible for a prefix.
 
-        Reads the collector's live RIB (withdrawn routes disappear), which
-        is what hidden-routes studies compare across announcement
-        configurations. ``self.table`` keeps the announce history with
-        first-seen timestamps.
+        Reads the station's per-peer RIB-in mirrors (withdrawn routes
+        disappear), which is what hidden-routes studies compare across
+        announcement configurations. ``self.table`` keeps the announce
+        history with first-seen timestamps.
         """
         return {
-            entry.route.as_path.asns
-            for entry in self.speaker.loc_rib.candidates(prefix)
+            route.as_path.asns
+            for _peer, route in self.station.routes_for(prefix)
         }

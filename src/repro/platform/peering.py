@@ -32,6 +32,7 @@ from repro.platform.tunnels import Tunnel
 from repro.security.capabilities import ExperimentProfile
 from repro.security.state import EnforcerState
 from repro.sim.scheduler import Scheduler
+from repro.telemetry import TelemetryHub
 from repro.vbgp.allocator import GlobalNeighborRegistry
 
 
@@ -99,9 +100,11 @@ class PeeringPlatform:
         scheduler: Scheduler,
         pop_configs: Optional[list[PopConfig]] = None,
         platform_asn: int = PLATFORM_ASN,
+        telemetry: Optional[TelemetryHub] = None,
     ) -> None:
         self.scheduler = scheduler
         self.platform_asn = platform_asn
+        self.telemetry = telemetry
         self.platform_asns = frozenset(PLATFORM_ASNS)
         self.resources = ResourcePool()
         self.registry = GlobalNeighborRegistry()
@@ -128,6 +131,7 @@ class PeeringPlatform:
             platform_asns=self.platform_asns,
             registry=self.registry,
             enforcer_state=self.enforcer_state,
+            telemetry=self.telemetry,
         )
         self.pops[config.name] = pop
         if config.backbone:

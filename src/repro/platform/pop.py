@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.bgp.transport import Channel, connect_pair
 from repro.netsim.addr import IPv4Address, IPv4Prefix, MacAddress
@@ -23,6 +23,9 @@ from repro.sim.scheduler import Scheduler
 from repro.platform.tunnels import TunnelManager
 from repro.vbgp.allocator import GlobalNeighborRegistry
 from repro.vbgp.node import VbgpNode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import TelemetryHub
 
 
 @dataclass
@@ -68,6 +71,7 @@ class PointOfPresence:
         platform_asns: frozenset[int],
         registry: GlobalNeighborRegistry,
         enforcer_state: EnforcerState,
+        telemetry: Optional["TelemetryHub"] = None,
     ) -> None:
         self.scheduler = scheduler
         self.config = config
@@ -105,10 +109,14 @@ class PointOfPresence:
         )
         self.stack.add_address("exp0", self.tunnels.server_ip, 24)
 
+        self.telemetry = telemetry
         self.control_enforcer = ControlPlaneEnforcer(
-            scheduler, platform_asns=platform_asns, state=enforcer_state
+            scheduler, platform_asns=platform_asns, state=enforcer_state,
+            telemetry=telemetry,
         )
-        self.data_enforcer = DataPlaneEnforcer(scheduler, pop=config.name)
+        self.data_enforcer = DataPlaneEnforcer(
+            scheduler, pop=config.name, telemetry=telemetry
+        )
         self.node = VbgpNode(
             scheduler,
             name=config.name,
@@ -121,6 +129,7 @@ class PointOfPresence:
             exp_iface="exp0",
             control_enforcer=self.control_enforcer,
             data_enforcer=self.data_enforcer,
+            telemetry=telemetry,
         )
         self.neighbor_ports: dict[str, NeighborPort] = {}
 

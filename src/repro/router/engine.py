@@ -9,7 +9,7 @@ incrementally, and the engine reports what it kept versus reset.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.bgp.policy import RouteMap
 from repro.bgp.speaker import BgpSpeaker, NeighborConfig, SpeakerConfig
@@ -18,6 +18,9 @@ from repro.netsim.stack import NetworkStack
 from repro.router.config import BgpProtocol, RouterConfig
 from repro.router.kernel import KernelSync
 from repro.sim.scheduler import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import TelemetryHub
 
 
 @dataclass
@@ -44,11 +47,13 @@ class Router:
         config: RouterConfig,
         stack: Optional[NetworkStack] = None,
         name: str = "router",
+        telemetry: Optional["TelemetryHub"] = None,
     ) -> None:
         self.scheduler = scheduler
         self.config = config
         self.stack = stack
         self.name = name
+        self.telemetry = telemetry
         self.speaker = BgpSpeaker(
             scheduler,
             SpeakerConfig(
@@ -57,6 +62,7 @@ class Router:
                 hold_time=config.hold_time,
                 mrai=config.mrai,
             ),
+            telemetry=telemetry,
         )
         self.kernel_syncs: dict[str, KernelSync] = {}
         self.reconfigurations = 0
@@ -177,7 +183,36 @@ class Router:
         for kernel_name in new_config.kernel_protocols:
             if kernel_name not in self.kernel_syncs:
                 self._add_kernel(kernel_name)
+        self._record_reconfigure(report)
         return report
+
+    def _record_reconfigure(self, report: ReconfigureReport) -> None:
+        tele = self.telemetry
+        if tele is None:
+            return
+        registry = tele.registry
+        for metric, help_text, amount in (
+            ("router_reconfigurations", "Configuration pushes applied", 1),
+            ("router_sessions_kept",
+             "Sessions preserved across reconfiguration",
+             len(report.sessions_kept)),
+            ("router_sessions_reset",
+             "Sessions reset by reconfiguration",
+             len(report.sessions_reset)),
+            ("router_filters_updated",
+             "Filters hot-swapped on live sessions",
+             len(report.filters_updated)),
+        ):
+            if amount:
+                registry.counter(
+                    metric, help_text, labels=("router",)
+                ).labels(self.name).inc(amount)
+        tele.tracer.event(
+            "router.reconfigure", router=self.name,
+            kept=len(report.sessions_kept),
+            reset=len(report.sessions_reset),
+            disruptive=report.disruptive,
+        )
 
     def neighbor_config_for_with(
         self, config: RouterConfig, protocol: BgpProtocol

@@ -25,7 +25,7 @@ an unchecked announcement reach the Internet.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.bgp.attributes import Route
 from repro.netsim.addr import IPv4Address, IPv4Prefix, IPv6Prefix
@@ -33,6 +33,9 @@ from repro.security.capabilities import Capability, ExperimentProfile
 from repro.security.state import EnforcerState
 from repro.sim.scheduler import Scheduler
 from repro.vbgp.communities import is_control
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import TelemetryHub
 
 
 class EnforcerOverloaded(RuntimeError):
@@ -64,6 +67,7 @@ class ControlPlaneEnforcer:
         scheduler: Scheduler,
         platform_asns: frozenset[int],
         state: Optional[EnforcerState] = None,
+        telemetry: Optional["TelemetryHub"] = None,
     ) -> None:
         self.scheduler = scheduler
         self.platform_asns = platform_asns
@@ -73,6 +77,26 @@ class ControlPlaneEnforcer:
         self.overloaded = False
         self.routes_checked = 0
         self.routes_rejected = 0
+        self._m_accepts = None
+        self._m_rejects = None
+        self._m_strips = None
+        if telemetry is not None:
+            registry = telemetry.registry
+            self._m_accepts = registry.counter(
+                "security_control_accepts",
+                "Announcements accepted by the control-plane enforcer",
+                labels=("pop",),
+            )
+            self._m_rejects = registry.counter(
+                "security_control_rejects",
+                "Announcements rejected, by enforcement policy",
+                labels=("pop", "policy"),
+            )
+            self._m_strips = registry.counter(
+                "security_control_strips",
+                "Attributes stripped for missing capabilities",
+                labels=("pop", "attribute"),
+            )
 
     def register_experiment(self, profile: ExperimentProfile) -> None:
         self.profiles[profile.name] = profile
@@ -104,20 +128,26 @@ class ControlPlaneEnforcer:
             self.routes_checked += 1
             if profile is None:
                 self._reject(outcome, experiment, pop, route,
-                             "unknown experiment", now)
+                             "unknown experiment", now,
+                             policy="unknown-experiment")
                 continue
-            reason = self._static_checks(profile, route, allowed_asns)
-            if reason is not None:
-                self._reject(outcome, experiment, pop, route, reason, now)
+            check = self._static_checks(profile, route, allowed_asns)
+            if check is not None:
+                policy, reason = check
+                self._reject(outcome, experiment, pop, route, reason, now,
+                             policy=policy)
                 continue
             transformed = self._police_attributes(
                 profile, route, outcome, experiment, pop, now
             )
             if not self.state.record(experiment, route.prefix, pop, now):
                 self._reject(outcome, experiment, pop, route,
-                             "update rate limit exceeded", now)
+                             "update rate limit exceeded", now,
+                             policy="rate-limit")
                 continue
             outcome.accepted.append(transformed)
+            if self._m_accepts is not None:
+                self._m_accepts.labels(pop).inc()
         return outcome
 
     def check_withdraw(self, experiment: str, prefix, pop: str) -> bool:
@@ -126,22 +156,36 @@ class ControlPlaneEnforcer:
 
     # -- checks -------------------------------------------------------------
 
-    def _static_checks(self, profile: ExperimentProfile, route: Route,
-                       allowed_asns: frozenset[int]) -> Optional[str]:
+    def _static_checks(
+        self, profile: ExperimentProfile, route: Route,
+        allowed_asns: frozenset[int],
+    ) -> Optional[tuple[str, str]]:
+        """Returns ``(policy, reason)`` on rejection, else ``None``.
+
+        The policy tag is stable and coarse (it labels the per-policy
+        reject counters); the reason stays free-form for attribution.
+        """
         if isinstance(route.prefix, IPv6Prefix):
             reason = self._check_6to4(profile, route.prefix)
             if reason is not None:
-                return reason
+                return "6to4", reason
         elif not profile.owns_prefix(route.prefix):
-            return f"prefix {route.prefix} not allocated to experiment"
+            return (
+                "prefix-ownership",
+                f"prefix {route.prefix} not allocated to experiment",
+            )
         elif route.prefix.length > profile.max_announced_length:
             return (
+                "prefix-length",
                 f"prefix {route.prefix} more specific than "
-                f"/{profile.max_announced_length}"
+                f"/{profile.max_announced_length}",
             )
         path = route.as_path
         if path.length > profile.max_as_path_length:
-            return f"AS path longer than {profile.max_as_path_length}"
+            return (
+                "as-path-length",
+                f"AS path longer than {profile.max_as_path_length}",
+            )
         # Transit capability: the experiment may legitimately re-announce
         # routes originated (and carried) by other networks (§4.7).
         has_transit = profile.has(Capability.PREFIX_TRANSIT)
@@ -149,13 +193,14 @@ class ControlPlaneEnforcer:
         if origin is not None and origin not in allowed_asns and (
             not has_transit
         ):
-            return f"unauthorized origin AS{origin}"
+            return "origin", f"unauthorized origin AS{origin}"
         foreign = {asn for asn in path.asns if asn not in allowed_asns}
         if foreign and not has_transit:
             if not profile.has(Capability.AS_PATH_POISONING, len(foreign)):
                 return (
+                    "poisoning",
                     f"{len(foreign)} foreign ASNs in path without "
-                    "poisoning/transit capability"
+                    "poisoning/transit capability",
                 )
         return None
 
@@ -197,6 +242,8 @@ class ControlPlaneEnforcer:
             Capability.BGP_COMMUNITIES, len(free_form)
         ):
             route = route.without_communities(*free_form)
+            if self._m_strips is not None:
+                self._m_strips.labels(pop, "communities").inc()
             outcome.violations.append(Violation(
                 experiment=experiment, pop=pop, prefix=str(route.prefix),
                 reason="communities stripped (no capability)", time=now,
@@ -206,6 +253,8 @@ class ControlPlaneEnforcer:
             len(route.attributes.large_communities),
         ):
             route = route.with_attributes(large_communities=frozenset())
+            if self._m_strips is not None:
+                self._m_strips.labels(pop, "large-communities").inc()
             outcome.violations.append(Violation(
                 experiment=experiment, pop=pop, prefix=str(route.prefix),
                 reason="large communities stripped (no capability)", time=now,
@@ -214,6 +263,8 @@ class ControlPlaneEnforcer:
             Capability.TRANSITIVE_ATTRIBUTES
         ):
             route = route.without_unknown_attributes()
+            if self._m_strips is not None:
+                self._m_strips.labels(pop, "transitive").inc()
             outcome.violations.append(Violation(
                 experiment=experiment, pop=pop, prefix=str(route.prefix),
                 reason="transitive attributes stripped (no capability)",
@@ -222,8 +273,11 @@ class ControlPlaneEnforcer:
         return route
 
     def _reject(self, outcome: EnforcementOutcome, experiment: str, pop: str,
-                route: Route, reason: str, now: float) -> None:
+                route: Route, reason: str, now: float,
+                policy: str = "other") -> None:
         self.routes_rejected += 1
+        if self._m_rejects is not None:
+            self._m_rejects.labels(pop, policy).inc()
         outcome.violations.append(Violation(
             experiment=experiment, pop=pop, prefix=str(route.prefix),
             reason=reason, time=now,

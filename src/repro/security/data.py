@@ -19,12 +19,15 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.netsim.addr import IPv4Prefix, MacAddress
 from repro.netsim.frames import EtherType, EthernetFrame, IPv4Packet
 from repro.netsim.lpm import LpmTable
 from repro.sim.scheduler import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import TelemetryHub
 
 
 class BpfVerdict(enum.Enum):
@@ -145,7 +148,12 @@ class DataPlaneEnforcer:
     node fails closed for that frame.
     """
 
-    def __init__(self, scheduler: Scheduler, pop: str) -> None:
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        pop: str,
+        telemetry: Optional["TelemetryHub"] = None,
+    ) -> None:
         self.scheduler = scheduler
         self.pop = pop
         self.counters = CounterProgram()
@@ -153,6 +161,20 @@ class DataPlaneEnforcer:
         self.programs: list[BpfProgram] = [self.counters, self.anti_spoof]
         self.frames_seen = 0
         self.frames_dropped = 0
+        self._m_frames = None
+        self._m_drops = None
+        if telemetry is not None:
+            registry = telemetry.registry
+            self._m_frames = registry.counter(
+                "security_data_frames",
+                "Frames inspected by the data-plane enforcer",
+                labels=("pop",),
+            ).labels(pop)
+            self._m_drops = registry.counter(
+                "security_data_drops",
+                "Frames dropped by the data-plane enforcer, per program",
+                labels=("pop", "program"),
+            )
 
     def add_program(self, program: BpfProgram) -> None:
         self.programs.append(program)
@@ -168,10 +190,14 @@ class DataPlaneEnforcer:
                 node: object) -> Optional[EthernetFrame]:
         """vBGP hook entry point; None means the frame was dropped."""
         self.frames_seen += 1
+        if self._m_frames is not None:
+            self._m_frames.inc()
         ctx = BpfContext(now=self.scheduler.now, iface=iface, pop=self.pop)
         for program in self.programs:
             verdict, frame = program.run(frame, ctx)
             if verdict == BpfVerdict.DROP:
                 self.frames_dropped += 1
+                if self._m_drops is not None:
+                    self._m_drops.labels(self.pop, program.name).inc()
                 return None
         return frame

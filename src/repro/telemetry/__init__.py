@@ -1,0 +1,115 @@
+"""repro.telemetry — runtime observability for the virtualized BGP edge.
+
+The paper's operators run PEERING as a shared production platform:
+approving experiments, attributing announcements and traffic to clients,
+debugging muxes.  That requires *seeing* the platform while it runs.  This
+package is the observability plane:
+
+* :mod:`repro.telemetry.metrics` — a :class:`MetricsRegistry` of labeled
+  ``Counter`` / ``Gauge`` / ``Histogram`` families,
+* :mod:`repro.telemetry.export` — Prometheus-text and JSON exporters,
+* :mod:`repro.telemetry.trace` — a :class:`Tracer` with nestable spans
+  over a bounded ring buffer, clocked by the simulation scheduler,
+* :mod:`repro.telemetry.station` — a BMP-style (RFC 7854)
+  :class:`MonitoringStation` that sessions stream ``PeerUp`` /
+  ``RouteMonitoring`` / ``StatsReport`` / ``PeerDown`` messages to, with
+  per-peer Adj-RIB-In mirrors and subscriber fan-out.
+
+The :class:`TelemetryHub` bundles one of each.  Instrumented components
+(`bgp.session`, `bgp.speaker`, `router.engine`, `security.*`,
+`vbgp.node`) all take ``telemetry: Optional[TelemetryHub] = None`` and
+**default to None**: the disabled path is a single attribute-is-None test
+per instrumentation point, keeping the fast path within noise of the
+un-instrumented PR-1 baseline (enforced by a tier-1 overhead test).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.scheduler import Scheduler
+from repro.telemetry.export import json_text, prometheus_text, registry_to_dict
+from repro.telemetry.metrics import (
+    Counter,
+    CounterFamily,
+    Gauge,
+    GaugeFamily,
+    Histogram,
+    HistogramFamily,
+    MetricsRegistry,
+)
+from repro.telemetry.station import (
+    BmpMessage,
+    MonitoringStation,
+    PeerDown,
+    PeerRecord,
+    PeerUp,
+    RouteMonitoring,
+    StatsReport,
+)
+from repro.telemetry.trace import SpanToken, TraceEvent, Tracer
+
+__all__ = [
+    "BmpMessage",
+    "Counter",
+    "CounterFamily",
+    "Gauge",
+    "GaugeFamily",
+    "Histogram",
+    "HistogramFamily",
+    "MetricsRegistry",
+    "MonitoringStation",
+    "PeerDown",
+    "PeerRecord",
+    "PeerUp",
+    "RouteMonitoring",
+    "SpanToken",
+    "StatsReport",
+    "TelemetryHub",
+    "TraceEvent",
+    "Tracer",
+    "json_text",
+    "prometheus_text",
+    "registry_to_dict",
+]
+
+
+class TelemetryHub:
+    """One registry + tracer + station, shared by a deployment.
+
+    Pass one hub into :class:`~repro.platform.peering.PeeringPlatform`
+    (or any individual component) to light up the whole observability
+    plane; pass ``None`` (the default everywhere) to run dark at
+    near-zero cost.
+    """
+
+    def __init__(
+        self,
+        scheduler: Optional[Scheduler] = None,
+        name: str = "platform",
+        trace_capacity: int = 4096,
+        station_history: int = 8192,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if clock is None:
+            if scheduler is not None:
+                clock = lambda: scheduler.now  # noqa: E731
+            else:
+                clock = lambda: 0.0  # noqa: E731
+        self.name = name
+        self.clock = clock
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(clock=clock, capacity=trace_capacity)
+        self.station = MonitoringStation(
+            name=f"{name}-station", history=station_history
+        )
+
+    @property
+    def now(self) -> float:
+        return self.clock()
+
+    def render_prometheus(self) -> str:
+        return prometheus_text(self.registry)
+
+    def render_json(self) -> str:
+        return json_text(self.registry)

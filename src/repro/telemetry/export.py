@@ -1,0 +1,111 @@
+"""Exporters: Prometheus text exposition format and JSON.
+
+Both walk a :class:`~repro.telemetry.metrics.MetricsRegistry` at call time
+(function gauges are evaluated here), emit families in sorted-name order
+and samples in insertion order, and are deterministic for a deterministic
+simulation — which is what makes the golden-output tests possible.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.telemetry.metrics import (
+    CounterFamily,
+    HistogramFamily,
+    MetricsRegistry,
+)
+
+__all__ = ["prometheus_text", "registry_to_dict", "json_text"]
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _labels_fragment(names: tuple[str, ...], values: tuple[str, ...],
+                     extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [
+        f'{name}="{_escape(value)}"'
+        for name, value in zip(names, values)
+    ]
+    pairs.extend(f'{name}="{_escape(value)}"' for name, value in extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(pairs) + "}"
+
+
+def _format_number(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    prefix = registry.namespace
+    for family in registry.families():
+        name = f"{prefix}_{family.name}" if prefix else family.name
+        if family.help:
+            lines.append(f"# HELP {name} {family.help}")
+        lines.append(f"# TYPE {name} {family.kind}")
+        if isinstance(family, HistogramFamily):
+            for values, histogram in family.samples():
+                for bound, cumulative in histogram.cumulative():
+                    fragment = _labels_fragment(
+                        family.label_names, values,
+                        extra=(("le", _format_number(bound)),),
+                    )
+                    lines.append(f"{name}_bucket{fragment} {cumulative}")
+                fragment = _labels_fragment(family.label_names, values)
+                lines.append(
+                    f"{name}_sum{fragment} {_format_number(histogram.sum)}"
+                )
+                lines.append(f"{name}_count{fragment} {histogram.count}")
+        else:
+            suffix = "_total" if isinstance(family, CounterFamily) else ""
+            for values, child in family.samples():
+                fragment = _labels_fragment(family.label_names, values)
+                lines.append(
+                    f"{name}{suffix}{fragment} "
+                    f"{_format_number(child.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def registry_to_dict(registry: MetricsRegistry) -> dict:
+    """A JSON-ready snapshot of every family and sample."""
+    families = []
+    for family in registry.families():
+        samples = []
+        for values, child in family.samples():
+            labels = dict(zip(family.label_names, values))
+            if isinstance(family, HistogramFamily):
+                samples.append({
+                    "labels": labels,
+                    "sum": child.sum,
+                    "count": child.count,
+                    "buckets": [
+                        {"le": ("+Inf" if bound == math.inf else bound),
+                         "count": cumulative}
+                        for bound, cumulative in child.cumulative()
+                    ],
+                })
+            else:
+                samples.append({"labels": labels, "value": child.value})
+        families.append({
+            "name": family.name,
+            "type": family.kind,
+            "help": family.help,
+            "samples": samples,
+        })
+    return {"namespace": registry.namespace, "families": families}
+
+
+def json_text(registry: MetricsRegistry, indent: int = 2) -> str:
+    return json.dumps(registry_to_dict(registry), indent=indent,
+                      sort_keys=True)

@@ -1,0 +1,250 @@
+"""Labeled metric primitives and the registry they live in.
+
+The runtime observability counterpart to :mod:`repro.metrics` (which
+measures *paper figures* offline): a Prometheus-shaped data model —
+:class:`Counter`, :class:`Gauge`, :class:`Histogram` families with string
+labels — kept deliberately allocation-light so instrumented hot paths pay
+one cached-child ``inc()`` (an attribute load plus an integer add).
+
+Design points:
+
+* **Families are idempotent.** ``registry.counter("x", ...)`` returns the
+  existing family when called twice with the same name, so every
+  :class:`~repro.bgp.speaker.BgpSpeaker` attached to one shared
+  :class:`~repro.telemetry.TelemetryHub` can declare its instruments
+  without coordination.  Re-declaring a name as a different metric type
+  raises.
+* **Children are cached.** ``family.labels("ams", "in")`` interns the
+  child per label-value tuple; instrumented components resolve their
+  children once at attach time and keep direct references.
+* **Gauges can be functions.** ``gauge.labels(...).set_function(fn)``
+  defers evaluation to collection time — RIB sizes and queue depths cost
+  *zero* on the datapath and are exact when scraped.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterator, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "CounterFamily",
+    "Gauge",
+    "GaugeFamily",
+    "Histogram",
+    "HistogramFamily",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+# Powers-of-four seconds-ish spread: micro-events to whole-sim spans.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-6, 4e-6, 1.6e-5, 6.4e-5, 2.56e-4, 1.024e-3, 4.096e-3,
+    1.6384e-2, 6.5536e-2, 0.262144, 1.048576, 4.194304,
+)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up, down, or be computed at collection time."""
+
+    __slots__ = ("_value", "_fn")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._fn: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        self._fn = None
+        self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Evaluate ``fn`` lazily at collection time (zero datapath cost)."""
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.buckets = tuple(sorted(buckets))
+        self.counts = [0] * (len(self.buckets) + 1)  # last = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs including +Inf."""
+        total = 0
+        out: list[tuple[float, int]] = []
+        for bound, bucket_count in zip(self.buckets, self.counts):
+            total += bucket_count
+            out.append((bound, total))
+        out.append((math.inf, total + self.counts[-1]))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from the bucket boundaries."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        for bound, cumulative in self.cumulative():
+            if cumulative >= rank:
+                return bound
+        return math.inf
+
+
+class _Family:
+    """Shared family behavior: label handling + child interning."""
+
+    kind = "untyped"
+    _child_factory: Callable[[], object]
+
+    def __init__(self, name: str, help: str,
+                 label_names: tuple[str, ...]) -> None:
+        self.name = name
+        self.help = help
+        self.label_names = label_names
+        self._children: dict[tuple[str, ...], object] = {}
+
+    def labels(self, *values: object, **kwargs: object):
+        """Resolve (and intern) the child for one label-value tuple."""
+        if kwargs:
+            if values:
+                raise ValueError("pass labels positionally or by name")
+            try:
+                values = tuple(kwargs[name] for name in self.label_names)
+            except KeyError as exc:
+                raise ValueError(f"missing label {exc} for {self.name}")
+        key = tuple(str(value) for value in values)
+        if len(key) != len(self.label_names):
+            raise ValueError(
+                f"{self.name} expects labels {self.label_names}, got {key}"
+            )
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def _make_child(self):
+        raise NotImplementedError
+
+    def samples(self) -> Iterator[tuple[tuple[str, ...], object]]:
+        yield from self._children.items()
+
+
+class CounterFamily(_Family):
+    kind = "counter"
+
+    def _make_child(self) -> Counter:
+        return Counter()
+
+    def total(self) -> float:
+        return sum(child.value for child in self._children.values())
+
+
+class GaugeFamily(_Family):
+    kind = "gauge"
+
+    def _make_child(self) -> Gauge:
+        return Gauge()
+
+
+class HistogramFamily(_Family):
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str, label_names: tuple[str, ...],
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, help, label_names)
+        self.buckets = tuple(sorted(buckets))
+
+    def _make_child(self) -> Histogram:
+        return Histogram(self.buckets)
+
+
+class MetricsRegistry:
+    """All metric families known to one telemetry hub."""
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self.namespace = namespace
+        self._families: dict[str, _Family] = {}
+
+    def _declare(self, factory, name: str, help: str,
+                 labels: Sequence[str], **kwargs) -> _Family:
+        existing = self._families.get(name)
+        if existing is not None:
+            if not isinstance(existing, factory):
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            if existing.label_names != tuple(labels):
+                raise ValueError(
+                    f"metric {name!r} re-declared with different labels"
+                )
+            return existing
+        family = factory(name, help, tuple(labels), **kwargs)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help: str = "",
+                labels: Sequence[str] = ()) -> CounterFamily:
+        return self._declare(CounterFamily, name, help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: Sequence[str] = ()) -> GaugeFamily:
+        return self._declare(GaugeFamily, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  labels: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  ) -> HistogramFamily:
+        return self._declare(HistogramFamily, name, help, labels,
+                             buckets=buckets)
+
+    def get(self, name: str) -> Optional[_Family]:
+        return self._families.get(name)
+
+    def families(self) -> list[_Family]:
+        return [self._families[name] for name in sorted(self._families)]
+
+    def __len__(self) -> int:
+        return len(self._families)

@@ -1,0 +1,220 @@
+"""A BMP-style monitoring station (RFC 7854, simulated).
+
+Real deployments watch a BGP edge with the BGP Monitoring Protocol: the
+router streams *Peer Up*, *Peer Down*, *Route Monitoring* (a copy of each
+received UPDATE, pre-policy), and periodic *Stats Report* messages to a
+passive station, which reconstructs per-peer Adj-RIB-In state without
+sitting in the routing path.  :class:`MonitoringStation` is that station
+for the reproduction: every instrumented
+:class:`~repro.bgp.session.BgpSession` publishes its lifecycle and route
+feed here, and consumers — the ``peering telemetry`` CLI, the looking
+glass, route-leak/community studies — subscribe or read the mirrors.
+
+The station is strictly an observer: publishing never mutates routing
+state, and a subscriber exception is contained (counted, not propagated)
+so a broken consumer cannot take down the datapath.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    # Runtime imports would be circular: repro.bgp.session publishes here.
+    from repro.bgp.attributes import Route
+    from repro.netsim.addr import Prefix
+
+__all__ = [
+    "BmpMessage",
+    "MonitoringStation",
+    "PeerDown",
+    "PeerRecord",
+    "PeerUp",
+    "RouteMonitoring",
+    "StatsReport",
+]
+
+
+@dataclass(frozen=True)
+class BmpMessage:
+    """Common envelope: which peer, at what simulated time."""
+
+    peer: str
+    time: float
+
+    kind = "bmp"
+
+
+@dataclass(frozen=True)
+class PeerUp(BmpMessage):
+    """The session with ``peer`` reached ESTABLISHED."""
+
+    local_asn: int = 0
+    peer_asn: Optional[int] = None
+    local_id: str = ""
+    addpath: bool = False
+    hold_time: int = 0
+
+    kind = "peer-up"
+
+
+@dataclass(frozen=True)
+class PeerDown(BmpMessage):
+    """The session with ``peer`` was torn down."""
+
+    reason: str = ""
+
+    kind = "peer-down"
+
+
+@dataclass(frozen=True)
+class RouteMonitoring(BmpMessage):
+    """One received UPDATE, pre-policy (the Adj-RIB-In feed)."""
+
+    announced: tuple[Route, ...] = ()
+    withdrawn: tuple[tuple[Prefix, Optional[int]], ...] = ()
+
+    kind = "route-monitoring"
+
+
+@dataclass(frozen=True)
+class StatsReport(BmpMessage):
+    """Point-in-time session statistics (BMP §4.8 flavored)."""
+
+    stats: tuple[tuple[str, int], ...] = ()
+
+    kind = "stats-report"
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.stats)
+
+
+@dataclass
+class PeerRecord:
+    """What the station knows about one monitored peer."""
+
+    name: str
+    state: str = "down"  # "up" | "down"
+    peer_asn: Optional[int] = None
+    ups: int = 0
+    downs: int = 0
+    route_messages: int = 0
+    last_change: float = 0.0
+    last_reason: str = ""
+    last_stats: dict[str, int] = field(default_factory=dict)
+
+
+Subscriber = Callable[[BmpMessage], None]
+
+
+class MonitoringStation:
+    """Collects the BMP feed; maintains mirrors; fans out to subscribers."""
+
+    def __init__(self, name: str = "station", history: int = 8192,
+                 mirror_ribs: bool = True) -> None:
+        self.name = name
+        self.history: deque[BmpMessage] = deque(maxlen=history)
+        self.mirror_ribs = mirror_ribs
+        self.peers: dict[str, PeerRecord] = {}
+        # Per-peer Adj-RIB-In mirror: (prefix, path id) -> route.
+        self._mirrors: dict[str, dict[tuple[Prefix, Optional[int]], Route]] = {}
+        self.subscribers: list[Subscriber] = []
+        self.messages_seen = 0
+        self.subscriber_errors = 0
+
+    # -- publishing (called by instrumented sessions) ----------------------
+
+    def publish(self, message: BmpMessage) -> None:
+        self.messages_seen += 1
+        self.history.append(message)
+        record = self.peers.get(message.peer)
+        if record is None:
+            record = PeerRecord(name=message.peer)
+            self.peers[message.peer] = record
+        if isinstance(message, PeerUp):
+            record.state = "up"
+            record.ups += 1
+            record.peer_asn = message.peer_asn
+            record.last_change = message.time
+            if self.mirror_ribs:
+                self._mirrors.setdefault(message.peer, {})
+        elif isinstance(message, PeerDown):
+            record.state = "down"
+            record.downs += 1
+            record.last_change = message.time
+            record.last_reason = message.reason
+            # BMP peers flush the mirrored RIB on Peer Down.
+            self._mirrors.pop(message.peer, None)
+        elif isinstance(message, RouteMonitoring):
+            record.route_messages += 1
+            if self.mirror_ribs:
+                mirror = self._mirrors.setdefault(message.peer, {})
+                for prefix, path_id in message.withdrawn:
+                    mirror.pop((prefix, path_id), None)
+                for route in message.announced:
+                    mirror[(route.prefix, route.path_id)] = route
+        elif isinstance(message, StatsReport):
+            record.last_stats = message.as_dict()
+        for subscriber in self.subscribers:
+            try:
+                subscriber(message)
+            except Exception:
+                self.subscriber_errors += 1
+
+    # -- consuming ---------------------------------------------------------
+
+    def subscribe(self, subscriber: Subscriber) -> None:
+        self.subscribers.append(subscriber)
+
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        try:
+            self.subscribers.remove(subscriber)
+        except ValueError:
+            pass
+
+    def rib_in(self, peer: str) -> list[Route]:
+        """The mirrored Adj-RIB-In of one peer."""
+        return list(self._mirrors.get(peer, {}).values())
+
+    def rib_in_size(self, peer: str) -> int:
+        return len(self._mirrors.get(peer, {}))
+
+    def routes_for(self, prefix: Prefix,
+                   peer: Optional[str] = None) -> list[tuple[str, Route]]:
+        """All mirrored routes for ``prefix``, tagged with their peer."""
+        peers = [peer] if peer is not None else list(self._mirrors)
+        found: list[tuple[str, Route]] = []
+        for name in peers:
+            for (mirror_prefix, _path_id), route in (
+                self._mirrors.get(name, {}).items()
+            ):
+                if mirror_prefix == prefix:
+                    found.append((name, route))
+        return found
+
+    def peer_names(self) -> list[str]:
+        return sorted(self.peers)
+
+    def up_peers(self) -> list[str]:
+        return sorted(
+            name for name, record in self.peers.items()
+            if record.state == "up"
+        )
+
+    def messages_for(self, peer: str) -> list[BmpMessage]:
+        return [m for m in self.history if m.peer == peer]
+
+    def summary(self) -> dict[str, int]:
+        kinds: dict[str, int] = {}
+        for message in self.history:
+            kinds[message.kind] = kinds.get(message.kind, 0) + 1
+        return {
+            "messages_seen": self.messages_seen,
+            "peers": len(self.peers),
+            "peers_up": len(self.up_peers()),
+            **{f"history_{kind}": count for kind, count in sorted(
+                kinds.items()
+            )},
+        }

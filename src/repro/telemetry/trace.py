@@ -1,0 +1,152 @@
+"""Event tracing: nestable spans over a bounded ring buffer.
+
+The :class:`Tracer` records *simulation-time* events — its clock is the
+shared :class:`~repro.sim.scheduler.Scheduler`, so traces line up exactly
+with BGP timers, MRAI batching, and churn replay.  Storage is a
+``deque(maxlen=capacity)``: old events are evicted silently (the count is
+kept in :attr:`Tracer.dropped`) so an always-on tracer cannot grow without
+bound during an 18-hour AMS-IX replay.
+
+Two API shapes:
+
+* ``with tracer.span("router.reconfigure", router="r1"): ...`` for cold
+  paths (context-manager convenience), and
+* ``token = tracer.begin(...) … tracer.end(token)`` for hot paths, where
+  the caller already guards on telemetry being enabled and a generator
+  frame per update would be measurable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+__all__ = ["SpanToken", "TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One entry in the ring buffer."""
+
+    time: float
+    name: str
+    kind: str  # "event" | "span-start" | "span-end"
+    span_id: int = 0
+    parent_id: int = 0
+    duration: Optional[float] = None  # span-end only
+    data: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        parts = [f"{self.time:.6f}", self.kind, self.name]
+        if self.kind == "span-end" and self.duration is not None:
+            parts.append(f"dur={self.duration:.6f}")
+        if self.data:
+            parts.append(
+                " ".join(f"{k}={v}" for k, v in sorted(self.data.items()))
+            )
+        return "  ".join(parts)
+
+
+@dataclass(frozen=True)
+class SpanToken:
+    """Handle returned by :meth:`Tracer.begin`, consumed by ``end``."""
+
+    span_id: int
+    parent_id: int
+    name: str
+    start: float
+
+
+class Tracer:
+    """Bounded, clock-driven event log with span nesting."""
+
+    def __init__(self, clock: Callable[[], float],
+                 capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        self.clock = clock
+        self.capacity = capacity
+        self.events: deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+        self.recorded = 0
+        self._ids = itertools.count(1)
+        self._active: list[int] = []  # span-id stack (nesting)
+
+    # -- recording ---------------------------------------------------------
+
+    def _append(self, event: TraceEvent) -> None:
+        if len(self.events) == self.capacity:
+            self.dropped += 1
+        self.events.append(event)
+        self.recorded += 1
+
+    def event(self, name: str, **data: object) -> None:
+        """Record an instantaneous event under the current span."""
+        parent = self._active[-1] if self._active else 0
+        self._append(TraceEvent(
+            time=self.clock(), name=name, kind="event",
+            parent_id=parent, data=dict(data) if data else {},
+        ))
+
+    def begin(self, name: str, **data: object) -> SpanToken:
+        """Open a span; pair with :meth:`end`."""
+        parent = self._active[-1] if self._active else 0
+        span_id = next(self._ids)
+        now = self.clock()
+        self._append(TraceEvent(
+            time=now, name=name, kind="span-start", span_id=span_id,
+            parent_id=parent, data=dict(data) if data else {},
+        ))
+        self._active.append(span_id)
+        return SpanToken(span_id=span_id, parent_id=parent, name=name,
+                         start=now)
+
+    def end(self, token: SpanToken, **data: object) -> float:
+        """Close a span; returns its simulated duration."""
+        # Tolerate out-of-order ends (a teardown racing a span) by
+        # unwinding the stack to the closed span.
+        while self._active and self._active[-1] != token.span_id:
+            self._active.pop()
+        if self._active:
+            self._active.pop()
+        now = self.clock()
+        duration = now - token.start
+        self._append(TraceEvent(
+            time=now, name=token.name, kind="span-end",
+            span_id=token.span_id, parent_id=token.parent_id,
+            duration=duration, data=dict(data) if data else {},
+        ))
+        return duration
+
+    @contextmanager
+    def span(self, name: str, **data: object) -> Iterator[SpanToken]:
+        token = self.begin(name, **data)
+        try:
+            yield token
+        finally:
+            self.end(token)
+
+    # -- reading -----------------------------------------------------------
+
+    def tail(self, n: int = 20) -> list[TraceEvent]:
+        if n <= 0:
+            return []
+        return list(self.events)[-n:]
+
+    def named(self, name: str) -> list[TraceEvent]:
+        return [event for event in self.events if event.name == name]
+
+    def depth(self) -> int:
+        """Current span-nesting depth (0 outside any span)."""
+        return len(self._active)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self._active.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -45,7 +45,12 @@ class ToolkitCli:
             "       peering bird <pop> <command...>\n"
             "       peering prefix announce <prefix> [-m pop] [-c asn:val]\n"
             "                               [-p prepend] [-x poison-asn]\n"
-            "       peering prefix withdraw <prefix> [-m pop]"
+            "       peering prefix withdraw <prefix> [-m pop]\n"
+            "       peering telemetry summary\n"
+            "       peering telemetry metrics [prom|json]\n"
+            "       peering telemetry peers\n"
+            "       peering telemetry rib <peer>\n"
+            "       peering telemetry events [n]"
         )
 
     # -- openvpn -----------------------------------------------------------
@@ -129,6 +134,52 @@ class ToolkitCli:
         self.client.withdraw(prefix, pops=options["pops"] or None)
         targets = ", ".join(options["pops"]) if options["pops"] else "all PoPs"
         return f"withdrew {prefix} from {targets}"
+
+    # -- telemetry -----------------------------------------------------------
+
+    def _cmd_telemetry(self, args: list[str]) -> str:
+        hub = getattr(self.client.platform, "telemetry", None)
+        if hub is None:
+            return "telemetry disabled (platform built without a hub)"
+        action = args[0] if args else "summary"
+        if action == "summary":
+            parts = [f"{key}={value}"
+                     for key, value in sorted(hub.station.summary().items())]
+            parts.append(f"trace_events={len(hub.tracer)}")
+            parts.append(f"trace_dropped={hub.tracer.dropped}")
+            parts.append(f"metric_families={len(hub.registry.families())}")
+            return "\n".join(parts)
+        if action == "metrics":
+            fmt = args[1] if len(args) > 1 else "prom"
+            if fmt == "json":
+                return hub.render_json()
+            if fmt == "prom":
+                return hub.render_prometheus()
+            return f"error: unknown metrics format {fmt!r}"
+        if action == "peers":
+            lines = []
+            for peer in hub.station.peer_names():
+                record = hub.station.peers[peer]
+                lines.append(
+                    f"{peer}: {record.state} ups={record.ups} "
+                    f"downs={record.downs} "
+                    f"routes={hub.station.rib_in_size(peer)}"
+                )
+            return "\n".join(lines) or "no peers observed"
+        if action == "rib":
+            if len(args) < 2:
+                return "error: usage: peering telemetry rib <peer>"
+            routes = hub.station.rib_in(args[1])
+            if not routes:
+                return f"no routes mirrored for {args[1]}"
+            return "\n".join(str(route) for route in routes)
+        if action == "events":
+            count = int(args[1]) if len(args) > 1 else 20
+            events = hub.tracer.tail(count)
+            if not events:
+                return "no trace events"
+            return "\n".join(event.format() for event in events)
+        return self._usage()
 
     @staticmethod
     def _parse_options(args: list[str]):

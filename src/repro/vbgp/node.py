@@ -25,7 +25,7 @@ MAC before handing the frame to the experiment's tunnel (§3.2.2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Optional
 
 from repro import perf
 from repro.bgp.attributes import PathAttributes, Route
@@ -55,6 +55,9 @@ from repro.vbgp.allocator import (
     neighbor_mac_global_id,
 )
 from repro.vbgp.communities import select_targets, strip_control
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import TelemetryHub
 
 RULE_PRIORITY_VMAC = 100
 
@@ -212,6 +215,7 @@ class VbgpNode:
         backbone_address: Optional[IPv4Address] = None,
         control_enforcer: Optional[object] = None,
         data_enforcer: Optional[object] = None,
+        telemetry: Optional["TelemetryHub"] = None,
     ) -> None:
         self.scheduler = scheduler
         self.name = name
@@ -250,9 +254,50 @@ class VbgpNode:
             "frames_to_experiments": 0,
             "enforcer_failures": 0,
         }
+        self.telemetry = telemetry
+        self._m_frames_by_neighbor = None
+        self._m_updates_by_neighbor = None
+        if telemetry is not None:
+            self._init_telemetry(telemetry)
         self.stack.ingress_hooks.append(self._intercept_inbound)
         if self.data_enforcer is not None:
             self.stack.ingress_hooks.append(self._data_enforce)
+
+    def _init_telemetry(self, telemetry: "TelemetryHub") -> None:
+        """Declare the node's metric families (disabled ⇒ never called)."""
+        registry = telemetry.registry
+        pipeline = registry.gauge(
+            "vbgp_pipeline_counters",
+            "vBGP pipeline counters, mirrored from VbgpNode.counters",
+            labels=("node", "counter"),
+        )
+        for key in self.counters:
+            pipeline.labels(self.name, key).set_function(
+                lambda k=key: self.counters[k]
+            )
+        sizes = registry.gauge(
+            "vbgp_node_size",
+            "vBGP table/attachment sizes, evaluated at scrape time",
+            labels=("node", "what"),
+        )
+        for what, fn in (
+            ("fib_entries", self.fib_entry_count),
+            ("known_routes", lambda: len(self.known_routes())),
+            ("experiments", lambda: len(self.experiments)),
+            ("upstreams", lambda: len(self.upstreams)),
+            ("remote_neighbors", lambda: len(self.remote_neighbors)),
+        ):
+            sizes.labels(self.name, what).set_function(fn)
+        self._m_frames_by_neighbor = registry.counter(
+            "vbgp_frames_to_experiments",
+            "Frames delivered to experiments, by delivering neighbor",
+            labels=("node", "neighbor"),
+        )
+        self._m_updates_by_neighbor = registry.counter(
+            "vbgp_updates_to_neighbors",
+            "Experiment announcements exported, by upstream neighbor",
+            labels=("node", "neighbor"),
+        )
 
     # ==================================================================
     # Upstream neighbors
@@ -306,10 +351,12 @@ class VbgpNode:
                 local_id=self.router_id,
                 peer_asn=peer_asn,
                 addpath=addpath,
+                description=name,
             ),
             channel,
             on_update=lambda _s, update, n=name: self._upstream_update(n, update),
             on_close=lambda _s, reason, n=name: self._upstream_closed(n, reason),
+            telemetry=self.telemetry,
         )
         neighbor.session = session
         self.upstreams[name] = neighbor
@@ -343,6 +390,20 @@ class VbgpNode:
         self.stack.table(virtual.table_id)
 
     def _upstream_update(self, name: str, update: UpdateMessage) -> None:
+        tele = self.telemetry
+        if tele is None:
+            self._apply_upstream_update(name, update)
+            return
+        token = tele.tracer.begin(
+            "vbgp.upstream_update", node=self.name, neighbor=name
+        )
+        try:
+            self._apply_upstream_update(name, update)
+        finally:
+            tele.tracer.end(token)
+
+    def _apply_upstream_update(self, name: str,
+                               update: UpdateMessage) -> None:
         neighbor = self.upstreams.get(name)
         if neighbor is None:
             return
@@ -426,6 +487,7 @@ class VbgpNode:
                 local_id=self.router_id,
                 peer_asn=asn,
                 addpath=True,
+                description=f"exp:{name}",
             ),
             channel,
             on_update=lambda _s, update, n=name: (
@@ -438,6 +500,7 @@ class VbgpNode:
             # ROUTE-REFRESH (soft reset): resend the full table with the
             # same stable ADD-PATH ids.
             on_route_refresh=lambda _s, n=name: self._experiment_up(n),
+            telemetry=self.telemetry,
         )
         attachment.session = session
         self.experiments[name] = attachment
@@ -542,6 +605,20 @@ class VbgpNode:
     # -- announcements from experiments ---------------------------------
 
     def _experiment_update(self, name: str, update: UpdateMessage) -> None:
+        tele = self.telemetry
+        if tele is None:
+            self._apply_experiment_update(name, update)
+            return
+        token = tele.tracer.begin(
+            "vbgp.experiment_update", node=self.name, experiment=name
+        )
+        try:
+            self._apply_experiment_update(name, update)
+        finally:
+            tele.tracer.end(token)
+
+    def _apply_experiment_update(self, name: str,
+                                 update: UpdateMessage) -> None:
         exp = self.experiments.get(name)
         if exp is None:
             return
@@ -632,6 +709,8 @@ class VbgpNode:
         export = export.with_attributes(local_pref=None)
         neighbor.session.send_update(UpdateMessage.announce([export]))
         self.counters["updates_to_neighbors"] += 1
+        if self._m_updates_by_neighbor is not None:
+            self._m_updates_by_neighbor.labels(self.name, neighbor.name).inc()
 
     def _upstream_address(self) -> IPv4Address:
         iface = self.stack.interfaces.get(self.upstream_iface)
@@ -652,12 +731,14 @@ class VbgpNode:
                 local_id=self.router_id,
                 peer_asn=self.platform_asn,
                 addpath=True,
+                description=f"bb:{node_name}",
             ),
             channel,
             on_update=lambda _s, update, n=node_name: (
                 self._backbone_update(n, update)
             ),
             on_established=lambda _s, n=node_name: self._backbone_up(n),
+            telemetry=self.telemetry,
         )
         self.backbone_peers[node_name] = session
         session.start()
@@ -949,6 +1030,9 @@ class VbgpNode:
             # delivered this traffic.
             source_mac = self.vips.virtual_neighbor(gid).mac
         self.counters["frames_to_experiments"] += 1
+        if self._m_frames_by_neighbor is not None:
+            label = f"gid{gid}" if gid is not None else "unknown"
+            self._m_frames_by_neighbor.labels(self.name, label).inc()
         exp_iface.send_frame(
             EthernetFrame(
                 src=source_mac,

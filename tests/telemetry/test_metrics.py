@@ -1,0 +1,122 @@
+"""Metrics registry + exporter tests, including golden exposition output."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    json_text,
+    prometheus_text,
+    registry_to_dict,
+)
+
+
+def build_small_registry() -> MetricsRegistry:
+    registry = MetricsRegistry(namespace="repro")
+    updates = registry.counter(
+        "bgp_session_updates", "UPDATE messages", labels=("peer", "direction")
+    )
+    updates.labels("ams", "in").inc(3)
+    updates.labels("ams", "out").inc()
+    depth = registry.gauge("queue_depth", "Pending work", labels=("node",))
+    depth.labels("ams").set(7)
+    latency = registry.histogram(
+        "update_latency", "Per-update latency", labels=("node",),
+        buckets=(0.001, 0.01, 0.1),
+    )
+    child = latency.labels("ams")
+    child.observe(0.0005)
+    child.observe(0.02)
+    child.observe(5.0)
+    return registry
+
+
+GOLDEN_PROMETHEUS = """\
+# HELP repro_bgp_session_updates UPDATE messages
+# TYPE repro_bgp_session_updates counter
+repro_bgp_session_updates_total{peer="ams",direction="in"} 3
+repro_bgp_session_updates_total{peer="ams",direction="out"} 1
+# HELP repro_queue_depth Pending work
+# TYPE repro_queue_depth gauge
+repro_queue_depth{node="ams"} 7
+# HELP repro_update_latency Per-update latency
+# TYPE repro_update_latency histogram
+repro_update_latency_bucket{node="ams",le="0.001"} 1
+repro_update_latency_bucket{node="ams",le="0.01"} 1
+repro_update_latency_bucket{node="ams",le="0.1"} 2
+repro_update_latency_bucket{node="ams",le="+Inf"} 3
+repro_update_latency_sum{node="ams"} 5.0205
+repro_update_latency_count{node="ams"} 3
+"""
+
+
+def test_prometheus_golden_output():
+    assert prometheus_text(build_small_registry()) == GOLDEN_PROMETHEUS
+
+
+def test_json_export_round_trips_and_is_stable():
+    registry = build_small_registry()
+    first = json_text(registry)
+    payload = json.loads(first)
+    assert payload["namespace"] == "repro"
+    names = [family["name"] for family in payload["families"]]
+    assert names == sorted(names)
+    by_name = {family["name"]: family for family in payload["families"]}
+    counter = by_name["bgp_session_updates"]
+    assert counter["type"] == "counter"
+    assert counter["samples"][0] == {
+        "labels": {"peer": "ams", "direction": "in"}, "value": 3.0,
+    }
+    histogram = by_name["update_latency"]
+    assert histogram["samples"][0]["count"] == 3
+    assert histogram["samples"][0]["buckets"][-1]["le"] == "+Inf"
+    # Deterministic: a second render is byte-identical.
+    assert json_text(registry) == first
+    assert registry_to_dict(registry) == json.loads(first)
+
+
+def test_families_are_idempotent_but_typed():
+    registry = MetricsRegistry()
+    family = registry.counter("x", "help", labels=("a",))
+    assert registry.counter("x", "other help", labels=("a",)) is family
+    with pytest.raises(ValueError):
+        registry.gauge("x", labels=("a",))
+    with pytest.raises(ValueError):
+        registry.counter("x", labels=("a", "b"))
+
+
+def test_children_are_interned_and_counters_monotonic():
+    registry = MetricsRegistry()
+    family = registry.counter("hits", labels=("pop",))
+    child = family.labels("ams")
+    assert family.labels("ams") is child
+    assert family.labels(pop="ams") is child
+    child.inc(2)
+    assert family.total() == 2
+    with pytest.raises(ValueError):
+        child.inc(-1)
+
+
+def test_function_gauge_evaluates_at_collection_time():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("rib_size", labels=("speaker",))
+    backing = {"n": 0}
+    gauge.labels("s1").set_function(lambda: backing["n"])
+    backing["n"] = 41
+    assert 'rib_size{speaker="s1"} 41' in prometheus_text(registry)
+    backing["n"] = 42
+    assert 'rib_size{speaker="s1"} 42' in prometheus_text(registry)
+
+
+def test_histogram_quantiles_from_buckets():
+    registry = MetricsRegistry()
+    family = registry.histogram("lat", buckets=(1.0, 2.0, 4.0))
+    child = family.labels()
+    for value in (0.5, 0.6, 1.5, 3.0):
+        child.observe(value)
+    assert child.quantile(0.5) == 1.0
+    assert child.quantile(1.0) == 4.0
+    assert child.count == 4

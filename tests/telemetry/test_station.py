@@ -1,0 +1,120 @@
+"""BMP monitoring-station tests: mirrors, fan-out, lifecycle ordering."""
+
+from __future__ import annotations
+
+from repro.bgp.attributes import local_route
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.session import BgpSession, SessionConfig
+from repro.bgp.transport import connect_pair
+from repro.netsim.addr import IPv4Address, IPv4Prefix
+from repro.sim import Scheduler
+from repro.telemetry import (
+    MonitoringStation,
+    PeerDown,
+    PeerUp,
+    RouteMonitoring,
+    StatsReport,
+    TelemetryHub,
+)
+
+PREFIX = IPv4Prefix.parse("184.164.224.0/24")
+NH = IPv4Address.parse("10.0.0.2")
+
+
+def test_station_mirrors_follow_route_monitoring():
+    station = MonitoringStation()
+    route = local_route(PREFIX, next_hop=NH)
+    station.publish(PeerUp(peer="p1", time=0.0, local_asn=1, peer_asn=2))
+    station.publish(RouteMonitoring(peer="p1", time=1.0,
+                                    announced=(route,), withdrawn=()))
+    assert station.rib_in_size("p1") == 1
+    assert station.routes_for(PREFIX) == [("p1", route)]
+    station.publish(RouteMonitoring(
+        peer="p1", time=2.0, announced=(),
+        withdrawn=((PREFIX, route.path_id),),
+    ))
+    assert station.rib_in_size("p1") == 0
+    # History survives mirror changes.
+    assert len(station.messages_for("p1")) == 3
+
+
+def test_peer_down_flushes_mirror_and_updates_record():
+    station = MonitoringStation()
+    route = local_route(PREFIX, next_hop=NH)
+    station.publish(PeerUp(peer="p1", time=0.0))
+    station.publish(RouteMonitoring(peer="p1", time=0.5, announced=(route,)))
+    station.publish(StatsReport(peer="p1", time=0.9,
+                                stats=(("updates_received", 1),)))
+    station.publish(PeerDown(peer="p1", time=1.0, reason="shutdown"))
+    assert station.rib_in("p1") == []
+    record = station.peers["p1"]
+    assert (record.ups, record.downs, record.state) == (1, 1, "down")
+    assert record.last_reason == "shutdown"
+    assert record.last_stats["updates_received"] == 1
+    assert station.up_peers() == []
+
+
+def test_subscriber_errors_are_contained():
+    station = MonitoringStation()
+    seen = []
+
+    def broken(_message):
+        raise RuntimeError("subscriber bug")
+
+    station.subscribe(broken)
+    station.subscribe(seen.append)
+    station.publish(PeerUp(peer="p1", time=0.0))
+    assert station.subscriber_errors == 1
+    assert len(seen) == 1  # later subscribers still get the message
+    station.unsubscribe(broken)
+    station.publish(PeerDown(peer="p1", time=1.0))
+    assert station.subscriber_errors == 1
+
+
+def test_session_lifecycle_ordering_at_station():
+    """PeerUp -> RouteMonitoring -> StatsReport -> PeerDown, in order,
+    from a real simulated BGP session pair."""
+    scheduler = Scheduler()
+    hub = TelemetryHub(scheduler)
+    ours, theirs = connect_pair(scheduler, rtt=0.01)
+    monitored = BgpSession(
+        scheduler,
+        SessionConfig(local_asn=47065,
+                      local_id=IPv4Address.parse("10.0.0.1"),
+                      peer_asn=65010, description="as65010"),
+        ours,
+        on_update=lambda _s, _u: None,
+        telemetry=hub,
+    )
+    peer = BgpSession(
+        scheduler,
+        SessionConfig(local_asn=65010,
+                      local_id=IPv4Address.parse("10.0.0.2"),
+                      peer_asn=47065),
+        theirs,
+        on_update=lambda _s, _u: None,
+    )
+    monitored.start()
+    peer.start()
+    scheduler.run_for(2)
+    assert monitored.established
+
+    route = local_route(PREFIX, next_hop=NH)
+    peer.send_update(UpdateMessage.announce([route]))
+    scheduler.run_for(2)
+    assert hub.station.rib_in_size("as65010") == 1
+
+    peer.shutdown()
+    scheduler.run_for(2)
+
+    kinds = [m.kind for m in hub.station.messages_for("as65010")]
+    assert kinds[0] == "peer-up"
+    assert "route-monitoring" in kinds
+    assert kinds[-2:] == ["stats-report", "peer-down"]
+    assert kinds.index("peer-up") < kinds.index("route-monitoring") < (
+        kinds.index("peer-down")
+    )
+    # The mirror was flushed on PeerDown (RFC 7854 semantics).
+    assert hub.station.rib_in("as65010") == []
+    stats = hub.station.peers["as65010"].last_stats
+    assert stats.get("updates_received", 0) >= 1

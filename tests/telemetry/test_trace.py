@@ -1,0 +1,85 @@
+"""Tracer tests: ring-buffer eviction, span nesting, formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Scheduler
+from repro.telemetry import Tracer
+
+
+def make_tracer(capacity: int = 4):
+    clock = {"now": 0.0}
+    tracer = Tracer(clock=lambda: clock["now"], capacity=capacity)
+    return tracer, clock
+
+
+def test_ring_buffer_evicts_oldest_and_counts_drops():
+    tracer, clock = make_tracer(capacity=4)
+    for index in range(10):
+        clock["now"] = float(index)
+        tracer.event(f"e{index}")
+    assert len(tracer) == 4
+    assert tracer.recorded == 10
+    assert tracer.dropped == 6
+    # Oldest events evicted, newest retained, in order.
+    assert [event.name for event in tracer.events] == ["e6", "e7", "e8", "e9"]
+    assert [event.time for event in tracer.tail(2)] == [8.0, 9.0]
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        Tracer(clock=lambda: 0.0, capacity=0)
+
+
+def test_span_nesting_parents_and_duration():
+    tracer, clock = make_tracer(capacity=64)
+    outer = tracer.begin("outer", node="n1")
+    assert tracer.depth() == 1
+    clock["now"] = 1.0
+    inner = tracer.begin("inner")
+    tracer.event("leaf")
+    clock["now"] = 1.5
+    assert tracer.end(inner) == 0.5
+    clock["now"] = 2.0
+    assert tracer.end(outer) == 2.0
+    assert tracer.depth() == 0
+
+    events = list(tracer.events)
+    kinds = [event.kind for event in events]
+    assert kinds == [
+        "span-start", "span-start", "event", "span-end", "span-end",
+    ]
+    outer_start, inner_start, leaf, inner_end, outer_end = events
+    assert inner_start.parent_id == outer_start.span_id
+    assert leaf.parent_id == inner_start.span_id
+    assert inner_end.span_id == inner_start.span_id
+    assert outer_end.duration == 2.0
+
+
+def test_span_contextmanager_closes_on_exception():
+    tracer, _clock = make_tracer(capacity=16)
+    with pytest.raises(RuntimeError):
+        with tracer.span("risky"):
+            raise RuntimeError("boom")
+    assert tracer.depth() == 0
+    assert [event.kind for event in tracer.events] == [
+        "span-start", "span-end",
+    ]
+
+
+def test_out_of_order_end_unwinds_stack():
+    tracer, _clock = make_tracer(capacity=16)
+    outer = tracer.begin("outer")
+    tracer.begin("inner-left-open")
+    tracer.end(outer)  # teardown racing an open child span
+    assert tracer.depth() == 0
+
+
+def test_clock_is_simulation_time():
+    scheduler = Scheduler()
+    tracer = Tracer(clock=lambda: scheduler.now, capacity=8)
+    scheduler.call_later(2.5, lambda: tracer.event("fired"))
+    scheduler.run_for(5)
+    assert tracer.events[0].time == 2.5
+    assert "fired" in tracer.events[0].format()
