@@ -27,6 +27,7 @@ from repro.bgp.messages import (
     BgpMessage,
     Capability,
     FourOctetAsCapability,
+    GracefulRestartCapability,
     KeepaliveMessage,
     MessageDecoder,
     MultiprotocolCapability,
@@ -44,6 +45,7 @@ from repro.bgp.policy import (
 from repro.bgp.rib import AdjRibIn, AdjRibOut, LocRib, RibEntry
 from repro.bgp.session import BgpSession, SessionConfig, SessionState
 from repro.bgp.speaker import BgpSpeaker, NeighborConfig, SpeakerConfig
+from repro.bgp.supervisor import SessionSupervisor, SupervisorConfig
 
 __all__ = [
     "AddPathCapability",
@@ -58,6 +60,7 @@ __all__ = [
     "Capability",
     "Community",
     "FourOctetAsCapability",
+    "GracefulRestartCapability",
     "KeepaliveMessage",
     "LargeCommunity",
     "LocRib",
@@ -78,7 +81,9 @@ __all__ = [
     "SegmentType",
     "SessionConfig",
     "SessionState",
+    "SessionSupervisor",
     "SpeakerConfig",
+    "SupervisorConfig",
     "UnknownAttribute",
     "UpdateMessage",
     "best_path",

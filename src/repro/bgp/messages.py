@@ -68,6 +68,7 @@ ATTR_COMMUNITIES = 8
 ATTR_LARGE_COMMUNITIES = 32
 
 CAP_MULTIPROTOCOL = 1
+CAP_GRACEFUL_RESTART = 64
 CAP_FOUR_OCTET_AS = 65
 CAP_ADD_PATH = 69
 
@@ -131,6 +132,34 @@ class AddPathCapability:
 
 
 @dataclass(frozen=True)
+class GracefulRestartCapability:
+    """Graceful Restart (RFC 4724) for IPv4 unicast.
+
+    ``restart_time`` is how long the receiver should retain this peer's
+    routes (marked stale) after the session drops; ``restarted`` is the
+    R-flag ("I just restarted"); ``forwarding`` is the per-AFI F-flag
+    ("my forwarding state survived the restart").
+    """
+
+    restart_time: int = 120
+    restarted: bool = False
+    forwarding: bool = True
+
+    code = CAP_GRACEFUL_RESTART
+
+    RESTART_FLAG = 0x8
+    FORWARDING_FLAG = 0x80
+
+    def encode_value(self) -> bytes:
+        flags = self.RESTART_FLAG if self.restarted else 0
+        head = struct.pack(
+            "!H", (flags << 12) | (self.restart_time & 0x0FFF)
+        )
+        afi_flags = self.FORWARDING_FLAG if self.forwarding else 0
+        return head + struct.pack("!HBB", AFI_IPV4, SAFI_UNICAST, afi_flags)
+
+
+@dataclass(frozen=True)
 class UnknownCapability:
     code: int
     value: bytes = b""
@@ -143,6 +172,7 @@ Capability = Union[
     MultiprotocolCapability,
     FourOctetAsCapability,
     AddPathCapability,
+    GracefulRestartCapability,
     UnknownCapability,
 ]
 
@@ -157,6 +187,28 @@ def _decode_capability(code: int, value: bytes) -> Capability:
         afi, safi, mode = struct.unpack("!HBB", value[:4])
         if afi == AFI_IPV4 and safi == SAFI_UNICAST:
             return AddPathCapability(mode=mode)
+    if code == CAP_GRACEFUL_RESTART and len(value) >= 2 and (
+        (len(value) - 2) % 4 == 0
+    ):
+        (head,) = struct.unpack("!H", value[:2])
+        restarted = bool(
+            (head >> 12) & GracefulRestartCapability.RESTART_FLAG
+        )
+        restart_time = head & 0x0FFF
+        forwarding = False
+        offset = 2
+        while offset < len(value):
+            afi, safi, afi_flags = struct.unpack_from("!HBB", value, offset)
+            offset += 4
+            if afi == AFI_IPV4 and safi == SAFI_UNICAST:
+                forwarding = bool(
+                    afi_flags & GracefulRestartCapability.FORWARDING_FLAG
+                )
+        return GracefulRestartCapability(
+            restart_time=restart_time,
+            restarted=restarted,
+            forwarding=forwarding,
+        )
     return UnknownCapability(code=code, value=value)
 
 
@@ -251,6 +303,12 @@ class OpenMessage:
                 return capability
         return None
 
+    def find_graceful_restart(self) -> Optional[GracefulRestartCapability]:
+        for capability in self.capabilities:
+            if isinstance(capability, GracefulRestartCapability):
+                return capability
+        return None
+
 
 @dataclass(frozen=True)
 class KeepaliveMessage:
@@ -341,6 +399,17 @@ class UpdateMessage:
     def withdraw(cls, routes: Sequence[Route]) -> "UpdateMessage":
         return cls(
             withdrawn=tuple((route.prefix, route.path_id) for route in routes)
+        )
+
+    @classmethod
+    def end_of_rib(cls) -> "UpdateMessage":
+        """The End-of-RIB marker (RFC 4724 §2): an empty UPDATE."""
+        return cls()
+
+    @property
+    def is_end_of_rib(self) -> bool:
+        return (
+            self.attributes is None and not self.nlri and not self.withdrawn
         )
 
     def routes(self) -> list[Route]:

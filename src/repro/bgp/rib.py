@@ -232,3 +232,8 @@ class AdjRibOut:
 
     def keys(self) -> Iterator[tuple[Prefix, Optional[int]]]:
         yield from self._advertised
+
+    def clear(self) -> None:
+        """Forget everything advertised (session reset: the next session
+        starts from an empty Adj-RIB-Out and re-announces from scratch)."""
+        self._advertised.clear()

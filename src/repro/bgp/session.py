@@ -23,6 +23,7 @@ from repro.bgp.errors import (
 from repro.bgp.messages import (
     AddPathCapability,
     FourOctetAsCapability,
+    GracefulRestartCapability,
     KeepaliveMessage,
     MessageDecoder,
     MultiprotocolCapability,
@@ -66,6 +67,10 @@ class SessionConfig:
     hold_time: int = 90
     addpath: bool = False
     description: str = ""
+    # Graceful Restart (RFC 4724): offer the capability; ``restart_time``
+    # is how long we ask the peer to retain our routes after a drop.
+    graceful_restart: bool = False
+    restart_time: int = 120
 
     @property
     def keepalive_interval(self) -> float:
@@ -89,7 +94,13 @@ class BgpSession:
 
     * ``on_established(session)`` — OPEN/KEEPALIVE handshake done,
     * ``on_update(session, update)`` — a parsed, validated UPDATE,
+    * ``on_end_of_rib(session)`` — the peer's End-of-RIB marker
+      (RFC 4724) arrived; only fired when Graceful Restart negotiated,
     * ``on_close(session, reason)`` — session torn down (either side).
+
+    After teardown, ``closed_admin`` tells the owner whether the close
+    was administrative (local shutdown / CEASE) — Graceful Restart must
+    not retain routes across a deliberate de-configuration.
     """
 
     def __init__(
@@ -101,6 +112,7 @@ class BgpSession:
         on_established: Optional[Callable[["BgpSession"], None]] = None,
         on_close: Optional[Callable[["BgpSession", str], None]] = None,
         on_route_refresh: Optional[Callable[["BgpSession"], None]] = None,
+        on_end_of_rib: Optional[Callable[["BgpSession"], None]] = None,
         telemetry: Optional["TelemetryHub"] = None,
     ) -> None:
         self.scheduler = scheduler
@@ -134,10 +146,14 @@ class BgpSession:
         self.peer_open: Optional[OpenMessage] = None
         self.negotiated_hold_time = config.hold_time
         self.addpath_active = False
+        self.gr_negotiated = False
+        self.peer_restart_time = 0
+        self.closed_admin = False
         self._on_update = on_update
         self._on_established = on_established
         self._on_close = on_close
         self._on_route_refresh = on_route_refresh
+        self._on_end_of_rib = on_end_of_rib
         self._decoder = MessageDecoder()
         self._hold_event = None
         self._keepalive_event = None
@@ -175,6 +191,10 @@ class BgpSession:
         ]
         if self.config.addpath:
             capabilities.append(AddPathCapability())
+        if self.config.graceful_restart:
+            capabilities.append(GracefulRestartCapability(
+                restart_time=self.config.restart_time
+            ))
         open_message = OpenMessage(
             asn=self.config.local_asn,
             hold_time=self.config.hold_time,
@@ -214,11 +234,23 @@ class BgpSession:
         )
         self.stats.notifications_sent += 1
         self.channel.send(message.encode())
-        self._teardown(f"sent NOTIFICATION: {error}")
+        self._teardown(
+            f"sent NOTIFICATION: {error}",
+            admin=error.code == ErrorCode.CEASE,
+        )
+
+    def send_end_of_rib(self) -> None:
+        """Send the End-of-RIB marker (RFC 4724): an empty UPDATE."""
+        self.send_update(UpdateMessage.end_of_rib())
 
     def shutdown(self, subcode: CeaseSubcode = CeaseSubcode.ADMIN_SHUTDOWN) -> None:
-        if self.state in (SessionState.CLOSED, SessionState.IDLE):
-            self._transition(SessionState.CLOSED)
+        if self.state == SessionState.CLOSED:
+            return
+        if self.state == SessionState.IDLE:
+            # Never started: no NOTIFICATION to send, but teardown must
+            # still be uniform — close the channel and fire on_close so
+            # the owner does not leak the transport.
+            self._teardown("administrative shutdown", admin=True)
             return
         self.notify_and_close(
             NotificationError(ErrorCode.CEASE, subcode, message="shutdown")
@@ -261,6 +293,11 @@ class BgpSession:
                     announced=tuple(message.routes()),
                     withdrawn=tuple(message.withdrawn),
                 ))
+            if self.gr_negotiated and message.is_end_of_rib:
+                # End-of-RIB marker (RFC 4724): not a routing change.
+                if self._on_end_of_rib is not None:
+                    self._on_end_of_rib(self)
+                return
             self._on_update(self, message)
         elif isinstance(message, RouteRefreshMessage):
             if not self.established:
@@ -273,7 +310,8 @@ class BgpSession:
         elif isinstance(message, NotificationMessage):
             self.stats.notifications_received += 1
             self._teardown(
-                f"received NOTIFICATION {message.code}/{message.subcode}"
+                f"received NOTIFICATION {message.code}/{message.subcode}",
+                admin=message.code == ErrorCode.CEASE,
             )
 
     def _handle_open(self, message: OpenMessage) -> None:
@@ -290,9 +328,18 @@ class BgpSession:
                 message=f"expected AS{self.config.peer_asn}, got AS{message.asn}",
             )
         self.peer_open = message
+        # RFC 4271 §4.2: the session uses the smaller of the two offered
+        # hold times, and zero means "disable the hold and keepalive
+        # timers" — it must NOT fall back to the local value.
         self.negotiated_hold_time = min(
             self.config.hold_time, message.hold_time
-        ) or self.config.hold_time
+        )
+        peer_gr = message.find_graceful_restart()
+        self.gr_negotiated = self.config.graceful_restart and (
+            peer_gr is not None
+        )
+        if peer_gr is not None:
+            self.peer_restart_time = peer_gr.restart_time
         peer_addpath = message.find_addpath()
         # Per RFC 7911 the capability is directional; the reproduction uses
         # it symmetrically (both directions active when both sides offer it).
@@ -340,11 +387,11 @@ class BgpSession:
         )
 
     def _arm_keepalive_timer(self) -> None:
-        interval = self.negotiated_hold_time / 3 if (
-            self.negotiated_hold_time
-        ) else self.config.keepalive_interval
+        if self.negotiated_hold_time == 0:
+            # Negotiated hold time 0 disables both timers (RFC 4271).
+            return
         self._keepalive_event = self.scheduler.call_later(
-            interval, self._keepalive_tick
+            self.negotiated_hold_time / 3, self._keepalive_tick
         )
 
     def _keepalive_tick(self) -> None:
@@ -367,10 +414,11 @@ class BgpSession:
             ),
         ))
 
-    def _teardown(self, reason: str) -> None:
+    def _teardown(self, reason: str, admin: bool = False) -> None:
         if self.state == SessionState.CLOSED:
             return
         was_established = self.state == SessionState.ESTABLISHED
+        self.closed_admin = admin
         self._transition(SessionState.CLOSED)
         tele = self.telemetry
         if tele is not None and was_established:

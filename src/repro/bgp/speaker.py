@@ -19,7 +19,8 @@ from repro.bgp.errors import CeaseSubcode, ErrorCode, NotificationError
 from repro.bgp.messages import UpdateMessage
 from repro.bgp.policy import RouteMap
 from repro.bgp.rib import AdjRibIn, AdjRibOut, LocRib, RibEntry
-from repro.bgp.session import BgpSession, SessionConfig
+from repro.bgp.session import BgpSession, SessionConfig, SessionState
+from repro.bgp.supervisor import SessionSupervisor, SupervisorConfig
 from repro.bgp.transport import Channel
 from repro.netsim.addr import IPv4Address, Prefix
 from repro.sim.scheduler import Scheduler
@@ -58,6 +59,10 @@ class NeighborConfig:
     # Route-server style: do not prepend our ASN and preserve the original
     # next hop when exporting to this neighbor (RFC 7947 transparency).
     transparent: bool = False
+    # Graceful Restart (RFC 4724): offer the capability; ``restart_time``
+    # is how long we ask the peer to retain our routes after a reset.
+    graceful_restart: bool = False
+    restart_time: int = 120
 
 
 class Neighbor:
@@ -79,6 +84,12 @@ class Neighbor:
         self.pending_announce: dict[tuple[Prefix, Optional[int]], Route] = {}
         self.pending_withdraw: set[tuple[Prefix, Optional[int]]] = set()
         self.mrai_event = None
+        # Graceful Restart receiver state: keys retained as stale after a
+        # non-administrative close, flushed on timer expiry or End-of-RIB.
+        self.stale_keys: set[tuple[Prefix, Optional[int]]] = set()
+        self.stale_event = None
+        # Optional auto-reconnect supervision.
+        self.supervisor: Optional[SessionSupervisor] = None
 
     @property
     def name(self) -> str:
@@ -161,12 +172,44 @@ class BgpSpeaker:
     # Neighbor management
     # ------------------------------------------------------------------
 
-    def attach_neighbor(self, config: NeighborConfig,
-                        channel: Channel) -> Neighbor:
-        """Create a neighbor and start its session over ``channel``."""
+    def attach_neighbor(
+        self,
+        config: NeighborConfig,
+        channel: Channel,
+        channel_factory: Optional[Callable[[], Optional[Channel]]] = None,
+        supervisor_config: Optional[SupervisorConfig] = None,
+    ) -> Neighbor:
+        """Create a neighbor and start its session over ``channel``.
+
+        When ``channel_factory`` is given, a :class:`SessionSupervisor`
+        adopts the session and re-dials through the factory after every
+        non-administrative close (exponential backoff, deterministic
+        jitter, flap damping) — the neighbor heals without operator help.
+        """
         if config.name in self.neighbors:
             raise ValueError(f"duplicate neighbor {config.name!r}")
         neighbor = Neighbor(config)
+        self.neighbors[config.name] = neighbor
+        session = self._make_session(neighbor, channel)
+        if channel_factory is not None:
+            neighbor.supervisor = SessionSupervisor(
+                self.scheduler,
+                peer_key=config.name,
+                channel_factory=channel_factory,
+                session_factory=lambda ch, n=neighbor: (
+                    self._make_session(n, ch)
+                ),
+                config=supervisor_config,
+                telemetry=self.telemetry,
+            )
+            neighbor.supervisor.adopt(session)
+        session.start()
+        return neighbor
+
+    def _make_session(self, neighbor: Neighbor,
+                      channel: Channel) -> BgpSession:
+        """Build (or rebuild, on supervisor re-dial) a neighbor session."""
+        config = neighbor.config
         session_config = SessionConfig(
             local_asn=self.config.asn,
             local_id=self.config.router_id,
@@ -174,6 +217,8 @@ class BgpSpeaker:
             hold_time=self.config.hold_time,
             addpath=config.addpath,
             description=config.name,
+            graceful_restart=config.graceful_restart,
+            restart_time=config.restart_time,
         )
         neighbor.session = BgpSession(
             self.scheduler,
@@ -188,16 +233,43 @@ class BgpSpeaker:
             on_close=lambda session, reason, n=config.name: (
                 self._session_closed(n, reason)
             ),
+            on_end_of_rib=lambda session, n=config.name: (
+                self._end_of_rib(n)
+            ),
             telemetry=self.telemetry,
         )
-        self.neighbors[config.name] = neighbor
-        neighbor.session.start()
+        return neighbor.session
+
+    def reattach_neighbor(self, name: str, channel: Channel) -> Neighbor:
+        """Rebuild an existing neighbor's session over a fresh transport.
+
+        This is the remote side of resilient provisioning: the peer
+        re-dialed and handed us a new channel end.  Any prior session
+        that is still open is shut down administratively first (so GR
+        retention and supervision do not trigger on *that* close), then
+        a replacement session starts over ``channel``.  GR stale state,
+        if armed, survives the swap and is flushed by the new session's
+        End-of-RIB as RFC 4724 intends.
+        """
+        neighbor = self.neighbors[name]
+        old = neighbor.session
+        if old is not None and old.state is not SessionState.CLOSED:
+            old.shutdown()
+        session = self._make_session(neighbor, channel)
+        if neighbor.supervisor is not None:
+            neighbor.supervisor.adopt(session)
+        session.start()
         return neighbor
 
     def remove_neighbor(self, name: str) -> None:
         neighbor = self.neighbors.pop(name, None)
         if neighbor is None:
             return
+        if neighbor.supervisor is not None:
+            neighbor.supervisor.stop()
+        if neighbor.stale_event is not None:
+            neighbor.stale_event.cancel()
+            neighbor.stale_event = None
         if neighbor.session is not None:
             neighbor.session.shutdown(CeaseSubcode.PEER_DECONFIGURED)
         self._flush_peer_routes(name)
@@ -279,6 +351,9 @@ class BgpSpeaker:
                     continue
                 imported = maybe
             neighbor.adj_rib_in.update(imported)
+            # A refreshed route is no longer stale (RFC 4724 receiver).
+            if neighbor.stale_keys:
+                neighbor.stale_keys.discard((route.prefix, route.path_id))
             if neighbor.config.max_prefixes is not None and (
                 len(neighbor.adj_rib_in) > neighbor.config.max_prefixes
             ):
@@ -311,9 +386,99 @@ class BgpSpeaker:
         for prefix in list(self.loc_rib.prefixes()):
             self._enqueue_prefix(neighbor, prefix)
         self._flush(neighbor)
+        session = neighbor.session
+        if session is not None and session.gr_negotiated:
+            # RFC 4724: the End-of-RIB marker closes the initial table
+            # transfer — the receiver may then flush whatever is stale.
+            session.send_end_of_rib()
 
     def _session_closed(self, neighbor_name: str, reason: str) -> None:
-        self._flush_peer_routes(neighbor_name)
+        neighbor = self.neighbors.get(neighbor_name)
+        if neighbor is None:
+            # De-configured neighbor: remove_neighbor handles the flush.
+            self._flush_peer_routes(neighbor_name)
+            return
+        # Outbound state always resets: a future session starts from an
+        # empty Adj-RIB-Out and re-announces from scratch.
+        neighbor.adj_rib_out.clear()
+        neighbor.pending_announce.clear()
+        neighbor.pending_withdraw.clear()
+        if neighbor.mrai_event is not None:
+            neighbor.mrai_event.cancel()
+            neighbor.mrai_event = None
+        session = neighbor.session
+        if (
+            session is not None
+            and session.gr_negotiated
+            and not session.closed_admin
+        ):
+            self._mark_stale(neighbor)
+        else:
+            self._flush_peer_routes(neighbor_name)
+
+    def _mark_stale(self, neighbor: Neighbor) -> None:
+        """GR receiver mode: retain the peer's routes, marked stale."""
+        session = neighbor.session
+        restart_time = session.peer_restart_time if session is not None else 0
+        keys = {
+            (route.prefix, route.path_id)
+            for route in neighbor.adj_rib_in.routes()
+        }
+        if not keys or restart_time <= 0:
+            self._flush_peer_routes(neighbor.name)
+            return
+        neighbor.stale_keys = keys
+        if neighbor.stale_event is not None:
+            neighbor.stale_event.cancel()
+        neighbor.stale_event = self.scheduler.call_later(
+            float(restart_time),
+            lambda name=neighbor.name: self._stale_expired(name),
+        )
+        tele = self.telemetry
+        if tele is not None:
+            from repro.telemetry.station import ResilienceEvent
+            tele.station.publish(ResilienceEvent(
+                peer=neighbor.name, time=self.scheduler.now,
+                event="gr-stale",
+                detail=f"{len(keys)} routes retained for {restart_time}s",
+            ))
+
+    def _end_of_rib(self, neighbor_name: str) -> None:
+        """Peer finished its (re)transmission: flush leftover stale routes."""
+        neighbor = self.neighbors.get(neighbor_name)
+        if neighbor is None:
+            return
+        if neighbor.stale_event is not None:
+            neighbor.stale_event.cancel()
+            neighbor.stale_event = None
+        self._flush_stale(neighbor, "gr-flush-eor")
+
+    def _stale_expired(self, neighbor_name: str) -> None:
+        """Restart timer ran out without a refreshed RIB: fail closed."""
+        neighbor = self.neighbors.get(neighbor_name)
+        if neighbor is None:
+            return
+        neighbor.stale_event = None
+        self._flush_stale(neighbor, "gr-flush-expired")
+
+    def _flush_stale(self, neighbor: Neighbor, event: str) -> None:
+        remaining = neighbor.stale_keys
+        neighbor.stale_keys = set()
+        if not remaining:
+            return
+        for prefix, path_id in remaining:
+            neighbor.adj_rib_in.withdraw(prefix, path_id)
+            if self.loc_rib.remove(neighbor.name, prefix, path_id):
+                self._best_changed(prefix)
+        for prefix in {key[0] for key in remaining}:
+            self._schedule_export(prefix)
+        tele = self.telemetry
+        if tele is not None:
+            from repro.telemetry.station import ResilienceEvent
+            tele.station.publish(ResilienceEvent(
+                peer=neighbor.name, time=self.scheduler.now,
+                event=event, detail=f"{len(remaining)} stale routes flushed",
+            ))
 
     def _flush_peer_routes(self, neighbor_name: str) -> None:
         neighbor = self.neighbors.get(neighbor_name)
@@ -321,6 +486,10 @@ class BgpSpeaker:
         if neighbor is not None:
             touched.update(neighbor.adj_rib_in.prefixes())
             neighbor.adj_rib_in.clear()
+            neighbor.stale_keys = set()
+            if neighbor.stale_event is not None:
+                neighbor.stale_event.cancel()
+                neighbor.stale_event = None
         for prefix in self.loc_rib.remove_peer(neighbor_name):
             touched.add(prefix)
             self._best_changed(prefix)

@@ -1,0 +1,236 @@
+"""Session supervision: auto-reconnect with backoff and flap damping.
+
+The paper's operational sections (§4.7, §7.3) stress that a production
+edge must survive session resets without operator intervention — the
+muxes keep re-dialing upstreams, but *politely*: exponential backoff so
+a dead peer is not hammered, deterministic jitter so a mux-wide outage
+does not produce synchronized re-dial storms, an idle-hold floor so two
+crash-looping speakers cannot spin the simulator, and per-peer flap
+damping (RFC 2439 in spirit) so a flapping neighbor is suppressed for a
+cool-down instead of amplifying its churn into the platform.
+
+:class:`SessionSupervisor` owns the lifecycle of one neighbor's
+sessions.  It *adopts* a running :class:`~repro.bgp.session.BgpSession`
+(chaining the owner's callbacks rather than replacing them) and, when
+the session closes for any non-administrative reason, re-dials through a
+``channel_factory`` and rebuilds the session through a
+``session_factory``.  All randomness comes from a private
+``random.Random`` seeded from ``(seed, peer_key)``, so the backoff
+schedule is byte-identical across runs with the same seed — asserted by
+a tier-1 test and relied on by the chaos harness.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.bgp.session import BgpSession
+from repro.sim.scheduler import Scheduler
+from repro.telemetry.station import ResilienceEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.bgp.transport import Channel
+    from repro.telemetry import TelemetryHub
+
+__all__ = ["SessionSupervisor", "SupervisorConfig"]
+
+
+@dataclass
+class SupervisorConfig:
+    """Reconnect policy knobs (all times in simulated seconds)."""
+
+    min_backoff: float = 1.0       # first re-dial delay (before jitter)
+    max_backoff: float = 60.0      # backoff ceiling
+    multiplier: float = 2.0        # exponential growth factor
+    jitter: float = 0.25           # delay *= 1 + jitter * U[0, 1)
+    idle_hold_floor: float = 0.5   # never re-dial faster than this
+    flap_threshold: int = 5        # flaps inside the window -> suppress
+    flap_window: float = 300.0     # sliding window for flap counting
+    suppress_time: float = 600.0   # cool-down once damped
+    max_attempts: int = 8          # consecutive failures before giving up
+    seed: int = 0                  # jitter RNG seed (shared per platform)
+
+
+ChannelFactory = Callable[[], Optional["Channel"]]
+SessionFactory = Callable[["Channel"], Optional[BgpSession]]
+
+
+class SessionSupervisor:
+    """Keeps one neighbor's session alive across resets."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        peer_key: str,
+        channel_factory: ChannelFactory,
+        session_factory: SessionFactory,
+        config: Optional[SupervisorConfig] = None,
+        telemetry: Optional["TelemetryHub"] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.peer_key = peer_key
+        self.channel_factory = channel_factory
+        self.session_factory = session_factory
+        self.config = config if config is not None else SupervisorConfig()
+        self.telemetry = telemetry
+        # Deterministic jitter: string seeding hashes stably across runs
+        # and processes (unlike hash() of a str under PYTHONHASHSEED).
+        self._rng = random.Random(f"{self.config.seed}:{peer_key}")
+        self.session: Optional[BgpSession] = None
+        self.attempts = 0          # consecutive failed attempts
+        self.reconnects = 0        # successful re-dials (session rebuilt)
+        self.suppressions = 0      # flap-damping activations
+        self.gave_up = False
+        self.stopped = False
+        self.suppressed_until: Optional[float] = None
+        self.schedule: list[float] = []  # every delay ever scheduled
+        self._flap_times: list[float] = []
+        self._redial_event = None
+        self._m_reconnects = None
+        self._m_suppressions = None
+        if telemetry is not None:
+            self._m_reconnects = telemetry.registry.counter(
+                "bgp_supervisor_reconnects",
+                "Supervisor re-dial attempts per peer",
+                labels=("peer",),
+            ).labels(peer_key)
+            self._m_suppressions = telemetry.registry.counter(
+                "bgp_supervisor_suppressions",
+                "Flap-damping suppressions per peer",
+                labels=("peer",),
+            ).labels(peer_key)
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def pending(self) -> bool:
+        """A re-dial (or suppression expiry) is scheduled."""
+        return self._redial_event is not None
+
+    @property
+    def suppressed(self) -> bool:
+        return (
+            self.suppressed_until is not None
+            and self.scheduler.now < self.suppressed_until
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def adopt(self, session: BgpSession) -> None:
+        """Supervise ``session``: chain into its close/established hooks."""
+        self.session = session
+        original_close = session._on_close
+        original_established = session._on_established
+
+        def on_close(sess: BgpSession, reason: str) -> None:
+            if original_close is not None:
+                original_close(sess, reason)
+            self._session_closed(sess, reason)
+
+        def on_established(sess: BgpSession) -> None:
+            self.attempts = 0
+            if original_established is not None:
+                original_established(sess)
+
+        session._on_close = on_close
+        session._on_established = on_established
+
+    def stop(self) -> None:
+        """Stop supervising (administrative de-configuration)."""
+        self.stopped = True
+        if self._redial_event is not None:
+            self._redial_event.cancel()
+            self._redial_event = None
+
+    # -- internals ---------------------------------------------------------
+
+    def _event(self, event: str, detail: str = "") -> None:
+        tele = self.telemetry
+        if tele is not None:
+            tele.station.publish(ResilienceEvent(
+                peer=self.peer_key, time=self.scheduler.now,
+                event=event, detail=detail,
+            ))
+
+    def _session_closed(self, session: BgpSession, reason: str) -> None:
+        if self.stopped or self.gave_up:
+            return
+        if session is not self.session:
+            return  # superseded session; ignore its late close
+        if session.closed_admin:
+            # Deliberate teardown (local shutdown or peer CEASE): the
+            # owner meant it — do not resurrect.
+            return
+        if self._redial_event is not None:
+            return
+        now = self.scheduler.now
+        self._flap_times.append(now)
+        self._flap_times = [
+            t for t in self._flap_times
+            if now - t <= self.config.flap_window
+        ]
+        if len(self._flap_times) >= self.config.flap_threshold:
+            # Flap damping: suppress the peer for a cool-down.
+            self.suppressions += 1
+            if self._m_suppressions is not None:
+                self._m_suppressions.inc()
+            self.suppressed_until = now + self.config.suppress_time
+            self._flap_times.clear()
+            self.attempts = 0
+            delay = self.config.suppress_time
+            self._event(
+                "suppress",
+                f"flap damping for {self.config.suppress_time:g}s",
+            )
+        else:
+            if self.attempts >= self.config.max_attempts:
+                self.gave_up = True
+                self._event(
+                    "give-up", f"after {self.attempts} attempts"
+                )
+                return
+            delay = self._next_delay()
+        self.schedule.append(delay)
+        self._redial_event = self.scheduler.call_later(delay, self._redial)
+
+    def _next_delay(self) -> float:
+        base = min(
+            self.config.max_backoff,
+            self.config.min_backoff
+            * self.config.multiplier ** self.attempts,
+        )
+        jittered = base * (1.0 + self.config.jitter * self._rng.random())
+        return max(self.config.idle_hold_floor, jittered)
+
+    def _redial(self) -> None:
+        self._redial_event = None
+        if self.stopped:
+            return
+        self.suppressed_until = None
+        self.attempts += 1
+        channel = self.channel_factory()
+        if channel is None:
+            # Transport not available yet: count the failure and back off.
+            self._event("redial-failed", "channel factory returned None")
+            if self.attempts >= self.config.max_attempts:
+                self.gave_up = True
+                self._event("give-up", f"after {self.attempts} attempts")
+                return
+            delay = self._next_delay()
+            self.schedule.append(delay)
+            self._redial_event = self.scheduler.call_later(
+                delay, self._redial
+            )
+            return
+        session = self.session_factory(channel)
+        if session is None:
+            self.stop()
+            return
+        self.reconnects += 1
+        if self._m_reconnects is not None:
+            self._m_reconnects.inc()
+        self._event("reconnect", f"attempt {self.attempts}")
+        self.adopt(session)
+        session.start()

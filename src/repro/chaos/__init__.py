@@ -1,0 +1,43 @@
+"""Seeded chaos engineering for the PEERING reproduction (§4.7, §7.3).
+
+The paper's operational sections catalogue the failures a production
+edge platform must absorb: lossy or partitioned transports to upstream
+neighbors, corrupted BGP streams, flapping sessions, VPN tunnels that
+bounce, and enforcement engines that overload (and must fail *closed* —
+"a platform outage is better than letting an experiment harm the
+Internet").  This package reproduces those failures deterministically
+against the simulated platform:
+
+* :mod:`repro.chaos.faults` — seeded fault injectors over the BGP
+  transport channels and netsim links (message drop, byte corruption,
+  partition, latency spikes).
+* :mod:`repro.chaos.runner` — :class:`ChaosRunner` schedules named
+  fault scenarios against a running :class:`~repro.platform.peering.
+  PeeringPlatform`, heals them, and asserts the resilience invariants:
+  re-convergence within a bound, per-neighbor kernel table consistency,
+  no cross-experiment leakage, and fail-closed enforcement.
+
+All randomness is drawn from ``random.Random`` instances seeded from an
+explicit scenario seed, so every run is reproducible and the CI soak
+job can sweep seeds.  Every injection and heal is published to the PR 2
+telemetry hub as a :class:`~repro.telemetry.station.ResilienceEvent`.
+"""
+
+from repro.chaos.faults import ChannelFaultInjector, LinkFaultInjector
+from repro.chaos.runner import (
+    ChaosRunner,
+    ChaosWorld,
+    NeighborHandle,
+    ScenarioResult,
+    build_chaos_world,
+)
+
+__all__ = [
+    "ChannelFaultInjector",
+    "ChaosRunner",
+    "ChaosWorld",
+    "LinkFaultInjector",
+    "NeighborHandle",
+    "ScenarioResult",
+    "build_chaos_world",
+]

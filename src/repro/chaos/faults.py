@@ -1,0 +1,155 @@
+"""Seeded fault injectors over the simulated transports.
+
+Two layers of the reproduction carry the platform's traffic and can
+fail in the field:
+
+* the reliable byte-stream :class:`~repro.bgp.transport.Channel` pairs
+  that BGP sessions run over (standing in for TCP connections), and
+* the :class:`~repro.netsim.link.Link` objects carrying Ethernet frames
+  (IXP fabric, tunnels, backbone circuits).
+
+:class:`ChannelFaultInjector` wraps both ends of a channel with seeded
+message drop, byte corruption, and latency inflation; a ``drop`` rate
+of 1.0 is a partition.  Drops remove an entire ``send()`` call — the
+channel models a reliable stream, so partial loss would model TCP
+payload corruption, which TCP's checksum converts into whole-segment
+loss anyway.  Corruption flips a single byte, modelling the rarer
+failure that *survives* checksums; the BGP decoder turns it into a
+NOTIFICATION and a session reset (the paper's §7.3 failure mode).
+Latency inflation preserves FIFO ordering via monotone release times.
+
+:class:`LinkFaultInjector` raises the Bernoulli frame-loss rate of a
+netsim link, exercising data-plane loss beneath an otherwise healthy
+control plane.
+
+Injectors are idempotent (``inject``/``heal`` pairs) and keep counters
+so scenarios can report exactly what they did.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Callable, Dict
+
+from repro.bgp.transport import Channel
+from repro.sim.scheduler import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.netsim.link import Link
+
+__all__ = ["ChannelFaultInjector", "LinkFaultInjector"]
+
+
+class ChannelFaultInjector:
+    """Seeded faults on both ends of one BGP transport channel pair."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        channel: Channel,
+        seed: int = 0,
+        drop: float = 0.0,
+        corrupt: float = 0.0,
+        extra_latency: float = 0.0,
+        label: str = "",
+    ) -> None:
+        self.scheduler = scheduler
+        ends = [channel]
+        if channel.peer is not None:
+            ends.append(channel.peer)
+        self.ends: tuple[Channel, ...] = tuple(ends)
+        self.drop = drop
+        self.corrupt = corrupt
+        self.extra_latency = extra_latency
+        self.label = label
+        self._rng = random.Random(f"chaos:{seed}:{label}")
+        self.active = False
+        self.dropped = 0
+        self.corrupted = 0
+        self.delayed = 0
+        self.forwarded = 0
+        self._saved: Dict[int, Callable[[bytes], None]] = {}
+        self._release: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+
+    def inject(self) -> None:
+        """Start faulting: replace ``send`` on both channel ends."""
+        if self.active:
+            return
+        self.active = True
+        for end in self.ends:
+            self._saved[id(end)] = end.send
+            self._release[id(end)] = 0.0
+            end.send = self._wrap(end)  # type: ignore[method-assign]
+
+    def heal(self) -> None:
+        """Stop faulting: restore the original ``send`` methods."""
+        if not self.active:
+            return
+        self.active = False
+        for end in self.ends:
+            saved = self._saved.pop(id(end), None)
+            if saved is not None:
+                end.send = saved  # type: ignore[method-assign]
+        self._release.clear()
+
+    # ------------------------------------------------------------------
+
+    def _wrap(self, end: Channel) -> Callable[[bytes], None]:
+        def send(data: bytes) -> None:
+            if end.closed or end.peer is None or not data:
+                return
+            if self.drop and self._rng.random() < self.drop:
+                self.dropped += 1
+                return
+            if self.corrupt and self._rng.random() < self.corrupt:
+                index = self._rng.randrange(len(data))
+                data = (
+                    data[:index]
+                    + bytes([data[index] ^ 0xFF])
+                    + data[index + 1:]
+                )
+                self.corrupted += 1
+            end.tx_bytes += len(data)
+            peer = end.peer
+            delay = end.latency + self.extra_latency
+            if self.extra_latency:
+                self.delayed += 1
+            # Monotone release times keep the stream in order even while
+            # the latency knob moves.
+            release = max(
+                self.scheduler.now + delay, self._release.get(id(end), 0.0)
+            )
+            self._release[id(end)] = release
+            self.forwarded += 1
+            self.scheduler.call_at(release, lambda: peer._deliver(data))
+
+        return send
+
+
+class LinkFaultInjector:
+    """Raise the Bernoulli frame-loss rate of one netsim link."""
+
+    def __init__(self, link: "Link", loss: float = 1.0) -> None:
+        self.link = link
+        self.loss = loss
+        self.active = False
+        self._saved: float = 0.0
+
+    def inject(self) -> None:
+        if self.active:
+            return
+        self.active = True
+        self._saved = self.link.loss
+        self.link.loss = self.loss
+
+    def heal(self) -> None:
+        if not self.active:
+            return
+        self.active = False
+        self.link.loss = self._saved
+
+    @property
+    def frames_lost(self) -> int:
+        return self.link.drops

@@ -1,0 +1,581 @@
+"""The chaos harness: named fault scenarios against a running platform.
+
+:func:`build_chaos_world` constructs a small but complete deployment —
+two backbone PoPs, one resilient GR-negotiated transit neighbor per
+PoP (supervised re-dial through :class:`~repro.bgp.supervisor.
+SessionSupervisor`), and two experiments with live toolkit clients —
+converged and ready to be broken.
+
+:class:`ChaosRunner` then runs named scenarios against that world (or
+any world shaped like it): inject a seeded fault, let it do damage,
+heal it, and step the simulator until the platform re-converges to the
+pre-fault routing state or a bound expires.  Each scenario returns a
+:class:`ScenarioResult` carrying the convergence verdict plus the
+standing resilience invariants:
+
+``reconverged``
+    every client's received-route set and every upstream speaker's
+    Loc-RIB returned to the pre-fault snapshot within the bound;
+``kernel_tables_consistent``
+    every upstream neighbor's Adj-RIB-In matches its per-neighbor
+    kernel routing table (the §5 table-per-neighbor design);
+``no_cross_experiment_leakage``
+    no client holds a route for a prefix allocated to a different
+    experiment (§5 isolation);
+``sessions_settled``
+    every session is established, suppressed by flap damping, or given
+    up — nothing is stuck mid-re-dial.
+
+Determinism: all fault randomness is seeded, the simulator is a
+deterministic event queue, and supervisor jitter derives from the
+platform seed — the same ``(scenario, seed)`` pair always reproduces
+the same run, which the CI soak job exploits to sweep seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bgp.attributes import local_route
+from repro.bgp.speaker import BgpSpeaker, NeighborConfig, SpeakerConfig
+from repro.bgp.supervisor import SupervisorConfig
+from repro.chaos.faults import ChannelFaultInjector
+from repro.netsim.addr import IPv4Prefix
+from repro.platform.experiment import ExperimentProposal
+from repro.platform.peering import PeeringPlatform
+from repro.platform.pop import NeighborPort, PopConfig
+from repro.sim.scheduler import Scheduler
+from repro.telemetry import TelemetryHub
+from repro.telemetry.station import ResilienceEvent
+from repro.toolkit.client import ExperimentClient
+
+__all__ = [
+    "ChaosRunner",
+    "ChaosWorld",
+    "NeighborHandle",
+    "ScenarioResult",
+    "build_chaos_world",
+]
+
+
+@dataclass
+class NeighborHandle:
+    """One synthetic upstream AS attached to a PoP, with its plug."""
+
+    pop: str
+    name: str
+    speaker: BgpSpeaker
+    port: NeighborPort
+    dest: IPv4Prefix
+
+
+@dataclass
+class ChaosWorld:
+    """A converged deployment the runner knows how to break."""
+
+    scheduler: Scheduler
+    platform: PeeringPlatform
+    telemetry: Optional[TelemetryHub]
+    neighbors: Dict[str, NeighborHandle]
+    clients: Dict[str, ExperimentClient]
+    seed: int = 0
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one chaos scenario run."""
+
+    name: str
+    seed: int
+    converged: bool
+    convergence_time: float
+    invariants: Dict[str, bool] = field(default_factory=dict)
+    details: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.converged and all(self.invariants.values())
+
+    def format(self) -> str:
+        verdict = (
+            f"CONVERGED in {self.convergence_time:.1f}s"
+            if self.converged else "DID NOT CONVERGE"
+        )
+        lines = [f"scenario {self.name} seed={self.seed}: {verdict}"]
+        lines.append("  invariants: " + " ".join(
+            f"{key}={'ok' if value else 'VIOLATED'}"
+            for key, value in sorted(self.invariants.items())
+        ))
+        if self.details:
+            lines.append("  details: " + " ".join(
+                f"{key}={value:g}" for key, value in sorted(self.details.items())
+            ))
+        return "\n".join(lines)
+
+
+def build_chaos_world(
+    seed: int = 0, with_telemetry: bool = True
+) -> ChaosWorld:
+    """Two backbone PoPs, two resilient transits, two experiments."""
+    scheduler = Scheduler()
+    telemetry = TelemetryHub(scheduler) if with_telemetry else None
+    platform = PeeringPlatform(
+        scheduler,
+        pop_configs=[
+            PopConfig(name="west", pop_id=0, kind="ixp", backbone=True),
+            PopConfig(name="east", pop_id=1, kind="university",
+                      backbone=True),
+        ],
+        telemetry=telemetry,
+    )
+    supervisor_config = SupervisorConfig(
+        min_backoff=0.5,
+        max_backoff=8.0,
+        jitter=0.25,
+        idle_hold_floor=0.5,
+        flap_threshold=4,
+        flap_window=60.0,
+        suppress_time=30.0,
+        max_attempts=12,
+        seed=seed,
+    )
+    neighbors: Dict[str, NeighborHandle] = {}
+    for pop_name, nname, asn, dest in (
+        ("west", "transit-west", 65010, IPv4Prefix.parse("10.10.0.0/16")),
+        ("east", "transit-east", 65020, IPv4Prefix.parse("10.20.0.0/16")),
+    ):
+        pop = platform.pops[pop_name]
+        port = pop.provision_neighbor(
+            nname,
+            asn,
+            kind="transit",
+            resilient=True,
+            graceful_restart=True,
+            restart_time=180,
+            supervisor_config=supervisor_config,
+        )
+        speaker = BgpSpeaker(
+            scheduler, SpeakerConfig(asn=asn, router_id=port.address)
+        )
+        speaker.attach_neighbor(
+            NeighborConfig(
+                name="to-pop",
+                peer_asn=None,
+                local_address=port.address,
+                graceful_restart=True,
+                restart_time=180,
+            ),
+            port.channel,
+        )
+        # When the PoP's supervisor re-dials, re-attach our side of the
+        # session over the fresh transport.
+        port.on_redial = (
+            lambda channel, s=speaker: s.reattach_neighbor(
+                "to-pop", channel
+            )
+        )
+        speaker.originate(local_route(dest, next_hop=port.address))
+        neighbors[nname] = NeighborHandle(
+            pop=pop_name, name=nname, speaker=speaker, port=port, dest=dest
+        )
+
+    clients: Dict[str, ExperimentClient] = {}
+    for name, pops, prefix_count in (
+        ("alpha", ("west", "east"), 2),
+        ("beta", ("west",), 1),
+    ):
+        platform.submit_proposal(ExperimentProposal(
+            name=name,
+            contact="chaos@example.edu",
+            goals="resilience drill",
+            execution_plan="inject faults, heal, verify re-convergence",
+            prefix_count=prefix_count,
+        ))
+        client = ExperimentClient(scheduler, name, platform)
+        for pop_name in pops:
+            client.openvpn_up(pop_name)
+            client.bird_start(pop_name)
+        clients[name] = client
+    scheduler.run_for(30)
+    # Alpha announces its first prefix so the baseline includes an
+    # experiment route at the upstream speakers.
+    clients["alpha"].announce(clients["alpha"].profile.prefixes[0])
+    scheduler.run_for(30)
+    return ChaosWorld(
+        scheduler=scheduler,
+        platform=platform,
+        telemetry=telemetry,
+        neighbors=neighbors,
+        clients=clients,
+        seed=seed,
+    )
+
+
+class ChaosRunner:
+    """Schedules, heals, and judges fault scenarios against a world."""
+
+    SCENARIOS = (
+        "drop",
+        "corruption",
+        "latency",
+        "partition",
+        "flap",
+        "tunnel-bounce",
+        "enforcer-overload",
+    )
+
+    def __init__(
+        self,
+        world: ChaosWorld,
+        seed: Optional[int] = None,
+        step: float = 1.0,
+        bound: float = 600.0,
+    ) -> None:
+        self.world = world
+        self.seed = world.seed if seed is None else seed
+        self.step = step
+        self.bound = bound
+        self.scheduler = world.scheduler
+        self.platform = world.platform
+        self.telemetry = world.telemetry
+        self._baseline: Dict[str, tuple] = {}
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, name: str) -> ScenarioResult:
+        method = getattr(
+            self, "_scenario_" + name.replace("-", "_"), None
+        )
+        if method is None:
+            raise KeyError(
+                f"unknown scenario {name!r}; choose from "
+                f"{', '.join(self.SCENARIOS)}"
+            )
+        self._settle()
+        self._baseline = self._snapshot()
+        self._event("chaos", "fault-inject", name)
+        result: ScenarioResult = method()
+        self._event(
+            "chaos", "scenario-done",
+            f"{name}: {'ok' if result.ok else 'FAILED'}",
+        )
+        return result
+
+    def run_all(self) -> List[ScenarioResult]:
+        return [self.run(name) for name in self.SCENARIOS]
+
+    # -- scenarios ---------------------------------------------------------
+
+    def _scenario_drop(self) -> ScenarioResult:
+        """30% message loss on a transit transport for two minutes."""
+        return self._channel_scenario(
+            "drop", self.world.neighbors["transit-west"],
+            duration=120.0, drop=0.30,
+        )
+
+    def _scenario_corruption(self) -> ScenarioResult:
+        """Byte corruption: decoder NOTIFICATIONs and session resets."""
+        return self._channel_scenario(
+            "corruption", self.world.neighbors["transit-west"],
+            duration=45.0, corrupt=0.30,
+        )
+
+    def _scenario_latency(self) -> ScenarioResult:
+        """A 70 s latency spike: the first delayed keepalive gap exceeds
+        the 90 s hold time onset budget only transiently."""
+        return self._channel_scenario(
+            "latency", self.world.neighbors["transit-west"],
+            duration=100.0, extra_latency=70.0,
+        )
+
+    def _scenario_partition(self) -> ScenarioResult:
+        """Full partition outlasting the hold timer: GR retains routes,
+        the supervisor keeps re-dialing into the partition, and the
+        session heals once it lifts."""
+        return self._channel_scenario(
+            "partition", self.world.neighbors["transit-west"],
+            duration=150.0, drop=1.0,
+        )
+
+    def _scenario_flap(self) -> ScenarioResult:
+        """Six quick transport losses: flap damping must engage."""
+        handle = self.world.neighbors["transit-west"]
+        closes = 6
+        for index in range(closes):
+            self.scheduler.call_later(
+                4.0 * index,
+                lambda h=handle: self._close_port_channel(h),
+            )
+        self._event(handle.name, "fault-inject",
+                    f"flap: {closes} transport losses 4s apart")
+        self.scheduler.run_for(4.0 * closes + 1.0)
+        self._event(handle.name, "fault-heal", "flap: storm over")
+        heal_time = self.scheduler.now
+        converged, elapsed = self._converge()
+        supervisor = self._supervisor(handle)
+        invariants = self._invariants(converged)
+        invariants["flap_damping_engaged"] = (
+            supervisor is not None and supervisor.suppressions >= 1
+        )
+        details: Dict[str, float] = {"closes": float(closes)}
+        if supervisor is not None:
+            details["reconnects"] = float(supervisor.reconnects)
+            details["suppressions"] = float(supervisor.suppressions)
+        return self._result("flap", converged, elapsed, invariants,
+                            details, heal_time)
+
+    def _scenario_tunnel_bounce(self) -> ScenarioResult:
+        """An experiment's VPN tunnel bounces; BIRD restarts over it."""
+        client = self.world.clients["alpha"]
+        pop_name = "west"
+        view = client.pops[pop_name]
+        tunnel = view.connection.tunnel
+        announced = list(view.announced)
+        tunnel.set_up(False)
+        view.connection.channel.close()
+        self._event(f"client:{client.name}:{pop_name}", "fault-inject",
+                    "tunnel-bounce: tunnel down, transport lost")
+        self.scheduler.run_for(10.0)
+        tunnel.set_up(True)
+        client.bird_stop(pop_name)
+        client.bird_start(pop_name)
+        self.scheduler.run_for(2.0)
+        for prefix in announced:
+            client.announce(prefix, pops=[pop_name])
+        self._event(f"client:{client.name}:{pop_name}", "fault-heal",
+                    "tunnel-bounce: tunnel up, BIRD restarted")
+        heal_time = self.scheduler.now
+        converged, elapsed = self._converge()
+        return self._result(
+            "tunnel-bounce", converged, elapsed,
+            self._invariants(converged),
+            {"reannounced": float(len(announced))}, heal_time,
+        )
+
+    def _scenario_enforcer_overload(self) -> ScenarioResult:
+        """Enforcement engine overload must fail closed, then recover."""
+        pop = self.platform.pops["west"]
+        client = self.world.clients["alpha"]
+        spare = client.profile.prefixes[1]
+        speaker = self.world.neighbors["transit-west"].speaker
+        pop.control_enforcer.overloaded = True
+        self._event("west", "fault-inject", "enforcer-overload")
+        client.announce(spare, pops=["west"])
+        self.scheduler.run_for(5.0)
+        fail_closed = speaker.best_route(spare) is None
+        pop.control_enforcer.overloaded = False
+        client.announce(spare, pops=["west"])
+        self.scheduler.run_for(5.0)
+        recovered = speaker.best_route(spare) is not None
+        client.withdraw(spare, pops=["west"])
+        self._event("west", "fault-heal", "enforcer-overload: recovered")
+        heal_time = self.scheduler.now
+        converged, elapsed = self._converge()
+        invariants = self._invariants(converged)
+        invariants["fail_closed"] = fail_closed
+        invariants["recovered_after_overload"] = recovered
+        return self._result("enforcer-overload", converged, elapsed,
+                            invariants, {}, heal_time)
+
+    # -- scenario machinery ------------------------------------------------
+
+    def _channel_scenario(
+        self,
+        name: str,
+        handle: NeighborHandle,
+        duration: float,
+        **fault: float,
+    ) -> ScenarioResult:
+        injectors: List[ChannelFaultInjector] = []
+
+        def cover(channel) -> None:
+            injector = ChannelFaultInjector(
+                self.scheduler,
+                channel,
+                seed=self.seed,
+                label=f"{name}:{handle.name}:{len(injectors)}",
+                **fault,
+            )
+            injector.inject()
+            injectors.append(injector)
+
+        cover(handle.port.channel)
+        # Re-dials during the fault window land inside the blast radius:
+        # fresh transports inherit the same fault profile until heal.
+        original_redial = handle.port.on_redial
+
+        def on_redial(channel) -> None:
+            cover(channel)
+            if original_redial is not None:
+                original_redial(channel)
+
+        handle.port.on_redial = on_redial
+        detail = ", ".join(f"{k}={v:g}" for k, v in sorted(fault.items()))
+        self._event(handle.name, "fault-inject",
+                    f"{name}: {detail} for {duration:g}s")
+        self.scheduler.run_for(duration)
+        handle.port.on_redial = original_redial
+        for injector in injectors:
+            injector.heal()
+        self._event(handle.name, "fault-heal", name)
+        heal_time = self.scheduler.now
+        converged, elapsed = self._converge()
+        details: Dict[str, float] = {
+            "dropped": float(sum(i.dropped for i in injectors)),
+            "corrupted": float(sum(i.corrupted for i in injectors)),
+            "delayed": float(sum(i.delayed for i in injectors)),
+            "transports_faulted": float(len(injectors)),
+        }
+        supervisor = self._supervisor(handle)
+        if supervisor is not None:
+            details["reconnects"] = float(supervisor.reconnects)
+            details["suppressions"] = float(supervisor.suppressions)
+        return self._result(name, converged, elapsed,
+                            self._invariants(converged), details, heal_time)
+
+    def _close_port_channel(self, handle: NeighborHandle) -> None:
+        channel = handle.port.channel
+        if not channel.closed:
+            channel.close()
+
+    def _supervisor(self, handle: NeighborHandle):
+        neighbor = self.platform.pops[handle.pop].node.upstreams.get(
+            handle.name
+        )
+        return neighbor.supervisor if neighbor is not None else None
+
+    def _result(
+        self,
+        name: str,
+        converged: bool,
+        elapsed: float,
+        invariants: Dict[str, bool],
+        details: Dict[str, float],
+        heal_time: float,
+    ) -> ScenarioResult:
+        details = dict(details)
+        details["heal_time"] = heal_time
+        return ScenarioResult(
+            name=name,
+            seed=self.seed,
+            converged=converged,
+            convergence_time=elapsed,
+            invariants=invariants,
+            details=details,
+        )
+
+    # -- convergence and invariants ---------------------------------------
+
+    def _converge(self) -> tuple[bool, float]:
+        """Step until the snapshot matches baseline or the bound expires."""
+        start = self.scheduler.now
+        while self.scheduler.now - start < self.bound:
+            self.scheduler.run_for(self.step)
+            if self._settled() and self._snapshot() == self._baseline:
+                return True, self.scheduler.now - start
+        return False, self.scheduler.now - start
+
+    def _settle(self) -> None:
+        """Best-effort settle before taking a baseline."""
+        for _ in range(60):
+            if self._settled():
+                return
+            self.scheduler.run_for(self.step)
+
+    def _snapshot(self):
+        """Routing state as multisets of paths per prefix.
+
+        ADD-PATH ids are deliberately excluded: they are client-local
+        handles that may be reallocated when a fault outlasts the GR
+        retention window (flush + re-announce).  The convergence
+        invariant is that every client sees the same *paths* — the
+        zero-withdrawal property of in-window GR recovery is asserted
+        separately by the graceful-restart tests via the telemetry
+        station feed.
+        """
+        state: Dict[str, tuple] = {}
+        for name, client in self.world.clients.items():
+            for pop_name, view in client.pops.items():
+                state[f"client:{name}:{pop_name}"] = tuple(sorted(
+                    str(route.prefix) for route in view.routes.values()
+                ))
+        for name, handle in self.world.neighbors.items():
+            state[f"neighbor:{name}"] = tuple(sorted(
+                str(entry.route.prefix)
+                for entry in handle.speaker.loc_rib.best_routes()
+            ))
+        return state
+
+    def _settled(self) -> bool:
+        for pop in self.platform.pops.values():
+            for neighbor in pop.node.upstreams.values():
+                supervisor = neighbor.supervisor
+                if supervisor is not None and supervisor.pending:
+                    return False
+                if neighbor.stale_keys:
+                    return False
+                session = neighbor.session
+                if session is None or not session.established:
+                    if supervisor is not None and (
+                        supervisor.suppressed or supervisor.gave_up
+                    ):
+                        continue
+                    return False
+        for client in self.world.clients.values():
+            for view in client.pops.values():
+                if view.session is None or not view.session.established:
+                    return False
+        return True
+
+    def _invariants(self, converged: bool) -> Dict[str, bool]:
+        return {
+            "reconverged": converged,
+            "kernel_tables_consistent": self._kernel_consistent(),
+            "no_cross_experiment_leakage": self._no_leakage(),
+            "sessions_settled": self._settled(),
+        }
+
+    def _kernel_consistent(self) -> bool:
+        """Per-neighbor kernel tables mirror the per-neighbor RIBs (§5)."""
+        for pop in self.platform.pops.values():
+            for neighbor in pop.node.upstreams.values():
+                prefixes = {key[0] for key in neighbor.rib}
+                table = pop.stack.tables.get(neighbor.virtual.table_id)
+                if table is None:
+                    if prefixes:
+                        return False
+                    continue
+                if len(table) != len(prefixes):
+                    return False
+                if any(prefix not in table for prefix in prefixes):
+                    return False
+        return True
+
+    def _no_leakage(self) -> bool:
+        """No client holds a route for another experiment's prefix."""
+        allocated: Dict[str, set] = {}
+        for name in self.world.clients:
+            lease = self.platform.resources.lease_for(name)
+            allocated[name] = set(lease.prefixes) if lease else set()
+        for name, client in self.world.clients.items():
+            foreign = set()
+            for other, prefixes in allocated.items():
+                if other != name:
+                    foreign |= prefixes
+            for view in client.pops.values():
+                for route in view.routes.values():
+                    if route.prefix in foreign:
+                        return False
+        return True
+
+    # -- telemetry ---------------------------------------------------------
+
+    def _event(self, peer: str, event: str, detail: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.station.publish(ResilienceEvent(
+                peer=peer,
+                time=self.scheduler.now,
+                event=event,
+                detail=detail,
+            ))

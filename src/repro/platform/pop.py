@@ -9,9 +9,10 @@ experiment-facing switch, the tunnel manager, and its security enforcers.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.bgp.supervisor import SupervisorConfig
 from repro.bgp.transport import Channel, connect_pair
 from repro.netsim.addr import IPv4Address, IPv4Prefix, MacAddress
 from repro.netsim.link import Link, Port, Switch
@@ -56,6 +57,13 @@ class NeighborPort:
     channel: Channel  # the neighbor's end of the BGP transport
     subnet_length: int
     global_id: int
+    # Resilient provisioning: when the PoP's supervisor re-dials, a fresh
+    # channel pair replaces ``channel`` and ``on_redial`` (set by the
+    # neighbor's operator) is invoked with the new neighbor-side end.
+    resilient: bool = False
+    on_redial: Optional[Callable[[Channel], None]] = field(
+        default=None, repr=False
+    )
 
 
 class PointOfPresence:
@@ -135,12 +143,28 @@ class PointOfPresence:
 
     # ------------------------------------------------------------------
 
-    def provision_neighbor(self, name: str, asn: int,
-                           kind: str = "peer") -> NeighborPort:
+    def provision_neighbor(
+        self,
+        name: str,
+        asn: int,
+        kind: str = "peer",
+        resilient: bool = False,
+        graceful_restart: bool = False,
+        restart_time: int = 120,
+        supervisor_config: Optional[SupervisorConfig] = None,
+    ) -> NeighborPort:
         """Provision LAN presence + a BGP session slot for a neighbor AS.
 
         Returns the neighbor-side plug (address, MAC, switch port, BGP
         channel end). The vBGP side is attached immediately.
+
+        With ``resilient=True`` the vBGP side supervises the session:
+        after a non-administrative loss it re-dials through a fresh
+        channel pair; the returned port's ``channel`` is updated and its
+        ``on_redial`` hook (if the neighbor's operator set one) receives
+        the new neighbor-side end so the remote speaker can re-attach.
+        With ``graceful_restart=True`` the session offers RFC 4724 and
+        resets retain routes instead of storming withdrawals.
         """
         if name in self.neighbor_ports:
             raise ValueError(f"neighbor {name!r} already at {self.config.name}")
@@ -149,14 +173,6 @@ class PointOfPresence:
         lan_port = self.lan_switch.add_port(f"{name}@{self.config.name}")
         ours, theirs = connect_pair(
             self.scheduler, rtt=4 * self.config.lan_latency
-        )
-        self.node.attach_upstream(
-            name=name,
-            peer_asn=asn,
-            peer_address=address,
-            peer_mac=mac,
-            channel=ours,
-            kind=kind,
         )
         port = NeighborPort(
             pop=self.config.name,
@@ -168,8 +184,34 @@ class PointOfPresence:
             lan_port=lan_port,
             channel=theirs,
             subnet_length=24,
-            global_id=self.node.upstreams[name].virtual.global_id,
+            global_id=0,
+            resilient=resilient,
         )
+
+        channel_factory = None
+        if resilient:
+            def channel_factory() -> Channel:
+                new_ours, new_theirs = connect_pair(
+                    self.scheduler, rtt=4 * self.config.lan_latency
+                )
+                port.channel = new_theirs
+                if port.on_redial is not None:
+                    port.on_redial(new_theirs)
+                return new_ours
+
+        self.node.attach_upstream(
+            name=name,
+            peer_asn=asn,
+            peer_address=address,
+            peer_mac=mac,
+            channel=ours,
+            kind=kind,
+            graceful_restart=graceful_restart,
+            restart_time=restart_time,
+            channel_factory=channel_factory,
+            supervisor_config=supervisor_config,
+        )
+        port.global_id = self.node.upstreams[name].virtual.global_id
         self.neighbor_ports[name] = port
         return port
 

@@ -44,6 +44,7 @@ from repro.telemetry.station import (
     PeerDown,
     PeerRecord,
     PeerUp,
+    ResilienceEvent,
     RouteMonitoring,
     StatsReport,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "PeerDown",
     "PeerRecord",
     "PeerUp",
+    "ResilienceEvent",
     "RouteMonitoring",
     "SpanToken",
     "StatsReport",

@@ -32,6 +32,7 @@ __all__ = [
     "PeerDown",
     "PeerRecord",
     "PeerUp",
+    "ResilienceEvent",
     "RouteMonitoring",
     "StatsReport",
 ]
@@ -77,6 +78,23 @@ class RouteMonitoring(BmpMessage):
     withdrawn: tuple[tuple[Prefix, Optional[int]], ...] = ()
 
     kind = "route-monitoring"
+
+
+@dataclass(frozen=True)
+class ResilienceEvent(BmpMessage):
+    """A resilience-subsystem event (no BMP equivalent; local extension).
+
+    Streamed by the session supervisor (``reconnect``/``suppress``), the
+    Graceful Restart machinery (``gr-stale``/``gr-flush-eor``/
+    ``gr-flush-expired``), and the chaos harness (``fault-inject``/
+    ``fault-heal``), so one station feed shows faults next to the peer
+    lifecycle they perturb.
+    """
+
+    event: str = ""
+    detail: str = ""
+
+    kind = "resilience"
 
 
 @dataclass(frozen=True)

@@ -50,7 +50,9 @@ class ToolkitCli:
             "       peering telemetry metrics [prom|json]\n"
             "       peering telemetry peers\n"
             "       peering telemetry rib <peer>\n"
-            "       peering telemetry events [n]"
+            "       peering telemetry events [n]\n"
+            "       peering chaos list\n"
+            "       peering chaos <scenario>|all [--seed n]"
         )
 
     # -- openvpn -----------------------------------------------------------
@@ -180,6 +182,39 @@ class ToolkitCli:
                 return "no trace events"
             return "\n".join(event.format() for event in events)
         return self._usage()
+
+    # -- chaos ---------------------------------------------------------------
+
+    def _cmd_chaos(self, args: list[str]) -> str:
+        """Run a named chaos scenario against a self-contained world.
+
+        The drill builds its own small deployment (fresh simulator, two
+        PoPs, resilient transits, two experiments) so it cannot disturb
+        the session's live platform; it reports the scenario verdicts.
+        """
+        from repro.chaos import ChaosRunner, build_chaos_world
+
+        if not args:
+            return self._usage()
+        seed = 0
+        rest = []
+        index = 0
+        while index < len(args):
+            if args[index] == "--seed":
+                index += 1
+                seed = int(args[index])
+            else:
+                rest.append(args[index])
+            index += 1
+        if rest and rest[0] == "list":
+            return "\n".join(ChaosRunner.SCENARIOS)
+        world = build_chaos_world(seed=seed)
+        runner = ChaosRunner(world)
+        if rest and rest[0] == "all":
+            results = runner.run_all()
+        else:
+            results = [runner.run(name) for name in rest]
+        return "\n".join(result.format() for result in results)
 
     @staticmethod
     def _parse_options(args: list[str]):

@@ -221,11 +221,13 @@ class ExperimentClient:
                 local_id=view.connection.tunnel.client_ip,
                 peer_asn=self.platform.platform_asn,
                 addpath=True,
+                description=f"client:{self.name}:{pop_name}",
             ),
             view.connection.channel,
             on_update=lambda _s, update, pop=pop_name: (
                 self._update_received(pop, update)
             ),
+            telemetry=getattr(self.platform, "telemetry", None),
         )
         view.session = session
         session.start()

@@ -36,6 +36,7 @@ from repro.bgp.messages import (
     attributes_wire_length,
 )
 from repro.bgp.session import BgpSession, SessionConfig
+from repro.bgp.supervisor import SessionSupervisor, SupervisorConfig
 from repro.bgp.transport import Channel
 from repro.netsim.addr import IPv4Address, MacAddress, Prefix
 from repro.netsim.frames import EtherType, EthernetFrame, IPv4Packet
@@ -150,6 +151,14 @@ class UpstreamNeighbor:
     session: Optional[BgpSession] = None
     # Routes received: (prefix, peer path id) -> route.
     rib: PathRib = field(default_factory=PathRib)
+    # Session-rebuild parameters (supervisor re-dials reuse them).
+    addpath: bool = False
+    graceful_restart: bool = False
+    restart_time: int = 120
+    # GR receiver state: keys retained as stale after a non-admin close.
+    stale_keys: set = field(default_factory=set)
+    stale_event: object = None
+    supervisor: Optional[SessionSupervisor] = None
 
 
 @dataclass
@@ -253,6 +262,9 @@ class VbgpNode:
             "announcements_blocked": 0,
             "frames_to_experiments": 0,
             "enforcer_failures": 0,
+            "supervisor_reconnects": 0,
+            "gr_routes_retained": 0,
+            "gr_routes_flushed": 0,
         }
         self.telemetry = telemetry
         self._m_frames_by_neighbor = None
@@ -326,8 +338,20 @@ class VbgpNode:
         channel: Channel,
         kind: str = "peer",
         addpath: bool = False,
+        graceful_restart: bool = False,
+        restart_time: int = 120,
+        channel_factory: Optional[Callable[[], Optional[Channel]]] = None,
+        supervisor_config: Optional[SupervisorConfig] = None,
     ) -> UpstreamNeighbor:
-        """Register a real neighbor and start its BGP session."""
+        """Register a real neighbor and start its BGP session.
+
+        With ``channel_factory``, a :class:`SessionSupervisor` re-dials
+        the neighbor after non-administrative session loss (exponential
+        backoff, deterministic jitter, flap damping).  With
+        ``graceful_restart``, the session offers RFC 4724 and a reset
+        retains the neighbor's routes (marked stale) instead of storming
+        withdrawals toward experiments and the backbone.
+        """
         if name in self.upstreams:
             raise ValueError(f"duplicate upstream {name!r} at {self.name}")
         global_id = self.registry.register(self.name, name)
@@ -339,29 +363,57 @@ class VbgpNode:
             peer_mac=peer_mac,
             kind=kind,
             virtual=virtual,
+            addpath=addpath,
+            graceful_restart=graceful_restart,
+            restart_time=restart_time,
         )
         self._provision_virtual(virtual, next_hop=peer_address,
                                 out_iface=self.upstream_iface)
         self._mac_to_gid[peer_mac] = global_id
         self.stack.add_static_arp(peer_address, peer_mac, self.upstream_iface)
+        session = self._upstream_session(neighbor, channel)
+        self.upstreams[name] = neighbor
+        if channel_factory is not None:
+            neighbor.supervisor = SessionSupervisor(
+                self.scheduler,
+                peer_key=name,
+                channel_factory=channel_factory,
+                session_factory=lambda ch, n=neighbor: (
+                    self._upstream_session(n, ch)
+                ),
+                config=supervisor_config,
+                telemetry=self.telemetry,
+            )
+            neighbor.supervisor.adopt(session)
+        session.start()
+        return neighbor
+
+    def _upstream_session(self, neighbor: UpstreamNeighbor,
+                          channel: Channel) -> BgpSession:
+        """Build (or rebuild, on supervisor re-dial) an upstream session."""
+        name = neighbor.name
         session = BgpSession(
             self.scheduler,
             SessionConfig(
                 local_asn=self.platform_asn,
                 local_id=self.router_id,
-                peer_asn=peer_asn,
-                addpath=addpath,
+                peer_asn=neighbor.peer_asn,
+                addpath=neighbor.addpath,
                 description=name,
+                graceful_restart=neighbor.graceful_restart,
+                restart_time=neighbor.restart_time,
             ),
             channel,
             on_update=lambda _s, update, n=name: self._upstream_update(n, update),
+            on_established=lambda _s, n=name: self._upstream_established(n),
             on_close=lambda _s, reason, n=name: self._upstream_closed(n, reason),
+            on_end_of_rib=lambda _s, n=name: self._upstream_end_of_rib(n),
             telemetry=self.telemetry,
         )
+        if neighbor.supervisor is not None:
+            self.counters["supervisor_reconnects"] += 1
         neighbor.session = session
-        self.upstreams[name] = neighbor
-        session.start()
-        return neighbor
+        return session
 
     def _provision_virtual(self, virtual: VirtualNeighbor,
                            next_hop: IPv4Address, out_iface: str) -> None:
@@ -421,6 +473,9 @@ class VbgpNode:
         announced = update.routes()
         for route in announced:
             neighbor.rib[(route.prefix, route.path_id)] = route
+            # A refreshed route is no longer stale (RFC 4724 receiver).
+            if neighbor.stale_keys:
+                neighbor.stale_keys.discard((route.prefix, route.path_id))
             # Route servers are transparent (RFC 7947): the next hop is the
             # member router on the IXP LAN, not the server itself.
             next_hop = neighbor.peer_address
@@ -442,13 +497,105 @@ class VbgpNode:
         # Propagate over the backbone with the neighbor's global IP.
         self._backbone_export(gid, announced, removed)
 
+    def _upstream_established(self, name: str) -> None:
+        """A (re-)established upstream: re-export experiment state to it."""
+        neighbor = self.upstreams.get(name)
+        if neighbor is None:
+            return
+        gid = neighbor.virtual.global_id
+        for exp in self.experiments.values():
+            for route in exp.announced.values():
+                if gid in self._neighbor_targets(route):
+                    self._export_to_neighbor(neighbor, route)
+        for route in self.remote_exp_routes.values():
+            if gid in self._remote_targets(route):
+                self._export_to_neighbor(neighbor, route)
+        session = neighbor.session
+        if session is not None and session.gr_negotiated:
+            # RFC 4724: close the (re-)transmission with End-of-RIB so
+            # the restarted peer can flush anything still stale.
+            session.send_end_of_rib()
+
     def _upstream_closed(self, name: str, _reason: str) -> None:
         neighbor = self.upstreams.get(name)
         if neighbor is None:
             return
+        session = neighbor.session
+        if (
+            session is not None
+            and session.gr_negotiated
+            and not session.closed_admin
+            and session.peer_restart_time > 0
+            and len(neighbor.rib) > 0
+        ):
+            # Graceful Restart receiver mode: retain the neighbor's
+            # routes (and its kernel table) marked stale — no withdraw
+            # storm toward experiments or the backbone.  Flushed when
+            # the restart timer expires or a refreshed RIB's End-of-RIB
+            # arrives (§4.7 fail-closed: a peer that never returns does
+            # not keep stale state forever).
+            neighbor.stale_keys = set(neighbor.rib)
+            self.counters["gr_routes_retained"] += len(neighbor.stale_keys)
+            if neighbor.stale_event is not None:
+                neighbor.stale_event.cancel()
+            neighbor.stale_event = self.scheduler.call_later(
+                float(session.peer_restart_time),
+                lambda n=name: self._upstream_stale_expired(n),
+            )
+            self._resilience_event(
+                name, "gr-stale",
+                f"{len(neighbor.stale_keys)} routes retained for "
+                f"{session.peer_restart_time}s",
+            )
+            return
         keys = list(neighbor.rib)
         neighbor.rib.clear()
+        self._flush_upstream(neighbor, keys)
+        neighbor.stale_keys = set()
+        if neighbor.stale_event is not None:
+            neighbor.stale_event.cancel()
+            neighbor.stale_event = None
+
+    def _upstream_end_of_rib(self, name: str) -> None:
+        """Restarted peer finished re-sending: flush leftover stale keys."""
+        neighbor = self.upstreams.get(name)
+        if neighbor is None:
+            return
+        if neighbor.stale_event is not None:
+            neighbor.stale_event.cancel()
+            neighbor.stale_event = None
+        self._flush_stale_upstream(neighbor, "gr-flush-eor")
+
+    def _upstream_stale_expired(self, name: str) -> None:
+        """Restart timer ran out without a refreshed RIB: fail closed."""
+        neighbor = self.upstreams.get(name)
+        if neighbor is None:
+            return
+        neighbor.stale_event = None
+        self._flush_stale_upstream(neighbor, "gr-flush-expired")
+
+    def _flush_stale_upstream(self, neighbor: UpstreamNeighbor,
+                              event: str) -> None:
+        remaining = neighbor.stale_keys
+        neighbor.stale_keys = set()
+        if not remaining:
+            return
+        keys = [key for key in remaining if neighbor.rib.pop(key, None)
+                is not None]
+        self.counters["gr_routes_flushed"] += len(keys)
+        self._flush_upstream(neighbor, keys)
+        self._resilience_event(
+            neighbor.name, event, f"{len(keys)} stale routes flushed"
+        )
+
+    def _flush_upstream(self, neighbor: UpstreamNeighbor,
+                        keys: list) -> None:
+        """Remove kernel routes for ``keys`` and withdraw them everywhere."""
+        if not keys:
+            return
         for prefix, _path_id in keys:
+            if neighbor.rib.has_prefix(prefix):
+                continue  # another path for the prefix survives
             if self.stack.remove_route(prefix,
                                        table_id=neighbor.virtual.table_id):
                 self.counters["routes_removed"] += 1
@@ -456,6 +603,15 @@ class VbgpNode:
         for exp in self.experiments.values():
             self._fanout(exp, gid, neighbor.virtual.local_ip, [], keys)
         self._backbone_export(gid, [], keys)
+
+    def _resilience_event(self, peer: str, event: str, detail: str) -> None:
+        tele = self.telemetry
+        if tele is not None:
+            from repro.telemetry.station import ResilienceEvent
+            tele.station.publish(ResilienceEvent(
+                peer=peer, time=self.scheduler.now,
+                event=event, detail=detail,
+            ))
 
     # ==================================================================
     # Experiments

@@ -1,0 +1,86 @@
+"""Session FSM edge cases fixed alongside the resilience work.
+
+Satellites of the resilience PR: RFC 4271 hold-time negotiation with a
+zero offer, shutdown from IDLE (transport must not leak), and decoder
+behaviour when buffered bytes trail a fatal NOTIFICATION.
+"""
+
+from repro.bgp.errors import ErrorCode
+from repro.bgp.messages import KeepaliveMessage, NotificationMessage
+from repro.bgp.session import BgpSession, SessionConfig, SessionState
+from repro.bgp.transport import connect_pair
+from repro.netsim.addr import IPv4Address
+
+from tests.bgp.test_session import make_pair, sample_update
+
+
+def test_hold_time_negotiates_to_minimum(scheduler):
+    a, b, *_ = make_pair(scheduler, hold_a=30, hold_b=90)
+    scheduler.run_for(1)
+    assert a.negotiated_hold_time == 30
+    assert b.negotiated_hold_time == 30
+
+
+def test_hold_time_zero_disables_timers(scheduler):
+    """RFC 4271 §4.2: a negotiated hold time of 0 disables the hold and
+    keepalive timers — it must not fall back to the local default."""
+    a, b, *_ = make_pair(scheduler, hold_a=0, hold_b=90)
+    scheduler.run_for(1)
+    assert a.negotiated_hold_time == 0
+    assert b.negotiated_hold_time == 0
+    keepalives_before = a.stats.keepalives_sent
+    # A long silence would kill a mis-negotiated session (hold timer) or
+    # generate keepalives (keepalive timer); with 0 neither may happen.
+    scheduler.run_for(1000)
+    assert a.state == SessionState.ESTABLISHED
+    assert b.state == SessionState.ESTABLISHED
+    assert a.stats.keepalives_sent == keepalives_before
+    # The session still carries updates.
+    b.send_update(sample_update())
+    scheduler.run_for(1)
+    assert a.state == SessionState.ESTABLISHED
+
+
+def test_shutdown_from_idle_closes_transport_and_notifies(scheduler):
+    closed = []
+    channel_a, channel_b = connect_pair(scheduler, rtt=0.01)
+    session = BgpSession(
+        scheduler,
+        SessionConfig(local_asn=65001,
+                      local_id=IPv4Address.parse("1.1.1.1"),
+                      peer_asn=None),
+        channel_a,
+        on_update=lambda s, u: None,
+        on_close=lambda s, reason: closed.append(reason),
+    )
+    assert session.state == SessionState.IDLE
+    session.shutdown()
+    assert session.state == SessionState.CLOSED
+    assert channel_a.closed  # no leaked transport
+    assert closed  # the owner heard about it
+    assert session.closed_admin
+    # Idempotent: a second shutdown is a no-op.
+    session.shutdown()
+    assert len(closed) == 1
+
+
+def test_bytes_after_notification_are_not_dispatched(scheduler):
+    """A NOTIFICATION is fatal: any bytes buffered behind it in the same
+    delivery must not be dispatched on the now-closed session."""
+    a, b, updates_a, updates_b, closed = make_pair(scheduler)
+    scheduler.run_for(1)
+    assert a.state == SessionState.ESTABLISHED
+    keepalives_before = a.stats.keepalives_received
+    updates_before = a.stats.updates_received
+    payload = (
+        NotificationMessage(code=ErrorCode.CEASE).encode()
+        + KeepaliveMessage().encode()
+        + sample_update().encode(addpath=a.addpath_active)
+    )
+    a.channel._deliver(payload)
+    assert a.state == SessionState.CLOSED
+    assert a.stats.keepalives_received == keepalives_before
+    assert a.stats.updates_received == updates_before
+    assert not updates_a
+    scheduler.run_for(1)  # nothing queued blows up later either
+    assert a.state == SessionState.CLOSED

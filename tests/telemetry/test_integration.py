@@ -94,8 +94,9 @@ def test_cli_renders_telemetry():
     scheduler.run_for(10)
 
     summary = cli.run("peering telemetry summary")
-    # exp session + the two backbone mesh sessions are all observed.
-    assert "peers_up=3" in summary
+    # exp session (both the platform and the client side) plus the two
+    # backbone mesh sessions are all observed.
+    assert "peers_up=4" in summary
     peers = cli.run("peering telemetry peers")
     assert "exp:exp: up" in peers
     metrics = cli.run("peering telemetry metrics")
