@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: freshly-run JSON vs. committed baselines.
+
+CI runs the three gated benchmarks (``BENCH_update_load``,
+``BENCH_fig2_delegation``, ``BENCH_chaos_convergence``), then invokes
+this script to compare the fresh ``BENCH_<name>.json`` files against the
+baselines committed under ``benchmarks/baselines/``.  A metric regresses
+when it moves more than ``--tolerance`` (default 25%) in its *bad*
+direction:
+
+* throughput-style metrics (``…per_s…``) must not *drop* below
+  ``baseline * (1 - tolerance)``;
+* latency/convergence-style metrics (``…_s`` / ``…_us`` suffixes) must
+  not *rise* above ``baseline * (1 + tolerance)``;
+* anything else (counters such as ``scenarios``, ``seeds``,
+  ``…_reconnects``, and ratios such as ``utilization_at_p99_pct``) is
+  informational and never gates.
+
+Improvements beyond tolerance are reported but do not fail the gate —
+refresh the baseline in the same PR that makes things faster.
+
+Exit status: 0 clean, 1 regression, 2 missing/unreadable inputs.
+
+Reproduce a CI failure locally::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_update_load.py \
+        benchmarks/bench_fig2_delegation.py \
+        benchmarks/bench_chaos_convergence.py -q
+    python scripts/check_bench_regression.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+GATED_BENCHMARKS = ("update_load", "fig2_delegation", "chaos_convergence")
+DEFAULT_TOLERANCE = 0.25
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_BASELINE_DIR = _REPO_ROOT / "benchmarks" / "baselines"
+
+HIGHER_IS_BETTER = "higher"
+LOWER_IS_BETTER = "lower"
+NEUTRAL = "neutral"
+
+
+def metric_direction(key: str) -> str:
+    """Infer which way a metric is allowed to move.
+
+    ``per_s`` marks throughput (checked before the ``_s`` suffix, which
+    would otherwise misclassify it); trailing ``_s`` / ``_us`` mark
+    durations.  Everything else is informational.
+    """
+    if "per_s" in key:
+        return HIGHER_IS_BETTER
+    if key.endswith(("_s", "_us", "_ms")):
+        return LOWER_IS_BETTER
+    return NEUTRAL
+
+
+def compare_metrics(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Tuple[List[str], List[str]]:
+    """Return ``(regressions, notes)`` for one benchmark's metrics."""
+    regressions: List[str] = []
+    notes: List[str] = []
+    for key in sorted(baseline):
+        direction = metric_direction(key)
+        if direction == NEUTRAL:
+            continue
+        if key not in current:
+            regressions.append(f"metric {key!r} missing from fresh run")
+            continue
+        base = float(baseline[key])
+        now = float(current[key])
+        if base == 0.0:
+            notes.append(f"{key}: zero baseline, skipped")
+            continue
+        ratio = now / base
+        if direction == HIGHER_IS_BETTER and ratio < 1.0 - tolerance:
+            regressions.append(
+                f"{key}: {now:,.2f} vs baseline {base:,.2f} "
+                f"({(1.0 - ratio) * 100:.1f}% drop > "
+                f"{tolerance * 100:.0f}% tolerance)"
+            )
+        elif direction == LOWER_IS_BETTER and ratio > 1.0 + tolerance:
+            regressions.append(
+                f"{key}: {now:,.2f} vs baseline {base:,.2f} "
+                f"({(ratio - 1.0) * 100:.1f}% rise > "
+                f"{tolerance * 100:.0f}% tolerance)"
+            )
+        elif abs(ratio - 1.0) > tolerance:
+            notes.append(
+                f"{key}: improved {abs(ratio - 1.0) * 100:.1f}% beyond "
+                "tolerance — consider refreshing the baseline"
+            )
+    return regressions, notes
+
+
+def load_metrics(path: Path) -> Optional[Dict[str, float]]:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    metrics = payload.get("metrics")
+    return metrics if isinstance(metrics, dict) else None
+
+
+def run_gate(
+    baseline_dir: Path,
+    current_dir: Path,
+    names=GATED_BENCHMARKS,
+    tolerance: float = DEFAULT_TOLERANCE,
+    out=sys.stdout,
+) -> int:
+    """Compare every gated benchmark; returns the process exit code."""
+    exit_code = 0
+    for name in names:
+        baseline_path = baseline_dir / f"BENCH_{name}.json"
+        current_path = current_dir / f"BENCH_{name}.json"
+        baseline = load_metrics(baseline_path)
+        current = load_metrics(current_path)
+        if baseline is None:
+            print(f"{name}: MISSING baseline {baseline_path}", file=out)
+            exit_code = max(exit_code, 2)
+            continue
+        if current is None:
+            print(f"{name}: MISSING fresh run {current_path}", file=out)
+            exit_code = max(exit_code, 2)
+            continue
+        regressions, notes = compare_metrics(baseline, current, tolerance)
+        verdict = "REGRESSED" if regressions else "ok"
+        print(f"{name}: {verdict}", file=out)
+        for line in regressions:
+            print(f"  - {line}", file=out)
+        for line in notes:
+            print(f"  ~ {line}", file=out)
+        if regressions:
+            exit_code = max(exit_code, 1)
+    return exit_code
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "names",
+        nargs="*",
+        default=list(GATED_BENCHMARKS),
+        help="benchmark names to gate (default: the three gated ones)",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=DEFAULT_BASELINE_DIR,
+        help="directory holding the committed BENCH_<name>.json baselines",
+    )
+    parser.add_argument(
+        "--current-dir",
+        type=Path,
+        default=Path.cwd(),
+        help="directory holding the freshly generated BENCH_<name>.json",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional movement in the bad direction (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    return run_gate(
+        args.baseline_dir,
+        args.current_dir,
+        names=args.names or GATED_BENCHMARKS,
+        tolerance=args.tolerance,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -264,6 +264,12 @@ class OpenMessage:
             raise NotificationError(
                 ErrorCode.OPEN_MESSAGE, OpenSubcode.UNACCEPTABLE_HOLD_TIME
             )
+        if 10 + param_len > len(body):
+            raise NotificationError(
+                ErrorCode.OPEN_MESSAGE,
+                OpenSubcode.UNSUPPORTED_OPTIONAL_PARAMETER,
+                message="optional-parameter block overruns OPEN body",
+            )
         params = body[10:10 + param_len]
         capabilities: list[Capability] = []
         offset = 0
@@ -275,14 +281,32 @@ class OpenMessage:
                 )
             param_type, length = struct.unpack_from("!BB", params, offset)
             offset += 2
+            if offset + length > len(params):
+                raise NotificationError(
+                    ErrorCode.OPEN_MESSAGE,
+                    OpenSubcode.UNSUPPORTED_OPTIONAL_PARAMETER,
+                    message="optional parameter value truncated",
+                )
             value = params[offset:offset + length]
             offset += length
             if param_type != 2:
                 continue
             cap_offset = 0
             while cap_offset < len(value):
+                if cap_offset + 2 > len(value):
+                    raise NotificationError(
+                        ErrorCode.OPEN_MESSAGE,
+                        OpenSubcode.UNSUPPORTED_OPTIONAL_PARAMETER,
+                        message="capability header truncated",
+                    )
                 code, cap_len = struct.unpack_from("!BB", value, cap_offset)
                 cap_offset += 2
+                if cap_offset + cap_len > len(value):
+                    raise NotificationError(
+                        ErrorCode.OPEN_MESSAGE,
+                        OpenSubcode.UNSUPPORTED_OPTIONAL_PARAMETER,
+                        message="capability value truncated",
+                    )
                 cap_value = value[cap_offset:cap_offset + cap_len]
                 cap_offset += cap_len
                 capabilities.append(_decode_capability(code, cap_value))
@@ -480,6 +504,10 @@ class UpdateMessage:
             )
         (attrs_len,) = struct.unpack("!H", body[offset:offset + 2])
         offset += 2
+        if offset + attrs_len > len(body):
+            raise NotificationError(
+                ErrorCode.UPDATE_MESSAGE, UpdateSubcode.MALFORMED_ATTRIBUTE_LIST
+            )
         attrs_data = body[offset:offset + attrs_len]
         offset += attrs_len
         nlri = _decode_nlri_block(body[offset:], addpath)

@@ -529,45 +529,39 @@ class ChaosRunner:
         return True
 
     def _invariants(self, converged: bool) -> Dict[str, bool]:
+        """Post-scenario verdicts, via the shared conformance catalog.
+
+        The structural invariants (RIB↔kernel consistency, identity
+        bijectivity, cross-experiment isolation) come from
+        :mod:`repro.conformance.invariants` — the same checkers the
+        test-suite fixtures and ``peering verify`` run — so chaos
+        results cannot drift from the platform's one definition of
+        correct.  ``community_propagation`` and ``addpath_completeness``
+        are deliberately not asserted here: mid-recovery both are
+        transiently (and legitimately) violated while sessions re-sync.
+        """
+        from repro.conformance.invariants import (
+            ConformanceContext,
+            run_invariants,
+        )
+
+        context = ConformanceContext.from_platform(
+            self.platform, clients=self.world.clients
+        )
+        reports = run_invariants(context, names=(
+            "kernel_consistency",
+            "no_cross_experiment_leakage",
+            "vmac_bijectivity",
+        ))
         return {
             "reconverged": converged,
-            "kernel_tables_consistent": self._kernel_consistent(),
-            "no_cross_experiment_leakage": self._no_leakage(),
+            "kernel_tables_consistent": reports["kernel_consistency"].ok,
+            "no_cross_experiment_leakage": reports[
+                "no_cross_experiment_leakage"
+            ].ok,
+            "vmac_bijectivity": reports["vmac_bijectivity"].ok,
             "sessions_settled": self._settled(),
         }
-
-    def _kernel_consistent(self) -> bool:
-        """Per-neighbor kernel tables mirror the per-neighbor RIBs (§5)."""
-        for pop in self.platform.pops.values():
-            for neighbor in pop.node.upstreams.values():
-                prefixes = {key[0] for key in neighbor.rib}
-                table = pop.stack.tables.get(neighbor.virtual.table_id)
-                if table is None:
-                    if prefixes:
-                        return False
-                    continue
-                if len(table) != len(prefixes):
-                    return False
-                if any(prefix not in table for prefix in prefixes):
-                    return False
-        return True
-
-    def _no_leakage(self) -> bool:
-        """No client holds a route for another experiment's prefix."""
-        allocated: Dict[str, set] = {}
-        for name in self.world.clients:
-            lease = self.platform.resources.lease_for(name)
-            allocated[name] = set(lease.prefixes) if lease else set()
-        for name, client in self.world.clients.items():
-            foreign = set()
-            for other, prefixes in allocated.items():
-                if other != name:
-                    foreign |= prefixes
-            for view in client.pops.values():
-                for route in view.routes.values():
-                    if route.prefix in foreign:
-                        return False
-        return True
 
     # -- telemetry ---------------------------------------------------------
 

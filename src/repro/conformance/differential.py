@@ -1,0 +1,422 @@
+"""Differential correctness of the :mod:`repro.perf` fast paths.
+
+PR 1 gated every optimisation behind a flag and promised that toggling
+any of them changes *speed, never results*.  This module turns that
+promise into a machine-checked property: :class:`DifferentialHarness`
+replays one seeded churn workload — plus two experiment-announcement
+checkpoints exercising the §3.2.1 control communities — through **every**
+combination of the perf toggles and compares each run against the
+all-flags-off reference:
+
+* the experiment client's Loc-RIB (every candidate path + the best
+  path, per prefix),
+* the external upstream speaker's Loc-RIB (what the Internet sees),
+* the vBGP node's per-neighbor Adj-RIB-In and the kernel routing
+  tables (the §5 table-per-neighbor state),
+* the node's route-churn counters, and
+* the *announced wire bytes* in both directions.  ``fanout_batch``
+  legitimately changes UPDATE packing, so raw frame bytes are compared
+  within groups sharing that toggle, while the decoded per-route change
+  stream must be identical across **all** combinations.
+
+Everything is canonicalised to bytes before comparison, so a report's
+``mismatches`` genuinely means "the fast path computed something
+different", not "a set iterated in a different order".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro import perf
+from repro.bgp.attributes import PathAttributes, Route, local_route
+from repro.bgp.messages import (
+    HEADER_SIZE,
+    MSG_UPDATE,
+    MessageDecoder,
+    UpdateMessage,
+)
+from repro.bgp.speaker import BgpSpeaker, NeighborConfig, SpeakerConfig
+from repro.internet.churn import AMSIX_PROFILE, ChurnGenerator
+from repro.netsim.addr import IPv4Address, IPv4Prefix, MacAddress
+from repro.platform.pop import PointOfPresence, PopConfig
+from repro.security.capabilities import ExperimentProfile
+from repro.security.state import EnforcerState
+from repro.sim import Scheduler
+from repro.vbgp.allocator import GlobalNeighborRegistry
+from repro.vbgp.communities import announce_to_neighbor, block_neighbor
+
+__all__ = [
+    "DifferentialHarness",
+    "DifferentialReport",
+    "all_flag_combinations",
+]
+
+#: The boolean fast-path toggles (``lpm_cache_size`` is a tuning knob,
+#: not a behaviour switch, and stays at its default).
+TOGGLES: Tuple[str, ...] = (
+    "stride_lpm",
+    "lpm_cache",
+    "encode_memo",
+    "intern_attrs",
+    "fanout_batch",
+)
+
+PLATFORM_ASN = 47065
+UPSTREAM_ASN = 65010
+EXPERIMENT_PREFIX = "184.164.224.0/24"
+TUNNEL_IP = "100.125.0.2"
+TUNNEL_MAC = "02:aa:00:00:00:02"
+
+
+def all_flag_combinations() -> List[Dict[str, bool]]:
+    """Every perf-toggle combination, the all-off reference first."""
+    combos = []
+    for values in itertools.product((False, True), repeat=len(TOGGLES)):
+        combos.append(dict(zip(TOGGLES, values)))
+    return combos
+
+
+def combo_label(combo: Dict[str, bool]) -> str:
+    on = [name for name in TOGGLES if combo.get(name)]
+    return "+".join(on) if on else "all_off"
+
+
+# ---------------------------------------------------------------------------
+# Canonicalisation
+# ---------------------------------------------------------------------------
+
+
+def _attr_fingerprint(attributes: Optional[PathAttributes]) -> tuple:
+    if attributes is None:
+        return ()
+    aggregator = attributes.aggregator
+    return (
+        attributes.origin.value,
+        tuple(
+            (segment.kind.value, segment.asns)
+            for segment in attributes.as_path.segments
+        ),
+        str(attributes.next_hop),
+        attributes.med,
+        attributes.local_pref,
+        attributes.atomic_aggregate,
+        None if aggregator is None else (aggregator[0], str(aggregator[1])),
+        tuple(sorted(
+            (c.asn, c.value) for c in attributes.communities
+        )),
+        tuple(sorted(
+            (c.global_admin, c.local1, c.local2)
+            for c in attributes.large_communities
+        )),
+        tuple(sorted(
+            (u.type_code, u.flags, u.value) for u in attributes.unknown
+        )),
+    )
+
+
+def _route_fingerprint(route: Route) -> tuple:
+    return (
+        str(route.prefix),
+        route.path_id,
+        _attr_fingerprint(route.attributes),
+    )
+
+
+def _changes_from_frames(frames: List[bytes], addpath: bool) -> List[tuple]:
+    """Decode captured UPDATE frames into a canonical change stream."""
+    changes: List[tuple] = []
+    decoder = MessageDecoder()
+    decoder.addpath = addpath
+    for frame in frames:
+        decoder.feed(frame)
+        message = decoder.next_message()
+        assert isinstance(message, UpdateMessage)
+        for prefix, path_id in message.withdrawn:
+            changes.append(("W", str(prefix), path_id))
+        for route in message.routes():
+            changes.append(("A",) + _route_fingerprint(route))
+    return changes
+
+
+def _loc_rib_snapshot(speaker: BgpSpeaker) -> list:
+    rib = speaker.loc_rib
+    snapshot = []
+    for prefix in sorted(rib.prefixes(), key=str):
+        best = rib.best(prefix)
+        candidates = sorted(
+            (entry.peer, _route_fingerprint(entry.route))
+            for entry in rib.candidates(prefix)
+        )
+        snapshot.append((
+            str(prefix),
+            None if best is None else _route_fingerprint(best.route),
+            candidates,
+        ))
+    return snapshot
+
+
+class _WireTap:
+    """Records the UPDATE frames delivered to one channel endpoint.
+
+    Wraps ``channel.on_data`` *after* the receiving session attached, so
+    the session still sees every byte; the tap reframes the stream
+    itself (chunks may split frames) and keeps only type-2 messages.
+    """
+
+    def __init__(self, channel) -> None:
+        self.frames: List[bytes] = []
+        self._buffer = bytearray()
+        inner = channel.on_data
+
+        def tapped(data: bytes) -> None:
+            self._buffer.extend(data)
+            self._drain()
+            if inner is not None:
+                inner(data)
+
+        channel.on_data = tapped
+
+    def _drain(self) -> None:
+        while len(self._buffer) >= HEADER_SIZE:
+            length = int.from_bytes(self._buffer[16:18], "big")
+            if length < HEADER_SIZE or len(self._buffer) < length:
+                return
+            frame = bytes(self._buffer[:length])
+            del self._buffer[:length]
+            if frame[18] == MSG_UPDATE:
+                self.frames.append(frame)
+
+
+# ---------------------------------------------------------------------------
+# The scenario (one run under one flag combination)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _RunResult:
+    """Everything one scenario run produced, canonicalised."""
+
+    structural: bytes  # must match the reference byte-for-byte
+    changes_to_experiment: bytes  # decoded change stream, order-free
+    changes_to_upstream: bytes
+    wire_to_experiment: bytes  # raw frames; compared per fanout group
+    wire_to_upstream: bytes
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of a full differential sweep."""
+
+    combinations: int = 0
+    updates: int = 0
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def format(self) -> str:
+        verdict = "ok" if self.ok else "DIVERGED"
+        line = (
+            f"differential: {verdict} ({self.combinations} flag "
+            f"combinations x {self.updates} updates)"
+        )
+        if self.mismatches:
+            line += "\n" + "\n".join(
+                f"  - {mismatch}" for mismatch in self.mismatches
+            )
+        return line
+
+
+class DifferentialHarness:
+    """Replays one workload under every perf-flag combination.
+
+    ``update_count`` sizes the churn workload (the CI gate uses 5000);
+    ``seed`` makes the workload reproducible.  :meth:`run` returns a
+    :class:`DifferentialReport`; a non-empty ``mismatches`` list means a
+    fast path changed functional output.
+    """
+
+    def __init__(self, update_count: int = 5000, seed: int = 20260806,
+                 prefix_count: int = 5000) -> None:
+        self.update_count = update_count
+        self.seed = seed
+        self.prefix_count = prefix_count
+
+    # -- scenario ----------------------------------------------------------
+
+    def _run_scenario(self) -> _RunResult:
+        scheduler = Scheduler()
+        pop = PointOfPresence(
+            scheduler,
+            PopConfig(name="diff", pop_id=0, kind="ixp"),
+            platform_asn=PLATFORM_ASN,
+            platform_asns=frozenset({PLATFORM_ASN}),
+            registry=GlobalNeighborRegistry(),
+            enforcer_state=EnforcerState(),
+        )
+        port = pop.provision_neighbor("upstream", UPSTREAM_ASN, kind="peer")
+
+        # The external AS at the far end of the upstream session, so
+        # experiment exports land in a real Loc-RIB and on a real wire.
+        upstream = BgpSpeaker(
+            scheduler,
+            SpeakerConfig(asn=UPSTREAM_ASN, router_id=port.address),
+        )
+        upstream.attach_neighbor(
+            NeighborConfig(
+                name="to-pop",
+                peer_asn=None,
+                local_address=port.address,
+            ),
+            port.channel,
+        )
+        upstream_tap = _WireTap(port.channel)
+
+        # The experiment: an ADD-PATH client speaker behind the tunnel.
+        from repro.bgp.transport import connect_pair
+
+        ours, theirs = connect_pair(scheduler, rtt=0.001)
+        exp_prefix = IPv4Prefix.parse(EXPERIMENT_PREFIX)
+        tunnel_ip = IPv4Address.parse(TUNNEL_IP)
+        pop.node.attach_experiment(
+            name="x",
+            asn=PLATFORM_ASN,
+            prefixes=(exp_prefix,),
+            tunnel_ip=tunnel_ip,
+            tunnel_mac=MacAddress.parse(TUNNEL_MAC),
+            channel=ours,
+        )
+        pop.control_enforcer.register_experiment(ExperimentProfile(
+            name="x",
+            asns=frozenset({PLATFORM_ASN}),
+            prefixes=(exp_prefix,),
+        ))
+        client = BgpSpeaker(
+            scheduler,
+            SpeakerConfig(asn=PLATFORM_ASN, router_id=tunnel_ip),
+        )
+        client.allow_own_asn_in = True  # churn AS paths may contain 47065
+        client.attach_neighbor(
+            NeighborConfig(
+                name="to-pop",
+                peer_asn=None,
+                local_address=tunnel_ip,
+                addpath=True,
+            ),
+            theirs,
+        )
+        client_tap = _WireTap(theirs)
+        scheduler.run_for(5)
+
+        # Workload: seeded churn with two announcement checkpoints that
+        # flip the §3.2.1 whitelist/blacklist behaviour mid-stream.
+        generator = ChurnGenerator(
+            AMSIX_PROFILE, prefix_count=self.prefix_count, seed=self.seed
+        )
+        updates = generator.make_updates(self.update_count)
+        gid = pop.node.upstreams["upstream"].virtual.global_id
+        checkpoints = {
+            self.update_count // 3: (announce_to_neighbor(gid),),
+            (2 * self.update_count) // 3: (block_neighbor(gid),),
+        }
+        for index, update in enumerate(updates):
+            communities = checkpoints.get(index)
+            if communities is not None:
+                client.originate(local_route(
+                    exp_prefix, next_hop=tunnel_ip,
+                    communities=communities,
+                ))
+            pop.node._upstream_update("upstream", update)
+            scheduler.run_until(scheduler.now)
+        scheduler.run_for(5)
+
+        node = pop.node
+        neighbor = node.upstreams["upstream"]
+        adj_rib_in = sorted(
+            (str(prefix), source_id, _attr_fingerprint(route.attributes))
+            for (prefix, source_id), route in neighbor.rib.items()
+        )
+        kernel = []
+        for table_id in sorted(pop.stack.tables):
+            table = pop.stack.tables[table_id]
+            kernel.append((table_id, sorted(
+                (str(entry.prefix), str(entry.value.next_hop),
+                 entry.value.out_iface)
+                for entry in table.entries()
+            )))
+        structural = (
+            ("client_loc_rib", _loc_rib_snapshot(client)),
+            ("upstream_loc_rib", _loc_rib_snapshot(upstream)),
+            ("adj_rib_in", adj_rib_in),
+            ("kernel", kernel),
+            ("installed", node.counters["routes_installed"]),
+            ("removed", node.counters["routes_removed"]),
+        )
+        to_exp = _changes_from_frames(client_tap.frames, addpath=True)
+        to_up = _changes_from_frames(upstream_tap.frames, addpath=False)
+        return _RunResult(
+            structural=repr(structural).encode(),
+            changes_to_experiment=repr(sorted(to_exp)).encode(),
+            changes_to_upstream=repr(sorted(to_up)).encode(),
+            wire_to_experiment=b"".join(client_tap.frames),
+            wire_to_upstream=b"".join(upstream_tap.frames),
+        )
+
+    # -- sweep -------------------------------------------------------------
+
+    def run(self, combinations: Optional[List[Dict[str, bool]]] = None,
+            progress=None) -> DifferentialReport:
+        """Run the sweep; ``progress(label)`` is called per combination."""
+        combos = (
+            all_flag_combinations() if combinations is None
+            else list(combinations)
+        )
+        report = DifferentialReport(
+            combinations=len(combos), updates=self.update_count
+        )
+        reference: Optional[_RunResult] = None
+        wire_reference: Dict[bool, Tuple[str, _RunResult]] = {}
+        for combo in combos:
+            label = combo_label(combo)
+            if progress is not None:
+                progress(label)
+            with perf.flags(**combo):
+                result = self._run_scenario()
+            if reference is None:
+                reference = result
+            else:
+                for attribute, what in (
+                    ("structural", "Loc-RIB/kernel/counter state"),
+                    ("changes_to_experiment",
+                     "decoded route changes toward the experiment"),
+                    ("changes_to_upstream",
+                     "decoded route changes toward the upstream"),
+                ):
+                    if getattr(result, attribute) != getattr(
+                        reference, attribute
+                    ):
+                        report.mismatches.append(
+                            f"{label}: {what} diverged from all_off"
+                        )
+            batching = bool(combo.get("fanout_batch"))
+            anchor = wire_reference.get(batching)
+            if anchor is None:
+                wire_reference[batching] = (label, result)
+            else:
+                anchor_label, anchor_result = anchor
+                for attribute, what in (
+                    ("wire_to_experiment", "experiment-bound wire bytes"),
+                    ("wire_to_upstream", "upstream-bound wire bytes"),
+                ):
+                    if getattr(result, attribute) != getattr(
+                        anchor_result, attribute
+                    ):
+                        report.mismatches.append(
+                            f"{label}: {what} diverged from "
+                            f"{anchor_label} (same fanout_batch)"
+                        )
+        return report

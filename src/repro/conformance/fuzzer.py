@@ -1,0 +1,380 @@
+"""A seeded byte-mutation fuzzer for the BGP wire decoder.
+
+The contract under test: for *any* byte stream, :class:`MessageDecoder`
+either yields messages or raises a structured :class:`~repro.bgp.errors.
+BgpError` (which the session layer maps to a NOTIFICATION).  Anything
+else — ``struct.error``, ``IndexError``, ``ValueError`` … — is a crash:
+a malformed frame from a misbehaving peer would take the session process
+down instead of tearing down one session (the paper's §7.3 CVE anecdote
+is exactly this failure class).
+
+Mutations are seeded and deterministic.  Every crash is recorded with a
+replayable frame; :func:`save_crash` persists it to the corpus directory
+(``tests/corpus/`` in this repo) and :meth:`DecoderFuzzer.run` replays
+the saved corpus *first*, so a fixed crash can never silently regress.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.bgp.attributes import (
+    AsPath,
+    Community,
+    LargeCommunity,
+    Origin,
+    PathAttributes,
+    UnknownAttribute,
+)
+from repro.bgp.errors import BgpError
+from repro.bgp.messages import (
+    AddPathCapability,
+    FourOctetAsCapability,
+    GracefulRestartCapability,
+    KeepaliveMessage,
+    MessageDecoder,
+    MultiprotocolCapability,
+    NotificationMessage,
+    OpenMessage,
+    RouteRefreshMessage,
+    UnknownCapability,
+    UpdateMessage,
+)
+from repro.netsim.addr import IPv4Address, IPv4Prefix
+
+__all__ = [
+    "CrashRecord",
+    "DecoderFuzzer",
+    "FuzzReport",
+    "default_corpus_dir",
+    "load_corpus",
+    "save_crash",
+    "seed_frames",
+]
+
+# Cap on messages drained from one mutated feed (mutations can splice
+# many frames together; the decoder must terminate regardless).
+_MAX_DRAIN = 64
+
+
+@dataclass(frozen=True)
+class CrashRecord:
+    """One decoder crash: the frame that caused it and what it raised."""
+
+    frame: bytes
+    addpath: bool
+    error: str
+    note: str = ""
+
+    @property
+    def digest(self) -> str:
+        tag = b"addpath" if self.addpath else b"plain"
+        return hashlib.sha256(tag + b":" + self.frame).hexdigest()[:12]
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "frame_hex": self.frame.hex(),
+                "addpath": self.addpath,
+                "error": self.error,
+                "note": self.note,
+            },
+            indent=2,
+            sort_keys=True,
+        ) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "CrashRecord":
+        raw = json.loads(text)
+        return cls(
+            frame=bytes.fromhex(raw["frame_hex"]),
+            addpath=bool(raw.get("addpath", False)),
+            error=raw.get("error", ""),
+            note=raw.get("note", ""),
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of one fuzzing run."""
+
+    seed: int
+    iterations: int = 0
+    corpus_replayed: int = 0
+    clean_decodes: int = 0
+    structured_errors: int = 0
+    crashes: list[CrashRecord] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.crashes
+
+    def format(self) -> str:
+        verdict = "OK" if self.ok else f"{len(self.crashes)} CRASH(ES)"
+        lines = [
+            f"fuzz seed={self.seed}: {self.iterations} mutated frames, "
+            f"{self.corpus_replayed} corpus replays -> {verdict}",
+            f"  clean decodes:     {self.clean_decodes}",
+            f"  structured errors: {self.structured_errors}",
+        ]
+        for crash in self.crashes:
+            lines.append(
+                f"  crash {crash.digest}: {crash.error} "
+                f"(addpath={crash.addpath}, {len(crash.frame)} bytes)"
+            )
+        return "\n".join(lines)
+
+
+def default_corpus_dir() -> Path:
+    """``tests/corpus/`` at the repository root (alongside ``src/``)."""
+    return Path(__file__).resolve().parents[3] / "tests" / "corpus"
+
+
+def load_corpus(corpus_dir: Optional[Path] = None) -> list[CrashRecord]:
+    directory = default_corpus_dir() if corpus_dir is None else corpus_dir
+    records = []
+    if not directory.is_dir():
+        return records
+    for path in sorted(directory.glob("*.json")):
+        records.append(CrashRecord.from_json(path.read_text()))
+    return records
+
+
+def save_crash(record: CrashRecord,
+               corpus_dir: Optional[Path] = None) -> Path:
+    directory = default_corpus_dir() if corpus_dir is None else corpus_dir
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"crash-{record.digest}.json"
+    path.write_text(record.to_json())
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Seed frames: a deterministic set of valid frames covering every message
+# type and the extensions (ADD-PATH, GR, large ASNs, unknown attributes).
+# Mutations start from structure, not noise, so they reach deep decode
+# paths (attribute loops, capability lists) far more often.
+# ---------------------------------------------------------------------------
+
+
+def _seed_attributes() -> PathAttributes:
+    return PathAttributes(
+        origin=Origin.IGP,
+        as_path=AsPath.from_asns(65010, 3356, 15169),
+        next_hop=IPv4Address.parse("100.65.0.1"),
+        med=40,
+        local_pref=120,
+        atomic_aggregate=True,
+        aggregator=(65010, IPv4Address.parse("100.65.0.9")),
+        communities=frozenset({Community(47065, 12), Community(65010, 300)}),
+        large_communities=frozenset({LargeCommunity(47065, 1, 2)}),
+        unknown=(
+            UnknownAttribute(
+                type_code=42,
+                flags=(UnknownAttribute.FLAG_OPTIONAL
+                       | UnknownAttribute.FLAG_TRANSITIVE
+                       | UnknownAttribute.FLAG_PARTIAL),
+                value=b"\xde\xad\xbe\xef",
+            ),
+        ),
+    )
+
+
+def seed_frames() -> list[tuple[bytes, bool]]:
+    """``(frame, addpath)`` pairs; deterministic and valid."""
+    attrs = _seed_attributes()
+    p1 = IPv4Prefix.parse("184.164.224.0/24")
+    p2 = IPv4Prefix.parse("10.20.0.0/16")
+    default = IPv4Prefix.parse("0.0.0.0/0")
+    plain_update = UpdateMessage(
+        attributes=attrs, nlri=((p1, None), (p2, None), (default, None))
+    )
+    addpath_update = UpdateMessage(
+        attributes=attrs, nlri=((p1, 7), (p2, 190000)),
+        withdrawn=((default, 3),),
+    )
+    withdrawal = UpdateMessage(withdrawn=((p1, None), (p2, None)))
+    open_plain = OpenMessage(
+        asn=65010, hold_time=90,
+        bgp_id=IPv4Address.parse("10.0.0.1"),
+        capabilities=(
+            MultiprotocolCapability(),
+            FourOctetAsCapability(asn=65010),
+            AddPathCapability(),
+        ),
+    )
+    open_rich = OpenMessage(
+        asn=4_200_000_001, hold_time=180,
+        bgp_id=IPv4Address.parse("10.0.0.2"),
+        capabilities=(
+            MultiprotocolCapability(),
+            GracefulRestartCapability(restart_time=180, restarted=True),
+            FourOctetAsCapability(asn=4_200_000_001),
+            AddPathCapability(mode=3),
+            UnknownCapability(code=73, value=b"\x01\x02"),
+        ),
+    )
+    frames = [
+        (open_plain.encode(), False),
+        (open_rich.encode(), False),
+        (KeepaliveMessage().encode(), False),
+        (NotificationMessage(code=6, subcode=2, data=b"bye").encode(),
+         False),
+        (RouteRefreshMessage().encode(), False),
+        (plain_update.encode(), False),
+        (withdrawal.encode(), False),
+        (UpdateMessage.end_of_rib().encode(), False),
+        (addpath_update.encode(addpath=True), True),
+        (UpdateMessage(withdrawn=((p1, 7),)).encode(addpath=True), True),
+    ]
+    return frames
+
+
+# ---------------------------------------------------------------------------
+# The fuzzer
+# ---------------------------------------------------------------------------
+
+
+class DecoderFuzzer:
+    """Mutate valid frames and feed them to fresh decoders."""
+
+    def __init__(self, seed: int = 0,
+                 corpus_dir: Optional[Path] = None) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.corpus_dir = (
+            default_corpus_dir() if corpus_dir is None else corpus_dir
+        )
+        self.seeds = seed_frames()
+
+    # -- single-frame harness -------------------------------------------
+
+    @staticmethod
+    def classify(frame: bytes, addpath: bool,
+                 chunks: Optional[Iterable[bytes]] = None) -> str:
+        """Feed one frame to a fresh decoder and classify the outcome.
+
+        Returns ``"clean"`` (messages decoded, buffer drained without
+        incident), ``"structured"`` (a :class:`BgpError` — the contract
+        for malformed input), or the crash description for anything
+        else.
+        """
+        decoder = MessageDecoder()
+        decoder.addpath = addpath
+        try:
+            if chunks is None:
+                decoder.feed(frame)
+            else:
+                for chunk in chunks:
+                    decoder.feed(chunk)
+            for _ in range(_MAX_DRAIN):
+                if decoder.next_message() is None:
+                    break
+        except BgpError:
+            return "structured"
+        except Exception as exc:  # noqa: BLE001 - the point of the fuzzer
+            return f"{type(exc).__name__}: {exc}"
+        return "clean"
+
+    @classmethod
+    def feed(cls, frame: bytes, addpath: bool,
+             chunks: Optional[Iterable[bytes]] = None) -> Optional[str]:
+        """``None`` if the decoder behaved, else the crash description."""
+        outcome = cls.classify(frame, addpath, chunks)
+        return None if outcome in ("clean", "structured") else outcome
+
+    # -- mutations -------------------------------------------------------
+
+    def mutate(self, frame: bytes) -> bytes:
+        data = bytearray(frame)
+        strategy = self.rng.randrange(8)
+        if strategy == 0 and data:  # flip one bit
+            index = self.rng.randrange(len(data))
+            data[index] ^= 1 << self.rng.randrange(8)
+        elif strategy == 1 and data:  # overwrite a byte
+            data[self.rng.randrange(len(data))] = self.rng.randrange(256)
+        elif strategy == 2 and data:  # truncate
+            data = data[:self.rng.randrange(len(data))]
+        elif strategy == 3:  # append noise
+            data += bytes(
+                self.rng.randrange(256)
+                for _ in range(self.rng.randrange(1, 16))
+            )
+        elif strategy == 4 and data:  # insert noise inside
+            at = self.rng.randrange(len(data))
+            blob = bytes(
+                self.rng.randrange(256)
+                for _ in range(self.rng.randrange(1, 8))
+            )
+            data = data[:at] + blob + data[at:]
+        elif strategy == 5 and len(data) >= 19:  # corrupt the length field
+            value = self.rng.choice(
+                [0, 18, 19, len(data), len(data) - 1, len(data) + 1,
+                 4096, 4097, 65535, self.rng.randrange(65536)]
+            )
+            data[16] = (value >> 8) & 0xFF
+            data[17] = value & 0xFF
+        elif strategy == 6 and data:  # zero or saturate a window
+            at = self.rng.randrange(len(data))
+            width = min(self.rng.randrange(1, 8), len(data) - at)
+            fill = self.rng.choice([0x00, 0xFF])
+            for i in range(at, at + width):
+                data[i] = fill
+        else:  # splice two seed frames
+            other, _ = self.seeds[self.rng.randrange(len(self.seeds))]
+            cut_a = self.rng.randrange(len(data) + 1) if data else 0
+            cut_b = self.rng.randrange(len(other) + 1)
+            data = data[:cut_a] + other[cut_b:]
+        # Occasionally stack a second mutation for compound damage.
+        if self.rng.random() < 0.25:
+            return self.mutate(bytes(data))
+        return bytes(data)
+
+    def _chunked(self, frame: bytes) -> Optional[list[bytes]]:
+        """Sometimes split the frame to exercise incremental framing."""
+        if len(frame) < 2 or self.rng.random() >= 0.2:
+            return None
+        cut = self.rng.randrange(1, len(frame))
+        return [frame[:cut], frame[cut:]]
+
+    # -- the run loop ----------------------------------------------------
+
+    def run(self, iterations: int = 50_000,
+            save_crashes: bool = False) -> FuzzReport:
+        """Replay the saved corpus, then fuzz for ``iterations`` frames."""
+        report = FuzzReport(seed=self.seed)
+        for record in load_corpus(self.corpus_dir):
+            report.corpus_replayed += 1
+            error = self.feed(record.frame, record.addpath)
+            if error is not None:
+                report.crashes.append(CrashRecord(
+                    frame=record.frame, addpath=record.addpath,
+                    error=error, note=f"corpus regression: {record.note}",
+                ))
+        seen_digests = {crash.digest for crash in report.crashes}
+        for _ in range(iterations):
+            base, addpath = self.seeds[self.rng.randrange(len(self.seeds))]
+            frame = self.mutate(base)
+            report.iterations += 1
+            outcome = self.classify(frame, addpath,
+                                    chunks=self._chunked(frame))
+            if outcome == "clean":
+                report.clean_decodes += 1
+                continue
+            if outcome == "structured":
+                report.structured_errors += 1
+                continue
+            crash = CrashRecord(frame=frame, addpath=addpath,
+                                error=outcome,
+                                note=f"found by seed {self.seed}")
+            if crash.digest not in seen_digests:
+                seen_digests.add(crash.digest)
+                report.crashes.append(crash)
+                if save_crashes:
+                    save_crash(crash, self.corpus_dir)
+        return report

@@ -1,0 +1,344 @@
+"""The platform invariant catalog: composable checkers (DESIGN.md §6e).
+
+Each checker takes a :class:`ConformanceContext` — a structural view of
+a running deployment (PoPs, experiment clients, allocations, external
+neighbor speakers) — and returns an :class:`InvariantReport` carrying a
+verdict, how much evidence was examined, and every concrete violation.
+
+The same checkers serve three consumers:
+
+* unit/integration tests (each invariant also has a deliberately-broken
+  fixture it must catch, see ``tests/conformance/test_invariants.py``),
+* the chaos runner, which evaluates them after every fault scenario,
+* the ``peering verify`` CLI, which runs them against the live platform.
+
+Catalog (keys of :data:`CATALOG`):
+
+``vmac_bijectivity``
+    Every (local or backbone-learned) neighbor's virtual MAC, global
+    IP, and kernel-table id are exactly the deterministic images of its
+    global id, the MAC decodes back to that id, and no two neighbors at
+    a PoP share a MAC, local VIP, or table (§3.2.2 identity scheme).
+``addpath_completeness``
+    Every route in every Adj-RIB-In has an allocated ADD-PATH id toward
+    every attached experiment with an established session — i.e. full
+    visibility, the §3.2.1 promise.
+``community_propagation``
+    For every experiment announcement, each external neighbor speaker
+    holds the route iff the §3.2.1 whitelist/blacklist communities
+    select that neighbor, and exported routes carry no control
+    communities (they are consumed, never leaked).
+``no_cross_experiment_leakage``
+    No client sees a route for a prefix allocated to a different
+    experiment (§5 isolation).
+``kernel_consistency``
+    Every per-neighbor kernel routing table contains exactly the
+    prefixes present in that neighbor's Adj-RIB-In (§5
+    table-per-neighbor design).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Mapping, Optional
+
+from repro.vbgp.allocator import (
+    global_neighbor_ip,
+    global_neighbor_mac,
+    neighbor_mac_global_id,
+    neighbor_table_id,
+)
+from repro.vbgp.communities import ANNOUNCE_ASN, is_control, select_targets
+
+__all__ = [
+    "CATALOG",
+    "ConformanceContext",
+    "InvariantReport",
+    "run_invariants",
+]
+
+_MAX_VIOLATIONS = 20  # keep reports readable; the count is still exact
+
+
+@dataclass
+class InvariantReport:
+    """Verdict of one invariant over one context."""
+
+    name: str
+    ok: bool = True
+    checked: int = 0
+    violation_count: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    def fail(self, message: str) -> None:
+        self.ok = False
+        self.violation_count += 1
+        if len(self.violations) < _MAX_VIOLATIONS:
+            self.violations.append(message)
+
+    def format(self) -> str:
+        verdict = "ok" if self.ok else "VIOLATED"
+        line = f"{self.name}: {verdict} (checked={self.checked})"
+        if self.violations:
+            line += "\n" + "\n".join(
+                f"  - {violation}" for violation in self.violations
+            )
+            if self.violation_count > len(self.violations):
+                hidden = self.violation_count - len(self.violations)
+                line += f"\n  … and {hidden} more"
+        return line
+
+
+@dataclass
+class ConformanceContext:
+    """A structural view of a deployment, as the checkers need it.
+
+    ``pops`` maps PoP name → an object with ``.node`` (the
+    :class:`~repro.vbgp.node.VbgpNode`) and ``.stack``; ``clients`` maps
+    experiment name → :class:`~repro.toolkit.client.ExperimentClient`;
+    ``allocated`` maps experiment name → its leased prefixes;
+    ``neighbor_speakers`` maps an upstream neighbor's name → the
+    *external* :class:`~repro.bgp.speaker.BgpSpeaker` representing that
+    AS (needed only by ``community_propagation``); ``neighbor_pops``
+    maps that neighbor name → its PoP.
+    """
+
+    pops: Mapping[str, object]
+    clients: Mapping[str, object] = field(default_factory=dict)
+    allocated: Mapping[str, frozenset] = field(default_factory=dict)
+    neighbor_speakers: Mapping[str, object] = field(default_factory=dict)
+    neighbor_pops: Mapping[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_platform(
+        cls,
+        platform,
+        clients: Optional[Mapping[str, object]] = None,
+        neighbor_speakers: Optional[Mapping[str, object]] = None,
+        neighbor_pops: Optional[Mapping[str, str]] = None,
+    ) -> "ConformanceContext":
+        """Build a context from a :class:`PeeringPlatform` and clients."""
+        clients = dict(clients or {})
+        allocated: Dict[str, frozenset] = {}
+        for name in clients:
+            lease = platform.resources.lease_for(name)
+            allocated[name] = (
+                frozenset(lease.prefixes) if lease else frozenset()
+            )
+        return cls(
+            pops=platform.pops,
+            clients=clients,
+            allocated=allocated,
+            neighbor_speakers=dict(neighbor_speakers or {}),
+            neighbor_pops=dict(neighbor_pops or {}),
+        )
+
+    def _neighbors(self, node) -> Iterable[tuple[str, object]]:
+        """(label, neighbor-with-rib-and-virtual) over local + remote."""
+        for name, upstream in node.upstreams.items():
+            yield name, upstream
+        for gid, remote in node.remote_neighbors.items():
+            yield f"remote-gid{gid}", remote
+
+
+# ---------------------------------------------------------------------------
+# Checkers
+# ---------------------------------------------------------------------------
+
+
+def check_vmac_bijectivity(ctx: ConformanceContext) -> InvariantReport:
+    report = InvariantReport("vmac_bijectivity")
+    for pop_name, pop in ctx.pops.items():
+        macs: Dict[object, str] = {}
+        vips: Dict[object, str] = {}
+        tables: Dict[int, str] = {}
+        for label, neighbor in ctx._neighbors(pop.node):
+            virtual = neighbor.virtual
+            gid = virtual.global_id
+            report.checked += 1
+            where = f"{pop_name}/{label}(gid={gid})"
+            if virtual.mac != global_neighbor_mac(gid):
+                report.fail(f"{where}: MAC {virtual.mac} is not the "
+                            f"deterministic image of gid {gid}")
+            if neighbor_mac_global_id(virtual.mac) != gid:
+                report.fail(f"{where}: MAC {virtual.mac} does not decode "
+                            f"back to gid {gid}")
+            if virtual.global_ip != global_neighbor_ip(gid):
+                report.fail(f"{where}: global IP {virtual.global_ip} "
+                            f"mismatches gid {gid}")
+            if virtual.table_id != neighbor_table_id(gid):
+                report.fail(f"{where}: table id {virtual.table_id} "
+                            f"mismatches gid {gid}")
+            for mapping, key, what in (
+                (macs, virtual.mac, "virtual MAC"),
+                (vips, virtual.local_ip, "local VIP"),
+                (tables, virtual.table_id, "kernel table"),
+            ):
+                owner = mapping.get(key)
+                if owner is not None and owner != where:
+                    report.fail(f"{where}: {what} {key} already owned by "
+                                f"{owner}")
+                mapping[key] = where
+    return report
+
+
+def check_addpath_completeness(ctx: ConformanceContext) -> InvariantReport:
+    report = InvariantReport("addpath_completeness")
+    for pop_name, pop in ctx.pops.items():
+        node = pop.node
+        for exp_name, exp in node.experiments.items():
+            session = exp.session
+            if session is None or not session.established:
+                continue
+            for label, neighbor in ctx._neighbors(node):
+                gid = neighbor.virtual.global_id
+                for (prefix, source_id) in neighbor.rib.keys():
+                    report.checked += 1
+                    if (gid, prefix, source_id) not in exp.path_ids:
+                        report.fail(
+                            f"{pop_name}: route {prefix} (path {source_id})"
+                            f" from {label} has no ADD-PATH id toward "
+                            f"experiment {exp_name}"
+                        )
+    return report
+
+
+def check_community_propagation(ctx: ConformanceContext) -> InvariantReport:
+    report = InvariantReport("community_propagation")
+    for neighbor_name, speaker in ctx.neighbor_speakers.items():
+        pop_name = ctx.neighbor_pops.get(neighbor_name)
+        pop = ctx.pops.get(pop_name) if pop_name is not None else None
+        if pop is None:
+            continue
+        node = pop.node
+        upstream = node.upstreams.get(neighbor_name)
+        if upstream is None:
+            continue
+        session = upstream.session
+        if session is None or not session.established:
+            continue  # cannot expect exports over a down session
+        gid = upstream.virtual.global_id
+        candidates = [
+            (n.virtual.global_id, node.pop_id)
+            for n in node.upstreams.values()
+        ]
+        # Expected prefixes at this neighbor: local experiment
+        # announcements whose communities select it, plus backbone-learned
+        # experiment routes that explicitly whitelist a neighbor here.
+        expectations: Dict[object, bool] = {}
+        for exp in node.experiments.values():
+            for route in exp.announced.values():
+                selected = gid in select_targets(route, candidates)
+                expectations[route.prefix] = (
+                    expectations.get(route.prefix, False) or selected
+                )
+        for route in node.remote_exp_routes.values():
+            whitelisted = any(
+                c.asn == ANNOUNCE_ASN for c in route.communities
+            )
+            selected = whitelisted and gid in select_targets(
+                route, candidates
+            )
+            expectations[route.prefix] = (
+                expectations.get(route.prefix, False) or selected
+            )
+        for prefix, expected in expectations.items():
+            report.checked += 1
+            exported = speaker.best_route(prefix)
+            if expected and exported is None:
+                report.fail(
+                    f"{neighbor_name}: expected export of {prefix} "
+                    f"(communities select gid {gid}) but the neighbor "
+                    "does not hold it"
+                )
+            elif not expected and exported is not None:
+                report.fail(
+                    f"{neighbor_name}: holds {prefix} although the "
+                    f"control communities exclude gid {gid}"
+                )
+            if exported is not None:
+                leaked = sorted(
+                    str(c) for c in exported.communities if is_control(c)
+                )
+                if leaked:
+                    report.fail(
+                        f"{neighbor_name}: export of {prefix} leaks "
+                        f"control communities {', '.join(leaked)}"
+                    )
+    return report
+
+
+def check_no_cross_experiment_leakage(
+    ctx: ConformanceContext,
+) -> InvariantReport:
+    report = InvariantReport("no_cross_experiment_leakage")
+    for name, client in ctx.clients.items():
+        foreign = set()
+        for other, prefixes in ctx.allocated.items():
+            if other != name:
+                foreign |= set(prefixes)
+        for pop_name, view in client.pops.items():
+            for route in view.routes.values():
+                report.checked += 1
+                if route.prefix in foreign:
+                    report.fail(
+                        f"client {name}@{pop_name}: holds {route.prefix}, "
+                        "which is allocated to another experiment"
+                    )
+    return report
+
+
+def check_kernel_consistency(ctx: ConformanceContext) -> InvariantReport:
+    report = InvariantReport("kernel_consistency")
+    for pop_name, pop in ctx.pops.items():
+        node = pop.node
+        for label, neighbor in ctx._neighbors(node):
+            prefixes = {key[0] for key in neighbor.rib.keys()}
+            table = pop.stack.tables.get(neighbor.virtual.table_id)
+            report.checked += max(1, len(prefixes))
+            if table is None:
+                if prefixes:
+                    report.fail(
+                        f"{pop_name}/{label}: {len(prefixes)} RIB prefixes"
+                        " but no kernel table"
+                    )
+                continue
+            if len(table) != len(prefixes):
+                report.fail(
+                    f"{pop_name}/{label}: kernel table holds {len(table)} "
+                    f"routes, Adj-RIB-In holds {len(prefixes)} prefixes"
+                )
+            for prefix in prefixes:
+                if prefix not in table:
+                    report.fail(
+                        f"{pop_name}/{label}: {prefix} in Adj-RIB-In but "
+                        "missing from the kernel table"
+                    )
+    return report
+
+
+CATALOG: Dict[str, Callable[[ConformanceContext], InvariantReport]] = {
+    "vmac_bijectivity": check_vmac_bijectivity,
+    "addpath_completeness": check_addpath_completeness,
+    "community_propagation": check_community_propagation,
+    "no_cross_experiment_leakage": check_no_cross_experiment_leakage,
+    "kernel_consistency": check_kernel_consistency,
+}
+
+
+def run_invariants(
+    ctx: ConformanceContext,
+    names: Optional[Iterable[str]] = None,
+) -> Dict[str, InvariantReport]:
+    """Run (a subset of) the catalog; returns name → report, in order."""
+    selected = list(CATALOG) if names is None else list(names)
+    reports: Dict[str, InvariantReport] = {}
+    for name in selected:
+        checker = CATALOG.get(name)
+        if checker is None:
+            raise KeyError(
+                f"unknown invariant {name!r}; choose from "
+                f"{', '.join(CATALOG)}"
+            )
+        reports[name] = checker(ctx)
+    return reports

@@ -1,0 +1,247 @@
+"""Hypothesis strategies for arbitrary *canonical-form* BGP messages.
+
+The codec's encoder normalizes on the way out (sorted communities, the
+PARTIAL bit forced on optional-transitive unknowns, AS_TRANS plus the
+4-octet capability for large ASNs, ``path_id`` only under ADD-PATH).
+Round-trip properties — ``decode(encode(m)) == m`` — therefore hold for
+the *canonical form* of each message, and these strategies generate
+exactly that form:
+
+* NLRI networks have their host bits masked off;
+* an UPDATE carries attributes iff it announces NLRI, and every
+  announcing attribute set has a NEXT_HOP;
+* path ids are integers under ADD-PATH and ``None`` otherwise;
+* unknown attributes are optional, carry PARTIAL when transitive, avoid
+  the EXTENDED bit (values ≤ 255 bytes) and the codec-known type codes;
+* OPEN hold times avoid the RFC-invalid 1 and 2; an ASN ≥ 2^16 always
+  travels with its matching 4-octet-AS capability; unknown capability
+  codes avoid the recognized ones.
+
+Everything here stays well under the 4096-byte message ceiling.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.bgp.attributes import (
+    AsPath,
+    AsPathSegment,
+    Community,
+    LargeCommunity,
+    Origin,
+    PathAttributes,
+    SegmentType,
+    UnknownAttribute,
+)
+from repro.bgp.messages import (
+    AddPathCapability,
+    FourOctetAsCapability,
+    GracefulRestartCapability,
+    KeepaliveMessage,
+    MultiprotocolCapability,
+    NotificationMessage,
+    OpenMessage,
+    RouteRefreshMessage,
+    UnknownCapability,
+    UpdateMessage,
+)
+from repro.netsim.addr import IPv4Address, IPv4Prefix
+
+# Attribute type codes the codec interprets itself; unknown attributes
+# must avoid these or the decoder will (correctly) parse them as typed.
+KNOWN_ATTR_CODES = frozenset({1, 2, 3, 4, 5, 6, 7, 8, 32})
+# Capability codes with dedicated decoders.
+KNOWN_CAP_CODES = frozenset({1, 64, 65, 69})
+
+_UNKNOWN_ATTR_CODES = sorted(set(range(9, 256)) - KNOWN_ATTR_CODES)
+_UNKNOWN_CAP_CODES = sorted(set(range(2, 256)) - KNOWN_CAP_CODES)
+
+FLAG_OPTIONAL = UnknownAttribute.FLAG_OPTIONAL
+FLAG_TRANSITIVE = UnknownAttribute.FLAG_TRANSITIVE
+FLAG_PARTIAL = UnknownAttribute.FLAG_PARTIAL
+
+u16 = st.integers(min_value=0, max_value=(1 << 16) - 1)
+u32 = st.integers(min_value=0, max_value=(1 << 32) - 1)
+asns = st.integers(min_value=1, max_value=(1 << 32) - 1)
+
+
+@st.composite
+def addresses(draw) -> IPv4Address:
+    return IPv4Address(draw(u32))
+
+
+@st.composite
+def prefixes(draw) -> IPv4Prefix:
+    """A canonical IPv4 prefix: host bits below the mask are zero."""
+    length = draw(st.integers(min_value=0, max_value=32))
+    value = draw(u32)
+    mask = ((1 << length) - 1) << (32 - length) if length else 0
+    return IPv4Prefix(IPv4Address(value & mask), length)
+
+
+@st.composite
+def as_path_segments(draw) -> AsPathSegment:
+    kind = draw(st.sampled_from(
+        [SegmentType.AS_SEQUENCE, SegmentType.AS_SET]
+    ))
+    members = draw(st.lists(asns, min_size=1, max_size=8))
+    return AsPathSegment(kind, tuple(members))
+
+
+@st.composite
+def as_paths(draw) -> AsPath:
+    segments = draw(st.lists(as_path_segments(), min_size=0, max_size=3))
+    return AsPath(tuple(segments))
+
+
+@st.composite
+def communities(draw) -> Community:
+    return Community(draw(u16), draw(u16))
+
+
+@st.composite
+def large_communities(draw) -> LargeCommunity:
+    return LargeCommunity(draw(u32), draw(u32), draw(u32))
+
+
+@st.composite
+def unknown_attributes(draw) -> UnknownAttribute:
+    """A canonical unknown attribute (see module docstring)."""
+    type_code = draw(st.sampled_from(_UNKNOWN_ATTR_CODES))
+    transitive = draw(st.booleans())
+    if transitive:
+        flags = FLAG_OPTIONAL | FLAG_TRANSITIVE | FLAG_PARTIAL
+    else:
+        flags = FLAG_OPTIONAL
+    value = draw(st.binary(min_size=0, max_size=64))
+    return UnknownAttribute(type_code=type_code, flags=flags, value=value)
+
+
+@st.composite
+def path_attributes(draw, with_next_hop: bool = True) -> PathAttributes:
+    """A full attribute set; ``with_next_hop=True`` guarantees NEXT_HOP
+    (mandatory when the attribute set travels with announced NLRI)."""
+    if with_next_hop:
+        next_hop = draw(addresses())
+    else:
+        next_hop = draw(st.none() | addresses())
+    aggregator = draw(
+        st.none() | st.tuples(u32.filter(lambda a: a >= 1), addresses())
+    )
+    unknowns = draw(st.lists(unknown_attributes(), min_size=0, max_size=3,
+                             unique_by=lambda u: u.type_code))
+    return PathAttributes(
+        origin=draw(st.sampled_from(list(Origin))),
+        as_path=draw(as_paths()),
+        next_hop=next_hop,
+        med=draw(st.none() | u32),
+        local_pref=draw(st.none() | u32),
+        atomic_aggregate=draw(st.booleans()),
+        aggregator=aggregator,
+        communities=frozenset(
+            draw(st.lists(communities(), min_size=0, max_size=6))
+        ),
+        large_communities=frozenset(
+            draw(st.lists(large_communities(), min_size=0, max_size=4))
+        ),
+        unknown=tuple(unknowns),
+    )
+
+
+@st.composite
+def nlri_entries(draw, addpath: bool):
+    prefix = draw(prefixes())
+    path_id = draw(u32) if addpath else None
+    return (prefix, path_id)
+
+
+@st.composite
+def update_messages(draw, addpath: bool = False) -> UpdateMessage:
+    """A canonical UPDATE: attributes iff NLRI, NEXT_HOP present, path
+    ids iff ``addpath``.  Includes withdrawal-only and End-of-RIB
+    (fully empty) shapes."""
+    nlri = tuple(draw(st.lists(nlri_entries(addpath), min_size=0,
+                               max_size=8)))
+    withdrawn = tuple(draw(st.lists(nlri_entries(addpath), min_size=0,
+                                    max_size=8)))
+    attributes = draw(path_attributes()) if nlri else None
+    return UpdateMessage(attributes=attributes, nlri=nlri,
+                         withdrawn=withdrawn)
+
+
+@st.composite
+def capabilities(draw, asn: int):
+    """A canonical capability list; always includes the 4-octet-AS
+    capability when ``asn`` does not fit 16 bits (otherwise AS_TRANS
+    would not round-trip)."""
+    caps = []
+    if draw(st.booleans()):
+        caps.append(MultiprotocolCapability(afi=draw(u16),
+                                            safi=draw(st.integers(0, 255))))
+    if draw(st.booleans()):
+        caps.append(AddPathCapability(mode=draw(st.integers(0, 3))))
+    if draw(st.booleans()):
+        caps.append(GracefulRestartCapability(
+            restart_time=draw(st.integers(0, 0x0FFF)),
+            restarted=draw(st.booleans()),
+            forwarding=draw(st.booleans()),
+        ))
+    for code in draw(st.lists(st.sampled_from(_UNKNOWN_CAP_CODES),
+                              min_size=0, max_size=2, unique=True)):
+        caps.append(UnknownCapability(
+            code=code, value=draw(st.binary(min_size=0, max_size=16))
+        ))
+    caps = draw(st.permutations(caps))
+    if asn >= (1 << 16) or draw(st.booleans()):
+        position = draw(st.integers(0, len(caps)))
+        caps.insert(position, FourOctetAsCapability(asn=asn))
+    return tuple(caps)
+
+
+@st.composite
+def open_messages(draw) -> OpenMessage:
+    asn = draw(asns)
+    hold_time = draw(
+        st.just(0) | st.integers(min_value=3, max_value=(1 << 16) - 1)
+    )
+    return OpenMessage(
+        asn=asn,
+        hold_time=hold_time,
+        bgp_id=draw(addresses()),
+        capabilities=draw(capabilities(asn)),
+    )
+
+
+@st.composite
+def notification_messages(draw) -> NotificationMessage:
+    return NotificationMessage(
+        code=draw(st.integers(1, 6)),
+        subcode=draw(st.integers(0, 255)),
+        data=draw(st.binary(min_size=0, max_size=32)),
+    )
+
+
+@st.composite
+def route_refresh_messages(draw) -> RouteRefreshMessage:
+    return RouteRefreshMessage(afi=draw(u16),
+                               safi=draw(st.integers(0, 255)))
+
+
+def keepalive_messages():
+    return st.just(KeepaliveMessage())
+
+
+def messages():
+    """Any canonical message decodable on a non-ADD-PATH session.
+
+    ADD-PATH UPDATEs change NLRI parsing and need the decoder flag set,
+    so tests draw ``update_messages(addpath=True)`` explicitly.
+    """
+    return st.one_of(
+        open_messages(),
+        update_messages(addpath=False),
+        notification_messages(),
+        route_refresh_messages(),
+        keepalive_messages(),
+    )

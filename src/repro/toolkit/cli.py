@@ -52,7 +52,11 @@ class ToolkitCli:
             "       peering telemetry rib <peer>\n"
             "       peering telemetry events [n]\n"
             "       peering chaos list\n"
-            "       peering chaos <scenario>|all [--seed n]"
+            "       peering chaos <scenario>|all [--seed n]\n"
+            "       peering verify invariants [name...]\n"
+            "       peering verify codec [--frames n] [--seed n]\n"
+            "       peering verify differential [--updates n]\n"
+            "       peering verify all"
         )
 
     # -- openvpn -----------------------------------------------------------
@@ -215,6 +219,76 @@ class ToolkitCli:
         else:
             results = [runner.run(name) for name in rest]
         return "\n".join(result.format() for result in results)
+
+    # -- verify --------------------------------------------------------------
+
+    def _cmd_verify(self, args: list[str]) -> str:
+        """Run the conformance checkers (DESIGN.md §6e).
+
+        ``invariants`` evaluates the platform invariant catalog against
+        the *live* platform this CLI is attached to; ``codec`` fuzzes
+        the wire decoder (corpus replayed first); ``differential``
+        replays a churn workload through every perf-toggle combination;
+        ``all`` runs everything with CLI-sized budgets.
+        """
+        action = args[0] if args else "invariants"
+        rest, options = self._parse_verify_options(args[1:])
+        if action == "invariants":
+            return self._verify_invariants(rest)
+        if action == "codec":
+            return self._verify_codec(options)
+        if action == "differential":
+            return self._verify_differential(options)
+        if action == "all":
+            return "\n".join((
+                self._verify_invariants([]),
+                self._verify_codec(options),
+                self._verify_differential(options),
+            ))
+        return self._usage()
+
+    def _verify_invariants(self, names: list[str]) -> str:
+        from repro.conformance.invariants import (
+            ConformanceContext,
+            run_invariants,
+        )
+
+        context = ConformanceContext.from_platform(
+            self.client.platform,
+            clients={self.client.name: self.client},
+        )
+        reports = run_invariants(context, names=names or None)
+        return "\n".join(report.format() for report in reports.values())
+
+    def _verify_codec(self, options: dict) -> str:
+        from repro.conformance.fuzzer import DecoderFuzzer
+
+        fuzzer = DecoderFuzzer(seed=options["seed"])
+        return fuzzer.run(iterations=options["frames"]).format()
+
+    def _verify_differential(self, options: dict) -> str:
+        from repro.conformance.differential import DifferentialHarness
+
+        harness = DifferentialHarness(
+            update_count=options["updates"],
+            seed=options["seed"] or 20260806,
+        )
+        return harness.run().format()
+
+    @staticmethod
+    def _parse_verify_options(args: list[str]):
+        options = {"frames": 2000, "updates": 300, "seed": 0}
+        rest: list[str] = []
+        index = 0
+        while index < len(args):
+            token = args[index]
+            if token in ("--frames", "--updates", "--seed"):
+                index += 1
+                options[token.lstrip("-")] = int(args[index])
+            else:
+                rest.append(token)
+            index += 1
+        return rest, options
 
     @staticmethod
     def _parse_options(args: list[str]):

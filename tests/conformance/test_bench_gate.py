@@ -1,0 +1,129 @@
+"""Tests for ``scripts/check_bench_regression.py`` (the CI bench gate).
+
+The acceptance criterion: the gate must fail on an injected >25%
+synthetic regression, pass on identical metrics, tolerate movement
+inside the band, and never gate on neutral counters.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+_SCRIPT = (
+    Path(__file__).resolve().parents[2]
+    / "scripts"
+    / "check_bench_regression.py"
+)
+_spec = importlib.util.spec_from_file_location("check_bench_regression",
+                                               _SCRIPT)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+
+def test_direction_inference():
+    assert gate.metric_direction("max_sustainable_updates_per_s") == "higher"
+    assert gate.metric_direction("packets_per_s") == "higher"
+    assert gate.metric_direction("per_packet_us") == "lower"
+    assert gate.metric_direction("corruption_worst_s") == "lower"
+    assert gate.metric_direction("scenarios") == "neutral"
+    assert gate.metric_direction("corruption_reconnects") == "neutral"
+    assert gate.metric_direction("utilization_at_p99_pct") == "neutral"
+
+
+def test_identical_metrics_pass():
+    metrics = {"packets_per_s": 1000.0, "per_packet_us": 20.0}
+    regressions, notes = gate.compare_metrics(metrics, dict(metrics))
+    assert regressions == []
+    assert notes == []
+
+
+def test_movement_inside_tolerance_passes():
+    baseline = {"packets_per_s": 1000.0, "per_packet_us": 20.0}
+    current = {"packets_per_s": 800.0, "per_packet_us": 24.0}  # ±20-ish%
+    regressions, _ = gate.compare_metrics(baseline, current, tolerance=0.25)
+    assert regressions == []
+
+
+def test_throughput_drop_beyond_tolerance_regresses():
+    baseline = {"packets_per_s": 1000.0}
+    current = {"packets_per_s": 700.0}  # 30% drop
+    regressions, _ = gate.compare_metrics(baseline, current, tolerance=0.25)
+    assert len(regressions) == 1
+    assert "packets_per_s" in regressions[0]
+
+
+def test_latency_rise_beyond_tolerance_regresses():
+    baseline = {"per_packet_us": 20.0}
+    current = {"per_packet_us": 30.0}  # 50% rise
+    regressions, _ = gate.compare_metrics(baseline, current, tolerance=0.25)
+    assert len(regressions) == 1
+
+
+def test_improvement_is_note_not_regression():
+    baseline = {"packets_per_s": 1000.0}
+    current = {"packets_per_s": 2000.0}
+    regressions, notes = gate.compare_metrics(baseline, current)
+    assert regressions == []
+    assert any("refreshing the baseline" in note for note in notes)
+
+
+def test_neutral_metrics_never_gate():
+    baseline = {"scenarios": 7, "seeds": 5, "flap_reconnects": 2}
+    current = {"scenarios": 1, "seeds": 50, "flap_reconnects": 99}
+    regressions, _ = gate.compare_metrics(baseline, current)
+    assert regressions == []
+
+
+def test_missing_metric_regresses():
+    regressions, _ = gate.compare_metrics({"packets_per_s": 1.0}, {})
+    assert regressions and "missing" in regressions[0]
+
+
+def _write_bench(directory: Path, name: str, metrics: dict) -> None:
+    payload = {"name": name, "metrics": metrics, "timestamp": 0.0}
+    (directory / f"BENCH_{name}.json").write_text(json.dumps(payload))
+
+
+def test_run_gate_exit_codes(tmp_path):
+    import io
+
+    baseline_dir = tmp_path / "baselines"
+    current_dir = tmp_path / "fresh"
+    baseline_dir.mkdir()
+    current_dir.mkdir()
+    metrics = {"updates_per_s": 5000.0, "flap_mean_s": 12.0}
+    _write_bench(baseline_dir, "demo", metrics)
+
+    # clean: identical fresh run
+    _write_bench(current_dir, "demo", dict(metrics))
+    assert gate.run_gate(baseline_dir, current_dir, names=("demo",)) == 0
+
+    # the acceptance criterion: injected >25% synthetic regression fails
+    _write_bench(current_dir, "demo",
+                 {"updates_per_s": 5000.0 * 0.6, "flap_mean_s": 12.0})
+    output = io.StringIO()
+    assert gate.run_gate(
+        baseline_dir, current_dir, names=("demo",), out=output
+    ) == 1
+    assert "REGRESSED" in output.getvalue()
+
+    # missing fresh JSON is an infrastructure error, not a silent pass
+    (current_dir / "BENCH_demo.json").unlink()
+    assert gate.run_gate(baseline_dir, current_dir, names=("demo",)) == 2
+
+
+def test_main_against_committed_baselines(tmp_path):
+    """The committed baselines compared against themselves are clean."""
+    baseline_dir = (
+        Path(__file__).resolve().parents[2] / "benchmarks" / "baselines"
+    )
+    exit_code = gate.run_gate(baseline_dir, baseline_dir)
+    assert exit_code == 0
+
+
+def test_committed_baselines_exist():
+    baseline_dir = (
+        Path(__file__).resolve().parents[2] / "benchmarks" / "baselines"
+    )
+    for name in gate.GATED_BENCHMARKS:
+        assert (baseline_dir / f"BENCH_{name}.json").exists()

@@ -1,0 +1,100 @@
+"""Fuzzer harness + crash-corpus tests (DESIGN.md §6e).
+
+The decoder must never raise anything but :class:`repro.bgp.errors`
+structured errors on malformed bytes.  The committed corpus under
+``tests/corpus/`` holds minimal repros of every crash the fuzzer has
+found; replaying it is the regression test for those decoder fixes.
+"""
+
+import struct
+
+from repro.bgp.errors import BgpError
+from repro.bgp.messages import MessageDecoder
+from repro.conformance.fuzzer import (
+    CrashRecord,
+    DecoderFuzzer,
+    default_corpus_dir,
+    load_corpus,
+    seed_frames,
+)
+
+MARKER = b"\xff" * 16
+
+
+def _frame(msg_type: int, body: bytes) -> bytes:
+    return MARKER + struct.pack("!HB", 19 + len(body), msg_type) + body
+
+
+def test_seed_frames_are_all_clean():
+    for frame, addpath in seed_frames():
+        assert DecoderFuzzer.classify(frame, addpath) == "clean"
+
+
+def test_fuzz_run_survives_mutations():
+    report = DecoderFuzzer(seed=3).run(iterations=5000)
+    assert report.ok, report.format()
+    assert report.iterations == 5000
+    # the mutators must actually exercise both outcomes
+    assert report.clean_decodes > 0
+    assert report.structured_errors > 0
+
+
+def test_fuzz_run_is_deterministic():
+    first = DecoderFuzzer(seed=11).run(iterations=1500)
+    second = DecoderFuzzer(seed=11).run(iterations=1500)
+    assert first.clean_decodes == second.clean_decodes
+    assert first.structured_errors == second.structured_errors
+
+
+def test_corpus_exists_and_replays_structured():
+    """Every committed crash repro now raises a structured BGP error."""
+    records = load_corpus()
+    assert len(records) >= 5, "crash corpus went missing"
+    for record in records:
+        outcome = DecoderFuzzer.classify(record.frame, record.addpath)
+        assert outcome == "structured", (
+            f"corpus regression {record.digest}: {outcome} ({record.note})"
+        )
+
+
+def test_corpus_repros_raise_bgp_errors_directly():
+    for record in load_corpus():
+        decoder = MessageDecoder()
+        decoder.addpath = record.addpath
+        decoder.feed(record.frame)
+        try:
+            while decoder.next_message() is not None:
+                pass
+        except BgpError:
+            return_ok = True
+        else:
+            return_ok = False
+        assert return_ok, f"{record.digest} no longer raises"
+
+
+def test_crash_record_json_roundtrip(tmp_path):
+    record = CrashRecord(
+        frame=b"\x01\x02\xff", addpath=True, error="boom", note="unit"
+    )
+    path = tmp_path / f"crash-{record.digest}.json"
+    path.write_text(record.to_json())
+    loaded = load_corpus(tmp_path)
+    assert loaded == [record]
+
+
+def test_truncated_capability_is_structured_not_crash():
+    """The original fuzzer find: a lone capability code byte in OPEN."""
+    body = struct.pack(
+        "!BHH4sB", 4, 65010, 90, bytes([10, 0, 0, 1]), 3
+    ) + bytes([2, 1, 0x40])
+    assert DecoderFuzzer.classify(_frame(1, body), False) == "structured"
+
+
+def test_update_attribute_overrun_is_structured():
+    body = struct.pack("!H", 0) + struct.pack("!H", 200)
+    assert DecoderFuzzer.classify(_frame(2, body), False) == "structured"
+
+
+def test_default_corpus_dir_is_committed_location():
+    assert default_corpus_dir().name == "corpus"
+    assert default_corpus_dir().parent.name == "tests"
