@@ -1,12 +1,12 @@
 #!/usr/bin/env python3
 """Benchmark regression gate: freshly-run JSON vs. committed baselines.
 
-CI runs the three gated benchmarks (``BENCH_update_load``,
-``BENCH_fig2_delegation``, ``BENCH_chaos_convergence``), then invokes
-this script to compare the fresh ``BENCH_<name>.json`` files against the
-baselines committed under ``benchmarks/baselines/``.  A metric regresses
-when it moves more than ``--tolerance`` (default 25%) in its *bad*
-direction:
+CI runs the gated benchmarks (``BENCH_update_load``,
+``BENCH_fig2_delegation``, ``BENCH_chaos_convergence``,
+``BENCH_shard_scaleout``), then invokes this script to compare the fresh
+``BENCH_<name>.json`` files against the baselines committed under
+``benchmarks/baselines/``.  A metric regresses when it moves more than
+``--tolerance`` (default 25%) in its *bad* direction:
 
 * throughput-style metrics (``…per_s…``) must not *drop* below
   ``baseline * (1 - tolerance)``;
@@ -25,7 +25,8 @@ Reproduce a CI failure locally::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_update_load.py \
         benchmarks/bench_fig2_delegation.py \
-        benchmarks/bench_chaos_convergence.py -q
+        benchmarks/bench_chaos_convergence.py \
+        benchmarks/bench_shard_scaleout.py -q
     python scripts/check_bench_regression.py
 """
 
@@ -37,7 +38,12 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-GATED_BENCHMARKS = ("update_load", "fig2_delegation", "chaos_convergence")
+GATED_BENCHMARKS = (
+    "update_load",
+    "fig2_delegation",
+    "chaos_convergence",
+    "shard_scaleout",
+)
 DEFAULT_TOLERANCE = 0.25
 
 _REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -67,18 +73,50 @@ def compare_metrics(
     current: Dict[str, float],
     tolerance: float = DEFAULT_TOLERANCE,
 ) -> Tuple[List[str], List[str]]:
-    """Return ``(regressions, notes)`` for one benchmark's metrics."""
+    """Return ``(regressions, notes)`` for one benchmark's metrics.
+
+    Metric-set mismatches are reported symmetrically with a clear
+    message rather than a traceback: a gated metric present in the
+    baseline but absent from the fresh run regresses (the benchmark
+    silently stopped measuring something it used to), while a metric
+    present in the fresh run but absent from the baseline regresses too
+    (the committed baseline is stale and must be refreshed in the same
+    PR that added the metric).  Neutral metrics only produce notes.
+    """
     regressions: List[str] = []
     notes: List[str] = []
+    for key in sorted(set(current) - set(baseline)):
+        message = (
+            f"metric {key!r} present in fresh run but missing from "
+            "baseline — refresh the committed baseline"
+        )
+        if metric_direction(key) == NEUTRAL:
+            notes.append(message)
+        else:
+            regressions.append(message)
     for key in sorted(baseline):
         direction = metric_direction(key)
+        if key not in current:
+            message = (
+                f"metric {key!r} present in baseline but missing from "
+                "fresh run"
+            )
+            if direction == NEUTRAL:
+                notes.append(message)
+            else:
+                regressions.append(message)
+            continue
         if direction == NEUTRAL:
             continue
-        if key not in current:
-            regressions.append(f"metric {key!r} missing from fresh run")
+        try:
+            base = float(baseline[key])
+            now = float(current[key])
+        except (TypeError, ValueError):
+            regressions.append(
+                f"metric {key!r} is not numeric "
+                f"(baseline={baseline[key]!r}, fresh={current[key]!r})"
+            )
             continue
-        base = float(baseline[key])
-        now = float(current[key])
         if base == 0.0:
             notes.append(f"{key}: zero baseline, skipped")
             continue
@@ -152,7 +190,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "names",
         nargs="*",
         default=list(GATED_BENCHMARKS),
-        help="benchmark names to gate (default: the three gated ones)",
+        help="benchmark names to gate (default: all gated benchmarks)",
     )
     parser.add_argument(
         "--baseline-dir",

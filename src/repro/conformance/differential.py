@@ -51,6 +51,7 @@ from repro.vbgp.communities import announce_to_neighbor, block_neighbor
 __all__ = [
     "DifferentialHarness",
     "DifferentialReport",
+    "SHARD_COUNTS",
     "all_flag_combinations",
 ]
 
@@ -63,6 +64,10 @@ TOGGLES: Tuple[str, ...] = (
     "intern_attrs",
     "fanout_batch",
 )
+
+#: The shard counts the scale-out sweep proves equivalent (ISSUE 5 /
+#: DESIGN.md §6f); ``1`` is the unsharded direct-path reference.
+SHARD_COUNTS: Tuple[int, ...] = (1, 2, 4, 8)
 
 PLATFORM_ASN = 47065
 UPSTREAM_ASN = 65010
@@ -212,6 +217,7 @@ class DifferentialReport:
 
     combinations: int = 0
     updates: int = 0
+    mode: str = "flag"  # "flag" | "shard"
     mismatches: List[str] = field(default_factory=list)
 
     @property
@@ -221,7 +227,7 @@ class DifferentialReport:
     def format(self) -> str:
         verdict = "ok" if self.ok else "DIVERGED"
         line = (
-            f"differential: {verdict} ({self.combinations} flag "
+            f"differential: {verdict} ({self.combinations} {self.mode} "
             f"combinations x {self.updates} updates)"
         )
         if self.mismatches:
@@ -419,4 +425,62 @@ class DifferentialHarness:
                             f"{label}: {what} diverged from "
                             f"{anchor_label} (same fanout_batch)"
                         )
+        return report
+
+    def run_shards(
+        self,
+        counts: Tuple[int, ...] = SHARD_COUNTS,
+        partition: str = "neighbor",
+        progress=None,
+    ) -> DifferentialReport:
+        """Prove shard-count invariance (ISSUE 5 acceptance criterion).
+
+        Replays the same workload at every shard count in ``counts``
+        (all other perf flags at their defaults) and compares each run
+        against the first — ``counts`` should start at ``1`` so the
+        reference is the unsharded direct path.  With the default
+        ``"neighbor"`` partition the announced **wire bytes** must also
+        be byte-identical: one inbound UPDATE is never split, so
+        multi-NLRI packing survives sharding.  The ``"prefix"``
+        partition may legitimately split updates (like ``fanout_batch``
+        changes packing), so it is held to the structural + decoded
+        change-stream contract only.
+        """
+        report = DifferentialReport(
+            combinations=len(counts), updates=self.update_count,
+            mode="shard",
+        )
+        reference: Optional[_RunResult] = None
+        reference_label = ""
+        for count in counts:
+            label = f"shards={count}"
+            if partition != "neighbor":
+                label += f"/{partition}"
+            if progress is not None:
+                progress(label)
+            with perf.flags(shards=count, shard_partition=partition):
+                result = self._run_scenario()
+            if reference is None:
+                reference = result
+                reference_label = label
+                continue
+            checks = [
+                ("structural", "Loc-RIB/kernel/counter state"),
+                ("changes_to_experiment",
+                 "decoded route changes toward the experiment"),
+                ("changes_to_upstream",
+                 "decoded route changes toward the upstream"),
+            ]
+            if partition == "neighbor":
+                checks += [
+                    ("wire_to_experiment", "experiment-bound wire bytes"),
+                    ("wire_to_upstream", "upstream-bound wire bytes"),
+                ]
+            for attribute, what in checks:
+                if getattr(result, attribute) != getattr(
+                    reference, attribute
+                ):
+                    report.mismatches.append(
+                        f"{label}: {what} diverged from {reference_label}"
+                    )
         return report

@@ -20,6 +20,19 @@ measure them on/off without code changes:
   attributes into single multi-NLRI UPDATEs in the vBGP fan-out and
   backbone export paths.
 
+Scale-out knobs (see :mod:`repro.shard` and DESIGN.md §6f) ride the
+same flag surface so the differential harness can sweep them exactly
+like the fast-path toggles:
+
+* ``shards``          — number of modeled fan-out worker shards
+  (1 = the unsharded reference pipeline),
+* ``shard_partition`` — partition strategy, ``"neighbor"`` (default;
+  byte-identical output for any shard count) or ``"prefix"``
+  (may split one UPDATE across shards, like ``fanout_batch`` changes
+  packing),
+* ``shard_seed``      — seed mixed into the deterministic partition
+  hash (``repro.shard.partition.stable_mix64``).
+
 Flags are read at call time (and, for the LPM backend choice, at table
 construction time).  Toggling flags clears all registered caches so
 on/off comparisons are honest.
@@ -45,6 +58,10 @@ class PerfFlags:
     encode_memo: bool = True
     intern_attrs: bool = True
     fanout_batch: bool = True
+    # Scale-out knobs (repro.shard; DESIGN.md §6f).
+    shards: int = 1
+    shard_partition: str = "neighbor"
+    shard_seed: int = 0
 
 
 FLAGS = PerfFlags()

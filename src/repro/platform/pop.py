@@ -41,6 +41,10 @@ class PopConfig:
     lan_latency: float = 0.0005
     tunnel_latency: float = 0.010
     bandwidth_limit_bps: Optional[float] = None  # §4.7: two sites have caps
+    # Sharded fan-out overrides (None ⇒ follow the global perf.FLAGS
+    # knobs; see repro.shard and DESIGN.md §6f).
+    shards: Optional[int] = None
+    shard_partition: Optional[str] = None
 
 
 @dataclass
@@ -138,6 +142,8 @@ class PointOfPresence:
             control_enforcer=self.control_enforcer,
             data_enforcer=self.data_enforcer,
             telemetry=telemetry,
+            shards=config.shards,
+            shard_partition=config.shard_partition,
         )
         self.neighbor_ports: dict[str, NeighborPort] = {}
 
@@ -234,6 +240,10 @@ class PointOfPresence:
         address = backbone.attach(self.config.name, self.stack, spec)
         self.node.enable_backbone("bb0", address)
         return address
+
+    def shard_status(self) -> list[dict]:
+        """Per-shard fan-out status rows (empty when unsharded)."""
+        return self.node.shard_status()
 
     @property
     def name(self) -> str:

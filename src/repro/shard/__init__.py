@@ -1,0 +1,61 @@
+"""repro.shard — sharded vBGP fan-out with a deterministic
+partition/merge layer, proven shard-count-invariant.
+
+The public surface:
+
+* :class:`ShardedFanout` — the engine: partition inbound UPDATE work
+  across N modeled worker shards, buffer their output ops, merge them
+  back into one ordered stream (:class:`MergeLayer`, keyed by
+  :class:`MergeKey`).
+* :class:`DirectExecutor` — the unsharded executor the fan-out pipeline
+  uses when ``shards=1`` (the seam both paths share).
+* :class:`~repro.shard.partition.PartitionFn` /
+  :class:`~repro.shard.partition.NeighborPartition` /
+  :class:`~repro.shard.partition.PrefixRangePartition` — pluggable,
+  seed-stable partition strategies (no builtin ``hash`` anywhere).
+* :class:`ShardCostModel` — partition-aware cost attribution for paths
+  (speaker export flush) where execution must stay untouched.
+
+Enable via the perf knob: ``repro.perf.set_flags(shards=4)`` — see
+DESIGN.md §6f.
+"""
+
+from repro.shard.engine import (
+    MERGE_LATENCY_BUCKETS,
+    DirectExecutor,
+    FanoutOp,
+    MergeKey,
+    MergeLayer,
+    ShardCostModel,
+    ShardStats,
+    ShardWorker,
+    ShardedFanout,
+)
+from repro.shard.partition import (
+    STRATEGIES,
+    NeighborPartition,
+    PartitionFn,
+    PrefixRangePartition,
+    make_partition,
+    stable_mix64,
+    stable_str_key,
+)
+
+__all__ = [
+    "DirectExecutor",
+    "FanoutOp",
+    "MERGE_LATENCY_BUCKETS",
+    "MergeKey",
+    "MergeLayer",
+    "NeighborPartition",
+    "PartitionFn",
+    "PrefixRangePartition",
+    "STRATEGIES",
+    "ShardCostModel",
+    "ShardStats",
+    "ShardWorker",
+    "ShardedFanout",
+    "make_partition",
+    "stable_mix64",
+    "stable_str_key",
+]

@@ -1,0 +1,597 @@
+"""The sharded vBGP fan-out engine: partition → workers → merge.
+
+The paper's mux fans every route learned from every neighbor out to
+every experiment (§4.2–§4.4) in one serial loop — the reproduction's
+measured bottleneck (``BENCH_update_load``).  This module scales that
+loop *out*: a :class:`ShardedFanout` splits the fan-out across N worker
+shards using a deterministic :class:`~repro.shard.partition.PartitionFn`
+and recombines the per-shard outputs — RIB/kernel-table ops and
+announced wire bytes — through a :class:`MergeLayer` into one ordered
+stream.
+
+Determinism model
+-----------------
+
+The reproduction is a discrete-event simulation, so shard *parallelism*
+is modeled, not threaded: work items execute deterministically in
+global ingress order, each item's wall-clock cost is charged to the
+shard that owns it, and the modeled elapsed time of a drain window is
+``max(per-shard busy) + merge cost`` — exactly the wall clock N worker
+processes (each owning a subset of neighbor sessions) would exhibit.
+What *is* real, not modeled:
+
+* ops are physically buffered per shard and only applied at
+  :meth:`ShardedFanout.flush` in stable merge order,
+* a killed shard stops processing entirely — its queued work items
+  accumulate in its inbox until :meth:`ShardedFanout.resurrect` replays
+  them (the chaos ``shard-kill`` scenario), and
+* every stateful effect (kernel mutation, session send, counter bump)
+  flows through the one merged stream.
+
+Merge ordering
+--------------
+
+Every op carries a :class:`MergeKey` ``(sim_time, seq, shard_id,
+emit)``:
+
+* ``sim_time`` — scheduler time at which the triggering update entered
+  the engine,
+* ``seq`` — the *global* ingress sequence number stamped by the
+  partition layer (one per work item, monotonically increasing),
+* ``shard_id`` — the worker that produced the op,
+* ``emit`` — the op's index within its work item.
+
+``seq`` is global rather than per-shard deliberately: it already
+totally orders work items in arrival order, which makes the merged
+stream **independent of the shard count** — the property the
+differential harness proves at shards ∈ {1, 2, 4, 8}.  ``shard_id``
+participates only as a tiebreaker (ops from one item share one shard by
+construction) and for traceability in telemetry.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, List, NamedTuple, Optional
+
+from repro import perf
+from repro.shard.partition import PartitionFn, stable_mix64, stable_str_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import TelemetryHub
+
+__all__ = [
+    "DirectExecutor",
+    "FanoutOp",
+    "MergeKey",
+    "MergeLayer",
+    "ShardCostModel",
+    "ShardStats",
+    "ShardWorker",
+    "ShardedFanout",
+]
+
+_perf_counter = _time.perf_counter
+
+#: Bucket boundaries for the merge-latency histogram (seconds).
+MERGE_LATENCY_BUCKETS = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0,
+)
+
+
+class MergeKey(NamedTuple):
+    """Stable merge-ordering key — see the module docstring for why
+    ``seq`` (global ingress order) precedes ``shard_id``."""
+
+    sim_time: float
+    seq: int
+    shard_id: int
+    emit: int
+
+
+@dataclass
+class FanoutOp:
+    """One buffered output operation awaiting merge.
+
+    ``kind`` is one of ``"add_route"`` (payload: a
+    :class:`~repro.netsim.stack.KernelRoute`), ``"remove_route"``
+    (payload: a prefix) or ``"send"`` (payload: an
+    :class:`~repro.bgp.messages.UpdateMessage`; ``target`` is the
+    session).  ``counter`` names the :attr:`VbgpNode.counters` key the
+    merge layer bumps when the op applies.
+    """
+
+    key: MergeKey
+    kind: str
+    payload: object
+    table_id: Optional[int] = None
+    target: object = None
+    counter: Optional[str] = None
+
+
+class DirectExecutor:
+    """The unsharded executor: apply every effect immediately.
+
+    This is the seam the sharded engine replaces — the vBGP fan-out
+    code calls ``ex.add_route`` / ``ex.remove_route`` / ``ex.send`` and
+    never touches the stack or sessions directly, so the exact same
+    pipeline body runs sharded or not.
+    """
+
+    __slots__ = ("node",)
+
+    def __init__(self, node) -> None:
+        self.node = node
+
+    def add_route(self, route, table_id: Optional[int] = None,
+                  counter: str = "routes_installed") -> None:
+        self.node.stack.add_route(route, table_id=table_id)
+        self.node.counters[counter] += 1
+
+    def remove_route(self, prefix, table_id: Optional[int] = None,
+                     counter: str = "routes_removed") -> None:
+        if self.node.stack.remove_route(prefix, table_id=table_id):
+            self.node.counters[counter] += 1
+
+    def send(self, session, message, counter: str) -> None:
+        session.send_update(message)
+        self.node.counters[counter] += 1
+
+
+class _ShardEmitter:
+    """The buffering executor bound to one worker during item processing."""
+
+    __slots__ = ("worker", "sim_time", "seq", "emit")
+
+    def __init__(self, worker: "ShardWorker") -> None:
+        self.worker = worker
+        self.sim_time = 0.0
+        self.seq = 0
+        self.emit = 0
+
+    def bind(self, sim_time: float, seq: int) -> None:
+        self.sim_time = sim_time
+        self.seq = seq
+        self.emit = 0
+
+    def _key(self) -> MergeKey:
+        key = MergeKey(self.sim_time, self.seq, self.worker.shard_id,
+                       self.emit)
+        self.emit += 1
+        return key
+
+    def add_route(self, route, table_id: Optional[int] = None,
+                  counter: str = "routes_installed") -> None:
+        self.worker.buffer.append(FanoutOp(
+            key=self._key(), kind="add_route", payload=route,
+            table_id=table_id, counter=counter,
+        ))
+
+    def remove_route(self, prefix, table_id: Optional[int] = None,
+                     counter: str = "routes_removed") -> None:
+        self.worker.buffer.append(FanoutOp(
+            key=self._key(), kind="remove_route", payload=prefix,
+            table_id=table_id, counter=counter,
+        ))
+
+    def send(self, session, message, counter: str) -> None:
+        if perf.FLAGS.encode_memo:
+            # Charge the encode to *this shard*: with the wire memo on,
+            # the merge layer's actual send hits the cache, so the
+            # expensive work genuinely parallelizes across shards.
+            message.encode(addpath=session.addpath_active)
+        self.worker.buffer.append(FanoutOp(
+            key=self._key(), kind="send", payload=message,
+            target=session, counter=counter,
+        ))
+
+
+@dataclass
+class _WorkItem:
+    """One partitioned unit of fan-out work."""
+
+    seq: int
+    sim_time: float
+    neighbor: str
+    update: object
+    shard_id: int
+
+
+@dataclass
+class _SubUpdate:
+    """A prefix-partitioned slice of one inbound UPDATE (order-preserving)."""
+
+    withdrawn: List[tuple] = field(default_factory=list)
+    announced: List[object] = field(default_factory=list)
+
+    def routes(self) -> List[object]:
+        return self.announced
+
+
+@dataclass
+class ShardWorker:
+    """One modeled worker shard: inbox, op buffer, liveness, accounting."""
+
+    shard_id: int
+    alive: bool = True
+    inbox: deque = field(default_factory=deque)
+    buffer: List[FanoutOp] = field(default_factory=list)
+    items_processed: int = 0
+    updates_emitted: int = 0
+    busy_s: float = 0.0
+    window_busy_s: float = 0.0
+    kills: int = 0
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.inbox)
+
+
+@dataclass
+class ShardStats:
+    """Aggregate engine accounting (feeds telemetry and the benches)."""
+
+    items: int = 0
+    splits: int = 0
+    drains: int = 0
+    ops_applied: int = 0
+    ops_dropped: int = 0
+    backlog_replayed: int = 0
+    merge_s: float = 0.0
+    modeled_elapsed_s: float = 0.0
+
+    def serial_s(self, workers: Iterable[ShardWorker]) -> float:
+        """What the same work would have cost on one shard."""
+        return sum(worker.busy_s for worker in workers) + self.merge_s
+
+    def speedup(self, workers: Iterable[ShardWorker]) -> float:
+        """Modeled scale-out factor versus serial execution."""
+        if self.modeled_elapsed_s <= 0.0:
+            return 1.0
+        return self.serial_s(workers) / self.modeled_elapsed_s
+
+
+class MergeLayer:
+    """Applies a merged op stream against the node, in key order.
+
+    The merge is *stable*: ops are sorted by :class:`MergeKey`, which is
+    shard-count-invariant (see module docstring), so the kernel tables,
+    counters, and announced wire bytes that leave this layer are
+    byte-identical for any shard count.
+    """
+
+    def __init__(self, node, stats: ShardStats) -> None:
+        self.node = node
+        self.stats = stats
+
+    def apply(self, ops: List[FanoutOp]) -> int:
+        node = self.node
+        stack = node.stack
+        counters = node.counters
+        applied = 0
+        for op in ops:
+            if op.kind == "send":
+                session = op.target
+                if session is None or not session.established:
+                    # The session died between emit and merge (only
+                    # possible for backlog replayed across a fault);
+                    # the (re-)established handler re-syncs full state.
+                    self.stats.ops_dropped += 1
+                    continue
+                session.send_update(op.payload)
+                if op.counter is not None:
+                    counters[op.counter] += 1
+                applied += 1
+            elif op.kind == "add_route":
+                stack.add_route(op.payload, table_id=op.table_id)
+                if op.counter is not None:
+                    counters[op.counter] += 1
+                applied += 1
+            elif op.kind == "remove_route":
+                removed = stack.remove_route(op.payload,
+                                             table_id=op.table_id)
+                if removed and op.counter is not None:
+                    counters[op.counter] += 1
+                applied += 1
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown op kind {op.kind!r}")
+        self.stats.ops_applied += applied
+        return applied
+
+
+class ShardedFanout:
+    """Partitioned, merge-ordered execution of the vBGP fan-out.
+
+    ``auto_drain=True`` (the default, and what the ``shards=N`` knob
+    uses) flushes the merge layer after every submitted update, so
+    external timing is indistinguishable from the unsharded pipeline.
+    Benchmarks set ``auto_drain=False`` and flush per arrival window to
+    model concurrent arrival across neighbor sessions.
+    """
+
+    def __init__(
+        self,
+        node,
+        shard_count: int,
+        partition: PartitionFn,
+        telemetry: Optional["TelemetryHub"] = None,
+        auto_drain: bool = True,
+    ) -> None:
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        if partition.shard_count != shard_count:
+            raise ValueError("partition/shard_count mismatch")
+        self.node = node
+        self.shard_count = shard_count
+        self.partition = partition
+        self.auto_drain = auto_drain
+        self.workers = [ShardWorker(shard_id=i) for i in range(shard_count)]
+        self._emitters = [_ShardEmitter(worker) for worker in self.workers]
+        self.stats = ShardStats()
+        self.merge = MergeLayer(node, self.stats)
+        self._next_seq = 0
+        self._m_merge_latency = None
+        if telemetry is not None:
+            self._init_telemetry(telemetry)
+
+    # -- telemetry ---------------------------------------------------------
+
+    def _init_telemetry(self, telemetry: "TelemetryHub") -> None:
+        registry = telemetry.registry
+        node_name = self.node.name
+        depth = registry.gauge(
+            "vbgp_shard_queue_depth",
+            "Work items queued per fan-out shard (scrape-time)",
+            labels=("node", "shard"),
+        )
+        busy = registry.gauge(
+            "vbgp_shard_busy_seconds",
+            "Cumulative wall-clock charged to each fan-out shard",
+            labels=("node", "shard"),
+        )
+        items = registry.gauge(
+            "vbgp_shard_items_processed",
+            "Work items (update slices) processed per fan-out shard",
+            labels=("node", "shard"),
+        )
+        updates = registry.gauge(
+            "vbgp_shard_updates_emitted",
+            "UPDATE sends emitted per fan-out shard",
+            labels=("node", "shard"),
+        )
+        alive = registry.gauge(
+            "vbgp_shard_alive",
+            "1 while the shard worker is alive, 0 while killed",
+            labels=("node", "shard"),
+        )
+        for worker in self.workers:
+            label = str(worker.shard_id)
+            depth.labels(node_name, label).set_function(
+                lambda w=worker: w.queue_depth
+            )
+            busy.labels(node_name, label).set_function(
+                lambda w=worker: w.busy_s
+            )
+            items.labels(node_name, label).set_function(
+                lambda w=worker: w.items_processed
+            )
+            updates.labels(node_name, label).set_function(
+                lambda w=worker: w.updates_emitted
+            )
+            alive.labels(node_name, label).set_function(
+                lambda w=worker: 1.0 if w.alive else 0.0
+            )
+        self._m_merge_latency = registry.histogram(
+            "vbgp_shard_merge_latency_seconds",
+            "Wall-clock per merge drain (sort + ordered apply)",
+            labels=("node",),
+            buckets=MERGE_LATENCY_BUCKETS,
+        ).labels(node_name)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Work items queued on (dead or not-yet-pumped) shards."""
+        return sum(len(worker.inbox) for worker in self.workers)
+
+    @property
+    def buffered_ops(self) -> int:
+        return sum(len(worker.buffer) for worker in self.workers)
+
+    def shard_for_neighbor(self, global_id: int) -> int:
+        return self.partition.shard_for_neighbor(global_id)
+
+    def status(self) -> List[dict]:
+        """Per-shard status rows (used by the PoP and the CLI)."""
+        return [
+            {
+                "shard": worker.shard_id,
+                "alive": worker.alive,
+                "queue_depth": worker.queue_depth,
+                "items_processed": worker.items_processed,
+                "updates_emitted": worker.updates_emitted,
+                "busy_s": worker.busy_s,
+                "kills": worker.kills,
+            }
+            for worker in self.workers
+        ]
+
+    # -- fault injection (the chaos shard-kill scenario) -------------------
+
+    def kill(self, shard_id: int) -> None:
+        """Stop a worker: its queued and future items accumulate."""
+        worker = self.workers[shard_id]
+        if worker.alive:
+            worker.alive = False
+            worker.kills += 1
+
+    def resurrect(self, shard_id: int) -> int:
+        """Revive a worker and replay its backlog through the merge.
+
+        Returns the number of backlog items replayed.  Replay preserves
+        ingress (``seq``) order within the backlog, so the healed state
+        converges to exactly what in-order processing would have built.
+        """
+        worker = self.workers[shard_id]
+        worker.alive = True
+        backlog = len(worker.inbox)
+        if backlog:
+            self._pump()
+            self.flush()
+            self.stats.backlog_replayed += backlog
+        return backlog
+
+    # -- the pipeline ------------------------------------------------------
+
+    def submit(self, neighbor, update) -> None:
+        """Partition one inbound UPDATE and run the alive shards."""
+        now = self.node.scheduler.now
+        for shard_id, sub_update in self._split(neighbor, update):
+            item = _WorkItem(
+                seq=self._next_seq,
+                sim_time=now,
+                neighbor=neighbor.name,
+                update=sub_update,
+                shard_id=shard_id,
+            )
+            self._next_seq += 1
+            self.workers[shard_id].inbox.append(item)
+            self.stats.items += 1
+        self._pump()
+        if self.auto_drain:
+            self.flush()
+
+    def _split(self, neighbor, update):
+        partition = self.partition
+        if not partition.splits_updates():
+            shard = partition.shard_for_neighbor(neighbor.virtual.global_id)
+            # The whole UPDATE passes through untouched: multi-NLRI
+            # packing (and the encode memo) are preserved byte-for-byte.
+            return ((shard, update),)
+        buckets: dict[int, _SubUpdate] = {}
+        order: List[int] = []
+
+        def bucket(shard: int) -> _SubUpdate:
+            sub = buckets.get(shard)
+            if sub is None:
+                sub = buckets[shard] = _SubUpdate()
+                order.append(shard)
+            return sub
+
+        for prefix, path_id in update.withdrawn:
+            bucket(partition.shard_for_prefix(prefix)).withdrawn.append(
+                (prefix, path_id)
+            )
+        for route in update.routes():
+            bucket(partition.shard_for_prefix(route.prefix)).announced.append(
+                route
+            )
+        if len(order) > 1:
+            self.stats.splits += 1
+        return tuple((shard, buckets[shard]) for shard in order)
+
+    def _pump(self) -> None:
+        """Process every alive worker's inbox, in global ingress order."""
+        pending: List[_WorkItem] = []
+        for worker in self.workers:
+            if worker.alive and worker.inbox:
+                pending.extend(worker.inbox)
+                worker.inbox.clear()
+        if not pending:
+            return
+        pending.sort(key=lambda item: item.seq)
+        node = self.node
+        for item in pending:
+            neighbor = node.upstreams.get(item.neighbor)
+            worker = self.workers[item.shard_id]
+            if neighbor is None:
+                worker.items_processed += 1
+                continue
+            emitter = self._emitters[item.shard_id]
+            emitter.bind(item.sim_time, item.seq)
+            buffered_before = len(worker.buffer)
+            started = _perf_counter()
+            node._process_upstream_changes(neighbor, item.update, emitter)
+            elapsed = _perf_counter() - started
+            worker.busy_s += elapsed
+            worker.window_busy_s += elapsed
+            worker.items_processed += 1
+            # Only the ops this item appended are new; the buffer may
+            # still hold sends from earlier (undrained) items in batch
+            # mode, so count the tail rather than the whole buffer.
+            worker.updates_emitted += sum(
+                1 for op in worker.buffer[buffered_before:]
+                if op.kind == "send"
+            )
+
+    def flush(self) -> int:
+        """Drain all shard buffers through the merge layer, in order."""
+        ops: List[FanoutOp] = []
+        window_max = 0.0
+        for worker in self.workers:
+            if worker.buffer:
+                ops.extend(worker.buffer)
+                worker.buffer.clear()
+            if worker.window_busy_s > window_max:
+                window_max = worker.window_busy_s
+            worker.window_busy_s = 0.0
+        if not ops and window_max == 0.0:
+            return 0
+        ops.sort(key=lambda op: op.key)
+        started = _perf_counter()
+        applied = self.merge.apply(ops)
+        merge_elapsed = _perf_counter() - started
+        self.stats.drains += 1
+        self.stats.merge_s += merge_elapsed
+        self.stats.modeled_elapsed_s += window_max + merge_elapsed
+        if self._m_merge_latency is not None:
+            self._m_merge_latency.observe(merge_elapsed)
+        return applied
+
+
+class ShardCostModel:
+    """Shard-attributed cost accounting without op buffering.
+
+    Used where partition-aware *modeling* is wanted but the execution
+    path must stay untouched — e.g. :class:`~repro.bgp.speaker.
+    BgpSpeaker` charges each neighbor's export flush to the shard that
+    would own that neighbor, so the scale-out bench can model parallel
+    export without changing a single emitted byte.
+    """
+
+    def __init__(self, shard_count: int, seed: int = 0) -> None:
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        self.shard_count = shard_count
+        self.seed = seed
+        self.busy_s = [0.0] * shard_count
+        self.charges = [0] * shard_count
+
+    def shard_for(self, key) -> int:
+        if isinstance(key, str):
+            key = stable_str_key(key)
+        return stable_mix64(int(key), self.seed) % self.shard_count
+
+    def charge(self, key, seconds: float) -> int:
+        shard = self.shard_for(key)
+        self.busy_s[shard] += seconds
+        self.charges[shard] += 1
+        return shard
+
+    @property
+    def serial_s(self) -> float:
+        return sum(self.busy_s)
+
+    @property
+    def modeled_elapsed_s(self) -> float:
+        return max(self.busy_s) if self.busy_s else 0.0
+
+    def speedup(self) -> float:
+        modeled = self.modeled_elapsed_s
+        if modeled <= 0.0:
+            return 1.0
+        return self.serial_s / modeled

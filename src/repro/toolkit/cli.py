@@ -56,6 +56,8 @@ class ToolkitCli:
             "       peering verify invariants [name...]\n"
             "       peering verify codec [--frames n] [--seed n]\n"
             "       peering verify differential [--updates n]\n"
+            "                                   [--shards n[,n...]]\n"
+            "                                   [--partition neighbor|prefix]\n"
             "       peering verify all"
         )
 
@@ -273,11 +275,25 @@ class ToolkitCli:
             update_count=options["updates"],
             seed=options["seed"] or 20260806,
         )
+        if options["shards"] is not None:
+            # Shard-count sweep (DESIGN.md §6f): prove the fan-out is
+            # byte-identical at every requested shard count instead of
+            # sweeping the perf-flag lattice.
+            return harness.run_shards(
+                counts=options["shards"],
+                partition=options["partition"],
+            ).format()
         return harness.run().format()
 
     @staticmethod
     def _parse_verify_options(args: list[str]):
-        options = {"frames": 2000, "updates": 300, "seed": 0}
+        options = {
+            "frames": 2000,
+            "updates": 300,
+            "seed": 0,
+            "shards": None,
+            "partition": "neighbor",
+        }
         rest: list[str] = []
         index = 0
         while index < len(args):
@@ -285,6 +301,16 @@ class ToolkitCli:
             if token in ("--frames", "--updates", "--seed"):
                 index += 1
                 options[token.lstrip("-")] = int(args[index])
+            elif token == "--shards":
+                index += 1
+                options["shards"] = tuple(
+                    int(part)
+                    for part in args[index].split(",")
+                    if part.strip()
+                )
+            elif token == "--partition":
+                index += 1
+                options["partition"] = args[index]
             else:
                 rest.append(token)
             index += 1

@@ -47,6 +47,8 @@ from repro.netsim.stack import (
     NetworkStack,
     RoutingRule,
 )
+from repro.shard.engine import DirectExecutor, ShardedFanout
+from repro.shard.partition import make_partition
 from repro.sim.scheduler import Scheduler
 from repro.vbgp.allocator import (
     GLOBAL_POOL,
@@ -225,6 +227,8 @@ class VbgpNode:
         control_enforcer: Optional[object] = None,
         data_enforcer: Optional[object] = None,
         telemetry: Optional["TelemetryHub"] = None,
+        shards: Optional[int] = None,
+        shard_partition: Optional[str] = None,
     ) -> None:
         self.scheduler = scheduler
         self.name = name
@@ -267,6 +271,13 @@ class VbgpNode:
             "gr_routes_flushed": 0,
         }
         self.telemetry = telemetry
+        # Sharded fan-out (repro.shard): node-level overrides win over
+        # the global ``perf.FLAGS.shards`` knob; the engine itself is
+        # built lazily on the first sharded update.
+        self._shards_override = shards
+        self._shard_partition_override = shard_partition
+        self._direct_exec = DirectExecutor(self)
+        self._shard_engine: Optional[ShardedFanout] = None
         self._m_frames_by_neighbor = None
         self._m_updates_by_neighbor = None
         if telemetry is not None:
@@ -460,16 +471,33 @@ class VbgpNode:
         if neighbor is None:
             return
         self.counters["updates_from_upstream"] += 1
+        engine = self._shard_engine_if_enabled()
+        if engine is not None:
+            engine.submit(neighbor, update)
+        else:
+            self._process_upstream_changes(neighbor, update,
+                                           self._direct_exec)
+
+    def _process_upstream_changes(self, neighbor: UpstreamNeighbor,
+                                  update, ex) -> None:
+        """The fan-out pipeline body, unsharded and sharded alike.
+
+        ``update`` is either a full :class:`UpdateMessage` or a
+        prefix-partitioned slice of one (anything with ``withdrawn`` and
+        ``routes()``).  Every stateful effect — kernel mutation, session
+        send, counter bump — flows through the executor ``ex``:
+        :class:`~repro.shard.engine.DirectExecutor` applies immediately
+        (the ``shards=1`` reference), a shard emitter buffers the ops
+        for the merge layer.
+        """
         gid = neighbor.virtual.global_id
         removed: list[tuple[Prefix, Optional[int]]] = []
         for prefix, path_id in update.withdrawn:
             if neighbor.rib.pop((prefix, path_id), None) is not None:
                 removed.append((prefix, path_id))
                 if not neighbor.rib.has_prefix(prefix):
-                    if self.stack.remove_route(
-                        prefix, table_id=neighbor.virtual.table_id
-                    ):
-                        self.counters["routes_removed"] += 1
+                    ex.remove_route(prefix,
+                                    table_id=neighbor.virtual.table_id)
         announced = update.routes()
         for route in announced:
             neighbor.rib[(route.prefix, route.path_id)] = route
@@ -481,7 +509,7 @@ class VbgpNode:
             next_hop = neighbor.peer_address
             if neighbor.kind == "route-server" and route.next_hop is not None:
                 next_hop = route.next_hop
-            self.stack.add_route(
+            ex.add_route(
                 KernelRoute(
                     prefix=route.prefix,
                     out_iface=self.upstream_iface,
@@ -489,13 +517,12 @@ class VbgpNode:
                 ),
                 table_id=neighbor.virtual.table_id,
             )
-            self.counters["routes_installed"] += 1
         # Fan out to experiments with the local virtual IP as next hop.
         for exp in self.experiments.values():
             self._fanout(exp, gid, neighbor.virtual.local_ip, announced,
-                         removed)
+                         removed, ex=ex)
         # Propagate over the backbone with the neighbor's global IP.
-        self._backbone_export(gid, announced, removed)
+        self._backbone_export(gid, announced, removed, ex=ex)
 
     def _upstream_established(self, name: str) -> None:
         """A (re-)established upstream: re-export experiment state to it."""
@@ -710,6 +737,7 @@ class VbgpNode:
         local_vip: IPv4Address,
         announced: list[Route],
         removed: list[tuple[Prefix, Optional[int]]],
+        ex=None,
     ) -> None:
         """Send neighbor-route changes to one experiment (Figure 2a).
 
@@ -717,8 +745,11 @@ class VbgpNode:
         one attribute set are coalesced into multi-NLRI UPDATEs (one
         attribute encode + one message per batch instead of per route).
         Withdrawals carry no attributes and are always chunked to respect
-        the 4096-byte message ceiling.
+        the 4096-byte message ceiling.  ``ex`` is the effect executor
+        (direct by default; a shard emitter when the fan-out is sharded).
         """
+        if ex is None:
+            ex = self._direct_exec
         if exp.session is None or not exp.session.established:
             return
         withdrawals = []
@@ -730,8 +761,8 @@ class VbgpNode:
                           path_id=path_id)
                 )
         for chunk in _chunk_routes(withdrawals, _MAX_WITHDRAW_PER_UPDATE):
-            exp.session.send_update(UpdateMessage.withdraw(chunk))
-            self.counters["updates_to_experiments"] += 1
+            ex.send(exp.session, UpdateMessage.withdraw(chunk),
+                    "updates_to_experiments")
         if not announced:
             return
         if perf.FLAGS.fanout_batch:
@@ -748,15 +779,15 @@ class VbgpNode:
                 ]
                 limit = _max_nlri_per_update(rewritten_attrs)
                 for chunk in _chunk_routes(batch, limit):
-                    exp.session.send_update(UpdateMessage.announce(chunk))
-                    self.counters["updates_to_experiments"] += 1
+                    ex.send(exp.session, UpdateMessage.announce(chunk),
+                            "updates_to_experiments")
         else:
             for route in announced:
                 rewritten = route.with_next_hop(local_vip).with_path_id(
                     exp.path_id_for(gid, route.prefix, route.path_id)
                 )
-                exp.session.send_update(UpdateMessage.announce([rewritten]))
-                self.counters["updates_to_experiments"] += 1
+                ex.send(exp.session, UpdateMessage.announce([rewritten]),
+                        "updates_to_experiments")
 
     # -- announcements from experiments ---------------------------------
 
@@ -931,7 +962,7 @@ class VbgpNode:
     def _backbone_route(self, virtual: VirtualNeighbor, route: Route) -> Route:
         """A neighbor route as carried on the mesh: global-IP next hop."""
         return route.with_next_hop(virtual.global_ip).with_path_id(
-            virtual.global_id * 1_000_000 + _stable_id(route)
+            virtual.global_id * _GID_PATH_ID_BASE + _stable_id(route)
         )
 
     def _backbone_batch(self, virtual: VirtualNeighbor,
@@ -939,7 +970,7 @@ class VbgpNode:
         """Batched ``_backbone_route``: rewrite the shared attribute set
         once, keep the per-route stable path ids."""
         carried_attrs = group[0].attributes.with_next_hop(virtual.global_ip)
-        base = virtual.global_id * 1_000_000
+        base = virtual.global_id * _GID_PATH_ID_BASE
         return [
             Route(
                 prefix=route.prefix,
@@ -956,7 +987,10 @@ class VbgpNode:
         )
 
     def _backbone_export(self, gid: int, announced: list[Route],
-                         removed: list[tuple[Prefix, Optional[int]]]) -> None:
+                         removed: list[tuple[Prefix, Optional[int]]],
+                         ex=None) -> None:
+        if ex is None:
+            ex = self._direct_exec
         if not self.backbone_peers:
             return
         neighbor = next(
@@ -974,29 +1008,29 @@ class VbgpNode:
                 for prefix, source_id in removed:
                     fake = Route(prefix=prefix, attributes=_EMPTY_ATTRS)
                     fakes.append(fake.with_path_id(
-                        gid * 1_000_000 + _stable_id(fake)
+                        gid * _GID_PATH_ID_BASE + _stable_id(fake)
                     ))
                 for chunk in _chunk_routes(fakes, _MAX_WITHDRAW_PER_UPDATE):
-                    session.send_update(UpdateMessage.withdraw(chunk))
-                    self.counters["updates_to_backbone"] += 1
+                    ex.send(session, UpdateMessage.withdraw(chunk),
+                            "updates_to_backbone")
                 for group in _group_by_attributes(announced).values():
                     carried = self._backbone_batch(neighbor.virtual, group)
                     limit = _max_nlri_per_update(carried[0].attributes)
                     for chunk in _chunk_routes(carried, limit):
-                        session.send_update(UpdateMessage.announce(chunk))
-                        self.counters["updates_to_backbone"] += 1
+                        ex.send(session, UpdateMessage.announce(chunk),
+                                "updates_to_backbone")
                 continue
             for prefix, source_id in removed:
                 fake = Route(prefix=prefix, attributes=_EMPTY_ATTRS)
-                session.send_update(UpdateMessage.withdraw([
-                    fake.with_path_id(gid * 1_000_000 + _stable_id(fake))
-                ]))
-                self.counters["updates_to_backbone"] += 1
+                ex.send(session, UpdateMessage.withdraw([
+                    fake.with_path_id(
+                        gid * _GID_PATH_ID_BASE + _stable_id(fake)
+                    )
+                ]), "updates_to_backbone")
             for route in announced:
-                session.send_update(UpdateMessage.announce([
+                ex.send(session, UpdateMessage.announce([
                     self._backbone_route(neighbor.virtual, route)
-                ]))
-                self.counters["updates_to_backbone"] += 1
+                ]), "updates_to_backbone")
 
     def _backbone_export_experiment(self, exp: ExperimentAttachment,
                                     route: Route, withdraw: bool) -> None:
@@ -1015,7 +1049,7 @@ class VbgpNode:
     def _backbone_update(self, node_name: str, update: UpdateMessage) -> None:
         """Process mesh routes: remote-neighbor or remote-experiment."""
         for prefix, path_id in update.withdrawn:
-            gid = (path_id or 0) // 1_000_000
+            gid = (path_id or 0) // _GID_PATH_ID_BASE
             if gid:
                 remote = self.remote_neighbors.get(gid)
                 if remote is None:
@@ -1037,7 +1071,7 @@ class VbgpNode:
                 self._remote_experiment_route(route)
 
     def _remote_neighbor_route(self, route: Route) -> None:
-        gid = (route.path_id or 0) // 1_000_000
+        gid = (route.path_id or 0) // _GID_PATH_ID_BASE
         if not gid:
             return
         remote = self.remote_neighbors.get(gid)
@@ -1229,6 +1263,64 @@ class VbgpNode:
         )
 
     # ==================================================================
+    # Sharded fan-out (repro.shard, DESIGN.md §6f)
+    # ==================================================================
+
+    def _shard_config(self) -> tuple[int, str, int]:
+        """Effective (count, strategy, seed): node overrides win over
+        the global ``perf.FLAGS`` knobs."""
+        flags = perf.FLAGS
+        count = (self._shards_override if self._shards_override is not None
+                 else flags.shards)
+        strategy = (self._shard_partition_override
+                    if self._shard_partition_override is not None
+                    else flags.shard_partition)
+        return count, strategy, flags.shard_seed
+
+    def _shard_engine_if_enabled(self) -> Optional[ShardedFanout]:
+        """The live shard engine, or ``None`` for the direct path.
+
+        An engine holding queued backlog (a killed shard) is *never*
+        abandoned on a flag flip — its items would be lost; it keeps
+        receiving work until the backlog drains.
+        """
+        engine = self._shard_engine
+        if engine is not None and engine.pending:
+            return engine
+        count, strategy, seed = self._shard_config()
+        if count <= 1:
+            return None
+        if (
+            engine is not None
+            and engine.shard_count == count
+            and engine.partition.strategy == strategy
+            and engine.partition.seed == seed
+        ):
+            return engine
+        engine = ShardedFanout(
+            self,
+            count,
+            make_partition(strategy, count, seed=seed),
+            telemetry=self.telemetry,
+        )
+        self._shard_engine = engine
+        return engine
+
+    @property
+    def shard_engine(self) -> Optional[ShardedFanout]:
+        return self._shard_engine
+
+    def shard_pending(self) -> int:
+        """Work items queued on shard inboxes (0 when unsharded)."""
+        engine = self._shard_engine
+        return engine.pending if engine is not None else 0
+
+    def shard_status(self) -> list[dict]:
+        """Per-shard status rows (``[]`` when the fan-out is unsharded)."""
+        engine = self._shard_engine
+        return engine.status() if engine is not None else []
+
+    # ==================================================================
     # Introspection (used by benches and the CLI)
     # ==================================================================
 
@@ -1247,6 +1339,14 @@ class VbgpNode:
 
 # A placeholder attribute set used in withdrawals (attributes are ignored).
 _EMPTY_ATTRS = PathAttributes()
+
+# Backbone path ids pack ``(neighbor gid, per-route stable id)`` into one
+# integer.  ``_stable_id`` is 20 bits (1..0xFFFFF), so the base must be
+# 2**20: the previous base of 1_000_000 (< 2**20) let large stable ids
+# bleed into the next gid's range, making the receiving node decode a
+# phantom neighbor with the wrong gid — caught by the chaos shard-kill
+# scenario's full-catalog vmac_bijectivity check.
+_GID_PATH_ID_BASE = 1 << 20
 
 # An ADD-PATH IPv4 NLRI is at most 4 (path id) + 1 (length) + 4 (prefix)
 # bytes; a withdrawal-only UPDATE has 4 bytes of fixed body overhead.

@@ -79,6 +79,68 @@ def test_missing_metric_regresses():
     assert regressions and "missing" in regressions[0]
 
 
+def test_metric_missing_from_fresh_run_names_the_metric():
+    regressions, _ = gate.compare_metrics(
+        {"packets_per_s": 1.0, "per_packet_us": 2.0},
+        {"packets_per_s": 1.0},
+    )
+    assert len(regressions) == 1
+    assert "'per_packet_us'" in regressions[0]
+    assert "missing from fresh run" in regressions[0]
+
+
+def test_metric_missing_from_baseline_regresses_with_refresh_hint():
+    """The vice-versa direction: a fresh metric absent from the
+    committed baseline means the baseline is stale."""
+    regressions, _ = gate.compare_metrics(
+        {"packets_per_s": 1.0},
+        {"packets_per_s": 1.0, "speedup_x4_per_s": 9.0},
+    )
+    assert len(regressions) == 1
+    assert "'speedup_x4_per_s'" in regressions[0]
+    assert "missing from baseline" in regressions[0]
+    assert "refresh" in regressions[0]
+
+
+def test_neutral_metric_set_mismatch_is_note_only():
+    regressions, notes = gate.compare_metrics(
+        {"packets_per_s": 1.0, "scenarios": 7},
+        {"packets_per_s": 1.0, "seeds": 5},
+    )
+    assert regressions == []
+    assert any("'scenarios'" in note for note in notes)
+    assert any("'seeds'" in note for note in notes)
+
+
+def test_non_numeric_metric_is_message_not_traceback():
+    regressions, _ = gate.compare_metrics(
+        {"packets_per_s": 1000.0},
+        {"packets_per_s": "fast"},
+    )
+    assert len(regressions) == 1
+    assert "not numeric" in regressions[0]
+
+
+def test_run_gate_reports_metric_mismatch_per_file(tmp_path):
+    import io
+
+    baseline_dir = tmp_path / "baselines"
+    current_dir = tmp_path / "fresh"
+    baseline_dir.mkdir()
+    current_dir.mkdir()
+    _write_bench(baseline_dir, "demo", {"updates_per_s": 5000.0})
+    _write_bench(current_dir, "demo", {"other_per_s": 1.0})
+    output = io.StringIO()
+    assert gate.run_gate(
+        baseline_dir, current_dir, names=("demo",), out=output
+    ) == 1
+    text = output.getvalue()
+    assert "demo: REGRESSED" in text
+    assert "missing from fresh run" in text
+    assert "missing from baseline" in text
+    assert "Traceback" not in text
+
+
 def _write_bench(directory: Path, name: str, metrics: dict) -> None:
     payload = {"name": name, "metrics": metrics, "timestamp": 0.0}
     (directory / f"BENCH_{name}.json").write_text(json.dumps(payload))

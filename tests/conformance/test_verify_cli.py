@@ -57,3 +57,22 @@ def test_verify_differential_small(cli):
     out = cli.run("peering verify differential --updates 40")
     assert "differential: ok" in out
     assert "32 flag combinations" in out
+
+
+def test_verify_differential_shard_sweep(cli):
+    out = cli.run("peering verify differential --updates 40 --shards 1,2,4")
+    assert "differential: ok" in out
+    assert "3 shard combinations" in out
+
+
+def test_verify_differential_shard_sweep_prefix_partition(cli):
+    out = cli.run(
+        "peering verify differential --updates 40 --shards 1,2 "
+        "--partition prefix"
+    )
+    assert "differential: ok" in out
+    assert "2 shard combinations" in out
+
+
+def test_verify_usage_mentions_shards(cli):
+    assert "--shards" in cli.run("peering bogus")

@@ -1,0 +1,203 @@
+"""ShardedFanout engine: merge ordering, kill/resurrect, cost model.
+
+Unit tests pin the merge-key semantics and the cost model; integration
+tests drive a live chaos world with the ``shards=N`` perf knob and
+prove deferral/replay semantics against the real vBGP node.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import perf
+from repro.bgp.attributes import local_route
+from repro.chaos import build_chaos_world
+from repro.netsim.addr import IPv4Prefix
+from repro.shard import (
+    FanoutOp,
+    MergeKey,
+    ShardCostModel,
+    ShardedFanout,
+    make_partition,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_perf_flags():
+    saved = perf.FLAGS
+    yield
+    perf.FLAGS = saved
+    perf.clear_caches()
+
+
+# -- merge ordering -------------------------------------------------------
+
+def test_merge_key_orders_by_time_then_global_seq():
+    keys = [
+        MergeKey(2.0, 5, 0, 0),
+        MergeKey(1.0, 9, 3, 1),
+        MergeKey(1.0, 9, 3, 0),
+        MergeKey(1.0, 2, 7, 0),
+    ]
+    assert sorted(keys) == [
+        MergeKey(1.0, 2, 7, 0),
+        MergeKey(1.0, 9, 3, 0),
+        MergeKey(1.0, 9, 3, 1),
+        MergeKey(2.0, 5, 0, 0),
+    ]
+
+
+def test_merge_order_independent_of_shard_id():
+    """Global ``seq`` precedes ``shard_id``: re-homing an op to a
+    different shard (a different shard count) cannot reorder it."""
+    few_shards = [FanoutOp(key=MergeKey(0.0, s, s % 2, 0), kind="send",
+                           payload=s) for s in range(8)]
+    many_shards = [FanoutOp(key=MergeKey(0.0, s, s % 8, 0), kind="send",
+                            payload=s) for s in range(8)]
+    order_few = [op.payload for op in sorted(few_shards,
+                                             key=lambda op: op.key)]
+    order_many = [op.payload for op in sorted(many_shards,
+                                              key=lambda op: op.key)]
+    assert order_few == order_many == list(range(8))
+
+
+# -- cost model -----------------------------------------------------------
+
+def test_cost_model_charges_deterministically():
+    model = ShardCostModel(4, seed=0)
+    assert model.shard_for("transit-west") == model.shard_for("transit-west")
+    assert model.shard_for(17) == model.shard_for(17)
+    shard = model.charge("transit-west", 0.5)
+    model.charge("transit-west", 0.25)
+    assert model.busy_s[shard] == pytest.approx(0.75)
+    assert model.charges[shard] == 2
+
+
+def test_cost_model_speedup_is_serial_over_max():
+    model = ShardCostModel(2, seed=0)
+    a = model.shard_for("a")
+    other = 1 - a
+    model.busy_s[a] = 3.0
+    model.busy_s[other] = 1.0
+    assert model.serial_s == pytest.approx(4.0)
+    assert model.modeled_elapsed_s == pytest.approx(3.0)
+    assert model.speedup() == pytest.approx(4.0 / 3.0)
+
+
+def test_cost_model_validation_and_idle_speedup():
+    with pytest.raises(ValueError):
+        ShardCostModel(0)
+    assert ShardCostModel(4).speedup() == 1.0
+
+
+def test_engine_rejects_mismatched_partition():
+    world = build_chaos_world(seed=0, with_telemetry=False)
+    node = world.platform.pops["west"].node
+    with pytest.raises(ValueError):
+        ShardedFanout(node, 4, make_partition("neighbor", 2))
+
+
+# -- live integration -----------------------------------------------------
+
+def _sharded_world(shards=4, seed=0):
+    world = build_chaos_world(seed=seed, with_telemetry=False)
+    perf.set_flags(shards=shards)
+    node = world.platform.pops["west"].node
+    engine = node._shard_engine_if_enabled()
+    assert engine is not None and engine.shard_count == shards
+    return world, node, engine
+
+
+def test_sharded_updates_flow_and_status_rows():
+    world, node, engine = _sharded_world()
+    handle = world.neighbors["transit-west"]
+    prefix = IPv4Prefix.parse("10.77.0.0/24")
+    handle.speaker.originate(local_route(prefix, next_hop=handle.port.address))
+    world.scheduler.run_for(5)
+    assert engine.pending == 0
+    rows = node.shard_status()
+    assert [row["shard"] for row in rows] == [0, 1, 2, 3]
+    assert sum(row["items_processed"] for row in rows) >= 1
+    assert all(row["alive"] for row in rows)
+    # The PoP delegates shard_status to its node.
+    assert world.platform.pops["west"].shard_status() == rows
+    handle.speaker.withdraw(prefix)
+    world.scheduler.run_for(5)
+
+
+def test_killed_shard_defers_and_resurrect_replays():
+    world, node, engine = _sharded_world()
+    handle = world.neighbors["transit-west"]
+    gid = node.upstreams[handle.name].virtual.global_id
+    victim = engine.shard_for_neighbor(gid)
+    routes_before = node.counters["routes_installed"]
+    engine.kill(victim)
+    assert not engine.workers[victim].alive
+    prefix = IPv4Prefix.parse("10.88.0.0/24")
+    handle.speaker.originate(local_route(prefix, next_hop=handle.port.address))
+    world.scheduler.run_for(5)
+    # Deferred: queued on the dead shard, nothing applied.
+    assert engine.pending >= 1
+    assert node.counters["routes_installed"] == routes_before
+    replayed = engine.resurrect(victim)
+    assert replayed >= 1
+    assert engine.pending == 0
+    assert engine.workers[victim].alive
+    assert node.counters["routes_installed"] > routes_before
+    assert engine.stats.backlog_replayed == replayed
+    handle.speaker.withdraw(prefix)
+    world.scheduler.run_for(5)
+
+
+def test_kill_and_resurrect_are_idempotent():
+    world, node, engine = _sharded_world()
+    engine.kill(0)
+    engine.kill(0)
+    assert engine.workers[0].kills == 1
+    assert engine.resurrect(0) == 0  # empty backlog
+    assert engine.workers[0].alive
+
+
+def test_engine_survives_flag_flip_with_backlog():
+    """A pending backlog pins the engine across a flag change."""
+    world, node, engine = _sharded_world()
+    handle = world.neighbors["transit-west"]
+    gid = node.upstreams[handle.name].virtual.global_id
+    victim = engine.shard_for_neighbor(gid)
+    engine.kill(victim)
+    prefix = IPv4Prefix.parse("10.99.0.0/24")
+    handle.speaker.originate(local_route(prefix, next_hop=handle.port.address))
+    world.scheduler.run_for(5)
+    assert engine.pending >= 1
+    perf.set_flags(shards=2)
+    assert node._shard_engine_if_enabled() is engine  # backlog pins it
+    engine.resurrect(victim)
+    assert engine.pending == 0
+    # With the backlog drained the next update adopts the new count.
+    assert node._shard_engine_if_enabled().shard_count == 2
+
+
+def test_unsharded_when_flag_off():
+    world = build_chaos_world(seed=0, with_telemetry=False)
+    node = world.platform.pops["west"].node
+    assert node._shard_engine_if_enabled() is None
+    assert node.shard_status() == []
+    assert node.shard_pending() == 0
+
+
+def test_shard_telemetry_gauges_render():
+    world = build_chaos_world(seed=1)
+    perf.set_flags(shards=2)
+    node = world.platform.pops["east"].node
+    engine = node._shard_engine_if_enabled()
+    assert engine is not None
+    handle = world.neighbors["transit-east"]
+    prefix = IPv4Prefix.parse("10.66.0.0/24")
+    handle.speaker.originate(local_route(prefix, next_hop=handle.port.address))
+    world.scheduler.run_for(5)
+    text = world.telemetry.render_prometheus()
+    assert 'vbgp_shard_queue_depth{node="east",shard="0"}' in text
+    assert "vbgp_shard_alive" in text
+    assert "vbgp_shard_merge_latency_seconds_bucket" in text
+    handle.speaker.withdraw(prefix)
+    world.scheduler.run_for(5)

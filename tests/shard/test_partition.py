@@ -1,0 +1,183 @@
+"""Partition determinism: same seed + same key set ⇒ same assignments.
+
+The partition layer must be a pure function of ``(key, seed,
+shard_count)`` — never of the interpreter's salted builtin ``hash()``.
+These tests pin golden values (guarding against accidental algorithm
+changes), prove invariance under ``PYTHONHASHSEED`` in subprocesses,
+and grep the package source for builtin-``hash`` usage.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.shard.engine as engine_mod
+import repro.shard.partition as partition_mod
+from repro.netsim.addr import IPv4Prefix
+from repro.shard import (
+    NeighborPartition,
+    PartitionFn,
+    PrefixRangePartition,
+    STRATEGIES,
+    make_partition,
+    stable_mix64,
+    stable_str_key,
+)
+
+_REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+# -- golden values (cross-version pinning) --------------------------------
+
+def test_stable_mix64_golden_values():
+    assert stable_mix64(0) == 0xE220A8397B1DCDAF
+    assert stable_mix64(1) == 0x910A2DEC89025CC1
+    assert stable_mix64(1, seed=1) == 0xE99FF867DBF682C9
+    assert stable_mix64(2 ** 40 + 7, seed=42) == 0x4D564EAA7C569FDD
+
+
+def test_stable_str_key_golden_values():
+    assert stable_str_key("") == 0xCBF29CE484222325  # FNV-1a offset basis
+    assert stable_str_key("transit-west") == 0x8B008A674B8967BC
+    assert stable_str_key("α-peer") == 0x6F700AF84D32B557  # UTF-8, not ASCII
+
+
+def test_neighbor_partition_golden_assignments():
+    partition = NeighborPartition(4, seed=0)
+    assert [partition.shard_for_neighbor(g) for g in range(12)] == [
+        3, 1, 2, 1, 2, 2, 0, 3, 2, 0, 2, 1,
+    ]
+
+
+# -- seed and run stability -----------------------------------------------
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_same_seed_same_assignments(strategy):
+    a = make_partition(strategy, 8, seed=7)
+    b = make_partition(strategy, 8, seed=7)
+    for gid in range(200):
+        assert a.shard_for_neighbor(gid) == b.shard_for_neighbor(gid)
+    for third in range(64):
+        prefix = IPv4Prefix.parse(f"10.{third}.0.0/16")
+        assert a.shard_for_prefix(prefix) == b.shard_for_prefix(prefix)
+
+
+def test_different_seed_different_assignments():
+    a = NeighborPartition(8, seed=0)
+    b = NeighborPartition(8, seed=1)
+    assignments_a = [a.shard_for_neighbor(g) for g in range(200)]
+    assignments_b = [b.shard_for_neighbor(g) for g in range(200)]
+    assert assignments_a != assignments_b
+
+
+def test_assignments_cover_all_shards():
+    for strategy in STRATEGIES:
+        partition = make_partition(strategy, 4, seed=0)
+        owners = {partition.shard_for_neighbor(g) for g in range(64)}
+        assert owners == {0, 1, 2, 3}
+
+
+def test_prefix_range_partition_keeps_blocks_together():
+    partition = PrefixRangePartition(8, seed=3, range_bits=12)
+    # All prefixes inside one /12 block share a shard...
+    block = [
+        IPv4Prefix.parse("10.1.0.0/16"),
+        IPv4Prefix.parse("10.2.128.0/24"),
+        IPv4Prefix.parse("10.15.255.0/24"),
+    ]
+    owners = {partition.shard_for_prefix(p) for p in block}
+    assert len(owners) == 1
+    # ...and blocks spread over multiple shards.
+    spread = {
+        partition.shard_for_prefix(IPv4Prefix.parse(f"{a}.0.0.0/12"))
+        for a in range(0, 240, 16)
+    }
+    assert len(spread) > 1
+
+
+def test_short_prefixes_still_map_deterministically():
+    partition = PrefixRangePartition(4, seed=0, range_bits=12)
+    wide = IPv4Prefix.parse("10.0.0.0/8")  # shorter than range_bits
+    assert partition.shard_for_prefix(wide) == partition.shard_for_prefix(
+        IPv4Prefix.parse("10.0.0.0/8")
+    )
+
+
+# -- PYTHONHASHSEED invariance (subprocess) -------------------------------
+
+_SUBPROCESS_SNIPPET = """
+import json, sys
+sys.path.insert(0, {src!r})
+from repro.netsim.addr import IPv4Prefix
+from repro.shard import make_partition, stable_str_key
+partition = make_partition({strategy!r}, 8, seed=11)
+payload = {{
+    "neighbors": [partition.shard_for_neighbor(g) for g in range(64)],
+    "prefixes": [
+        partition.shard_for_prefix(IPv4Prefix.parse(f"10.{{i}}.0.0/16"))
+        for i in range(64)
+    ],
+    "names": [stable_str_key(f"neighbor-{{i}}") for i in range(16)],
+}}
+print(json.dumps(payload))
+"""
+
+
+def _assignments_under_hashseed(strategy: str, hash_seed: str) -> dict:
+    snippet = _SUBPROCESS_SNIPPET.format(src=str(_REPO_SRC),
+                                         strategy=strategy)
+    result = subprocess.run(
+        [sys.executable, "-c", snippet],
+        capture_output=True,
+        text=True,
+        env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+        check=True,
+    )
+    return json.loads(result.stdout)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_assignments_survive_hash_randomization(strategy):
+    """Two interpreters with different hash salts agree exactly."""
+    first = _assignments_under_hashseed(strategy, "1")
+    second = _assignments_under_hashseed(strategy, "4242")
+    assert first == second
+
+
+# -- hygiene --------------------------------------------------------------
+
+def test_no_builtin_hash_in_shard_package():
+    """No *call* to builtin ``hash`` anywhere in repro.shard."""
+    for module in (partition_mod, engine_mod):
+        tree = ast.parse(inspect.getsource(module))
+        calls = [
+            node for node in ast.walk(tree)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "hash"
+        ]
+        assert not calls, f"{module.__name__} calls builtin hash()"
+
+
+def test_make_partition_rejects_unknown_strategy():
+    with pytest.raises(ValueError, match="unknown shard partition"):
+        make_partition("bogus", 4)
+
+
+def test_partitions_satisfy_protocol():
+    assert isinstance(NeighborPartition(2), PartitionFn)
+    assert isinstance(PrefixRangePartition(2), PartitionFn)
+
+
+def test_shard_count_validation():
+    with pytest.raises(ValueError):
+        NeighborPartition(0)
+    with pytest.raises(ValueError):
+        PrefixRangePartition(4, range_bits=0)
