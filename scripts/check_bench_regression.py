@@ -10,8 +10,9 @@ CI runs the gated benchmarks (``BENCH_update_load``,
 
 * throughput-style metrics (``…per_s…``) must not *drop* below
   ``baseline * (1 - tolerance)``;
-* latency/convergence-style metrics (``…_s`` / ``…_us`` suffixes) must
-  not *rise* above ``baseline * (1 + tolerance)``;
+* latency/convergence-style metrics (``…_s`` / ``…_us`` suffixes) and
+  memory-style metrics (``…bytes…``) must not *rise* above
+  ``baseline * (1 + tolerance)``;
 * anything else (counters such as ``scenarios``, ``seeds``,
   ``…_reconnects``, and ratios such as ``utilization_at_p99_pct``) is
   informational and never gates.
@@ -26,7 +27,13 @@ Reproduce a CI failure locally::
     PYTHONPATH=src python -m pytest benchmarks/bench_update_load.py \
         benchmarks/bench_fig2_delegation.py \
         benchmarks/bench_chaos_convergence.py \
-        benchmarks/bench_shard_scaleout.py -q
+        benchmarks/bench_shard_scaleout.py \
+        benchmarks/bench_fig6a_memory.py \
+        benchmarks/bench_footprint.py -q
+    FULLTABLE_PREFIXES=200000 FULLTABLE_CHURN=10000 \
+        FULLTABLE_MEMORY_PREFIXES=100000 PYTHONPATH=src python -m pytest \
+        benchmarks/bench_fulltable_load.py \
+        benchmarks/bench_fulltable_memory.py -q
     python scripts/check_bench_regression.py
 """
 
@@ -43,6 +50,10 @@ GATED_BENCHMARKS = (
     "fig2_delegation",
     "chaos_convergence",
     "shard_scaleout",
+    "fig6a_memory",
+    "footprint",
+    "fulltable_load",
+    "fulltable_memory",
 )
 DEFAULT_TOLERANCE = 0.25
 
@@ -59,11 +70,12 @@ def metric_direction(key: str) -> str:
 
     ``per_s`` marks throughput (checked before the ``_s`` suffix, which
     would otherwise misclassify it); trailing ``_s`` / ``_us`` mark
-    durations.  Everything else is informational.
+    durations; ``bytes`` marks memory footprints.  Everything else is
+    informational.
     """
     if "per_s" in key:
         return HIGHER_IS_BETTER
-    if key.endswith(("_s", "_us", "_ms")):
+    if "bytes" in key or key.endswith(("_s", "_us", "_ms")):
         return LOWER_IS_BETTER
     return NEUTRAL
 

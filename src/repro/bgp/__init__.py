@@ -42,7 +42,14 @@ from repro.bgp.policy import (
     PolicyRule,
     RouteMap,
 )
-from repro.bgp.rib import AdjRibIn, AdjRibOut, LocRib, RibEntry
+from repro.bgp.rib import (
+    AdjRibIn,
+    AdjRibOut,
+    ColumnarLocRib,
+    LocRib,
+    RibEntry,
+    make_loc_rib,
+)
 from repro.bgp.session import BgpSession, SessionConfig, SessionState
 from repro.bgp.speaker import BgpSpeaker, NeighborConfig, SpeakerConfig
 from repro.bgp.supervisor import SessionSupervisor, SupervisorConfig
@@ -58,6 +65,7 @@ __all__ = [
     "BgpSession",
     "BgpSpeaker",
     "Capability",
+    "ColumnarLocRib",
     "Community",
     "FourOctetAsCapability",
     "GracefulRestartCapability",
@@ -89,5 +97,6 @@ __all__ = [
     "best_path",
     "compare_routes",
     "local_route",
+    "make_loc_rib",
     "originate",
 ]

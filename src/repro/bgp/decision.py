@@ -74,22 +74,47 @@ def compare_routes(
     return 0
 
 
+def displaces(
+    candidate: RibEntry,
+    incumbent: RibEntry,
+    contexts: Optional[dict[str, PeerContext]] = None,
+) -> bool:
+    """One fold step of :func:`best_path`: does ``candidate`` beat the
+    running ``incumbent``?
+
+    Exposed separately because the Loc-RIB's ``incremental_bestpath``
+    fast path (DESIGN.md §6g) is exactly one such step: appending a new
+    candidate to the fold compares it against the incumbent only.  Note
+    that the relation is *not* transitive — the MED step only applies
+    between routes entering from the same neighboring AS — which is why
+    incremental shortcuts are limited to fold *extensions*; removals and
+    reorderings must re-run the whole fold from the first candidate.
+    """
+    contexts = contexts or {}
+    outcome = compare_routes(
+        candidate.route,
+        incumbent.route,
+        contexts.get(candidate.peer),
+        contexts.get(incumbent.peer),
+    )
+    return outcome < 0 or (outcome == 0 and candidate.peer < incumbent.peer)
+
+
 def best_path(
     entries: Sequence[RibEntry],
     contexts: Optional[dict[str, PeerContext]] = None,
 ) -> Optional[RibEntry]:
-    """Select the best entry; deterministic for equal candidates."""
+    """Select the best entry; deterministic for equal candidates.
+
+    A left fold over ``entries`` in order (the ``select`` contract the
+    Loc-RIB's incremental reselect relies on — see
+    :class:`repro.bgp.rib._LocRibBase`).
+    """
     if not entries:
         return None
     contexts = contexts or {}
     best = entries[0]
     for candidate in entries[1:]:
-        outcome = compare_routes(
-            candidate.route,
-            best.route,
-            contexts.get(candidate.peer),
-            contexts.get(best.peer),
-        )
-        if outcome < 0 or (outcome == 0 and candidate.peer < best.peer):
+        if displaces(candidate, best, contexts):
             best = candidate
     return best

@@ -463,21 +463,24 @@ class UpdateMessage:
                 wire = cached.get(addpath)
                 if wire is not None:
                     return wire
-        withdrawn = b"".join(
-            [_encode_nlri(prefix, path_id, addpath)
-             for prefix, path_id in self.withdrawn]
-        )
-        attrs = _encode_attributes(self.attributes) if self.nlri else b""
-        nlri = b"".join(
-            [_encode_nlri(prefix, path_id, addpath)
-             for prefix, path_id in self.nlri]
-        )
-        body = (
-            struct.pack("!H", len(withdrawn)) + withdrawn
-            + struct.pack("!H", len(attrs)) + attrs
-            + nlri
-        )
-        wire = _wrap(MSG_UPDATE, body)
+        if perf.FLAGS.encode_zero_copy:
+            wire = self._encode_into_buffer(addpath)
+        else:
+            withdrawn = b"".join(
+                [_encode_nlri(prefix, path_id, addpath)
+                 for prefix, path_id in self.withdrawn]
+            )
+            attrs = _encode_attributes(self.attributes) if self.nlri else b""
+            nlri = b"".join(
+                [_encode_nlri(prefix, path_id, addpath)
+                 for prefix, path_id in self.nlri]
+            )
+            body = (
+                struct.pack("!H", len(withdrawn)) + withdrawn
+                + struct.pack("!H", len(attrs)) + attrs
+                + nlri
+            )
+            wire = _wrap(MSG_UPDATE, body)
         if memo:
             cached = self.__dict__.get("_wire_cache")
             if cached is None:
@@ -485,6 +488,38 @@ class UpdateMessage:
                 object.__setattr__(self, "_wire_cache", cached)
             cached[addpath] = wire
         return wire
+
+    def _encode_into_buffer(self, addpath: bool) -> bytes:
+        """Zero-copy batch encode (``encode_zero_copy``; DESIGN.md §6g).
+
+        Writes marker, header and both NLRI runs into one reusable
+        module-level ``bytearray``, then patches the three length fields
+        in place — no per-prefix ``bytes`` concatenation and no final
+        body join.  The buffer's lifecycle is strictly within this call:
+        it is reset on entry, and only an immutable ``bytes`` snapshot
+        escapes, so re-entrancy aside (the encoder never recurses) the
+        shared buffer is safe.  Byte-identical to the reference path.
+        """
+        buf = _ENCODE_BUFFER
+        del buf[:]
+        buf += MARKER
+        buf += b"\x00\x00"          # total length, patched below
+        buf.append(MSG_UPDATE)
+        buf += b"\x00\x00"          # withdrawn-routes length, patched below
+        _extend_nlri_run(buf, self.withdrawn, addpath)
+        struct.pack_into("!H", buf, HEADER_SIZE, len(buf) - HEADER_SIZE - 2)
+        attrs = _encode_attributes(self.attributes) if self.nlri else b""
+        buf += struct.pack("!H", len(attrs))
+        buf += attrs
+        _extend_nlri_run(buf, self.nlri, addpath)
+        length = len(buf)
+        if length > MAX_MESSAGE_SIZE:
+            raise NotificationError(
+                ErrorCode.MESSAGE_HEADER, HeaderSubcode.BAD_MESSAGE_LENGTH,
+                message=f"message too large: {length}",
+            )
+        struct.pack_into("!H", buf, 16, length)
+        return bytes(buf)
 
     @classmethod
     def decode(cls, body: bytes, addpath: bool = False) -> "UpdateMessage":
@@ -548,6 +583,45 @@ _NLRI_WIRE_CACHE_CAP = 65536
 def _prefix_wire(prefix: IPv4Prefix) -> bytes:
     nbytes = (prefix.length + 7) // 8
     return bytes([prefix.length]) + prefix.network.packed()[:nbytes]
+
+
+# The reusable zero-copy encode buffer (``encode_zero_copy``).  One
+# module-level bytearray, reset at the start of each UPDATE encode; see
+# UpdateMessage._encode_into_buffer for the lifecycle argument.
+_ENCODE_BUFFER = bytearray()
+
+
+def _clear_encode_buffer() -> None:
+    del _ENCODE_BUFFER[:]
+
+
+perf.register_cache_clearer(_clear_encode_buffer)
+
+
+def _extend_nlri_run(buf: bytearray,
+                     pairs: Sequence[tuple[IPv4Prefix, Optional[int]]],
+                     addpath: bool) -> None:
+    """Append an NLRI run in place (zero-copy path).
+
+    Shares ``_NLRI_WIRE_CACHE`` with the reference encoder when
+    ``encode_memo`` is on, so the two flags compose.
+    """
+    memo = perf.FLAGS.encode_memo
+    for prefix, path_id in pairs:
+        if addpath:
+            buf += struct.pack("!I", path_id or 0)
+        if memo:
+            wire = _NLRI_WIRE_CACHE.get(prefix)
+            if wire is None:
+                if len(_NLRI_WIRE_CACHE) >= _NLRI_WIRE_CACHE_CAP:
+                    _NLRI_WIRE_CACHE.clear()
+                wire = _prefix_wire(prefix)
+                _NLRI_WIRE_CACHE[prefix] = wire
+            buf += wire
+        else:
+            nbytes = (prefix.length + 7) // 8
+            buf.append(prefix.length)
+            buf += prefix.network.packed()[:nbytes]
 
 
 def _encode_nlri(prefix: IPv4Prefix, path_id: Optional[int],

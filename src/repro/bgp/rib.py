@@ -10,7 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
-from repro.bgp.attributes import Route
+from repro import perf
+from repro.bgp.attributes import PathAttributes, Route
 from repro.netsim.addr import Prefix
 
 
@@ -95,26 +96,234 @@ class LocRibStats:
     removals: int = 0
 
 
-class LocRib:
-    """Candidate routes per prefix across all peers, plus the best path.
+# Flyweight pool for Loc-RIB attribute values (DESIGN.md §6g).  Unlike the
+# decode-side intern pools in :mod:`repro.bgp.attributes` (gated on
+# ``intern_attrs``), this one backs the columnar storage layout itself: the
+# per-RIB handle tables key by attribute *equality*, so the pool only decides
+# which equal object is retained, never which handle a value maps to.  That
+# makes clearing it safe at any time — required for perf.clear_caches().
+_RIB_ATTR_POOL: dict[PathAttributes, PathAttributes] = {}
+_RIB_ATTR_POOL_CAP = 65536
 
-    Candidates are keyed by ``(peer, path id)`` per prefix so upsert and
-    withdrawal are O(1) dict operations instead of candidate-list scans
-    (those scans dominated withdrawal processing on full tables).  Insertion
-    order is preserved — a replaced candidate moves to the end, matching
-    the behaviour of the list-based implementation it replaces — so
-    order-sensitive tie-breaking in ``select`` is unchanged.
+
+def _canonical_attributes(attrs: PathAttributes) -> PathAttributes:
+    pooled = _RIB_ATTR_POOL.get(attrs)
+    if pooled is None:
+        if len(_RIB_ATTR_POOL) >= _RIB_ATTR_POOL_CAP:
+            _RIB_ATTR_POOL.clear()
+        _RIB_ATTR_POOL[attrs] = attrs
+        pooled = attrs
+    return pooled
+
+
+perf.register_cache_clearer(_RIB_ATTR_POOL.clear)
+
+
+class _LocRibBase:
+    """Shared Loc-RIB logic over two storage backends (DESIGN.md §6g).
+
+    Subclasses provide the candidate storage via *token* hooks: a token is
+    whatever compact value the backend uses to name one stored candidate
+    (the ``RibEntry`` itself for the dict backend, a packed int triple for
+    the columnar backend).  The best path per prefix is tracked as a token
+    and materialized on demand.
+
+    ``select`` contract: the callable must behave as a deterministic left
+    fold over the candidate list (RFC 4271 §9.1 style — start at the first
+    entry, compare each later entry against the running winner) and must
+    return one of the given entries for a non-empty list.  Both selects in
+    this codebase (:func:`repro.bgp.decision.best_path` and the speaker's
+    local-route-first wrapper) satisfy this.  The ``incremental_bestpath``
+    fast paths rely on it: extending a fold by one appended candidate
+    equals folding the incumbent with that candidate, so a brand-new
+    insert only needs a two-entry select.  Removals and in-place
+    replacements of one of several candidates re-run the full fold —
+    MED comparison is non-transitive (RFC 4271 §9.1.2.2 note), so
+    dropping even a losing candidate can legitimately change the fold
+    result, and any shortcut there would diverge from the reference.
     """
 
     def __init__(
         self, select: Callable[[list[RibEntry]], Optional[RibEntry]]
     ) -> None:
         self._select = select
+        self._best_tokens: dict[Prefix, object] = {}
+        self.stats = LocRibStats()
+
+    # -- storage hooks -----------------------------------------------------
+
+    def _upsert(self, prefix: Prefix, peer: str, path_id: Optional[int],
+                route: Route) -> tuple[bool, object]:
+        """Insert/replace (replacement moves to the end); returns
+        ``(existed, token)``."""
+        raise NotImplementedError
+
+    def _delete(self, prefix: Prefix, peer: str,
+                path_id: Optional[int]) -> bool:
+        raise NotImplementedError
+
+    def _delete_peer(self, prefix: Prefix, peer: str) -> int:
+        """Remove all of a peer's candidates for one prefix; returns count."""
+        raise NotImplementedError
+
+    def _count(self, prefix: Prefix) -> int:
+        raise NotImplementedError
+
+    def _sole_token(self, prefix: Prefix) -> object:
+        """The token of the single remaining candidate (count == 1)."""
+        raise NotImplementedError
+
+    def _pairs(self, prefix: Prefix) -> list[tuple[RibEntry, object]]:
+        """Materialized ``(entry, token)`` pairs in insertion order."""
+        raise NotImplementedError
+
+    def _materialize(self, prefix: Prefix, token: object) -> RibEntry:
+        raise NotImplementedError
+
+    def _tokens_equal(self, a: object, b: object) -> bool:
+        """Same-best check; must match the reference's
+        ``peer == peer and route == route`` comparison."""
+        raise NotImplementedError
+
+    # -- public API --------------------------------------------------------
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def prefix_count(self) -> int:
+        raise NotImplementedError
+
+    def prefixes(self) -> Iterator[Prefix]:
+        raise NotImplementedError
+
+    def replace(self, peer: str, route: Route) -> bool:
+        """Upsert a peer's candidate; returns True if the best changed."""
+        prefix = route.prefix
+        existed, token = self._upsert(prefix, peer, route.path_id, route)
+        self.stats.inserts += 1
+        if not perf.FLAGS.incremental_bestpath:
+            return self._reselect(prefix)
+        self.stats.reselects += 1
+        old_token = self._best_tokens.get(prefix)
+        if self._count(prefix) == 1:
+            # Sole candidate: the fold is a no-op, it wins outright.
+            return self._commit_best(prefix, old_token, token)
+        if not existed and old_token is not None:
+            # Brand-new candidate appended at the end: by the fold
+            # contract the full refold equals select([incumbent, new]).
+            incumbent = self._materialize(prefix, old_token)
+            chosen = self._select(
+                [incumbent, self._materialize(prefix, token)])
+            new_token = old_token if chosen is incumbent else token
+            return self._commit_best(prefix, old_token, new_token)
+        # Replacement among several candidates (moved to the end) — the
+        # fold order changed, so only a full refold is exact.
+        return self._refold(prefix)
+
+    def remove(self, peer: str, prefix: Prefix,
+               path_id: Optional[int] = None) -> bool:
+        """Remove a peer's candidate; returns True if the best changed."""
+        if not self._delete(prefix, peer, path_id):
+            return False
+        self.stats.removals += 1
+        if not perf.FLAGS.incremental_bestpath:
+            return self._reselect(prefix)
+        self.stats.reselects += 1
+        return self._reselect_after_removal(prefix)
+
+    def remove_peer(self, peer: str) -> list[Prefix]:
+        """Drop all of a peer's candidates; returns prefixes whose best changed."""
+        changed = []
+        for prefix in list(self.prefixes()):
+            dropped = self._delete_peer(prefix, peer)
+            if not dropped:
+                continue
+            self.stats.removals += dropped
+            if perf.FLAGS.incremental_bestpath:
+                self.stats.reselects += 1
+                if self._reselect_after_removal(prefix):
+                    changed.append(prefix)
+            elif self._reselect(prefix):
+                changed.append(prefix)
+        return changed
+
+    def _reselect_after_removal(self, prefix: Prefix) -> bool:
+        count = self._count(prefix)
+        old_token = self._best_tokens.get(prefix)
+        if count == 0:
+            return self._commit_best(prefix, old_token, None)
+        if count == 1:
+            return self._commit_best(
+                prefix, old_token, self._sole_token(prefix))
+        return self._refold(prefix)
+
+    def _reselect(self, prefix: Prefix) -> bool:
+        self.stats.reselects += 1
+        return self._refold(prefix)
+
+    def _refold(self, prefix: Prefix) -> bool:
+        """Reference reselect: full decision fold over every candidate."""
+        pairs = self._pairs(prefix)
+        old_token = self._best_tokens.get(prefix)
+        new_token = None
+        if pairs:
+            chosen = self._select([entry for entry, _ in pairs])
+            if chosen is not None:
+                for entry, token in pairs:
+                    if entry is chosen:
+                        new_token = token
+                        break
+        return self._commit_best(prefix, old_token, new_token)
+
+    def _commit_best(self, prefix: Prefix, old_token: object,
+                     new_token: object) -> bool:
+        if new_token is None:
+            if old_token is not None:
+                del self._best_tokens[prefix]
+                self.stats.best_changes += 1
+                return True
+            return False
+        if old_token is not None and self._tokens_equal(old_token, new_token):
+            return False
+        self._best_tokens[prefix] = new_token
+        self.stats.best_changes += 1
+        return True
+
+    def best(self, prefix: Prefix) -> Optional[RibEntry]:
+        token = self._best_tokens.get(prefix)
+        return None if token is None else self._materialize(prefix, token)
+
+    def candidates(self, prefix: Prefix) -> list[RibEntry]:
+        return [entry for entry, _ in self._pairs(prefix)]
+
+    def best_routes(self) -> Iterator[RibEntry]:
+        for prefix, token in self._best_tokens.items():
+            yield self._materialize(prefix, token)
+
+
+class LocRib(_LocRibBase):
+    """Candidate routes per prefix across all peers, plus the best path.
+
+    The dict-backed reference layout: candidates are keyed by
+    ``(peer, path id)`` per prefix so upsert and withdrawal are O(1) dict
+    operations instead of candidate-list scans (those scans dominated
+    withdrawal processing on full tables).  Insertion order is preserved —
+    a replaced candidate moves to the end, matching the behaviour of the
+    list-based implementation it replaces — so order-sensitive tie-breaking
+    in ``select`` is unchanged.
+
+    A best-path token in this backend is the stored :class:`RibEntry`
+    itself.  See :func:`make_loc_rib` for the columnar alternative.
+    """
+
+    def __init__(
+        self, select: Callable[[list[RibEntry]], Optional[RibEntry]]
+    ) -> None:
+        super().__init__(select)
         self._candidates: dict[
             Prefix, dict[tuple[str, Optional[int]], RibEntry]
         ] = {}
-        self._best: dict[Prefix, RibEntry] = {}
-        self.stats = LocRibStats()
 
     def __len__(self) -> int:
         return sum(len(entries) for entries in self._candidates.values())
@@ -123,77 +332,214 @@ class LocRib:
     def prefix_count(self) -> int:
         return len(self._candidates)
 
-    def replace(self, peer: str, route: Route) -> bool:
-        """Upsert a peer's candidate; returns True if the best changed."""
-        entries = self._candidates.setdefault(route.prefix, {})
-        key = (peer, route.path_id)
-        # pop-then-set keeps list semantics: a replacement moves to the end.
-        entries.pop(key, None)
-        entries[key] = RibEntry(peer=peer, route=route)
-        self.stats.inserts += 1
-        return self._reselect(route.prefix)
+    def prefixes(self) -> Iterator[Prefix]:
+        yield from self._candidates
 
-    def remove(self, peer: str, prefix: Prefix,
-               path_id: Optional[int] = None) -> bool:
-        """Remove a peer's candidate; returns True if the best changed."""
+    def _upsert(self, prefix, peer, path_id, route):
+        entries = self._candidates.setdefault(prefix, {})
+        key = (peer, path_id)
+        # pop-then-set keeps list semantics: a replacement moves to the end.
+        existed = entries.pop(key, None) is not None
+        entry = RibEntry(peer=peer, route=route)
+        entries[key] = entry
+        return existed, entry
+
+    def _delete(self, prefix, peer, path_id):
         entries = self._candidates.get(prefix)
         if entries is None:
             return False
         if entries.pop((peer, path_id), None) is None:
             return False
-        self.stats.removals += 1
         if not entries:
             del self._candidates[prefix]
-        return self._reselect(prefix)
-
-    def remove_peer(self, peer: str) -> list[Prefix]:
-        """Drop all of a peer's candidates; returns prefixes whose best changed."""
-        changed = []
-        for prefix in list(self._candidates):
-            entries = self._candidates[prefix]
-            stale = [key for key in entries if key[0] == peer]
-            if not stale:
-                continue
-            for key in stale:
-                del entries[key]
-            self.stats.removals += len(stale)
-            if not entries:
-                del self._candidates[prefix]
-            if self._reselect(prefix):
-                changed.append(prefix)
-        return changed
-
-    def _reselect(self, prefix: Prefix) -> bool:
-        self.stats.reselects += 1
-        entries = self._candidates.get(prefix)
-        new_best = self._select(list(entries.values())) if entries else None
-        old_best = self._best.get(prefix)
-        if new_best is None:
-            if old_best is not None:
-                del self._best[prefix]
-                self.stats.best_changes += 1
-                return True
-            return False
-        if old_best is not None and old_best.route == new_best.route and (
-            old_best.peer == new_best.peer
-        ):
-            return False
-        self._best[prefix] = new_best
-        self.stats.best_changes += 1
         return True
 
-    def best(self, prefix: Prefix) -> Optional[RibEntry]:
-        return self._best.get(prefix)
+    def _delete_peer(self, prefix, peer):
+        entries = self._candidates.get(prefix)
+        if entries is None:
+            return 0
+        stale = [key for key in entries if key[0] == peer]
+        for key in stale:
+            del entries[key]
+        if not entries:
+            del self._candidates[prefix]
+        return len(stale)
+
+    def _count(self, prefix):
+        entries = self._candidates.get(prefix)
+        return len(entries) if entries else 0
+
+    def _sole_token(self, prefix):
+        return next(iter(self._candidates[prefix].values()))
+
+    def _pairs(self, prefix):
+        entries = self._candidates.get(prefix)
+        if not entries:
+            return []
+        return [(entry, entry) for entry in entries.values()]
+
+    def _materialize(self, prefix, token):
+        return token
+
+    def _tokens_equal(self, a, b):
+        return a.peer == b.peer and a.route == b.route
 
     def candidates(self, prefix: Prefix) -> list[RibEntry]:
         entries = self._candidates.get(prefix)
         return list(entries.values()) if entries else []
 
-    def best_routes(self) -> Iterator[RibEntry]:
-        yield from self._best.values()
+
+class ColumnarLocRib(_LocRibBase):
+    """Columnar/flyweight Loc-RIB storage (``rib_columnar``; DESIGN.md §6g).
+
+    Instead of one ``RibEntry``/``Route`` object pair per stored candidate
+    (~300 bytes each before attribute sharing), each prefix maps to a flat
+    tuple of ``(peer id, path id, attr handle)`` int triples in insertion
+    order.  Peers and attribute values are interned per RIB: the handle
+    tables key by *equality*, so equal attributes always share one handle
+    and a best-change check is plain triple comparison — exactly the
+    reference's ``peer == peer and route == route``.  ``RibEntry`` objects
+    are materialized on demand from the columns; callers never observe the
+    packed layout.
+
+    ``path id`` ``None`` is encoded as ``-1`` (wire path ids are unsigned,
+    so the sentinel cannot collide with a real id, including the valid
+    path id ``0``).
+    """
+
+    def __init__(
+        self, select: Callable[[list[RibEntry]], Optional[RibEntry]]
+    ) -> None:
+        super().__init__(select)
+        self._cols: dict[Prefix, tuple[int, ...]] = {}
+        self._peer_ids: dict[str, int] = {}
+        self._peer_names: list[str] = []
+        self._attr_handles: dict[PathAttributes, int] = {}
+        self._attr_values: list[PathAttributes] = []
+
+    def __len__(self) -> int:
+        return sum(len(cols) for cols in self._cols.values()) // 3
+
+    @property
+    def prefix_count(self) -> int:
+        return len(self._cols)
 
     def prefixes(self) -> Iterator[Prefix]:
-        yield from self._candidates
+        yield from self._cols
+
+    def _peer_id(self, peer: str) -> int:
+        pid = self._peer_ids.get(peer)
+        if pid is None:
+            pid = len(self._peer_names)
+            self._peer_ids[peer] = pid
+            self._peer_names.append(peer)
+        return pid
+
+    def _attr_handle(self, attrs: PathAttributes) -> int:
+        handle = self._attr_handles.get(attrs)
+        if handle is None:
+            attrs = _canonical_attributes(attrs)
+            handle = len(self._attr_values)
+            self._attr_handles[attrs] = handle
+            self._attr_values.append(attrs)
+        return handle
+
+    def _upsert(self, prefix, peer, path_id, route):
+        pid = self._peer_id(peer)
+        code = -1 if path_id is None else path_id
+        handle = self._attr_handle(route.attributes)
+        triple = (pid, code, handle)
+        cols = self._cols.get(prefix)
+        if cols is None:
+            self._cols[prefix] = triple
+            return False, triple
+        for i in range(0, len(cols), 3):
+            if cols[i] == pid and cols[i + 1] == code:
+                # pop-then-append: a replacement moves to the end.
+                self._cols[prefix] = cols[:i] + cols[i + 3:] + triple
+                return True, triple
+        self._cols[prefix] = cols + triple
+        return False, triple
+
+    def _delete(self, prefix, peer, path_id):
+        cols = self._cols.get(prefix)
+        if cols is None:
+            return False
+        pid = self._peer_ids.get(peer)
+        if pid is None:
+            return False
+        code = -1 if path_id is None else path_id
+        for i in range(0, len(cols), 3):
+            if cols[i] == pid and cols[i + 1] == code:
+                rest = cols[:i] + cols[i + 3:]
+                if rest:
+                    self._cols[prefix] = rest
+                else:
+                    del self._cols[prefix]
+                return True
+        return False
+
+    def _delete_peer(self, prefix, peer):
+        pid = self._peer_ids.get(peer)
+        if pid is None:
+            return 0
+        cols = self._cols.get(prefix)
+        if cols is None:
+            return 0
+        kept = tuple(
+            value
+            for i in range(0, len(cols), 3) if cols[i] != pid
+            for value in cols[i:i + 3]
+        )
+        dropped = (len(cols) - len(kept)) // 3
+        if not dropped:
+            return 0
+        if kept:
+            self._cols[prefix] = kept
+        else:
+            del self._cols[prefix]
+        return dropped
+
+    def _count(self, prefix):
+        cols = self._cols.get(prefix)
+        return len(cols) // 3 if cols else 0
+
+    def _sole_token(self, prefix):
+        return self._cols[prefix]
+
+    def _pairs(self, prefix):
+        cols = self._cols.get(prefix)
+        if not cols:
+            return []
+        return [
+            (self._materialize(prefix, cols[i:i + 3]), cols[i:i + 3])
+            for i in range(0, len(cols), 3)
+        ]
+
+    def _materialize(self, prefix, token):
+        pid, code, handle = token
+        return RibEntry(
+            peer=self._peer_names[pid],
+            route=Route(
+                prefix=prefix,
+                attributes=self._attr_values[handle],
+                path_id=None if code == -1 else code,
+            ),
+        )
+
+    def _tokens_equal(self, a, b):
+        return a == b
+
+
+def make_loc_rib(
+    select: Callable[[list[RibEntry]], Optional[RibEntry]],
+) -> _LocRibBase:
+    """Build a Loc-RIB; the storage backend is chosen at construction time
+    by ``perf.FLAGS.rib_columnar`` (like the ``stride_lpm`` backend choice
+    in :class:`repro.netsim.lpm.LpmTable`)."""
+    if perf.FLAGS.rib_columnar:
+        return ColumnarLocRib(select)
+    return LocRib(select)
 
 
 class AdjRibOut:

@@ -20,7 +20,7 @@ from repro.bgp.decision import PeerContext, best_path
 from repro.bgp.errors import CeaseSubcode, ErrorCode, NotificationError
 from repro.bgp.messages import UpdateMessage
 from repro.bgp.policy import RouteMap
-from repro.bgp.rib import AdjRibIn, AdjRibOut, LocRib, RibEntry
+from repro.bgp.rib import AdjRibIn, AdjRibOut, RibEntry, make_loc_rib
 from repro.bgp.session import BgpSession, SessionConfig, SessionState
 from repro.bgp.supervisor import SessionSupervisor, SupervisorConfig
 from repro.bgp.transport import Channel
@@ -126,7 +126,7 @@ class BgpSpeaker:
         self.scheduler = scheduler
         self.config = config
         self.neighbors: dict[str, Neighbor] = {}
-        self.loc_rib = LocRib(select=self._select)
+        self.loc_rib = make_loc_rib(select=self._select)
         self.local_routes: dict[Prefix, Route] = {}
         self.on_best_change: list[BestChangeCallback] = []
         self.on_route_received: list[RouteCallback] = []
@@ -523,6 +523,8 @@ class BgpSpeaker:
         return best_path(entries, contexts)
 
     def _best_changed(self, prefix: Prefix) -> None:
+        if not self.on_best_change:
+            return  # skip materializing the entry (columnar backend)
         best = self.loc_rib.best(prefix)
         for callback in self.on_best_change:
             callback(prefix, best)

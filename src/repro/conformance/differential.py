@@ -27,6 +27,7 @@ different", not "a set iterated in a different order".
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -40,6 +41,7 @@ from repro.bgp.messages import (
 )
 from repro.bgp.speaker import BgpSpeaker, NeighborConfig, SpeakerConfig
 from repro.internet.churn import AMSIX_PROFILE, ChurnGenerator
+from repro.internet.fulltable import FullTableGenerator
 from repro.netsim.addr import IPv4Address, IPv4Prefix, MacAddress
 from repro.platform.pop import PointOfPresence, PopConfig
 from repro.security.capabilities import ExperimentProfile
@@ -53,16 +55,21 @@ __all__ = [
     "DifferentialReport",
     "SHARD_COUNTS",
     "all_flag_combinations",
+    "subsampled_flag_combinations",
 ]
 
 #: The boolean fast-path toggles (``lpm_cache_size`` is a tuning knob,
-#: not a behaviour switch, and stays at its default).
+#: not a behaviour switch, and stays at its default).  The last three are
+#: the full-table RIB engine (DESIGN.md §6g).
 TOGGLES: Tuple[str, ...] = (
     "stride_lpm",
     "lpm_cache",
     "encode_memo",
     "intern_attrs",
     "fanout_batch",
+    "rib_columnar",
+    "incremental_bestpath",
+    "encode_zero_copy",
 )
 
 #: The shard counts the scale-out sweep proves equivalent (ISSUE 5 /
@@ -82,6 +89,35 @@ def all_flag_combinations() -> List[Dict[str, bool]]:
     for values in itertools.product((False, True), repeat=len(TOGGLES)):
         combos.append(dict(zip(TOGGLES, values)))
     return combos
+
+
+def subsampled_flag_combinations(
+    count: int, seed: int = 0
+) -> List[Dict[str, bool]]:
+    """A curated subset of the flag lattice (reference always first).
+
+    With eight toggles the full lattice is 256 combinations — too many
+    to replay a large workload through each.  The subsample keeps the
+    high-signal corners deterministically: the all-off reference, every
+    single-flag-on combination (isolating each fast path), all-on (the
+    shipping configuration), then fills up to ``count`` with seeded
+    random interior points so repeated CI runs cover the same lattice
+    sample.
+    """
+    combos: List[Dict[str, bool]] = [{name: False for name in TOGGLES}]
+    for name in TOGGLES:
+        combos.append({**combos[0], name: True})
+    combos.append({name: True for name in TOGGLES})
+    rng = random.Random(seed)
+    seen = {tuple(sorted(c.items())) for c in combos}
+    while len(combos) < count:
+        combo = {name: rng.random() < 0.5 for name in TOGGLES}
+        key = tuple(sorted(combo.items()))
+        if key in seen:
+            continue
+        seen.add(key)
+        combos.append(combo)
+    return combos[:max(count, 1)]
 
 
 def combo_label(combo: Dict[str, bool]) -> str:
@@ -218,6 +254,7 @@ class DifferentialReport:
     combinations: int = 0
     updates: int = 0
     mode: str = "flag"  # "flag" | "shard"
+    workload: str = "churn"  # "churn" | "fulltable"
     mismatches: List[str] = field(default_factory=list)
 
     @property
@@ -230,6 +267,8 @@ class DifferentialReport:
             f"differential: {verdict} ({self.combinations} {self.mode} "
             f"combinations x {self.updates} updates)"
         )
+        if self.workload != "churn":
+            line += f" [workload={self.workload}]"
         if self.mismatches:
             line += "\n" + "\n".join(
                 f"  - {mismatch}" for mismatch in self.mismatches
@@ -244,13 +283,23 @@ class DifferentialHarness:
     ``seed`` makes the workload reproducible.  :meth:`run` returns a
     :class:`DifferentialReport`; a non-empty ``mismatches`` list means a
     fast path changed functional output.
+
+    ``workload`` selects the replayed stream: ``"churn"`` (the default,
+    a seeded AMS-IX-shaped update process over ``prefix_count``
+    prefixes) or ``"fulltable"`` (a ``prefix_count``-prefix DFZ-shaped
+    table load followed by ``update_count`` churn-tail events — the
+    full-table scale the §6g RIB engine exists for).
     """
 
     def __init__(self, update_count: int = 5000, seed: int = 20260806,
-                 prefix_count: int = 5000) -> None:
+                 prefix_count: int = 5000,
+                 workload: str = "churn") -> None:
+        if workload not in ("churn", "fulltable"):
+            raise ValueError(f"unknown workload: {workload!r}")
         self.update_count = update_count
         self.seed = seed
         self.prefix_count = prefix_count
+        self.workload = workload
 
     # -- scenario ----------------------------------------------------------
 
@@ -318,16 +367,25 @@ class DifferentialHarness:
         client_tap = _WireTap(theirs)
         scheduler.run_for(5)
 
-        # Workload: seeded churn with two announcement checkpoints that
-        # flip the §3.2.1 whitelist/blacklist behaviour mid-stream.
-        generator = ChurnGenerator(
-            AMSIX_PROFILE, prefix_count=self.prefix_count, seed=self.seed
-        )
-        updates = generator.make_updates(self.update_count)
+        # Workload: a seeded update stream with two announcement
+        # checkpoints that flip the §3.2.1 whitelist/blacklist behaviour
+        # mid-stream.  For "churn" that is the AMS-IX-shaped process; for
+        # "fulltable" the full DFZ-shaped table load plus a churn tail.
+        if self.workload == "fulltable":
+            generator = FullTableGenerator(
+                prefix_count=self.prefix_count, seed=self.seed
+            )
+            updates = list(generator.table_updates())
+            updates.extend(generator.churn(self.update_count))
+        else:
+            generator = ChurnGenerator(
+                AMSIX_PROFILE, prefix_count=self.prefix_count, seed=self.seed
+            )
+            updates = generator.make_updates(self.update_count)
         gid = pop.node.upstreams["upstream"].virtual.global_id
         checkpoints = {
-            self.update_count // 3: (announce_to_neighbor(gid),),
-            (2 * self.update_count) // 3: (block_neighbor(gid),),
+            len(updates) // 3: (announce_to_neighbor(gid),),
+            (2 * len(updates)) // 3: (block_neighbor(gid),),
         }
         for index, update in enumerate(updates):
             communities = checkpoints.get(index)
@@ -375,14 +433,24 @@ class DifferentialHarness:
     # -- sweep -------------------------------------------------------------
 
     def run(self, combinations: Optional[List[Dict[str, bool]]] = None,
-            progress=None) -> DifferentialReport:
-        """Run the sweep; ``progress(label)`` is called per combination."""
-        combos = (
-            all_flag_combinations() if combinations is None
-            else list(combinations)
-        )
+            progress=None,
+            subsample: Optional[int] = None) -> DifferentialReport:
+        """Run the sweep; ``progress(label)`` is called per combination.
+
+        ``subsample`` picks a curated lattice subset (see
+        :func:`subsampled_flag_combinations`) instead of all
+        ``2**len(TOGGLES)`` combinations; ignored when an explicit
+        ``combinations`` list is given.
+        """
+        if combinations is not None:
+            combos = list(combinations)
+        elif subsample is not None:
+            combos = subsampled_flag_combinations(subsample, seed=self.seed)
+        else:
+            combos = all_flag_combinations()
         report = DifferentialReport(
-            combinations=len(combos), updates=self.update_count
+            combinations=len(combos), updates=self.update_count,
+            workload=self.workload,
         )
         reference: Optional[_RunResult] = None
         wire_reference: Dict[bool, Tuple[str, _RunResult]] = {}
@@ -448,7 +516,7 @@ class DifferentialHarness:
         """
         report = DifferentialReport(
             combinations=len(counts), updates=self.update_count,
-            mode="shard",
+            mode="shard", workload=self.workload,
         )
         reference: Optional[_RunResult] = None
         reference_label = ""

@@ -14,6 +14,11 @@ from repro.internet.overlay import AsOverlay
 from repro.internet.ixp import RouteServer
 from repro.internet.topology import Internet, InternetConfig, build_internet
 from repro.internet.churn import ChurnGenerator, ChurnProfile, AMSIX_PROFILE
+from repro.internet.fulltable import (
+    DFZ_PROFILE,
+    FullTableGenerator,
+    FullTableProfile,
+)
 from repro.internet.peeringdb import (
     NetworkType,
     PeeringDbRecord,
@@ -27,6 +32,9 @@ __all__ = [
     "AsOverlay",
     "ChurnGenerator",
     "ChurnProfile",
+    "DFZ_PROFILE",
+    "FullTableGenerator",
+    "FullTableProfile",
     "Internet",
     "InternetAS",
     "InternetConfig",

@@ -1,0 +1,232 @@
+"""Seeded full-table workload: a realistic ~900k-prefix DFZ snapshot.
+
+The paper's platform carries full Internet routing tables at every mux
+(§4; Fig. 6 reports the resulting CPU/memory envelope).  This module
+synthesizes a default-free-zone-shaped table so benchmarks and the
+differential harness can run at that scale deterministically:
+
+* the CIDR-length distribution follows the well-known DFZ shape
+  (majority /24, a long tail of shorter prefixes),
+* origin ASes follow a Zipf-ish popularity curve, and all prefixes of
+  one origin share one ``PathAttributes`` value — mirroring how real
+  tables concentrate on a small fraction of distinct attribute
+  combinations (the property the columnar Loc-RIB and the batched
+  fan-out both exploit),
+* a churn tail of flaps/withdrawals over the loaded table models
+  steady-state operation after convergence.
+
+Everything is derived from one ``random.Random(seed)`` stream, so two
+generators with the same parameters produce byte-identical workloads —
+the differential harness depends on that.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.bgp.attributes import (
+    AsPath,
+    Community,
+    Origin,
+    PathAttributes,
+    Route,
+)
+from repro.bgp.messages import UpdateMessage
+from repro.netsim.addr import IPv4Address, IPv4Prefix
+
+
+@dataclass(frozen=True)
+class FullTableProfile:
+    """Shape parameters of the synthetic DFZ table."""
+
+    name: str
+    # (prefix length, relative weight) — normalized at draw time.
+    cidr_weights: tuple[tuple[int, float], ...]
+    prefixes_per_origin: int = 30  # mean table share of one origin AS
+    max_origins: int = 30000
+    transit_pool: int = 2000  # distinct transit ASNs on paths
+    withdraw_fraction: float = 0.2  # of churn-tail events
+
+
+# CIDR-length shares approximating the IPv4 DFZ (RouteViews-style):
+# /24 dominates, /22–/23 carry ~20%, aggregates thin out toward /8.
+DFZ_PROFILE = FullTableProfile(
+    name="dfz",
+    cidr_weights=(
+        (24, 0.567), (23, 0.085), (22, 0.110), (21, 0.045), (20, 0.045),
+        (19, 0.030), (18, 0.025), (17, 0.015), (16, 0.055), (15, 0.008),
+        (14, 0.006), (13, 0.004), (12, 0.003), (11, 0.001), (10, 0.0005),
+        (9, 0.0003), (8, 0.0002),
+    ),
+)
+
+# First octets never drawn for table prefixes: reserved/special ranges
+# plus the pools other generators use (60/8 churn background, 184.164
+# experiment space), so full-table and churn workloads never collide.
+_EXCLUDED_FIRST_OCTETS = frozenset({0, 10, 60, 127, 184}) | frozenset(
+    range(224, 256)
+)
+
+
+class FullTableGenerator:
+    """Deterministic full-table + churn-tail workload over ~900k prefixes."""
+
+    def __init__(
+        self,
+        profile: FullTableProfile = DFZ_PROFILE,
+        prefix_count: int = 900_000,
+        seed: int = 20260807,
+    ) -> None:
+        self.profile = profile
+        self.prefix_count = prefix_count
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._prefixes: Optional[list[IPv4Prefix]] = None
+        self._origin_of: Optional[list[int]] = None
+        self._origin_attrs: Optional[list[PathAttributes]] = None
+        self._churn_rng: Optional[random.Random] = None
+        self._announced: set[IPv4Prefix] = set()
+
+    # -- table synthesis ---------------------------------------------------
+
+    def _build(self) -> None:
+        if self._prefixes is not None:
+            return
+        rng = self._rng
+        lengths = [length for length, _ in self.profile.cidr_weights]
+        weights = [weight for _, weight in self.profile.cidr_weights]
+        drawn_lengths = rng.choices(lengths, weights, k=self.prefix_count)
+        seen: set[tuple[int, int]] = set()
+        prefixes: list[IPv4Prefix] = []
+        for length in drawn_lengths:
+            mask = ((1 << length) - 1) << (32 - length)
+            while True:
+                value = rng.getrandbits(32) & mask
+                if (value >> 24) in _EXCLUDED_FIRST_OCTETS:
+                    continue
+                key = (value, length)
+                if key in seen:
+                    continue
+                seen.add(key)
+                prefixes.append(IPv4Prefix(IPv4Address(value), length))
+                break
+        self._prefixes = prefixes
+        self._origin_attrs = self._make_origin_attrs()
+        # Zipf-ish origin popularity: weight 1/rank, so a few origins
+        # announce large swaths while the tail announces a handful each.
+        origin_count = len(self._origin_attrs)
+        origin_weights = [1.0 / rank for rank in range(1, origin_count + 1)]
+        self._origin_of = rng.choices(
+            range(origin_count), origin_weights, k=self.prefix_count
+        )
+
+    def _make_origin_attrs(self) -> list[PathAttributes]:
+        rng = self._rng
+        origin_count = max(
+            1,
+            min(self.prefix_count // self.profile.prefixes_per_origin,
+                self.profile.max_origins),
+        )
+        transits = [
+            rng.randint(1000, 46000) for _ in range(self.profile.transit_pool)
+        ]
+        attrs = []
+        for _ in range(origin_count):
+            origin_asn = rng.randint(1000, 46000)
+            path = tuple(
+                rng.choice(transits)
+                for _ in range(rng.randint(1, 4))
+            ) + (origin_asn,)
+            communities = frozenset(
+                Community(path[0] & 0xFFFF or 1, rng.randint(1, 999))
+                for _ in range(rng.randint(0, 2))
+            )
+            attrs.append(PathAttributes(
+                origin=Origin.IGP,
+                as_path=AsPath.from_asns(*path),
+                next_hop=IPv4Address(rng.randint(1 << 24, (1 << 32) - 2)),
+                communities=communities,
+                med=rng.choice((None, 0, 10, 100)),
+            ))
+        return attrs
+
+    # -- public workload surface -------------------------------------------
+
+    @property
+    def prefixes(self) -> list[IPv4Prefix]:
+        self._build()
+        return self._prefixes
+
+    @property
+    def origin_attributes(self) -> list[PathAttributes]:
+        self._build()
+        return self._origin_attrs
+
+    def attributes_for(self, index: int) -> PathAttributes:
+        """The attribute set of the ``index``-th table prefix."""
+        self._build()
+        return self._origin_attrs[self._origin_of[index]]
+
+    def routes(self) -> Iterator[Route]:
+        """The full table as Route objects (attrs shared per origin)."""
+        self._build()
+        for index, prefix in enumerate(self._prefixes):
+            yield Route(
+                prefix=prefix,
+                attributes=self._origin_attrs[self._origin_of[index]],
+            )
+
+    def table_updates(self, max_nlri: int = 200) -> Iterator[UpdateMessage]:
+        """The initial table load as multi-NLRI UPDATEs.
+
+        Prefixes sharing one origin's attributes are packed together,
+        chunked so every message stays well under the 4096-byte ceiling
+        even when re-encoded with ADD-PATH path ids.  Messages are built
+        fresh on every call so per-message wire caches never leak between
+        benchmark legs.
+        """
+        self._build()
+        by_origin: dict[int, list[IPv4Prefix]] = {}
+        for index, prefix in enumerate(self._prefixes):
+            by_origin.setdefault(self._origin_of[index], []).append(prefix)
+        for origin_index in sorted(by_origin):
+            attrs = self._origin_attrs[origin_index]
+            members = by_origin[origin_index]
+            for start in range(0, len(members), max_nlri):
+                yield UpdateMessage(
+                    attributes=attrs,
+                    nlri=tuple(
+                        (prefix, None)
+                        for prefix in members[start:start + max_nlri]
+                    ),
+                )
+
+    def churn(self, count: int) -> Iterator[UpdateMessage]:
+        """A churn tail over the loaded table: flaps and withdrawals.
+
+        Assumes the table was loaded first (every prefix announced).
+        Withdrawn prefixes may be re-announced by later events; most
+        events are path flaps that re-announce with a *different*
+        origin's attributes, forcing real best-path work downstream.
+        """
+        self._build()
+        if self._churn_rng is None:
+            self._churn_rng = random.Random(self.seed ^ 0x5DEECE66D)
+            self._announced = set(self._prefixes)
+        rng = self._churn_rng
+        origin_count = len(self._origin_attrs)
+        for _ in range(count):
+            index = rng.randrange(self.prefix_count)
+            prefix = self._prefixes[index]
+            if (
+                prefix in self._announced
+                and rng.random() < self.profile.withdraw_fraction
+            ):
+                self._announced.discard(prefix)
+                yield UpdateMessage(withdrawn=((prefix, None),))
+                continue
+            self._announced.add(prefix)
+            attrs = self._origin_attrs[rng.randrange(origin_count)]
+            yield UpdateMessage(attributes=attrs, nlri=((prefix, None),))

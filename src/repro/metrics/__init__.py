@@ -6,6 +6,7 @@ from repro.metrics.memory import (
     MemoryReport,
     fib_memory,
     memory_report,
+    resident_bytes,
     rib_memory,
     route_memory_bytes,
 )
@@ -21,6 +22,7 @@ __all__ = [
     "fib_memory",
     "measure_processing",
     "memory_report",
+    "resident_bytes",
     "rib_memory",
     "route_memory_bytes",
     "utilization",

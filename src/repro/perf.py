@@ -20,6 +20,19 @@ measure them on/off without code changes:
   attributes into single multi-NLRI UPDATEs in the vBGP fan-out and
   backbone export paths.
 
+The full-table RIB engine (DESIGN.md §6g) adds three more toggles that
+make a ~900k-prefix Loc-RIB tractable:
+
+* ``rib_columnar``         — flyweight/columnar Loc-RIB storage: interned
+  attribute handles + packed per-prefix candidate tuples instead of a
+  dict-of-dicts holding one ``RibEntry``/``Route`` object pair per
+  candidate (chosen at Loc-RIB construction time, like ``stride_lpm``),
+* ``incremental_bestpath`` — on single-candidate upserts/withdrawals the
+  Loc-RIB compares against the incumbent best instead of re-running the
+  decision fold over every candidate,
+* ``encode_zero_copy``     — UPDATE encoding writes NLRI runs into one
+  reusable ``bytearray`` instead of joining per-prefix ``bytes`` objects.
+
 Scale-out knobs (see :mod:`repro.shard` and DESIGN.md §6f) ride the
 same flag surface so the differential harness can sweep them exactly
 like the fast-path toggles:
@@ -58,6 +71,10 @@ class PerfFlags:
     encode_memo: bool = True
     intern_attrs: bool = True
     fanout_batch: bool = True
+    # Full-table RIB engine (DESIGN.md §6g).
+    rib_columnar: bool = True
+    incremental_bestpath: bool = True
+    encode_zero_copy: bool = True
     # Scale-out knobs (repro.shard; DESIGN.md §6f).
     shards: int = 1
     shard_partition: str = "neighbor"

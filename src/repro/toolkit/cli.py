@@ -58,6 +58,10 @@ class ToolkitCli:
             "       peering verify differential [--updates n]\n"
             "                                   [--shards n[,n...]]\n"
             "                                   [--partition neighbor|prefix]\n"
+            "                                   [--workload churn|fulltable]\n"
+            "                                   [--prefixes n]\n"
+            "                                   [--subsample n] (0 = full\n"
+            "                                    flag lattice)\n"
             "       peering verify all"
         )
 
@@ -271,9 +275,16 @@ class ToolkitCli:
     def _verify_differential(self, options: dict) -> str:
         from repro.conformance.differential import DifferentialHarness
 
+        prefixes = options["prefixes"]
+        if prefixes is None:
+            # The fulltable default keeps the CLI interactive: a DFZ-shaped
+            # table at reduced scale (benchmarks run the real 900k).
+            prefixes = 4000 if options["workload"] == "fulltable" else 5000
         harness = DifferentialHarness(
             update_count=options["updates"],
             seed=options["seed"] or 20260806,
+            prefix_count=prefixes,
+            workload=options["workload"],
         )
         if options["shards"] is not None:
             # Shard-count sweep (DESIGN.md §6f): prove the fan-out is
@@ -283,7 +294,13 @@ class ToolkitCli:
                 counts=options["shards"],
                 partition=options["partition"],
             ).format()
-        return harness.run().format()
+        # With eight toggles the full lattice is 256 runs; the CLI
+        # defaults to the curated 16-combination subsample.  ``--subsample
+        # 0`` requests the full lattice.
+        subsample = options["subsample"]
+        return harness.run(
+            subsample=None if subsample == 0 else subsample
+        ).format()
 
     @staticmethod
     def _parse_verify_options(args: list[str]):
@@ -293,12 +310,21 @@ class ToolkitCli:
             "seed": 0,
             "shards": None,
             "partition": "neighbor",
+            "workload": "churn",
+            "prefixes": None,
+            "subsample": 16,
         }
+        takes_value = ("--frames", "--updates", "--seed", "--prefixes",
+                       "--subsample", "--shards", "--partition",
+                       "--workload")
         rest: list[str] = []
         index = 0
         while index < len(args):
             token = args[index]
-            if token in ("--frames", "--updates", "--seed"):
+            if token in takes_value and index + 1 >= len(args):
+                raise ValueError(f"{token} requires a value")
+            if token in ("--frames", "--updates", "--seed", "--prefixes",
+                         "--subsample"):
                 index += 1
                 options[token.lstrip("-")] = int(args[index])
             elif token == "--shards":
@@ -311,6 +337,9 @@ class ToolkitCli:
             elif token == "--partition":
                 index += 1
                 options["partition"] = args[index]
+            elif token == "--workload":
+                index += 1
+                options["workload"] = args[index]
             else:
                 rest.append(token)
             index += 1

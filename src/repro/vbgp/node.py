@@ -194,11 +194,13 @@ class ExperimentAttachment:
 
     def path_id_for(self, gid: int, prefix: Prefix,
                     source_id: Optional[int]) -> int:
-        key = (gid, prefix, source_id)
-        if key not in self.path_ids:
-            self.path_ids[key] = self.next_path_id
+        path_id = self.path_ids.get((gid, prefix, source_id))
+        if path_id is None:
+            path_id = self.path_ids[(gid, prefix, source_id)] = (
+                self.next_path_id
+            )
             self.next_path_id += 1
-        return self.path_ids[key]
+        return path_id
 
     def release_path_id(self, gid: int, prefix: Prefix,
                         source_id: Optional[int]) -> Optional[int]:
@@ -518,9 +520,16 @@ class VbgpNode:
                 table_id=neighbor.virtual.table_id,
             )
         # Fan out to experiments with the local virtual IP as next hop.
+        # The attribute grouping depends only on the announced routes, so
+        # compute it once here instead of once per experiment.
+        groups = (
+            _group_by_attributes(announced)
+            if announced and perf.FLAGS.fanout_batch and self.experiments
+            else None
+        )
         for exp in self.experiments.values():
             self._fanout(exp, gid, neighbor.virtual.local_ip, announced,
-                         removed, ex=ex)
+                         removed, ex=ex, groups=groups)
         # Propagate over the backbone with the neighbor's global IP.
         self._backbone_export(gid, announced, removed, ex=ex)
 
@@ -738,6 +747,7 @@ class VbgpNode:
         announced: list[Route],
         removed: list[tuple[Prefix, Optional[int]]],
         ex=None,
+        groups=None,
     ) -> None:
         """Send neighbor-route changes to one experiment (Figure 2a).
 
@@ -747,6 +757,8 @@ class VbgpNode:
         Withdrawals carry no attributes and are always chunked to respect
         the 4096-byte message ceiling.  ``ex`` is the effect executor
         (direct by default; a shard emitter when the fan-out is sharded).
+        ``groups`` lets a caller fanning out to many experiments pass the
+        attribute grouping of ``announced`` computed once.
         """
         if ex is None:
             ex = self._direct_exec
@@ -766,7 +778,9 @@ class VbgpNode:
         if not announced:
             return
         if perf.FLAGS.fanout_batch:
-            for attrs, group in _group_by_attributes(announced).items():
+            if groups is None:
+                groups = _group_by_attributes(announced)
+            for attrs, group in groups.items():
                 rewritten_attrs = attrs.with_next_hop(local_vip)
                 batch = [
                     Route(

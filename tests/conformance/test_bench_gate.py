@@ -25,9 +25,13 @@ def test_direction_inference():
     assert gate.metric_direction("packets_per_s") == "higher"
     assert gate.metric_direction("per_packet_us") == "lower"
     assert gate.metric_direction("corruption_worst_s") == "lower"
+    assert gate.metric_direction("control_bytes_per_route") == "lower"
+    assert gate.metric_direction("dict_backend_bytes_per_route") == "lower"
     assert gate.metric_direction("scenarios") == "neutral"
     assert gate.metric_direction("corruption_reconnects") == "neutral"
     assert gate.metric_direction("utilization_at_p99_pct") == "neutral"
+    assert gate.metric_direction("speedup_x") == "neutral"
+    assert gate.metric_direction("reduction_x") == "neutral"
 
 
 def test_identical_metrics_pass():

@@ -1,27 +1,44 @@
-"""Differential tests: every perf-toggle combination, identical output.
+"""Differential tests: perf-toggle combinations, identical output.
 
-The quick test sweeps all 32 combinations on a small workload; the
-acceptance test runs the CI-gate workload (≥5k updates).  Two rigged
+With eight toggles the full lattice is 256 combinations, so the quick
+tests sweep curated subsamples (reference + every single-flag-on +
+all-on + seeded interior points) on a small workload; the slow
+acceptance tests run the CI-gate workload (≥5k updates) and the
+full-table workload, including composed with ``shards=4``.  Two rigged
 harnesses prove the comparison logic actually *detects* divergence —
 a checker that cannot fail is not a checker.
 """
 
 import pytest
 
+from repro import perf
 from repro.conformance.differential import (
     DifferentialHarness,
     TOGGLES,
     _RunResult,
     all_flag_combinations,
     combo_label,
+    subsampled_flag_combinations,
 )
 
 
 def test_all_flag_combinations_shape():
     combos = all_flag_combinations()
-    assert len(combos) == 2 ** len(TOGGLES) == 32
+    assert len(combos) == 2 ** len(TOGGLES) == 256
     assert combos[0] == {name: False for name in TOGGLES}  # reference
-    assert len({tuple(sorted(c.items())) for c in combos}) == 32
+    assert len({tuple(sorted(c.items())) for c in combos}) == 256
+
+
+def test_subsampled_combinations_curated_corners():
+    combos = subsampled_flag_combinations(16, seed=3)
+    assert len(combos) == 16
+    assert combos[0] == {name: False for name in TOGGLES}  # reference first
+    for name in TOGGLES:  # every single-flag-on combo present
+        assert {**combos[0], name: True} in combos
+    assert {name: True for name in TOGGLES} in combos  # all-on present
+    assert len({tuple(sorted(c.items())) for c in combos}) == 16  # unique
+    # deterministic for a given seed
+    assert combos == subsampled_flag_combinations(16, seed=3)
 
 
 def test_combo_label():
@@ -31,20 +48,66 @@ def test_combo_label():
 
 def test_differential_sweep_small():
     harness = DifferentialHarness(update_count=240, prefix_count=400)
-    report = harness.run()
+    report = harness.run(subsample=16)
     assert report.ok, report.format()
-    assert report.combinations == 32
+    assert report.combinations == 16
     assert "ok" in report.format()
+
+
+def test_differential_fulltable_small():
+    """The full-table workload at reduced scale: table load + churn tail
+    through every single-flag-on combination and the all-on config."""
+    harness = DifferentialHarness(
+        update_count=120, prefix_count=600, workload="fulltable"
+    )
+    report = harness.run(subsample=12)
+    assert report.ok, report.format()
+    assert report.workload == "fulltable"
+    assert "workload=fulltable" in report.format()
+
+
+def test_differential_fulltable_composed_with_shards():
+    """The §6g flags must stay byte-identical when composed with the
+    shard layer (acceptance criterion: shards=4)."""
+    harness = DifferentialHarness(
+        update_count=80, prefix_count=400, workload="fulltable"
+    )
+    with perf.flags(shards=4):
+        report = harness.run(subsample=11)
+    assert report.ok, report.format()
 
 
 @pytest.mark.slow
 def test_differential_sweep_acceptance():
     """The CI gate: byte-identical output on a >=5k-update workload."""
     harness = DifferentialHarness(update_count=5000)
-    report = harness.run()
+    report = harness.run(subsample=32)
     assert report.ok, report.format()
     assert report.updates >= 5000
     assert report.combinations == 32
+
+
+@pytest.mark.slow
+def test_differential_full_lattice():
+    """All 256 combinations on a small workload (nightly-sized)."""
+    harness = DifferentialHarness(update_count=120, prefix_count=300)
+    report = harness.run()
+    assert report.ok, report.format()
+    assert report.combinations == 256
+
+
+@pytest.mark.slow
+def test_differential_fulltable_acceptance():
+    """Full-table differential at CI scale: 20k-prefix table + churn
+    tail, subsampled lattice, plus the shards=4 composition."""
+    harness = DifferentialHarness(
+        update_count=2000, prefix_count=20000, workload="fulltable"
+    )
+    report = harness.run(subsample=12)
+    assert report.ok, report.format()
+    with perf.flags(shards=4):
+        composed = harness.run(subsample=11)
+    assert composed.ok, composed.format()
 
 
 class _Rigged(DifferentialHarness):

@@ -54,9 +54,27 @@ def test_verify_codec(cli):
 
 
 def test_verify_differential_small(cli):
+    # The CLI defaults to the curated 16-combination lattice subsample
+    # (the full lattice is 2**8 = 256 runs; --subsample 0 requests it).
     out = cli.run("peering verify differential --updates 40")
     assert "differential: ok" in out
-    assert "32 flag combinations" in out
+    assert "16 flag combinations" in out
+
+
+def test_verify_differential_subsample_option(cli):
+    out = cli.run("peering verify differential --updates 40 --subsample 12")
+    assert "differential: ok" in out
+    assert "12 flag combinations" in out
+
+
+def test_verify_differential_fulltable_workload(cli):
+    out = cli.run(
+        "peering verify differential --updates 30 --prefixes 300 "
+        "--workload fulltable --subsample 11"
+    )
+    assert "differential: ok" in out
+    assert "11 flag combinations" in out
+    assert "workload=fulltable" in out
 
 
 def test_verify_differential_shard_sweep(cli):
@@ -76,3 +94,21 @@ def test_verify_differential_shard_sweep_prefix_partition(cli):
 
 def test_verify_usage_mentions_shards(cli):
     assert "--shards" in cli.run("peering bogus")
+
+
+def test_verify_usage_mentions_workload(cli):
+    out = cli.run("peering bogus")
+    assert "--workload" in out
+    assert "fulltable" in out
+
+
+def test_verify_differential_unknown_workload(cli):
+    out = cli.run("peering verify differential --workload bogus")
+    assert out.startswith("error:")
+    assert "unknown workload" in out
+
+
+def test_verify_option_missing_value(cli):
+    for option in ("--workload", "--updates", "--shards"):
+        out = cli.run(f"peering verify differential {option}")
+        assert out == f"error: {option} requires a value"
