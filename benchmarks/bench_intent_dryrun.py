@@ -1,0 +1,134 @@
+"""§6h — intent-layer dry-run throughput over a loaded mux.
+
+A `peering intent plan` clones the relevant platform state, replays the
+ChangeSet through the real security enforcer, computes per-neighbor
+export diffs, and evaluates the full invariant catalog — all without
+touching the live mux.  This bench measures that whole pipeline as
+plans/s against a mux carrying a 200k-prefix upstream table (the scale
+at which the kernel-consistency sweep and state cloning dominate), and
+cross-checks the determinism property (two plans over the same state
+must serialize byte-identically).
+
+``INTENT_DRYRUN_PREFIXES`` / ``INTENT_DRYRUN_PLANS`` override the scale
+for quick local runs; committed baselines use the defaults.
+"""
+
+import gc
+import os
+import time
+
+from benchmarks.reporting import format_table, report, report_json
+from repro.bgp.attributes import local_route
+from repro.bgp.speaker import BgpSpeaker, NeighborConfig, SpeakerConfig
+from repro.intent import ChangeSet, IntentController, announce_op, withdraw_op
+from repro.internet.fulltable import FullTableGenerator
+from repro.netsim.addr import IPv4Prefix
+from repro.platform.experiment import ExperimentProposal
+from repro.platform.peering import PeeringPlatform
+from repro.platform.pop import PopConfig
+from repro.sim import Scheduler
+from repro.toolkit.client import ExperimentClient
+
+PREFIXES = int(os.environ.get("INTENT_DRYRUN_PREFIXES", "200000"))
+PLANS = int(os.environ.get("INTENT_DRYRUN_PLANS", "10"))
+SEED = 20260808
+
+
+def build_world():
+    """One-PoP platform: an established transit, a 200k-prefix upstream
+    feed, and one connected experiment with a live announcement."""
+    scheduler = Scheduler()
+    platform = PeeringPlatform(
+        scheduler,
+        pop_configs=[PopConfig(name="core", pop_id=0, kind="ixp")],
+    )
+    pop = platform.pops["core"]
+
+    port = pop.provision_neighbor("transit", 65010, kind="transit")
+    speaker = BgpSpeaker(
+        scheduler, SpeakerConfig(asn=65010, router_id=port.address)
+    )
+    speaker.attach_neighbor(
+        NeighborConfig(name="transit:feed", peer_asn=None,
+                       local_address=port.address),
+        port.channel,
+    )
+    speaker.originate(local_route(IPv4Prefix.parse("10.10.0.0/16"),
+                                  next_hop=port.address))
+
+    # The full-table upstream is fed directly into the pipeline (no wire
+    # session), exactly like bench_fulltable_load.
+    pop.provision_neighbor("upstream", 65020, kind="peer")
+    generator = FullTableGenerator(prefix_count=PREFIXES, seed=SEED)
+    for update in generator.table_updates():
+        pop.node._upstream_update("upstream", update)
+        scheduler.run_until(scheduler.now)
+
+    platform.submit_proposal(ExperimentProposal(
+        name="x0",
+        contact="bench@example.edu",
+        goals="dry-run throughput",
+        execution_plan="plan in a loop",
+        prefix_count=2,
+    ))
+    client = ExperimentClient(scheduler, "x0", platform)
+    client.openvpn_up("core")
+    client.bird_start("core")
+    scheduler.run_for(30)
+    client.announce(client.profile.prefixes[0])
+    scheduler.run_for(30)
+
+    controller = IntentController(
+        scheduler, platform, {"x0": client},
+        neighbor_speakers={"transit": speaker},
+        neighbor_pops={"transit": "core"},
+    )
+    changeset = ChangeSet(name="bench", ops=(
+        announce_op("x0", str(client.profile.prefixes[1]), pops=("core",)),
+        withdraw_op("x0", str(client.profile.prefixes[0])),
+    ))
+    return controller, changeset
+
+
+def test_intent_dryrun_plans_per_s(benchmark):
+    def run():
+        gc.collect()
+        controller, changeset = build_world()
+        # Determinism cross-check before timing: same state, same bytes.
+        first = controller.evaluator.evaluate(changeset)
+        second = controller.evaluator.evaluate(changeset)
+        assert first.to_bytes() == second.to_bytes()
+        assert first.ok
+
+        start = time.perf_counter()
+        for _ in range(PLANS):
+            plan = controller.plan(changeset)
+        elapsed = time.perf_counter() - start
+        return elapsed, plan
+
+    elapsed, plan = benchmark.pedantic(run, rounds=1, iterations=1)
+    plans_per_s = PLANS / elapsed
+    diff_neighbors = len(plan.report.changed_neighbors())
+
+    rows = [
+        ["upstream table prefixes", f"{PREFIXES:,}", "200k (acceptance)"],
+        ["plans timed", f"{PLANS}", "—"],
+        ["plans/s", f"{plans_per_s:,.2f}", "—"],
+        ["mean plan latency", f"{elapsed / PLANS * 1e3:,.1f} ms", "—"],
+        ["neighbors diffed/plan", f"{diff_neighbors}", "—"],
+    ]
+    report(
+        "intent_dryrun",
+        "§6h intent dry-run throughput (enforcer replay + export diff "
+        "+ invariant catalog per plan)\n"
+        + format_table(["metric", "measured", "target"], rows),
+    )
+    report_json("intent_dryrun", {
+        "prefixes": PREFIXES,
+        "plans": PLANS,
+        "plans_per_s": plans_per_s,
+        "ops_per_plan": 2,
+    })
+
+    assert plan.report.ok
+    assert plans_per_s > 0

@@ -54,6 +54,7 @@ GATED_BENCHMARKS = (
     "footprint",
     "fulltable_load",
     "fulltable_memory",
+    "intent_dryrun",
 )
 DEFAULT_TOLERANCE = 0.25
 

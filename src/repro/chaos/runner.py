@@ -225,6 +225,7 @@ class ChaosRunner:
         "tunnel-bounce",
         "enforcer-overload",
         "shard-kill",
+        "intent-revert-under-fault",
     )
 
     def __init__(
@@ -443,6 +444,68 @@ class ChaosRunner:
                 "backlog": float(backlog),
                 "replayed": float(replayed),
                 "burst": float(len(burst)),
+            },
+            heal_time,
+        )
+
+    def _scenario_intent_revert_under_fault(self) -> ScenarioResult:
+        """A link fault lands mid-apply; the intent layer must revert.
+
+        A *clean* plan (alpha announces its spare prefix at west) is
+        applied while the transit-west transport silently drops every
+        message.  The staged announcement never reaches the upstream
+        speaker, so re-verification catches both a live
+        ``community_propagation`` violation and a predicted-vs-observed
+        export mismatch — and the controller must auto-revert.  After
+        the fault heals, the platform must hold the exact pre-plan
+        prefix state under the **full** five-invariant catalog.
+        """
+        from repro.intent import ChangeSet, IntentController, announce_op
+
+        handle = self.world.neighbors["transit-west"]
+        client = self.world.clients["alpha"]
+        spare = client.profile.prefixes[1]
+        controller = IntentController(
+            self.scheduler,
+            self.platform,
+            self.world.clients,
+            neighbor_speakers={
+                name: h.speaker
+                for name, h in self.world.neighbors.items()
+            },
+            neighbor_pops={
+                name: h.pop for name, h in self.world.neighbors.items()
+            },
+            telemetry=self.telemetry,
+        )
+        plan = controller.plan(ChangeSet(
+            name="chaos-intent",
+            ops=(announce_op("alpha", str(spare), pops=("west",)),),
+        ))
+        injector = ChannelFaultInjector(
+            self.scheduler,
+            handle.port.channel,
+            seed=self.seed,
+            drop=1.0,
+            label=f"intent-revert:{handle.name}",
+        )
+        injector.inject()
+        self._event(handle.name, "fault-inject",
+                    "intent-revert-under-fault: full loss during apply")
+        record = controller.apply(plan)
+        injector.heal()
+        self._event(handle.name, "fault-heal", "intent-revert-under-fault")
+        heal_time = self.scheduler.now
+        converged, elapsed = self._converge()
+        invariants = self._full_invariants(converged)
+        invariants["plan_was_clean"] = plan.report.ok
+        invariants["auto_reverted"] = record.phase == "reverted"
+        invariants["revert_clean"] = bool(record.revert_clean)
+        return self._result(
+            "intent-revert-under-fault", converged, elapsed, invariants,
+            {
+                "breaches": float(len(record.breaches)),
+                "dropped": float(injector.dropped),
             },
             heal_time,
         )

@@ -55,6 +55,9 @@ __all__ = [
     "DifferentialReport",
     "SHARD_COUNTS",
     "all_flag_combinations",
+    "attr_fingerprint",
+    "loc_rib_snapshot",
+    "route_fingerprint",
     "subsampled_flag_combinations",
 ]
 
@@ -197,6 +200,14 @@ def _loc_rib_snapshot(speaker: BgpSpeaker) -> list:
             candidates,
         ))
     return snapshot
+
+
+# Public aliases: the intent layer's snapshot/diff machinery reuses this
+# module's canonicalisation so "byte-identical" means the same thing in
+# the differential sweep and in intent auto-revert verification.
+attr_fingerprint = _attr_fingerprint
+route_fingerprint = _route_fingerprint
+loc_rib_snapshot = _loc_rib_snapshot
 
 
 class _WireTap:

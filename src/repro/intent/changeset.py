@@ -1,0 +1,235 @@
+"""Declarative configuration changes for the intent layer (§5).
+
+A :class:`ChangeSet` is the unit the transactional controller plans,
+diffs, and applies: an ordered tuple of :class:`ChangeOp` records
+covering the toolkit's configuration surface — announce / withdraw,
+community (policy) edits, and experiment mux attach/detach at a PoP.
+
+Serialization is *stable*: :meth:`ChangeSet.to_json` emits canonical
+JSON (sorted keys, fixed separators, no floats), so the same logical
+ChangeSet always has the same bytes and the same :meth:`digest`.  The
+digest names the transaction in telemetry events and intent history.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+__all__ = [
+    "ChangeOp",
+    "ChangeSet",
+    "announce_op",
+    "connect_op",
+    "disconnect_op",
+    "set_communities_op",
+    "withdraw_op",
+]
+
+#: Operation kinds and the fields each requires beyond ``experiment``.
+OP_KINDS = {
+    "announce": ("prefix",),
+    "withdraw": ("prefix",),
+    "set-communities": ("prefix",),
+    "connect": ("pop",),
+    "disconnect": ("pop",),
+}
+
+
+@dataclass(frozen=True)
+class ChangeOp:
+    """One declarative operation.
+
+    ``kind`` selects the semantics; unused fields stay at their empty
+    defaults so every op serializes with the same shape:
+
+    ``announce``
+        Announce ``prefix`` from ``experiment`` at ``pops`` (empty =
+        every connected PoP), with ``communities`` (``"asn:value"``
+        strings), ``prepend`` copies of the experiment ASN, and
+        ``poison`` ASNs sandwiched into the path.
+    ``withdraw``
+        Withdraw ``prefix`` at ``pops`` (empty = every connected PoP).
+    ``set-communities``
+        Policy edit: re-announce an already-announced ``prefix`` with
+        ``communities`` replacing the previous set.
+    ``connect`` / ``disconnect``
+        Experiment mux change: bring the tunnel + BGP session to
+        ``pop`` up, or tear the attachment down.
+    """
+
+    kind: str
+    experiment: str
+    prefix: str = ""
+    pops: tuple[str, ...] = ()
+    communities: tuple[str, ...] = ()
+    prepend: int = 0
+    poison: tuple[int, ...] = ()
+    pop: str = ""
+
+    def validate(self) -> None:
+        required = OP_KINDS.get(self.kind)
+        if required is None:
+            raise ValueError(
+                f"unknown op kind {self.kind!r}; choose from "
+                f"{', '.join(sorted(OP_KINDS))}"
+            )
+        if not self.experiment:
+            raise ValueError(f"{self.kind} op needs an experiment")
+        for name in required:
+            if not getattr(self, name):
+                raise ValueError(f"{self.kind} op needs a {name}")
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "experiment": self.experiment,
+            "prefix": self.prefix,
+            "pops": list(self.pops),
+            "communities": list(self.communities),
+            "prepend": self.prepend,
+            "poison": list(self.poison),
+            "pop": self.pop,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ChangeOp":
+        return cls(
+            kind=str(data.get("kind", "")),
+            experiment=str(data.get("experiment", "")),
+            prefix=str(data.get("prefix", "")),
+            pops=tuple(data.get("pops", ())),
+            communities=tuple(data.get("communities", ())),
+            prepend=int(data.get("prepend", 0)),
+            poison=tuple(int(asn) for asn in data.get("poison", ())),
+            pop=str(data.get("pop", "")),
+        )
+
+    def describe(self) -> str:
+        where = ",".join(self.pops) if self.pops else "all"
+        if self.kind in ("connect", "disconnect"):
+            return f"{self.kind} {self.experiment}@{self.pop}"
+        extra = ""
+        if self.communities:
+            extra += f" communities={','.join(self.communities)}"
+        if self.prepend:
+            extra += f" prepend={self.prepend}"
+        if self.poison:
+            extra += f" poison={','.join(map(str, self.poison))}"
+        return (
+            f"{self.kind} {self.prefix} [{self.experiment}@{where}]{extra}"
+        )
+
+
+@dataclass(frozen=True)
+class ChangeSet:
+    """An ordered, named collection of :class:`ChangeOp` records."""
+
+    name: str = "changeset"
+    ops: tuple[ChangeOp, ...] = field(default_factory=tuple)
+
+    def validate(self) -> None:
+        for op in self.ops:
+            op.validate()
+
+    def is_empty(self) -> bool:
+        return not self.ops
+
+    def with_op(self, op: ChangeOp) -> "ChangeSet":
+        return ChangeSet(name=self.name, ops=self.ops + (op,))
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "ops": [op.to_dict() for op in self.ops],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ChangeSet":
+        return cls(
+            name=str(data.get("name", "changeset")),
+            ops=tuple(
+                ChangeOp.from_dict(op) for op in data.get("ops", ())
+            ),
+        )
+
+    def to_json(self) -> str:
+        """Canonical serialization: same ChangeSet, same bytes."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChangeSet":
+        return cls.from_dict(json.loads(text))
+
+    def digest(self) -> str:
+        """A short stable id derived from the canonical serialization."""
+        return hashlib.sha256(self.to_json().encode()).hexdigest()[:12]
+
+    def describe(self) -> str:
+        if self.is_empty():
+            return f"{self.name} ({self.digest()}): empty"
+        lines = [f"{self.name} ({self.digest()}): {len(self.ops)} op(s)"]
+        lines.extend(f"  {index}. {op.describe()}"
+                     for index, op in enumerate(self.ops, start=1))
+        return "\n".join(lines)
+
+
+# -- convenience constructors (the evaluator-facing vocabulary) ------------
+
+
+def announce_op(
+    experiment: str,
+    prefix: str,
+    pops: Sequence[str] = (),
+    communities: Iterable[str] = (),
+    prepend: int = 0,
+    poison: Sequence[int] = (),
+) -> ChangeOp:
+    return ChangeOp(
+        kind="announce", experiment=experiment, prefix=prefix,
+        pops=tuple(pops), communities=tuple(communities),
+        prepend=prepend, poison=tuple(poison),
+    )
+
+
+def withdraw_op(experiment: str, prefix: str,
+                pops: Sequence[str] = ()) -> ChangeOp:
+    return ChangeOp(
+        kind="withdraw", experiment=experiment, prefix=prefix,
+        pops=tuple(pops),
+    )
+
+
+def set_communities_op(
+    experiment: str,
+    prefix: str,
+    communities: Iterable[str],
+    pops: Sequence[str] = (),
+) -> ChangeOp:
+    return ChangeOp(
+        kind="set-communities", experiment=experiment, prefix=prefix,
+        pops=tuple(pops), communities=tuple(communities),
+    )
+
+
+def connect_op(experiment: str, pop: str) -> ChangeOp:
+    return ChangeOp(kind="connect", experiment=experiment, pop=pop)
+
+
+def disconnect_op(experiment: str, pop: str) -> ChangeOp:
+    return ChangeOp(kind="disconnect", experiment=experiment, pop=pop)
+
+
+def parse_community(text: str) -> Optional[tuple[int, int]]:
+    """``"asn:value"`` → ``(asn, value)``; None if malformed."""
+    parts = text.split(":")
+    if len(parts) != 2:
+        return None
+    try:
+        return int(parts[0]), int(parts[1])
+    except ValueError:
+        return None

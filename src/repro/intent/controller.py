@@ -1,0 +1,546 @@
+"""The transactional intent controller: plan → apply → verify → commit.
+
+Configuration changes on a shared research platform are dangerous: a
+bad announcement can leak, hijack, or blow the update budget for every
+tenant of the mux.  The intent layer makes them transactional:
+
+``plan``
+    Dry-run the ChangeSet (:class:`~repro.intent.dryrun.DryRunEvaluator`)
+    — predicted per-neighbor export diffs plus the full five-invariant
+    catalog over the simulated post-change state, live platform
+    untouched.
+``apply``
+    Record a snapshot of the restorable platform state (client
+    announcements, attachments) together with a structural fingerprint
+    (Loc-RIBs, Adj-RIB-Ins, kernel tables, announced wire bytes — the
+    same canonicalization the differential harness uses), stage the
+    ChangeSet through the ordinary toolkit primitives, let the platform
+    settle, then **re-verify**: the live invariant catalog, the
+    control-plane enforcer's violation level, and the predicted export
+    diff against what external neighbor speakers actually hold.
+``commit`` / ``auto-revert``
+    Clean re-verification commits.  Any breach rolls the platform back
+    to the recorded snapshot and re-fingerprints it; ``revert_clean``
+    reports whether the restored state is byte-identical.
+
+Every transition emits an :class:`~repro.telemetry.IntentEvent` through
+the monitoring station, so the BMP feed shows configuration changes
+next to the session churn they cause.  The state machine::
+
+    PLANNED ──apply──▶ APPLYING ──verify ok──▶ COMMITTED ──revert──▶ REVERTED
+       │                   │
+       │                   └──verify breach──▶ REVERTED (automatic)
+       └──apply, plan not clean, no force──▶ REJECTED
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.bgp.attributes import Community
+from repro.bgp.messages import UpdateMessage
+from repro.conformance.differential import (
+    attr_fingerprint,
+    loc_rib_snapshot,
+    route_fingerprint,
+)
+from repro.conformance.invariants import ConformanceContext, run_invariants
+from repro.intent.changeset import ChangeOp, ChangeSet, parse_community
+from repro.intent.dryrun import DryRunEvaluator, DryRunReport, _parse_prefix
+from repro.telemetry.station import IntentEvent
+
+__all__ = [
+    "IntentController",
+    "IntentPlan",
+    "IntentRecord",
+]
+
+
+@dataclass
+class IntentPlan:
+    """A planned (not yet applied) transaction."""
+
+    intent_id: str
+    changeset: ChangeSet
+    report: DryRunReport
+    created: float
+
+    @property
+    def digest(self) -> str:
+        return self.report.digest
+
+
+@dataclass(frozen=True)
+class IntentRecord:
+    """One entry in the intent history."""
+
+    intent_id: str
+    digest: str
+    phase: str
+    detail: str
+    time: float
+    breaches: tuple[str, ...] = ()
+    revert_clean: Optional[bool] = None
+
+    def format(self) -> str:
+        line = (f"{self.time:10.2f}  {self.intent_id}  {self.digest}  "
+                f"{self.phase:<9}  {self.detail}")
+        for breach in self.breaches:
+            line += f"\n{'':12}breach: {breach}"
+        if self.revert_clean is not None:
+            verdict = "clean" if self.revert_clean else "DIRTY"
+            line += f"\n{'':12}revert: {verdict}"
+        return line
+
+
+@dataclass
+class _Snapshot:
+    """Restorable pre-apply state plus its structural fingerprint."""
+
+    fingerprint: bytes
+    # client -> pop -> {prefix: localized route} (the exact announced
+    # routes, replayed verbatim on revert).
+    announced: dict[str, dict[str, dict]] = field(default_factory=dict)
+    # client -> the PoPs its tunnel was up at.
+    connected: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+
+class IntentController:
+    """Drives ChangeSets through the transaction state machine."""
+
+    def __init__(
+        self,
+        scheduler,
+        platform,
+        clients: Mapping[str, object],
+        neighbor_speakers: Optional[Mapping[str, object]] = None,
+        neighbor_pops: Optional[Mapping[str, str]] = None,
+        telemetry=None,
+        settle_time: float = 15.0,
+    ) -> None:
+        self.scheduler = scheduler
+        self.platform = platform
+        self.clients = dict(clients)
+        self.neighbor_speakers = dict(neighbor_speakers or {})
+        self.neighbor_pops = dict(neighbor_pops or {})
+        self.telemetry = telemetry
+        self.settle_time = settle_time
+        self.evaluator = DryRunEvaluator(platform, self.clients)
+        self.plans: dict[str, IntentPlan] = {}
+        self.history: list[IntentRecord] = []
+        self._phases: dict[str, str] = {}
+        self._snapshots: dict[str, _Snapshot] = {}
+        self._ids = itertools.count(1)
+
+    # -- planning ----------------------------------------------------------
+
+    def plan(self, changeset: ChangeSet) -> IntentPlan:
+        """Dry-run ``changeset``; never touches the live platform."""
+        changeset.validate()
+        report = self.evaluator.evaluate(changeset)
+        intent_id = f"intent-{next(self._ids):04d}"
+        plan = IntentPlan(
+            intent_id=intent_id,
+            changeset=changeset,
+            report=report,
+            created=self.scheduler.now,
+        )
+        self.plans[intent_id] = plan
+        self._phases[intent_id] = "planned"
+        detail = (
+            f"{len(changeset.ops)} op(s), "
+            f"{'clean' if report.ok else 'not clean'}, "
+            f"{len(report.changed_neighbors())} neighbor(s) affected"
+        )
+        self._record(plan, "planned", detail)
+        return plan
+
+    def phase(self, intent_id: str) -> Optional[str]:
+        return self._phases.get(intent_id)
+
+    # -- applying ----------------------------------------------------------
+
+    def apply(self, plan, force: bool = False) -> IntentRecord:
+        """Stage the plan, re-verify live, commit or auto-revert.
+
+        ``force`` applies even when the dry run predicted trouble — the
+        re-verification and auto-revert still guard the platform, which
+        is exactly how the revert path is exercised end to end.
+        """
+        plan = self._resolve(plan)
+        phase = self._phases.get(plan.intent_id)
+        if phase != "planned":
+            raise ValueError(
+                f"{plan.intent_id} is {phase}; only a planned intent "
+                "can be applied"
+            )
+        if plan.changeset.is_empty():
+            self._phases[plan.intent_id] = "committed"
+            return self._record(
+                plan, "committed", "empty ChangeSet: no-op commit"
+            )
+        if not plan.report.ok and not force:
+            self._phases[plan.intent_id] = "rejected"
+            return self._record(
+                plan, "rejected",
+                "dry run predicted breaches (use force to apply anyway)",
+            )
+        snapshot = self._snapshot()
+        self._snapshots[plan.intent_id] = snapshot
+        baseline_violations = self._violation_level()
+        breaches: list[str] = []
+        try:
+            self._stage(plan.changeset)
+        except Exception as exc:  # staging must never crash the platform
+            breaches.append(f"staging failed: {exc}")
+        self._settle()
+        self._record(plan, "applied", "staged; re-verifying", update=False)
+        breaches.extend(self._verify(plan, baseline_violations))
+        if not breaches:
+            self._phases[plan.intent_id] = "committed"
+            return self._record(
+                plan, "committed",
+                "re-verification clean: invariants hold, exports match "
+                "prediction",
+            )
+        self._phases[plan.intent_id] = "reverted"
+        revert_clean = self._revert_to(snapshot)
+        return self._record(
+            plan, "reverted",
+            f"auto-revert after {len(breaches)} breach(es)",
+            breaches=tuple(breaches), revert_clean=revert_clean,
+        )
+
+    def revert(self, plan) -> IntentRecord:
+        """Roll a committed intent back to its pre-apply snapshot.
+
+        Idempotent: reverting an already-reverted (or never-applied)
+        intent is a no-op that reports the current phase.
+        """
+        plan = self._resolve(plan)
+        phase = self._phases.get(plan.intent_id)
+        if phase != "committed":
+            return self._record(
+                plan, phase or "unknown",
+                f"nothing to revert (intent is {phase})", update=False,
+            )
+        snapshot = self._snapshots[plan.intent_id]
+        self._phases[plan.intent_id] = "reverted"
+        revert_clean = self._revert_to(snapshot)
+        return self._record(
+            plan, "reverted", "operator revert",
+            revert_clean=revert_clean,
+        )
+
+    # -- staging (ordinary toolkit primitives) -----------------------------
+
+    def _stage(self, changeset: ChangeSet) -> None:
+        for op in changeset.ops:
+            client = self.clients[op.experiment]
+            self._stage_op(client, op)
+
+    def _stage_op(self, client, op: ChangeOp) -> None:
+        if op.kind == "connect":
+            client.openvpn_up(op.pop)
+            client.bird_start(op.pop)
+            return
+        if op.kind == "disconnect":
+            client.openvpn_down(op.pop)
+            return
+        prefix = _parse_prefix(op.prefix)
+        if prefix is None:
+            raise ValueError(f"malformed prefix {op.prefix!r}")
+        pops = list(op.pops) if op.pops else None
+        if op.kind == "withdraw":
+            client.withdraw(prefix, pops=pops)
+            return
+        communities = []
+        for text in op.communities:
+            parsed = parse_community(text)
+            if parsed is None:
+                raise ValueError(f"malformed community {text!r}")
+            communities.append(Community(parsed[0], parsed[1]))
+        # "announce" and "set-communities" stage identically: the client
+        # re-announce replaces the previous attributes on the wire.
+        client.announce(
+            prefix, pops=pops, communities=communities,
+            prepend=op.prepend, poison=list(op.poison),
+        )
+
+    # -- re-verification ---------------------------------------------------
+
+    def _verify(self, plan: IntentPlan,
+                baseline_violations: int) -> list[str]:
+        breaches: list[str] = []
+        delta = self._violation_level() - baseline_violations
+        if delta > 0:
+            breaches.append(
+                f"control-plane enforcer flagged {delta} new "
+                "violation(s) during apply"
+            )
+        ctx = ConformanceContext.from_platform(
+            self.platform, clients=self.clients,
+            neighbor_speakers=self.neighbor_speakers,
+            neighbor_pops=self.neighbor_pops,
+        )
+        for name, report in run_invariants(ctx).items():
+            if not report.ok:
+                detail = report.violations[0] if report.violations else ""
+                breaches.append(f"invariant {name} violated: {detail}")
+        breaches.extend(self._prediction_breaches(plan))
+        return breaches
+
+    def _prediction_breaches(self, plan: IntentPlan) -> list[str]:
+        """Did the live platform do what the dry run predicted?"""
+        breaches: list[str] = []
+        for neighbor_name in sorted(self.neighbor_speakers):
+            speaker = self.neighbor_speakers[neighbor_name]
+            pop_name = self.neighbor_pops.get(neighbor_name)
+            if pop_name is None:
+                continue
+            diff = plan.report.diffs.get(f"{pop_name}/{neighbor_name}")
+            if diff is None or diff.is_empty():
+                continue
+            for change in diff.added + diff.changed:
+                prefix = _parse_prefix(change.prefix)
+                best = speaker.best_route(prefix)
+                if best is None:
+                    breaches.append(
+                        f"{neighbor_name}: predicted export of "
+                        f"{change.prefix} was not observed"
+                    )
+                elif attr_fingerprint(best.attributes) != change.fingerprint:
+                    breaches.append(
+                        f"{neighbor_name}: observed export of "
+                        f"{change.prefix} differs from the prediction"
+                    )
+            for change in diff.removed:
+                prefix = _parse_prefix(change.prefix)
+                if speaker.best_route(prefix) is not None:
+                    breaches.append(
+                        f"{neighbor_name}: predicted removal of "
+                        f"{change.prefix} was not observed"
+                    )
+        return breaches
+
+    def _violation_level(self) -> int:
+        level = 0
+        for pop in self.platform.pops.values():
+            enforcer = getattr(pop, "control_enforcer", None)
+            if enforcer is not None:
+                level += len(enforcer.violations)
+            level += pop.node.counters.get("announcements_blocked", 0)
+            level += pop.node.counters.get("enforcer_failures", 0)
+        return level
+
+    # -- snapshot / revert -------------------------------------------------
+
+    def _snapshot(self) -> _Snapshot:
+        announced: dict[str, dict[str, dict]] = {}
+        connected: dict[str, tuple[str, ...]] = {}
+        for name in sorted(self.clients):
+            client = self.clients[name]
+            connected[name] = tuple(sorted(client.pops))
+            announced[name] = {
+                pop_name: dict(view.announced)
+                for pop_name, view in client.pops.items()
+            }
+        return _Snapshot(
+            fingerprint=self._fingerprint(),
+            announced=announced,
+            connected=connected,
+        )
+
+    def _fingerprint(self) -> bytes:
+        """DifferentialHarness-style structural canonicalization.
+
+        Covers client Loc-RIBs and announcements, every PoP's
+        per-neighbor Adj-RIB-In and kernel tables, the experiment
+        attachment state, and the announced wire bytes toward every
+        established neighbor.  Monotonic counters and violation logs
+        are deliberately excluded — they record history, not state.
+        """
+        clients_part = []
+        for name in sorted(self.clients):
+            client = self.clients[name]
+            views = []
+            for pop_name in sorted(client.pops):
+                view = client.pops[pop_name]
+                established = (
+                    view.session is not None and view.session.established
+                )
+                loc_rib = sorted(
+                    (str(r.prefix), attr_fingerprint(r.attributes))
+                    for r in view.routes.values()
+                )
+                announcements = sorted(
+                    (str(prefix), route_fingerprint(route))
+                    for prefix, route in view.announced.items()
+                )
+                views.append(
+                    (pop_name, established, tuple(loc_rib),
+                     tuple(announcements))
+                )
+            clients_part.append((name, tuple(views)))
+        pops_part = []
+        for pop_name in sorted(self.platform.pops):
+            pop = self.platform.pops[pop_name]
+            node = pop.node
+            neighbors = []
+            for label, neighbor in sorted(
+                list(node.upstreams.items())
+                + [(f"remote-gid{gid}", remote)
+                   for gid, remote in node.remote_neighbors.items()]
+            ):
+                rib = sorted(
+                    (str(prefix), repr(path_id),
+                     attr_fingerprint(route.attributes))
+                    for (prefix, path_id), route in neighbor.rib.items()
+                )
+                neighbors.append((label, tuple(rib)))
+            experiments = []
+            for exp_name in sorted(node.experiments):
+                exp = node.experiments[exp_name]
+                experiments.append((exp_name, tuple(sorted(
+                    (str(prefix), repr(path_id), route_fingerprint(route))
+                    for (prefix, path_id), route in exp.announced.items()
+                ))))
+            remote_exp = sorted(
+                (str(prefix), route_fingerprint(route))
+                for prefix, route in node.remote_exp_routes.items()
+            )
+            kernel = []
+            for table_id in sorted(pop.stack.tables):
+                table = pop.stack.tables[table_id]
+                kernel.append((table_id, sorted(
+                    (str(entry.prefix), str(entry.value.next_hop),
+                     entry.value.out_iface)
+                    for entry in table.entries()
+                )))
+            pops_part.append((
+                pop_name, tuple(neighbors), tuple(experiments),
+                tuple(remote_exp), tuple(kernel),
+            ))
+        wire_part = []
+        for key, entries in sorted(self.evaluator.export_state().items()):
+            frames = b"".join(
+                UpdateMessage.announce([entries[prefix].route]).encode()
+                for prefix in sorted(entries)
+            )
+            wire_part.append((key, frames))
+        speakers_part = []
+        for name in sorted(self.neighbor_speakers):
+            speakers_part.append(
+                (name, loc_rib_snapshot(self.neighbor_speakers[name]))
+            )
+        structure = (
+            ("clients", tuple(clients_part)),
+            ("pops", tuple(pops_part)),
+            ("announced_wire", tuple(wire_part)),
+            ("speakers", tuple(speakers_part)),
+        )
+        return repr(structure).encode()
+
+    def _revert_to(self, snapshot: _Snapshot) -> bool:
+        """Restore the snapshot; True if byte-identical afterwards."""
+        newly_connected = False
+        for name in sorted(self.clients):
+            client = self.clients[name]
+            saved = set(snapshot.connected.get(name, ()))
+            current = set(client.pops)
+            for pop_name in sorted(current - saved):
+                self._guard(lambda: client.openvpn_down(pop_name))
+            for pop_name in sorted(saved - current):
+                if self._guard(lambda: client.openvpn_up(pop_name)):
+                    self._guard(lambda: client.bird_start(pop_name))
+                    newly_connected = True
+        if newly_connected:
+            self._settle()
+        for name in sorted(self.clients):
+            client = self.clients[name]
+            for pop_name in sorted(snapshot.connected.get(name, ())):
+                view = client.pops.get(pop_name)
+                if view is None:
+                    continue
+                desired = snapshot.announced.get(name, {}).get(pop_name, {})
+                current = dict(view.announced)
+                for prefix in sorted(current, key=str):
+                    if prefix not in desired:
+                        self._guard(
+                            lambda: client.withdraw(prefix, pops=[pop_name])
+                        )
+                for prefix in sorted(desired, key=str):
+                    if current.get(prefix) != desired[prefix]:
+                        self._guard(
+                            lambda: client.replay_route(
+                                pop_name, desired[prefix]
+                            )
+                        )
+        self._settle()
+        return self._fingerprint() == snapshot.fingerprint
+
+    @staticmethod
+    def _guard(action) -> bool:
+        """Best-effort restore step: a dead session must not stop the
+        rest of the rollback."""
+        try:
+            action()
+            return True
+        except Exception:
+            return False
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _settle(self) -> None:
+        self.scheduler.run_for(self.settle_time)
+        for _ in range(32):
+            if not any(
+                pop.node.shard_pending()
+                for pop in self.platform.pops.values()
+            ):
+                break
+            self.scheduler.run_for(1.0)
+
+    def _resolve(self, plan) -> IntentPlan:
+        if isinstance(plan, IntentPlan):
+            return plan
+        resolved = self.plans.get(plan)
+        if resolved is None:
+            raise KeyError(f"unknown intent {plan!r}")
+        return resolved
+
+    def _record(self, plan: IntentPlan, phase: str, detail: str,
+                breaches: tuple[str, ...] = (),
+                revert_clean: Optional[bool] = None,
+                update: bool = True) -> IntentRecord:
+        record = IntentRecord(
+            intent_id=plan.intent_id,
+            digest=plan.digest,
+            phase=phase,
+            detail=detail,
+            time=self.scheduler.now,
+            breaches=breaches,
+            revert_clean=revert_clean,
+        )
+        if update:
+            self.history.append(record)
+        self._publish(plan, phase, detail)
+        return record
+
+    def _publish(self, plan: IntentPlan, phase: str, detail: str) -> None:
+        if self.telemetry is None:
+            return
+        self.telemetry.station.publish(IntentEvent(
+            peer=f"intent:{plan.intent_id}",
+            time=self.scheduler.now,
+            phase=phase,
+            digest=plan.digest,
+            detail=detail,
+        ))
+
+    def history_text(self) -> str:
+        if not self.history:
+            return "no intents recorded"
+        return "\n".join(record.format() for record in self.history)

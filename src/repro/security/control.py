@@ -116,7 +116,16 @@ class ControlPlaneEnforcer:
         return outcome.accepted
 
     def check_routes(self, experiment: str, routes: list[Route],
-                     pop: str) -> EnforcementOutcome:
+                     pop: str, record: bool = True) -> EnforcementOutcome:
+        """Evaluate the policy; with ``record=False`` nothing mutates.
+
+        The non-recording mode is the intent layer's dry-run hook: the
+        same static checks and attribute policing run, but no update
+        budget is consumed (the rate limit is probed via
+        :meth:`EnforcerState.would_accept` with ``pending=0``) and no
+        counters or metrics move — two consecutive dry runs of the same
+        ChangeSet see identical enforcement state.
+        """
         outcome = EnforcementOutcome()
         profile = self.profiles.get(experiment)
         now = self.scheduler.now
@@ -125,28 +134,37 @@ class ControlPlaneEnforcer:
             else frozenset()
         )
         for route in routes:
-            self.routes_checked += 1
+            if record:
+                self.routes_checked += 1
             if profile is None:
                 self._reject(outcome, experiment, pop, route,
                              "unknown experiment", now,
-                             policy="unknown-experiment")
+                             policy="unknown-experiment", record=record)
                 continue
             check = self._static_checks(profile, route, allowed_asns)
             if check is not None:
                 policy, reason = check
                 self._reject(outcome, experiment, pop, route, reason, now,
-                             policy=policy)
+                             policy=policy, record=record)
                 continue
             transformed = self._police_attributes(
-                profile, route, outcome, experiment, pop, now
+                profile, route, outcome, experiment, pop, now,
+                record=record,
             )
-            if not self.state.record(experiment, route.prefix, pop, now):
+            rate_ok = (
+                self.state.record(experiment, route.prefix, pop, now)
+                if record
+                else self.state.would_accept(
+                    experiment, route.prefix, pop, now
+                )
+            )
+            if not rate_ok:
                 self._reject(outcome, experiment, pop, route,
                              "update rate limit exceeded", now,
-                             policy="rate-limit")
+                             policy="rate-limit", record=record)
                 continue
             outcome.accepted.append(transformed)
-            if self._m_accepts is not None:
+            if record and self._m_accepts is not None:
                 self._m_accepts.labels(pop).inc()
         return outcome
 
@@ -235,6 +253,7 @@ class ControlPlaneEnforcer:
         experiment: str,
         pop: str,
         now: float,
+        record: bool = True,
     ) -> Route:
         """Strip attributes the experiment is not entitled to send."""
         free_form = {c for c in route.communities if not is_control(c)}
@@ -242,7 +261,7 @@ class ControlPlaneEnforcer:
             Capability.BGP_COMMUNITIES, len(free_form)
         ):
             route = route.without_communities(*free_form)
-            if self._m_strips is not None:
+            if record and self._m_strips is not None:
                 self._m_strips.labels(pop, "communities").inc()
             outcome.violations.append(Violation(
                 experiment=experiment, pop=pop, prefix=str(route.prefix),
@@ -253,7 +272,7 @@ class ControlPlaneEnforcer:
             len(route.attributes.large_communities),
         ):
             route = route.with_attributes(large_communities=frozenset())
-            if self._m_strips is not None:
+            if record and self._m_strips is not None:
                 self._m_strips.labels(pop, "large-communities").inc()
             outcome.violations.append(Violation(
                 experiment=experiment, pop=pop, prefix=str(route.prefix),
@@ -263,7 +282,7 @@ class ControlPlaneEnforcer:
             Capability.TRANSITIVE_ATTRIBUTES
         ):
             route = route.without_unknown_attributes()
-            if self._m_strips is not None:
+            if record and self._m_strips is not None:
                 self._m_strips.labels(pop, "transitive").inc()
             outcome.violations.append(Violation(
                 experiment=experiment, pop=pop, prefix=str(route.prefix),
@@ -274,10 +293,11 @@ class ControlPlaneEnforcer:
 
     def _reject(self, outcome: EnforcementOutcome, experiment: str, pop: str,
                 route: Route, reason: str, now: float,
-                policy: str = "other") -> None:
-        self.routes_rejected += 1
-        if self._m_rejects is not None:
-            self._m_rejects.labels(pop, policy).inc()
+                policy: str = "other", record: bool = True) -> None:
+        if record:
+            self.routes_rejected += 1
+            if self._m_rejects is not None:
+                self._m_rejects.labels(pop, policy).inc()
         outcome.violations.append(Violation(
             experiment=experiment, pop=pop, prefix=str(route.prefix),
             reason=reason, time=now,

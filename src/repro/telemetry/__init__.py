@@ -40,6 +40,7 @@ from repro.telemetry.metrics import (
 )
 from repro.telemetry.station import (
     BmpMessage,
+    IntentEvent,
     MonitoringStation,
     PeerDown,
     PeerRecord,
@@ -58,6 +59,7 @@ __all__ = [
     "GaugeFamily",
     "Histogram",
     "HistogramFamily",
+    "IntentEvent",
     "MetricsRegistry",
     "MonitoringStation",
     "PeerDown",

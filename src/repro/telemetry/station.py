@@ -28,6 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "BmpMessage",
+    "IntentEvent",
     "MonitoringStation",
     "PeerDown",
     "PeerRecord",
@@ -95,6 +96,25 @@ class ResilienceEvent(BmpMessage):
     detail: str = ""
 
     kind = "resilience"
+
+
+@dataclass(frozen=True)
+class IntentEvent(BmpMessage):
+    """An intent-transaction lifecycle event (local extension).
+
+    Streamed by the :class:`~repro.intent.controller.IntentController`
+    as a ChangeSet moves through the transaction state machine
+    (``planned`` → ``applied`` → ``committed`` | ``reverted``, or
+    ``rejected`` straight from planning), so the station feed shows
+    configuration changes next to the session churn they cause.  The
+    ``peer`` field carries ``intent:<id>``.
+    """
+
+    phase: str = ""
+    digest: str = ""
+    detail: str = ""
+
+    kind = "intent"
 
 
 @dataclass(frozen=True)

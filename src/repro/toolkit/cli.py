@@ -3,6 +3,22 @@
 Accepts the command strings experimenters type (mirroring the real
 toolkit's ``peering <component> <action> …``) and returns printable
 output. Exercised end-to-end by the Table 1 benchmark.
+
+Exit codes: every command reports a status through
+:meth:`ToolkitCli.run_with_status` (and leaves it on
+:attr:`ToolkitCli.exit_code` after a plain :meth:`ToolkitCli.run`).
+``peering verify``, ``peering chaos``, and ``peering intent`` share one
+convention:
+
+====  =====================================================
+code  meaning
+====  =====================================================
+0     clean — checks passed / intent committed
+1     breach — an invariant, verification, chaos scenario,
+      or intent transaction failed (plan not clean, apply
+      reverted or rejected, revert left residue)
+2     usage or operational error
+====  =====================================================
 """
 
 from __future__ import annotations
@@ -19,23 +35,41 @@ class ToolkitCli:
 
     def __init__(self, client: ExperimentClient) -> None:
         self.client = client
+        self.exit_code = 0
+        # ``peering intent``: the pending ChangeSet under construction
+        # and the transactional controller (created on first use).
+        self._intent_ops: list = []
+        self._intent_controller = None
+        self._intent_plan = None
 
     def run(self, command: str) -> str:
+        output, self.exit_code = self.run_with_status(command)
+        return output
+
+    def run_with_status(self, command: str) -> tuple[str, int]:
+        """Run one command; returns ``(output, exit_code)``.
+
+        The exit-code convention (shared by ``verify``, ``chaos``, and
+        ``intent``) is documented in the module docstring and in
+        ``--help``: 0 clean, 1 breach, 2 usage error.
+        """
+        self.exit_code = 0
         words = command.strip().split()
-        if not words:
-            return self._usage()
-        if words[0] == "peering":
+        if words and words[0] == "peering":
             words = words[1:]
         if not words:
-            return self._usage()
+            return self._usage(), 2
         component, *rest = words
         handler = getattr(self, f"_cmd_{component}", None)
         if handler is None:
-            return self._usage()
+            return self._usage(), 2
         try:
-            return handler(rest)
+            output = handler(rest)
         except (KeyError, ValueError, RuntimeError) as exc:
-            return f"error: {exc}"
+            return f"error: {exc}", 2
+        if output == self._usage() or output.startswith("error:"):
+            return output, 2
+        return output, self.exit_code
 
     @staticmethod
     def _usage() -> str:
@@ -62,7 +96,23 @@ class ToolkitCli:
             "                                   [--prefixes n]\n"
             "                                   [--subsample n] (0 = full\n"
             "                                    flag lattice)\n"
-            "       peering verify all"
+            "       peering verify all\n"
+            "       peering intent op announce <prefix> [-m pop]\n"
+            "                      [-c asn:val] [-p prepend] [-x poison]\n"
+            "       peering intent op withdraw <prefix> [-m pop]\n"
+            "       peering intent op connect|disconnect <pop>\n"
+            "       peering intent show|clear\n"
+            "       peering intent plan\n"
+            "       peering intent diff\n"
+            "       peering intent apply [--force]\n"
+            "       peering intent revert <intent-id>\n"
+            "       peering intent history\n"
+            "\n"
+            "exit codes (verify, chaos, and intent share one convention):\n"
+            "  0  clean   checks passed / intent committed\n"
+            "  1  breach  invariant violated, verification or scenario\n"
+            "             failed, or intent not committed cleanly\n"
+            "  2  usage or operational error"
         )
 
     # -- openvpn -----------------------------------------------------------
@@ -224,7 +274,134 @@ class ToolkitCli:
             results = runner.run_all()
         else:
             results = [runner.run(name) for name in rest]
+        if any(not result.ok for result in results):
+            self.exit_code = 1
         return "\n".join(result.format() for result in results)
+
+    # -- intent --------------------------------------------------------------
+
+    def _controller(self):
+        if self._intent_controller is None:
+            from repro.intent import IntentController
+
+            self._intent_controller = IntentController(
+                self.client.scheduler,
+                self.client.platform,
+                {self.client.name: self.client},
+                telemetry=getattr(self.client.platform, "telemetry", None),
+            )
+        return self._intent_controller
+
+    def _pending_changeset(self):
+        from repro.intent import ChangeSet
+
+        return ChangeSet(
+            name=f"{self.client.name}-pending",
+            ops=tuple(self._intent_ops),
+        )
+
+    def _cmd_intent(self, args: list[str]) -> str:
+        """Transactional configuration changes (DESIGN.md §6h).
+
+        ``op …`` accumulates a pending ChangeSet; ``plan`` dry-runs it
+        (predicted per-neighbor export diffs plus the invariant
+        catalog, live platform untouched); ``apply`` stages the last
+        plan, re-verifies, and commits — or auto-reverts on breach.
+        Exit code 1 on a not-clean plan, non-committed apply, or dirty
+        revert.
+        """
+        if not args:
+            return self._usage()
+        action, *rest = args
+        if action == "op":
+            return self._intent_add_op(rest)
+        if action == "show":
+            return self._pending_changeset().describe()
+        if action == "clear":
+            count = len(self._intent_ops)
+            self._intent_ops.clear()
+            return f"cleared {count} pending op(s)"
+        if action == "plan":
+            plan = self._controller().plan(self._pending_changeset())
+            self._intent_plan = plan
+            if not plan.report.ok:
+                self.exit_code = 1
+            return f"{plan.intent_id}\n{plan.report.format()}"
+        if action == "diff":
+            report = self._controller().evaluator.evaluate(
+                self._pending_changeset()
+            )
+            if not report.ok:
+                self.exit_code = 1
+            return report.format()
+        if action == "apply":
+            return self._intent_apply(rest)
+        if action == "revert":
+            if not rest:
+                return "error: usage: peering intent revert <intent-id>"
+            record = self._controller().revert(rest[0])
+            if record.revert_clean is False:
+                self.exit_code = 1
+            return record.format()
+        if action == "history":
+            return self._controller().history_text()
+        return self._usage()
+
+    def _intent_add_op(self, args: list[str]) -> str:
+        from repro.intent import (
+            announce_op,
+            connect_op,
+            disconnect_op,
+            withdraw_op,
+        )
+
+        if not args:
+            return self._usage()
+        kind, *rest = args
+        if kind in ("connect", "disconnect"):
+            if not rest:
+                return f"error: usage: peering intent op {kind} <pop>"
+            maker = connect_op if kind == "connect" else disconnect_op
+            op = maker(self.client.name, rest[0])
+        elif kind in ("announce", "withdraw"):
+            prefix, options = self._parse_options(rest)
+            if prefix is None:
+                return "error: missing prefix"
+            if kind == "withdraw":
+                op = withdraw_op(
+                    self.client.name, str(prefix), pops=options["pops"]
+                )
+            else:
+                op = announce_op(
+                    self.client.name,
+                    str(prefix),
+                    pops=options["pops"],
+                    communities=tuple(
+                        str(c) for c in options["communities"]
+                    ),
+                    prepend=options["prepend"],
+                    poison=options["poisons"],
+                )
+        else:
+            return self._usage()
+        self._intent_ops.append(op)
+        return (
+            f"op {len(self._intent_ops)}: {op.describe()} "
+            f"(digest {self._pending_changeset().digest()})"
+        )
+
+    def _intent_apply(self, args: list[str]) -> str:
+        force = "--force" in args
+        plan = self._intent_plan
+        if plan is None:
+            plan = self._controller().plan(self._pending_changeset())
+            self._intent_plan = plan
+        record = self._controller().apply(plan, force=force)
+        self._intent_plan = None
+        self._intent_ops.clear()
+        if record.phase != "committed" or record.revert_clean is False:
+            self.exit_code = 1
+        return record.format()
 
     # -- verify --------------------------------------------------------------
 
@@ -264,13 +441,18 @@ class ToolkitCli:
             clients={self.client.name: self.client},
         )
         reports = run_invariants(context, names=names or None)
+        if any(not report.ok for report in reports.values()):
+            self.exit_code = 1
         return "\n".join(report.format() for report in reports.values())
 
     def _verify_codec(self, options: dict) -> str:
         from repro.conformance.fuzzer import DecoderFuzzer
 
         fuzzer = DecoderFuzzer(seed=options["seed"])
-        return fuzzer.run(iterations=options["frames"]).format()
+        result = fuzzer.run(iterations=options["frames"])
+        if not result.ok:
+            self.exit_code = 1
+        return result.format()
 
     def _verify_differential(self, options: dict) -> str:
         from repro.conformance.differential import DifferentialHarness
@@ -290,17 +472,21 @@ class ToolkitCli:
             # Shard-count sweep (DESIGN.md §6f): prove the fan-out is
             # byte-identical at every requested shard count instead of
             # sweeping the perf-flag lattice.
-            return harness.run_shards(
+            result = harness.run_shards(
                 counts=options["shards"],
                 partition=options["partition"],
-            ).format()
-        # With eight toggles the full lattice is 256 runs; the CLI
-        # defaults to the curated 16-combination subsample.  ``--subsample
-        # 0`` requests the full lattice.
-        subsample = options["subsample"]
-        return harness.run(
-            subsample=None if subsample == 0 else subsample
-        ).format()
+            )
+        else:
+            # With eight toggles the full lattice is 256 runs; the CLI
+            # defaults to the curated 16-combination subsample.
+            # ``--subsample 0`` requests the full lattice.
+            subsample = options["subsample"]
+            result = harness.run(
+                subsample=None if subsample == 0 else subsample
+            )
+        if not result.ok:
+            self.exit_code = 1
+        return result.format()
 
     @staticmethod
     def _parse_verify_options(args: list[str]):

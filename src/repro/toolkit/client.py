@@ -39,6 +39,44 @@ from repro.platform.peering import ExperimentConnection, PeeringPlatform
 from repro.sim.scheduler import Scheduler
 
 
+def build_announcement(
+    prefix: Prefix,
+    origin: int,
+    platform_asn: int,
+    communities: Iterable[Community] = (),
+    prepend: int = 0,
+    poison: Sequence[int] = (),
+) -> Route:
+    """The client-side route for one announcement, before localization.
+
+    Pure: given the same arguments it always builds the same route (the
+    next hop is a placeholder; :meth:`ExperimentClient.announce` swaps
+    in the per-PoP tunnel address).  Shared by the live announce path
+    and the intent layer's dry-run evaluator so a planned ChangeSet
+    stages exactly the route the plan predicted.
+    """
+    asns: list[int] = []
+    if poison:
+        # Classic poisoning: sandwich the poisoned ASNs in our own.
+        asns = [origin] + list(poison) + [origin]
+    elif origin != platform_asn:
+        asns = [origin]
+    if prepend:
+        # ``prepend`` counts the copies of our ASN in the client-side
+        # path (the mux prepends the platform ASN again on export).
+        pad = max(prepend - (1 if asns and asns[0] == origin else 0), 0)
+        asns = [origin] * pad + asns
+    return Route(
+        prefix=prefix,
+        attributes=PathAttributes(
+            origin=Origin.IGP,
+            as_path=AsPath.from_asns(*asns),
+            next_hop=IPv4Address(0),  # placeholder, localized per PoP
+            communities=frozenset(communities),
+        ),
+    )
+
+
 @dataclass
 class PopView:
     """Everything the client tracks about one connected PoP."""
@@ -300,25 +338,13 @@ class ExperimentClient:
         poisoning capability to clear the security enforcer).
         """
         origin = origin_asn if origin_asn is not None else self.asn
-        asns: list[int] = []
-        if poison:
-            # Classic poisoning: sandwich the poisoned ASNs in our own.
-            asns = [origin] + list(poison) + [origin]
-        elif origin != self.platform.platform_asn:
-            asns = [origin]
-        if prepend:
-            # ``prepend`` counts the copies of our ASN in the client-side
-            # path (the mux prepends the platform ASN again on export).
-            pad = max(prepend - (1 if asns and asns[0] == origin else 0), 0)
-            asns = [origin] * pad + asns
-        route = Route(
-            prefix=prefix,
-            attributes=PathAttributes(
-                origin=Origin.IGP,
-                as_path=AsPath.from_asns(*asns),
-                next_hop=IPv4Address(0),  # set per PoP below
-                communities=frozenset(communities),
-            ),
+        route = build_announcement(
+            prefix,
+            origin=origin,
+            platform_asn=self.platform.platform_asn,
+            communities=communities,
+            prepend=prepend,
+            poison=poison,
         )
         sent = []
         for pop_name in pops if pops is not None else list(self.pops):
@@ -330,6 +356,20 @@ class ExperimentClient:
             view.announced[prefix] = localized
             sent.append(localized)
         return sent
+
+    def replay_route(self, pop_name: str, route: Route) -> None:
+        """Re-send one previously announced route verbatim.
+
+        The intent layer's auto-revert uses this to restore a recorded
+        snapshot exactly: the route (next hop already localized) is
+        replayed without rebuilding it, so the restored state is
+        byte-identical to what the snapshot captured.
+        """
+        view = self.pops[pop_name]
+        if view.session is None or not view.session.established:
+            raise RuntimeError(f"BGP session to {pop_name} is not up")
+        view.session.send_update(UpdateMessage.announce([route]))
+        view.announced[route.prefix] = route
 
     def withdraw(self, prefix: Prefix,
                  pops: Optional[Sequence[str]] = None) -> None:

@@ -899,15 +899,28 @@ class VbgpNode:
         ]
         return select_targets(route, candidates)
 
-    def _export_to_neighbor(self, neighbor: UpstreamNeighbor,
-                            route: Route) -> None:
-        if neighbor.session is None or not neighbor.session.established:
-            return
+    def export_transform(self, route: Route) -> Route:
+        """The §3.2.1 export rewrite for an experiment announcement.
+
+        Pure (no node state is mutated): control communities are
+        consumed, the platform ASN is prepended, the next hop becomes
+        this PoP's upstream address, and client-local ADD-PATH ids /
+        iBGP local-pref never leave the platform.  The live export path
+        and the intent layer's dry-run predictor share this one
+        function, so a predicted export diff cannot drift from what the
+        wire would carry.
+        """
         export = strip_control(route)
         export = export.prepended(self.platform_asn)
         export = export.with_next_hop(self._upstream_address())
         export = export.with_path_id(None)
-        export = export.with_attributes(local_pref=None)
+        return export.with_attributes(local_pref=None)
+
+    def _export_to_neighbor(self, neighbor: UpstreamNeighbor,
+                            route: Route) -> None:
+        if neighbor.session is None or not neighbor.session.established:
+            return
+        export = self.export_transform(route)
         neighbor.session.send_update(UpdateMessage.announce([export]))
         self.counters["updates_to_neighbors"] += 1
         if self._m_updates_by_neighbor is not None:

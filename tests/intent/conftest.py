@@ -1,0 +1,139 @@
+"""A small two-PoP world wired for intent-layer tests.
+
+Like the chaos world (two backbone PoPs, one transit per PoP, two
+experiments) but with the external speakers *instrumented*: each
+transit's session carries a distinct description and publishes to the
+platform's BMP station, so tests can compare a plan's predicted export
+diff against the observed change stream at the neighbor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import pytest
+
+from repro.bgp.attributes import local_route
+from repro.bgp.speaker import BgpSpeaker, NeighborConfig, SpeakerConfig
+from repro.intent import IntentController
+from repro.netsim.addr import IPv4Prefix
+from repro.platform.experiment import CapabilityRequest, ExperimentProposal
+from repro.security.capabilities import Capability
+from repro.platform.peering import PeeringPlatform
+from repro.platform.pop import NeighborPort, PopConfig
+from repro.sim.scheduler import Scheduler
+from repro.telemetry import TelemetryHub
+from repro.toolkit.client import ExperimentClient
+
+
+@dataclass
+class TransitHandle:
+    pop: str
+    name: str
+    speaker: BgpSpeaker
+    port: NeighborPort
+    dest: IPv4Prefix
+    session_name: str
+
+
+@dataclass
+class IntentWorld:
+    scheduler: Scheduler
+    platform: PeeringPlatform
+    telemetry: TelemetryHub
+    neighbors: Dict[str, TransitHandle] = field(default_factory=dict)
+    clients: Dict[str, ExperimentClient] = field(default_factory=dict)
+    controller: IntentController = None
+
+
+def build_intent_world(settle_time: float = 15.0) -> IntentWorld:
+    scheduler = Scheduler()
+    telemetry = TelemetryHub(scheduler)
+    platform = PeeringPlatform(
+        scheduler,
+        pop_configs=[
+            PopConfig(name="west", pop_id=0, kind="ixp", backbone=True),
+            PopConfig(name="east", pop_id=1, kind="university",
+                      backbone=True),
+        ],
+        telemetry=telemetry,
+    )
+    neighbors: Dict[str, TransitHandle] = {}
+    for pop_name, nname, asn, dest in (
+        ("west", "transit-west", 65010, IPv4Prefix.parse("10.10.0.0/16")),
+        ("east", "transit-east", 65020, IPv4Prefix.parse("10.20.0.0/16")),
+    ):
+        port = platform.pops[pop_name].provision_neighbor(
+            nname, asn, kind="transit"
+        )
+        speaker = BgpSpeaker(
+            scheduler,
+            SpeakerConfig(asn=asn, router_id=port.address),
+            telemetry=telemetry,
+        )
+        session_name = f"{nname}:from-pop"
+        speaker.attach_neighbor(
+            NeighborConfig(
+                name=session_name,
+                peer_asn=None,
+                local_address=port.address,
+            ),
+            port.channel,
+        )
+        speaker.originate(local_route(dest, next_hop=port.address))
+        neighbors[nname] = TransitHandle(
+            pop=pop_name, name=nname, speaker=speaker, port=port,
+            dest=dest, session_name=session_name,
+        )
+
+    clients: Dict[str, ExperimentClient] = {}
+    for name, pops, prefix_count in (
+        ("alpha", ("west", "east"), 2),
+        ("beta", ("west",), 1),
+    ):
+        platform.submit_proposal(ExperimentProposal(
+            name=name,
+            contact="intent@example.edu",
+            goals="transactional config drill",
+            execution_plan="announce, observe, measure",
+            prefix_count=prefix_count,
+            capability_requests=[
+                CapabilityRequest(Capability.BGP_COMMUNITIES, limit=4,
+                                  justification="community steering"),
+            ],
+        ))
+        client = ExperimentClient(scheduler, name, platform)
+        for pop_name in pops:
+            client.openvpn_up(pop_name)
+            client.bird_start(pop_name)
+        clients[name] = client
+    scheduler.run_for(30)
+    clients["alpha"].announce(clients["alpha"].profile.prefixes[0])
+    scheduler.run_for(30)
+    controller = IntentController(
+        scheduler,
+        platform,
+        clients,
+        neighbor_speakers={
+            name: handle.speaker for name, handle in neighbors.items()
+        },
+        neighbor_pops={
+            name: handle.pop for name, handle in neighbors.items()
+        },
+        telemetry=telemetry,
+        settle_time=settle_time,
+    )
+    return IntentWorld(
+        scheduler=scheduler,
+        platform=platform,
+        telemetry=telemetry,
+        neighbors=neighbors,
+        clients=clients,
+        controller=controller,
+    )
+
+
+@pytest.fixture
+def intent_world() -> IntentWorld:
+    return build_intent_world()

@@ -1,0 +1,77 @@
+"""ChangeSet model: validation, canonical serialization, digests."""
+
+import pytest
+
+from repro.intent import (
+    ChangeOp,
+    ChangeSet,
+    announce_op,
+    connect_op,
+    disconnect_op,
+    parse_community,
+    set_communities_op,
+    withdraw_op,
+)
+
+
+def sample_changeset() -> ChangeSet:
+    return ChangeSet(name="sample", ops=(
+        announce_op("alpha", "184.164.224.0/24", pops=("west",),
+                    communities=("47065:10001",), prepend=2,
+                    poison=(65001,)),
+        withdraw_op("alpha", "184.164.225.0/24"),
+        set_communities_op("alpha", "184.164.224.0/24", ("47064:20",)),
+        connect_op("beta", "east"),
+        disconnect_op("beta", "west"),
+    ))
+
+
+def test_round_trip_preserves_everything():
+    changeset = sample_changeset()
+    restored = ChangeSet.from_json(changeset.to_json())
+    assert restored == changeset
+    assert restored.digest() == changeset.digest()
+
+
+def test_serialization_is_canonical_and_digest_stable():
+    changeset = sample_changeset()
+    assert changeset.to_json() == sample_changeset().to_json()
+    # A semantic change must change the digest.
+    other = changeset.with_op(withdraw_op("beta", "184.164.226.0/24"))
+    assert other.digest() != changeset.digest()
+
+
+def test_validate_rejects_unknown_kind_and_missing_fields():
+    with pytest.raises(ValueError, match="unknown op kind"):
+        ChangeOp(kind="explode", experiment="alpha").validate()
+    with pytest.raises(ValueError, match="needs a prefix"):
+        ChangeOp(kind="announce", experiment="alpha").validate()
+    with pytest.raises(ValueError, match="needs a pop"):
+        ChangeOp(kind="connect", experiment="alpha").validate()
+    with pytest.raises(ValueError, match="needs an experiment"):
+        ChangeOp(kind="withdraw", experiment="",
+                 prefix="10.0.0.0/24").validate()
+    sample_changeset().validate()  # all well-formed ops pass
+
+
+def test_empty_and_with_op():
+    empty = ChangeSet(name="empty")
+    assert empty.is_empty()
+    grown = empty.with_op(withdraw_op("alpha", "184.164.224.0/24"))
+    assert not grown.is_empty()
+    assert empty.is_empty()  # with_op is non-destructive
+
+
+def test_describe_mentions_every_op():
+    text = sample_changeset().describe()
+    for token in ("announce", "withdraw", "set-communities",
+                  "connect beta@east", "disconnect beta@west",
+                  "prepend=2", "poison=65001", "47065:10001"):
+        assert token in text
+
+
+def test_parse_community():
+    assert parse_community("47065:10001") == (47065, 10001)
+    assert parse_community("nonsense") is None
+    assert parse_community("1:2:3") is None
+    assert parse_community("a:b") is None
