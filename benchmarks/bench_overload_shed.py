@@ -1,0 +1,109 @@
+"""Overload resilience — bounded ingress under a 5× flood (§6i).
+
+Two layers of measurement, all gated metrics in *simulated* time so
+the regression gate is machine-independent:
+
+* a queue microbenchmark: 5 000 announcements offered at five times
+  the drain capacity into one bounded :class:`IngressQueue`; reports
+  the offered and sustained rates, the shed fraction, and the peak
+  announce depth (which must never exceed the configured bound), and
+* the two §6i chaos scenarios (``ingress-flood``, ``slow-consumer``):
+  post-heal convergence time back to the byte-exact pre-fault state.
+
+Outputs ``BENCH_overload_shed.json`` for the CI regression gate.
+"""
+
+import time
+from types import SimpleNamespace
+
+from benchmarks.reporting import format_table, report, report_json
+from repro.chaos import ChaosRunner, build_chaos_world
+from repro.overload.queues import IngressQueue, QueuePolicy
+from repro.sim import Scheduler
+
+OFFERED_ROUTES = 5000
+OVERLOAD_FACTOR = 5.0
+POLICY = QueuePolicy(depth=48, drain_batch=8, drain_interval=0.2)
+
+
+class _Sink:
+    established = True
+
+    def __init__(self):
+        self.delivered = 0
+
+    def deliver_update(self, update):
+        self.delivered += 1
+
+
+def _flood_queue():
+    """Offer a 5× flood; return (queue, sink, sim_elapsed)."""
+    scheduler = Scheduler()
+    queue = IngressQueue(scheduler, "bench", policy=POLICY)
+    sink = _Sink()
+    drain_per_s = POLICY.drain_batch / POLICY.drain_interval
+    offered_per_s = OVERLOAD_FACTOR * drain_per_s
+    for index in range(OFFERED_ROUTES):
+        scheduler.call_at(
+            index / offered_per_s,
+            lambda i=index: queue.offer(sink, SimpleNamespace(
+                nlri=[(f"10.{i // 250}.{i % 250}.0/24", None)],
+                withdrawn=[],
+            )),
+        )
+    scheduler.run_for(OFFERED_ROUTES / offered_per_s + 1.0)
+    while queue.pending:
+        scheduler.run_for(1.0)
+    return queue, sink, scheduler.now
+
+
+def test_overload_shed():
+    started = time.perf_counter()
+    drain_per_s = POLICY.drain_batch / POLICY.drain_interval
+    offered_per_s = OVERLOAD_FACTOR * drain_per_s
+
+    queue, sink, sim_elapsed = _flood_queue()
+    stats = queue.stats
+    assert stats.delivered == sink.delivered
+    assert stats.delivered + stats.shed_updates == OFFERED_ROUTES
+    assert stats.peak_announce_depth <= POLICY.depth
+    sustained_per_s = stats.delivered / sim_elapsed
+    shed_fraction = stats.shed_updates / OFFERED_ROUTES
+
+    flood_world = build_chaos_world(seed=0)
+    flood = ChaosRunner(flood_world).run("ingress-flood")
+    assert flood.ok, flood.format()
+    slow_world = build_chaos_world(seed=0)
+    slow = ChaosRunner(slow_world).run("slow-consumer")
+    assert slow.ok, slow.format()
+
+    metrics = {
+        "offered_routes": OFFERED_ROUTES,
+        "offered_per_s": round(offered_per_s, 3),
+        "sustained_per_s": round(sustained_per_s, 3),
+        "shed_fraction": round(shed_fraction, 4),
+        "peak_announce_depth": stats.peak_announce_depth,
+        "queue_capacity": POLICY.depth,
+        "flood_convergence_s": round(flood.convergence_time, 3),
+        "flood_announcements_shed": flood.details["announcements_shed"],
+        "flood_breaker_trips": flood.details["breaker_trips"],
+        "slow_consumer_convergence_s": round(slow.convergence_time, 3),
+        "wall_clock_seconds": round(time.perf_counter() - started, 2),
+    }
+
+    rows = [
+        ["offered rate", f"{offered_per_s:.0f}/s"],
+        ["sustained rate", f"{sustained_per_s:.1f}/s"],
+        ["shed fraction", f"{shed_fraction:.1%}"],
+        ["peak announce depth",
+         f"{stats.peak_announce_depth} (cap {POLICY.depth})"],
+        ["flood re-convergence", f"{flood.convergence_time:.1f}s"],
+        ["slow-consumer re-convergence", f"{slow.convergence_time:.1f}s"],
+    ]
+    report("overload_shed", "\n".join([
+        f"Bounded ingress under {OVERLOAD_FACTOR:.0f}x overload: "
+        "announcements shed oldest-first, withdrawals never shed, "
+        "byte-exact post-heal re-convergence",
+        format_table(["metric", "value"], rows),
+    ]))
+    report_json("overload_shed", metrics)

@@ -29,7 +29,8 @@ Reproduce a CI failure locally::
         benchmarks/bench_chaos_convergence.py \
         benchmarks/bench_shard_scaleout.py \
         benchmarks/bench_fig6a_memory.py \
-        benchmarks/bench_footprint.py -q
+        benchmarks/bench_footprint.py \
+        benchmarks/bench_overload_shed.py -q
     FULLTABLE_PREFIXES=200000 FULLTABLE_CHURN=10000 \
         FULLTABLE_MEMORY_PREFIXES=100000 PYTHONPATH=src python -m pytest \
         benchmarks/bench_fulltable_load.py \
@@ -55,6 +56,7 @@ GATED_BENCHMARKS = (
     "fulltable_load",
     "fulltable_memory",
     "intent_dryrun",
+    "overload_shed",
 )
 DEFAULT_TOLERANCE = 0.25
 

@@ -157,6 +157,10 @@ class BgpSession:
         self._decoder = MessageDecoder()
         self._hold_event = None
         self._keepalive_event = None
+        # Optional bounded ingress queue (repro.overload, §6i): when set,
+        # UPDATEs are admitted there instead of delivered inline.  None
+        # (the default) keeps the pre-§6i byte-identical inline path.
+        self._ingress_queue = None
         channel.on_data = self._data_received
         channel.on_close = lambda: self._teardown("peer closed connection")
 
@@ -293,12 +297,15 @@ class BgpSession:
                     announced=tuple(message.routes()),
                     withdrawn=tuple(message.withdrawn),
                 ))
-            if self.gr_negotiated and message.is_end_of_rib:
-                # End-of-RIB marker (RFC 4724): not a routing change.
-                if self._on_end_of_rib is not None:
-                    self._on_end_of_rib(self)
+            queue = self._ingress_queue
+            if queue is not None:
+                # Overload mode: bounded admission, scheduler-driven
+                # delivery.  KEEPALIVE/NOTIFICATION/OPEN never reach the
+                # queue — the FSM branches above handle them inline, so
+                # liveness survives any ingress backlog.
+                queue.offer(self, message)
                 return
-            self._on_update(self, message)
+            self.deliver_update(message)
         elif isinstance(message, RouteRefreshMessage):
             if not self.established:
                 raise NotificationError(
@@ -313,6 +320,22 @@ class BgpSession:
                 f"received NOTIFICATION {message.code}/{message.subcode}",
                 admin=message.code == ErrorCode.CEASE,
             )
+
+    def set_ingress_queue(self, queue) -> None:
+        """Route received UPDATEs through a bounded ingress queue
+        (:class:`repro.overload.IngressQueue`); ``None`` restores the
+        inline path."""
+        self._ingress_queue = queue
+
+    def deliver_update(self, message: UpdateMessage) -> None:
+        """Deliver one admitted UPDATE to the owner (the tail of the
+        dispatch path; also the ingress queue's drain target)."""
+        if self.gr_negotiated and message.is_end_of_rib:
+            # End-of-RIB marker (RFC 4724): not a routing change.
+            if self._on_end_of_rib is not None:
+                self._on_end_of_rib(self)
+            return
+        self._on_update(self, message)
 
     def _handle_open(self, message: OpenMessage) -> None:
         if self.state != SessionState.OPEN_SENT:
@@ -431,6 +454,10 @@ class BgpSession:
             self._hold_event.cancel()
         if self._keepalive_event is not None:
             self._keepalive_event.cancel()
+        if self._ingress_queue is not None:
+            # Queued updates for a dead session are moot: the successor
+            # session re-learns everything from scratch over BGP.
+            self._ingress_queue.flush_session(self)
         self.channel.close()
         if self._on_close is not None:
             self._on_close(self, reason)

@@ -136,6 +136,10 @@ class BgpSpeaker:
         # neighbor's flush wall-clock is charged to the shard that would
         # own that neighbor — modeling only, no emitted byte changes.
         self._shard_costs: Optional[ShardCostModel] = None
+        # Optional overload governor (repro.overload, §6i): when set via
+        # enable_overload(), every neighbor session routes its received
+        # UPDATEs through a bounded per-neighbor ingress queue.
+        self.overload = None
         self.telemetry = telemetry
         self.telemetry_name = f"as{config.asn}/{config.router_id}"
         self._m_updates = None
@@ -245,7 +249,23 @@ class BgpSpeaker:
             ),
             telemetry=self.telemetry,
         )
+        if self.overload is not None:
+            neighbor.session.set_ingress_queue(
+                self.overload.queue_for(config.name)
+            )
         return neighbor.session
+
+    def enable_overload(self, governor) -> None:
+        """Bound this speaker's ingress with an
+        :class:`~repro.overload.OverloadGovernor`: existing neighbor
+        sessions are re-wired immediately; re-dialed sessions inherit
+        their neighbor's queue through :meth:`_make_session`."""
+        self.overload = governor
+        for neighbor in self.neighbors.values():
+            if neighbor.session is not None:
+                neighbor.session.set_ingress_queue(
+                    governor.queue_for(neighbor.config.name)
+                )
 
     def reattach_neighbor(self, name: str, channel: Channel) -> Neighbor:
         """Rebuild an existing neighbor's session over a fresh transport.

@@ -101,6 +101,13 @@ class SessionSupervisor:
                 "Flap-damping suppressions per peer",
                 labels=("peer",),
             ).labels(peer_key)
+            telemetry.registry.gauge(
+                "bgp_supervisor_suppressed",
+                "1 while the peer is suppressed (damped or quarantined)",
+                labels=("peer",),
+            ).labels(peer_key).set_function(
+                lambda: 1.0 if self.suppressed else 0.0
+            )
 
     # -- state -------------------------------------------------------------
 
@@ -115,6 +122,41 @@ class SessionSupervisor:
             self.suppressed_until is not None
             and self.scheduler.now < self.suppressed_until
         )
+
+    def damping_state(self) -> dict:
+        """One peer's damping posture, for telemetry and the CLI.
+
+        ``state`` is the coarse verdict: ``stopped`` / ``gave-up`` /
+        ``suppressed`` (damped or quarantined) / ``backoff`` (a re-dial
+        is scheduled) / ``active`` (session healthy or idle).
+        """
+        now = self.scheduler.now
+        if self.stopped:
+            state = "stopped"
+        elif self.gave_up:
+            state = "gave-up"
+        elif self.suppressed:
+            state = "suppressed"
+        elif self._redial_event is not None:
+            state = "backoff"
+        else:
+            state = "active"
+        remaining = 0.0
+        if self.suppressed:
+            remaining = self.suppressed_until - now
+        return {
+            "state": state,
+            "suppressed": self.suppressed,
+            "suppressed_until": self.suppressed_until,
+            "remaining_s": remaining,
+            "flaps_in_window": len([
+                t for t in self._flap_times
+                if now - t <= self.config.flap_window
+            ]),
+            "attempts": self.attempts,
+            "reconnects": self.reconnects,
+            "suppressions": self.suppressions,
+        }
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -143,6 +185,39 @@ class SessionSupervisor:
         if self._redial_event is not None:
             self._redial_event.cancel()
             self._redial_event = None
+
+    def quarantine(self, duration: float) -> None:
+        """Suppress the peer for ``duration`` seconds (overload breaker).
+
+        Unlike flap damping (which reacts to the peer's own session
+        churn) a quarantine is imposed from outside — the overload
+        governor calls this when the peer's circuit breaker opens, so
+        an already-scheduled re-dial is pushed out past the breaker's
+        open window instead of re-dialing into a source that is being
+        shed.  A live session is left alone: quarantine only delays
+        resurrection, it never tears down.
+        """
+        if self.stopped or self.gave_up or duration <= 0:
+            return
+        now = self.scheduler.now
+        until = now + duration
+        if self.suppressed_until is None or until > self.suppressed_until:
+            self.suppressed_until = until
+        self.suppressions += 1
+        if self._m_suppressions is not None:
+            self._m_suppressions.inc()
+        self._event("quarantine", f"overload quarantine for {duration:g}s")
+        if self._redial_event is not None:
+            # Push the pending re-dial out to the quarantine horizon.
+            self._redial_event.cancel()
+            delay = max(
+                self.config.idle_hold_floor,
+                self.suppressed_until - now,
+            )
+            self.schedule.append(delay)
+            self._redial_event = self.scheduler.call_later(
+                delay, self._redial
+            )
 
     # -- internals ---------------------------------------------------------
 
@@ -192,6 +267,10 @@ class SessionSupervisor:
                 )
                 return
             delay = self._next_delay()
+            if self.suppressed:
+                # A quarantine is in force (overload breaker): never
+                # re-dial before it lapses.
+                delay = max(delay, self.suppressed_until - now)
         self.schedule.append(delay)
         self._redial_event = self.scheduler.call_later(delay, self._redial)
 

@@ -37,7 +37,13 @@ from repro.sim.scheduler import Scheduler
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.netsim.link import Link
 
-__all__ = ["ChannelFaultInjector", "LinkFaultInjector"]
+__all__ = [
+    "ChannelFaultInjector",
+    "IngressFloodInjector",
+    "LinkFaultInjector",
+    "QueueExhaustionInjector",
+    "SlowConsumerInjector",
+]
 
 
 class ChannelFaultInjector:
@@ -126,6 +132,113 @@ class ChannelFaultInjector:
             self.scheduler.call_at(release, lambda: peer._deliver(data))
 
         return send
+
+
+class IngressFloodInjector:
+    """Sustained announcement flood from one external speaker (§6i).
+
+    ``inject()`` schedules one origination per flood prefix at
+    ``rate`` announcements per second — each at a distinct simulated
+    instant, so an MRAI-0 speaker emits one UPDATE per route and the
+    PoP's bounded ingress queue sees genuinely sustained pressure.
+    ``heal()`` cancels any not-yet-fired originations and withdraws
+    every prefix actually announced; the withdrawals travel the
+    never-shed class, so post-heal state converges to exactly the
+    pre-flood baseline even while queues are saturated or the
+    neighbor's circuit breaker is open.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        speaker,
+        next_hop,
+        prefixes,
+        rate: float = 200.0,
+        label: str = "",
+    ) -> None:
+        self.scheduler = scheduler
+        self.speaker = speaker
+        self.next_hop = next_hop
+        self.prefixes = list(prefixes)
+        self.rate = rate
+        self.label = label
+        self.active = False
+        self.announced: list = []
+        self.withdrawn = 0
+        self._events: list = []
+
+    def inject(self) -> None:
+        if self.active:
+            return
+        self.active = True
+        interval = 1.0 / self.rate
+        for index, prefix in enumerate(self.prefixes):
+            self._events.append(self.scheduler.call_later(
+                interval * (index + 1),
+                lambda p=prefix: self._originate(p),
+            ))
+
+    def _originate(self, prefix) -> None:
+        from repro.bgp.attributes import local_route
+
+        self.speaker.originate(local_route(prefix, next_hop=self.next_hop))
+        self.announced.append(prefix)
+
+    def heal(self) -> None:
+        if not self.active:
+            return
+        self.active = False
+        for event in self._events:
+            event.cancel()
+        self._events.clear()
+        for prefix in self.announced:
+            self.speaker.withdraw(prefix)
+            self.withdrawn += 1
+        self.announced.clear()
+
+
+class SlowConsumerInjector:
+    """Multiply one ingress queue's drain interval (a slow consumer)."""
+
+    def __init__(self, queue, factor: float = 16.0) -> None:
+        self.queue = queue
+        self.factor = factor
+        self.active = False
+
+    def inject(self) -> None:
+        if self.active:
+            return
+        self.active = True
+        self.queue.slowdown(self.factor)
+
+    def heal(self) -> None:
+        if not self.active:
+            return
+        self.active = False
+        self.queue.restore()
+
+
+class QueueExhaustionInjector:
+    """Shrink one ingress queue's announce-class capacity."""
+
+    def __init__(self, queue, capacity: int = 8) -> None:
+        self.queue = queue
+        self.capacity = capacity
+        self.active = False
+        self.shed_on_shrink = 0
+
+    def inject(self) -> None:
+        if self.active:
+            return
+        self.active = True
+        self.shed_on_shrink = self.queue.resize(self.capacity)
+
+    def heal(self) -> None:
+        if not self.active:
+            return
+        self.active = False
+        self.queue.restore()
 
 
 class LinkFaultInjector:

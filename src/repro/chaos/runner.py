@@ -226,6 +226,8 @@ class ChaosRunner:
         "enforcer-overload",
         "shard-kill",
         "intent-revert-under-fault",
+        "ingress-flood",
+        "slow-consumer",
     )
 
     def __init__(
@@ -375,11 +377,21 @@ class ChaosRunner:
         self._event("west", "fault-heal", "enforcer-overload: recovered")
         heal_time = self.scheduler.now
         converged, elapsed = self._converge()
+        # Post-heal hygiene: the violation log must be clearable and the
+        # overload flag must be down, so back-to-back scenario runs on
+        # one world start from clean counters.
+        cleared = pop.control_enforcer.reset_violations()
         invariants = self._invariants(converged)
         invariants["fail_closed"] = fail_closed
         invariants["recovered_after_overload"] = recovered
+        invariants["counters_reset"] = (
+            not pop.control_enforcer.violations
+            and not pop.control_enforcer.overloaded
+        )
         return self._result("enforcer-overload", converged, elapsed,
-                            invariants, {}, heal_time)
+                            invariants,
+                            {"violations_cleared": float(cleared)},
+                            heal_time)
 
     def _scenario_shard_kill(self) -> ScenarioResult:
         """Kill one fan-out shard worker mid-churn (§6f crash recovery).
@@ -510,7 +522,205 @@ class ChaosRunner:
             heal_time,
         )
 
+    def _scenario_ingress_flood(self) -> ScenarioResult:
+        """A 5× sustained announcement flood against bounded ingress.
+
+        The west PoP gets the §6i overload layer (lazily; the earlier
+        scenarios in a ``run_all`` sweep see the pre-§6i unbounded
+        path).  transit-west then floods 1200 unique announcements at
+        five times the queue's drain capacity: the queue must shed
+        announcements oldest-first within its fixed bound, the
+        neighbor's circuit breaker must trip OPEN and turn the tail of
+        the flood into cheap admission rejections, and the watchdog
+        must flag the PoP.  Healing withdraws every flood prefix — the
+        never-shed class — after which the platform must reconverge to
+        the exact pre-fault snapshot under the **full** conformance
+        catalog, including ``no_withdrawal_loss_under_shed``, with the
+        breaker recovered to CLOSED through its half-open trials.
+        """
+        from repro.chaos.faults import IngressFloodInjector
+
+        handle = self.world.neighbors["transit-west"]
+        pop = self.platform.pops[handle.pop]
+        governor = self._enable_overload(handle.pop)
+        breaker = governor.breaker_for(handle.name)
+        capacity = governor.policy.queue.depth
+        drain_per_s = (
+            governor.policy.queue.drain_batch
+            / governor.policy.queue.drain_interval
+        )
+        rate = 5.0 * drain_per_s
+        flood = [
+            IPv4Prefix.parse(f"10.{77 + index // 250}.{index % 250}.0/24")
+            for index in range(1200)
+        ]
+        injector = IngressFloodInjector(
+            self.scheduler,
+            handle.speaker,
+            handle.port.address,
+            flood,
+            rate=rate,
+            label=f"ingress-flood:{handle.name}",
+        )
+        injector.inject()
+        self._event(
+            handle.name, "fault-inject",
+            f"ingress-flood: {len(flood)} announcements at {rate:g}/s "
+            f"({5.0:g}x drain capacity)",
+        )
+        self.scheduler.run_for(len(flood) / rate + 2.0)
+        flagged = (
+            pop.watchdog.state if pop.watchdog is not None else "healthy"
+        )
+        trips = breaker.trips
+        injector.heal()
+        self._event(
+            handle.name, "fault-heal",
+            f"ingress-flood: {injector.withdrawn} withdrawals sent",
+        )
+        heal_time = self.scheduler.now
+        converged, elapsed = self._converge()
+        totals = governor.totals()
+        shed = (
+            totals["shed_announcements"] + totals["rejected_announcements"]
+        )
+        invariants = self._full_invariants(converged)
+        invariants["announcements_shed"] = shed > 0
+        invariants["shed_only_announcements"] = (
+            totals["shed_withdrawals"] == 0
+            and totals["shed_control"] == 0
+        )
+        invariants["bounded_queue_memory"] = (
+            totals["peak_announce_depth"] <= capacity
+        )
+        invariants["breaker_tripped"] = trips >= 1
+        invariants["breaker_recovered"] = breaker.state == "closed"
+        invariants["watchdog_flagged"] = flagged != "healthy"
+        details = {
+            "flood_routes": float(len(flood)),
+            "offered_rate_per_s": rate,
+            "announcements_shed": float(totals["shed_announcements"]),
+            "announcements_rejected": float(
+                totals["rejected_announcements"]
+            ),
+            "peak_announce_depth": float(totals["peak_announce_depth"]),
+            "breaker_trips": float(trips),
+            "window_sheds_cleared": float(
+                governor.reset_window_counters()
+            ),
+        }
+        return self._result("ingress-flood", converged, elapsed,
+                            invariants, details, heal_time)
+
+    def _scenario_slow_consumer(self) -> ScenarioResult:
+        """A slowed drain plus a shrunken queue under moderate churn.
+
+        The drain interval is inflated 16× and the announce-class bound
+        shrunk to 12 while transit-west announces 60 prefixes at
+        10/s — enough pressure to shed steadily but (unlike
+        ``ingress-flood``) *below* the breaker's trip threshold.  The
+        platform must shed only announcements, keep the breaker CLOSED
+        throughout, and reconverge exactly once the injectors heal and
+        the flood prefixes are withdrawn.
+        """
+        from repro.chaos.faults import (
+            IngressFloodInjector,
+            QueueExhaustionInjector,
+            SlowConsumerInjector,
+        )
+
+        handle = self.world.neighbors["transit-west"]
+        governor = self._enable_overload(handle.pop)
+        queue = governor.queue_for(handle.name)
+        breaker = governor.breaker_for(handle.name)
+        trips_before = breaker.trips
+        shed_before = governor.totals()["shed_announcements"]
+        slow = SlowConsumerInjector(queue, factor=16.0)
+        shrink = QueueExhaustionInjector(queue, capacity=12)
+        churn = [
+            IPv4Prefix.parse(f"10.88.{index}.0/24") for index in range(60)
+        ]
+        feeder = IngressFloodInjector(
+            self.scheduler,
+            handle.speaker,
+            handle.port.address,
+            churn,
+            rate=10.0,
+            label=f"slow-consumer:{handle.name}",
+        )
+        slow.inject()
+        shrink.inject()
+        feeder.inject()
+        self._event(
+            handle.name, "fault-inject",
+            f"slow-consumer: drain x{slow.factor:g}, capacity "
+            f"{shrink.capacity}, {len(churn)} announcements at 10/s",
+        )
+        self.scheduler.run_for(len(churn) / 10.0 + 2.0)
+        feeder.heal()
+        slow.heal()
+        shrink.heal()
+        self._event(
+            handle.name, "fault-heal",
+            f"slow-consumer: injectors healed, {feeder.withdrawn} "
+            "withdrawals sent",
+        )
+        heal_time = self.scheduler.now
+        converged, elapsed = self._converge()
+        totals = governor.totals()
+        shed = totals["shed_announcements"] - shed_before
+        invariants = self._full_invariants(converged)
+        invariants["announcements_shed"] = shed > 0
+        invariants["shed_only_announcements"] = (
+            totals["shed_withdrawals"] == 0
+            and totals["shed_control"] == 0
+        )
+        invariants["breaker_not_tripped"] = breaker.trips == trips_before
+        details = {
+            "churn_routes": float(len(churn)),
+            "announcements_shed": float(shed),
+            "shed_on_shrink": float(shrink.shed_on_shrink),
+            "slow_factor": float(slow.factor),
+            "shrunk_capacity": float(shrink.capacity),
+            "window_sheds_cleared": float(
+                governor.reset_window_counters()
+            ),
+        }
+        return self._result("slow-consumer", converged, elapsed,
+                            invariants, details, heal_time)
+
     # -- scenario machinery ------------------------------------------------
+
+    def _enable_overload(self, pop_name: str):
+        """The scenario-grade §6i overload layer, installed lazily.
+
+        Deliberately small knobs (queue depth 48 draining 40 updates/s,
+        breaker tripping at 64 failures in 5 s) so a modest synthetic
+        flood exercises every state transition within a short sim run.
+        Idempotent: once enabled, the governor persists for the rest of
+        the world's life (later scenarios simply run with bounded
+        ingress too — at these bounds, baseline churn never sheds).
+        """
+        pop = self.platform.pops[pop_name]
+        if pop.overload is None:
+            from repro.overload import (
+                BreakerConfig,
+                OverloadPolicy,
+                QueuePolicy,
+            )
+
+            pop.enable_overload(OverloadPolicy(
+                queue=QueuePolicy(
+                    depth=48, drain_batch=8, drain_interval=0.2
+                ),
+                breaker=BreakerConfig(
+                    failure_threshold=64,
+                    failure_window=5.0,
+                    open_time=20.0,
+                    half_open_trials=2,
+                ),
+            ))
+        return pop.overload
 
     def _channel_scenario(
         self,
@@ -641,6 +851,9 @@ class ChaosRunner:
 
     def _settled(self) -> bool:
         for pop in self.platform.pops.values():
+            governor = getattr(pop, "overload", None)
+            if governor is not None and governor.pending():
+                return False  # bounded ingress queues still draining
             if pop.node.shard_pending():
                 return False  # fan-out work still queued on a shard
             for neighbor in pop.node.upstreams.values():

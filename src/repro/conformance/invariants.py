@@ -35,6 +35,13 @@ Catalog (keys of :data:`CATALOG`):
     Every per-neighbor kernel routing table contains exactly the
     prefixes present in that neighbor's Adj-RIB-In (§5
     table-per-neighbor design).
+``no_withdrawal_loss_under_shed``
+    Overload shedding (DESIGN.md §6i) never drops a withdrawal or a
+    control-class update: every ingress queue's shed accounting shows
+    zero withdrawal/control sheds, an idle queue's withdrawal intake
+    balances its deliveries, and the shard engine's bounded inboxes
+    shed announcements only.  Vacuously satisfied (checked=0) when a
+    PoP has no overload governor installed.
 """
 
 from __future__ import annotations
@@ -317,12 +324,58 @@ def check_kernel_consistency(ctx: ConformanceContext) -> InvariantReport:
     return report
 
 
+def check_no_withdrawal_loss_under_shed(
+    ctx: ConformanceContext,
+) -> InvariantReport:
+    report = InvariantReport("no_withdrawal_loss_under_shed")
+    for pop_name, pop in ctx.pops.items():
+        governor = getattr(pop.node, "overload", None)
+        if governor is None:
+            continue
+        for peer, queue in governor.queues.items():
+            stats = queue.stats
+            report.checked += 1
+            where = f"{pop_name}/{peer}"
+            if stats.shed_withdrawals > 0:
+                report.fail(
+                    f"{where}: {stats.shed_withdrawals} withdrawals shed "
+                    "from the ingress queue"
+                )
+            if stats.shed_control > 0:
+                report.fail(
+                    f"{where}: {stats.shed_control} control-class updates "
+                    "shed from the ingress queue"
+                )
+            if queue.pending == 0:
+                accounted = (
+                    stats.withdrawals_delivered
+                    + stats.withdrawals_dropped_on_close
+                )
+                if stats.withdrawals_admitted != accounted:
+                    report.fail(
+                        f"{where}: {stats.withdrawals_admitted} withdrawals"
+                        f" admitted but only {accounted} accounted for "
+                        "(delivered + dropped-on-close)"
+                    )
+        engine = pop.node.shard_engine
+        if engine is not None:
+            report.checked += 1
+            if engine.stats.withdrawals_shed > 0:
+                report.fail(
+                    f"{pop_name}: shard engine shed "
+                    f"{engine.stats.withdrawals_shed} withdrawals at a "
+                    "bounded inbox"
+                )
+    return report
+
+
 CATALOG: Dict[str, Callable[[ConformanceContext], InvariantReport]] = {
     "vmac_bijectivity": check_vmac_bijectivity,
     "addpath_completeness": check_addpath_completeness,
     "community_propagation": check_community_propagation,
     "no_cross_experiment_leakage": check_no_cross_experiment_leakage,
     "kernel_consistency": check_kernel_consistency,
+    "no_withdrawal_loss_under_shed": check_no_withdrawal_loss_under_shed,
 }
 
 

@@ -31,6 +31,11 @@ next to the session churn they cause.  The state machine::
        │                   │
        │                   └──verify breach──▶ REVERTED (automatic)
        └──apply, plan not clean, no force──▶ REJECTED
+
+``apply`` also consults the overload layer (§6i): when a touched PoP's
+health watchdog reports *critical*, the plan is rejected outright —
+``force`` does not override the health gate, because staging more
+configuration into an overloaded PoP can only deepen the overload.
 """
 
 from __future__ import annotations
@@ -181,6 +186,18 @@ class IntentController:
             return self._record(
                 plan, "committed", "empty ChangeSet: no-op commit"
             )
+        critical = self._critical_pops(plan.changeset)
+        if critical:
+            # The health gate is not forceable: a critical PoP is
+            # already shedding or has a source quarantined, and staging
+            # more configuration into it can only deepen the overload
+            # (§6i).  Heal first, then re-apply.
+            self._phases[plan.intent_id] = "rejected"
+            return self._record(
+                plan, "rejected",
+                f"PoP(s) in critical health: {', '.join(critical)} "
+                "(heal before applying; the gate ignores force)",
+            )
         if not plan.report.ok and not force:
             self._phases[plan.intent_id] = "rejected"
             return self._record(
@@ -233,6 +250,32 @@ class IntentController:
             plan, "reverted", "operator revert",
             revert_clean=revert_clean,
         )
+
+    def _critical_pops(self, changeset: ChangeSet) -> list[str]:
+        """PoPs the changeset touches whose health watchdog is CRITICAL.
+
+        An op with an empty ``pops`` tuple targets every connected PoP,
+        so it is gated by every critical PoP on the platform.
+        """
+        from repro.overload.watchdog import CRITICAL
+
+        touched: set[str] = set()
+        touches_all = False
+        for op in changeset.ops:
+            if op.kind in ("connect", "disconnect"):
+                touched.add(op.pop)
+            elif op.pops:
+                touched.update(op.pops)
+            else:
+                touches_all = True
+        critical = []
+        for name in sorted(self.platform.pops):
+            watchdog = getattr(self.platform.pops[name], "watchdog", None)
+            if watchdog is None or watchdog.state != CRITICAL:
+                continue
+            if touches_all or name in touched:
+                critical.append(name)
+        return critical
 
     # -- staging (ordinary toolkit primitives) -----------------------------
 

@@ -1,0 +1,69 @@
+"""Overload resilience: bounded ingress, load shedding, breakers (§6i).
+
+The mux multiplexes many experiments over shared BGP sessions; a
+misbehaving experiment or a full-table churn burst must degrade the
+platform *predictably*, not stall it.  This package provides the four
+mechanisms DESIGN.md §6i threads through the ingress path:
+
+* :class:`IngressQueue` — a bounded per-neighbor queue between a BGP
+  session's wire dispatch and its owner, shedding by class
+  (announcements oldest-first; withdrawals and control never);
+* :class:`CircuitBreaker` — closed → open → half-open per neighbor or
+  experiment, tripped by sustained queue overflow or enforcer
+  violations;
+* :class:`HealthWatchdog` — the per-PoP healthy/degraded/critical
+  state machine driven by queue depth, shed rate, and breaker status;
+* :class:`OverloadGovernor` — the per-PoP registry tying them together
+  and feeding the telemetry station.
+
+Everything here is opt-in and default-off: a platform built without an
+:class:`OverloadPolicy` behaves byte-identically to one that predates
+this package (the DifferentialHarness relies on that).
+"""
+
+from repro.overload.breaker import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+)
+from repro.overload.governor import OverloadGovernor, OverloadPolicy
+from repro.overload.queues import (
+    CLASS_ANNOUNCE,
+    CLASS_CONTROL,
+    CLASS_WITHDRAW,
+    IngressQueue,
+    QueuePolicy,
+    QueueStats,
+    classify_update,
+)
+from repro.overload.watchdog import (
+    CRITICAL,
+    DEGRADED,
+    HEALTHY,
+    HealthWatchdog,
+    WatchdogConfig,
+)
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "BreakerConfig",
+    "CLASS_ANNOUNCE",
+    "CLASS_CONTROL",
+    "CLASS_WITHDRAW",
+    "CRITICAL",
+    "CircuitBreaker",
+    "DEGRADED",
+    "HEALTHY",
+    "HealthWatchdog",
+    "IngressQueue",
+    "OverloadGovernor",
+    "OverloadPolicy",
+    "QueuePolicy",
+    "QueueStats",
+    "WatchdogConfig",
+    "classify_update",
+]

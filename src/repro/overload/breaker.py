@@ -1,0 +1,142 @@
+"""Per-neighbor circuit breakers: closed → open → half-open.
+
+A :class:`CircuitBreaker` watches one ingress source (an upstream
+neighbor or an experiment session) for sustained failure — queue
+overflow or control-plane-enforcer violations — and trips to OPEN when
+the windowed failure count crosses the threshold.  While OPEN, new
+*announcements* from that source are refused at admission (withdrawals
+always pass: they only ever shrink state).  After ``open_time`` the
+breaker admits trial traffic (HALF_OPEN); a burst-free run of
+``half_open_trials`` delivered updates closes it, a single failure
+re-trips it.
+
+The state machine is evaluated lazily against the simulated clock (no
+timers of its own), so an idle breaker costs nothing and the whole
+subsystem stays deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.scheduler import Scheduler
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "BreakerConfig",
+    "CircuitBreaker",
+]
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+#: state → numeric severity (telemetry gauge encoding)
+BREAKER_LEVEL = {BREAKER_CLOSED: 0, BREAKER_HALF_OPEN: 1, BREAKER_OPEN: 2}
+
+
+@dataclass
+class BreakerConfig:
+    failure_threshold: int = 64   # failures within the window to trip
+    failure_window: float = 5.0   # seconds of failure history considered
+    open_time: float = 20.0       # seconds OPEN before trial traffic
+    half_open_trials: int = 2     # delivered updates needed to close
+
+
+TransitionCallback = Callable[["CircuitBreaker", str, str, str], None]
+
+
+class CircuitBreaker:
+    """One source's breaker; see the module docstring for the protocol."""
+
+    def __init__(
+        self,
+        scheduler: "Scheduler",
+        peer_key: str,
+        config: Optional[BreakerConfig] = None,
+        on_transition: Optional[TransitionCallback] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.peer_key = peer_key
+        self.config = config if config is not None else BreakerConfig()
+        self.on_transition = on_transition
+        self.trips = 0
+        self.rejected = 0
+        self._state = BREAKER_CLOSED
+        self._failures: deque = deque()
+        self._open_until = 0.0
+        self._trial_successes = 0
+
+    @property
+    def state(self) -> str:
+        """Current state; OPEN decays to HALF_OPEN once the window ends."""
+        if (
+            self._state == BREAKER_OPEN
+            and self.scheduler.now >= self._open_until
+        ):
+            self._trial_successes = 0
+            self._transition(
+                BREAKER_HALF_OPEN,
+                f"open window elapsed after {self.config.open_time:g}s; "
+                "admitting trial traffic",
+            )
+        return self._state
+
+    def allow(self) -> bool:
+        """May an announcement from this source be admitted right now?"""
+        if self.state == BREAKER_OPEN:
+            self.rejected += 1
+            return False
+        return True
+
+    def record_failure(self, kind: str = "failure", count: int = 1) -> None:
+        state = self.state
+        if state == BREAKER_OPEN:
+            return  # already quarantined
+        if state == BREAKER_HALF_OPEN:
+            self._trip(f"{kind} during half-open trial")
+            return
+        now = self.scheduler.now
+        for _ in range(max(1, count)):
+            self._failures.append(now)
+        window = self.config.failure_window
+        while self._failures and now - self._failures[0] > window:
+            self._failures.popleft()
+        if len(self._failures) >= self.config.failure_threshold:
+            self._trip(
+                f"{len(self._failures)} {kind} failures within {window:g}s"
+            )
+
+    def record_success(self) -> None:
+        """One update delivered cleanly; closes the breaker after enough
+        half-open trials (no effect while CLOSED or OPEN)."""
+        if self.state != BREAKER_HALF_OPEN:
+            return
+        self._trial_successes += 1
+        if self._trial_successes >= self.config.half_open_trials:
+            self._transition(
+                BREAKER_CLOSED,
+                f"{self._trial_successes} clean half-open trials",
+            )
+
+    def reset_window(self) -> None:
+        """Forget accumulated (sub-threshold) failures — post-heal hygiene
+        so repeated in-process scenario runs cannot cross-contaminate."""
+        self._failures.clear()
+
+    def _trip(self, why: str) -> None:
+        self.trips += 1
+        self._failures.clear()
+        self._open_until = self.scheduler.now + self.config.open_time
+        self._transition(BREAKER_OPEN, why)
+
+    def _transition(self, new_state: str, why: str) -> None:
+        old_state = self._state
+        self._state = new_state
+        if self.on_transition is not None:
+            self.on_transition(self, old_state, new_state, why)

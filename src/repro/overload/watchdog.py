@@ -1,0 +1,185 @@
+"""The per-PoP health watchdog: healthy → degraded → critical.
+
+A :class:`HealthWatchdog` ticks on the simulated clock and condenses
+one PoP's overload evidence — queue depth fraction, windowed shed
+rate, circuit-breaker states — into a three-state health verdict:
+
+``healthy``
+    queues shallow, no recent shedding, all breakers closed;
+``degraded``
+    a breaker is half-open, queues past the degraded depth fraction,
+    or announcements are being shed above the degraded rate;
+``critical``
+    a breaker is OPEN (a source is quarantined), queues essentially
+    full, or the shed rate past the critical threshold.
+
+Escalation is immediate; de-escalation needs ``recover_ticks``
+consecutive calm ticks (hysteresis, so a PoP does not flap between
+states at the overload boundary).  Every transition is published to
+the telemetry station as a :class:`~repro.telemetry.station.
+HealthEvent`, and the current state is exported as a scrape-time
+gauge.  The ``peering health`` CLI and ``IntentController.apply`` (a
+critical PoP refuses new plans) both read :attr:`state`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.overload.governor import OverloadGovernor
+    from repro.sim.scheduler import Scheduler
+    from repro.telemetry import TelemetryHub
+
+__all__ = [
+    "CRITICAL",
+    "DEGRADED",
+    "HEALTHY",
+    "HealthWatchdog",
+    "WatchdogConfig",
+]
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+CRITICAL = "critical"
+
+#: state → numeric severity (CLI exit codes and the telemetry gauge)
+HEALTH_LEVEL = {HEALTHY: 0, DEGRADED: 1, CRITICAL: 2}
+
+
+@dataclass
+class WatchdogConfig:
+    interval: float = 2.0              # seconds between evaluations
+    degraded_depth_fraction: float = 0.5
+    critical_depth_fraction: float = 0.95
+    degraded_shed_rate: float = 1.0    # shed routes/s (windowed)
+    critical_shed_rate: float = 50.0
+    recover_ticks: int = 3             # calm ticks before de-escalating
+
+
+class HealthWatchdog:
+    """One PoP's health state machine over its overload governor."""
+
+    def __init__(
+        self,
+        scheduler: "Scheduler",
+        pop_name: str,
+        governor: "OverloadGovernor",
+        telemetry: Optional["TelemetryHub"] = None,
+        config: Optional[WatchdogConfig] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.pop_name = pop_name
+        self.governor = governor
+        self.telemetry = telemetry
+        self.config = config if config is not None else WatchdogConfig()
+        self.state = HEALTHY
+        self.transitions = 0
+        self.last_detail = "no evaluation yet"
+        self._calm_ticks = 0
+        self._tick_event = None
+        if telemetry is not None:
+            telemetry.registry.gauge(
+                "pop_health_state",
+                "PoP health: 0 healthy, 1 degraded, 2 critical",
+                labels=("pop",),
+            ).labels(pop_name).set_function(
+                lambda: float(HEALTH_LEVEL[self.state])
+            )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self._tick_event is None:
+            self._tick_event = self.scheduler.call_later(
+                self.config.interval, self._tick
+            )
+
+    def stop(self) -> None:
+        if self._tick_event is not None:
+            self._tick_event.cancel()
+            self._tick_event = None
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(self) -> tuple[str, str]:
+        """Pure evaluation: (target state, evidence) — no side effects."""
+        config = self.config
+        depth = self.governor.depth_fraction()
+        rate = self.governor.shed_rate()
+        states = self.governor.breaker_states()
+        open_breakers = sorted(
+            peer for peer, state in states.items() if state == "open"
+        )
+        half_open = sorted(
+            peer for peer, state in states.items() if state == "half-open"
+        )
+        evidence = (
+            f"queues {depth:.0%} full, shed rate {rate:.2f}/s, "
+            f"{len(open_breakers)} open / {len(half_open)} half-open "
+            "breakers"
+        )
+        if open_breakers:
+            return CRITICAL, (
+                f"breaker(s) open: {', '.join(open_breakers)}; {evidence}"
+            )
+        if depth >= config.critical_depth_fraction:
+            return CRITICAL, evidence
+        if rate >= config.critical_shed_rate:
+            return CRITICAL, evidence
+        if half_open or depth >= config.degraded_depth_fraction or (
+            rate >= config.degraded_shed_rate
+        ):
+            return DEGRADED, evidence
+        return HEALTHY, evidence
+
+    def _tick(self) -> None:
+        self._tick_event = None
+        target, detail = self.evaluate()
+        current = HEALTH_LEVEL[self.state]
+        wanted = HEALTH_LEVEL[target]
+        if wanted > current:
+            self._calm_ticks = 0
+            self._set_state(target, detail)
+        elif wanted < current:
+            self._calm_ticks += 1
+            if self._calm_ticks >= self.config.recover_ticks:
+                self._calm_ticks = 0
+                self._set_state(target, detail)
+        else:
+            self._calm_ticks = 0
+        self.last_detail = detail
+        self._tick_event = self.scheduler.call_later(
+            self.config.interval, self._tick
+        )
+
+    def _set_state(self, new_state: str, detail: str) -> None:
+        previous = self.state
+        self.state = new_state
+        self.transitions += 1
+        if self.telemetry is not None:
+            from repro.telemetry.station import HealthEvent
+
+            self.telemetry.station.publish(HealthEvent(
+                peer=f"pop:{self.pop_name}",
+                time=self.scheduler.now,
+                state=new_state,
+                previous=previous,
+                detail=detail,
+            ))
+
+    # -- observers ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Everything the ``peering health`` CLI prints for this PoP."""
+        return {
+            "state": self.state,
+            "detail": self.last_detail,
+            "transitions": self.transitions,
+            "depth_fraction": self.governor.depth_fraction(),
+            "shed_rate": self.governor.shed_rate(),
+            "breakers": dict(sorted(
+                self.governor.breaker_states().items()
+            )),
+        }

@@ -45,6 +45,10 @@ class PopConfig:
     # knobs; see repro.shard and DESIGN.md §6f).
     shards: Optional[int] = None
     shard_partition: Optional[str] = None
+    # Overload-resilience policy (None ⇒ unbounded ingress, the
+    # pre-§6i behavior).  An ``repro.overload.OverloadPolicy`` here
+    # builds the governor + watchdog at construction time.
+    overload: Optional[object] = None
 
 
 @dataclass
@@ -146,8 +150,44 @@ class PointOfPresence:
             shard_partition=config.shard_partition,
         )
         self.neighbor_ports: dict[str, NeighborPort] = {}
+        # Overload resilience (repro.overload, §6i): opt-in via
+        # PopConfig.overload or a later enable_overload() call.
+        self.overload = None
+        self.watchdog = None
+        if config.overload is not None:
+            self.enable_overload(config.overload)
 
     # ------------------------------------------------------------------
+
+    def enable_overload(self, policy=None):
+        """Install the §6i overload layer on this PoP (idempotent).
+
+        Builds an :class:`~repro.overload.OverloadGovernor` scoped to
+        this PoP, wires it through the vBGP node (bounded ingress
+        queues, breaker-quarantine coupling, shard backpressure), and
+        starts the health watchdog.  Returns the governor.
+        """
+        if self.overload is not None:
+            return self.overload
+        from repro.overload import HealthWatchdog, OverloadGovernor
+
+        governor = OverloadGovernor(
+            self.scheduler,
+            scope=self.config.name,
+            policy=policy,
+            telemetry=self.telemetry,
+        )
+        self.node.enable_overload(governor)
+        self.overload = governor
+        self.watchdog = HealthWatchdog(
+            self.scheduler,
+            pop_name=self.config.name,
+            governor=governor,
+            telemetry=self.telemetry,
+            config=governor.policy.watchdog,
+        )
+        self.watchdog.start()
+        return governor
 
     def provision_neighbor(
         self,

@@ -104,6 +104,14 @@ class ControlPlaneEnforcer:
     def deregister_experiment(self, name: str) -> None:
         self.profiles.pop(name, None)
 
+    def reset_violations(self) -> int:
+        """Clear the recorded violation log; returns how many were
+        cleared.  Post-heal hygiene for the chaos scenarios — lifetime
+        counters (``routes_rejected`` etc.) are deliberately kept."""
+        cleared = len(self.violations)
+        self.violations.clear()
+        return cleared
+
     # -- the vBGP-facing API ----------------------------------------------
 
     def filter_routes(self, experiment: str, routes: list[Route],

@@ -240,6 +240,12 @@ class ShardStats:
     ops_applied: int = 0
     ops_dropped: int = 0
     backlog_replayed: int = 0
+    # Bounded-inbox shedding (DESIGN.md §6i).  ``withdrawals_shed`` must
+    # stay 0 by construction — asserted by the
+    # ``no_withdrawal_loss_under_shed`` invariant.
+    items_shed: int = 0
+    routes_shed: int = 0
+    withdrawals_shed: int = 0
     merge_s: float = 0.0
     modeled_elapsed_s: float = 0.0
 
@@ -330,6 +336,12 @@ class ShardedFanout:
         self.auto_drain = auto_drain
         self.workers = [ShardWorker(shard_id=i) for i in range(shard_count)]
         self._emitters = [_ShardEmitter(worker) for worker in self.workers]
+        # Bounded inboxes (§6i, opt-in): beyond ``inbox_limit`` queued
+        # items per worker, announcement-only items are shed oldest
+        # first; ``on_shed(routes)`` reports each shed to the overload
+        # governor.  ``None`` (the default) keeps inboxes unbounded.
+        self.inbox_limit: Optional[int] = None
+        self.on_shed = None
         self.stats = ShardStats()
         self.merge = MergeLayer(node, self.stats)
         self._next_seq = 0
@@ -461,6 +473,7 @@ class ShardedFanout:
             self._next_seq += 1
             self.workers[shard_id].inbox.append(item)
             self.stats.items += 1
+            self._enforce_inbox_limit(self.workers[shard_id])
         self._pump()
         if self.auto_drain:
             self.flush()
@@ -493,6 +506,38 @@ class ShardedFanout:
         if len(order) > 1:
             self.stats.splits += 1
         return tuple((shard, buckets[shard]) for shard in order)
+
+    def _enforce_inbox_limit(self, worker: ShardWorker) -> None:
+        """Shed announcement-only items past the inbox bound.
+
+        Sheds oldest first (BGP's last-message-wins makes the survivors
+        state-convergent) and never touches an item carrying withdrawals
+        or no announcements at all — if only unsheddable items remain
+        the inbox is allowed to overshoot the bound rather than lose a
+        withdrawal.
+        """
+        limit = self.inbox_limit
+        if limit is None:
+            return
+        while len(worker.inbox) > limit:
+            shed_index = None
+            for index, item in enumerate(worker.inbox):
+                update = item.update
+                if getattr(update, "withdrawn", ()):
+                    continue
+                if not update.routes():
+                    continue
+                shed_index = index
+                break
+            if shed_index is None:
+                return
+            item = worker.inbox[shed_index]
+            routes = len(item.update.routes())
+            del worker.inbox[shed_index]
+            self.stats.items_shed += 1
+            self.stats.routes_shed += routes
+            if self.on_shed is not None:
+                self.on_shed(routes)
 
     def _pump(self) -> None:
         """Process every alive worker's inbox, in global ingress order."""

@@ -28,6 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "BmpMessage",
+    "HealthEvent",
     "IntentEvent",
     "MonitoringStation",
     "PeerDown",
@@ -115,6 +116,23 @@ class IntentEvent(BmpMessage):
     detail: str = ""
 
     kind = "intent"
+
+
+@dataclass(frozen=True)
+class HealthEvent(BmpMessage):
+    """A PoP health-state transition (local extension, DESIGN.md §6i).
+
+    Streamed by the overload watchdog whenever a PoP moves between
+    ``healthy``/``degraded``/``critical``, with the evidence (queue
+    depth, shed rate, breaker states) in ``detail``.  The ``peer``
+    field carries ``pop:<name>``.
+    """
+
+    state: str = ""
+    previous: str = ""
+    detail: str = ""
+
+    kind = "health"
 
 
 @dataclass(frozen=True)

@@ -85,6 +85,7 @@ class ToolkitCli:
             "       peering telemetry peers\n"
             "       peering telemetry rib <peer>\n"
             "       peering telemetry events [n]\n"
+            "       peering health [pop]\n"
             "       peering chaos list\n"
             "       peering chaos <scenario>|all [--seed n]\n"
             "       peering verify invariants [name...]\n"
@@ -112,7 +113,10 @@ class ToolkitCli:
             "  0  clean   checks passed / intent committed\n"
             "  1  breach  invariant violated, verification or scenario\n"
             "             failed, or intent not committed cleanly\n"
-            "  2  usage or operational error"
+            "  2  usage or operational error\n"
+            "\n"
+            "peering health exits with the worst PoP state:\n"
+            "  0 healthy, 1 degraded, 2 critical"
         )
 
     # -- openvpn -----------------------------------------------------------
@@ -242,6 +246,62 @@ class ToolkitCli:
                 return "no trace events"
             return "\n".join(event.format() for event in events)
         return self._usage()
+
+    # -- health --------------------------------------------------------------
+
+    def _cmd_health(self, args: list[str]) -> str:
+        """Per-PoP overload health (DESIGN.md §6i).
+
+        One block per PoP: the watchdog's verdict and evidence, then a
+        line per ingress source (queue depth against capacity, delivery
+        and shed accounting, breaker state).  The exit code is the
+        worst state observed — 0 healthy, 1 degraded, 2 critical — so
+        ``peering health`` drops straight into scripts and pre-flight
+        checks.  PoPs without the overload layer report as such and do
+        not affect the exit code.
+        """
+        from repro.overload.watchdog import HEALTH_LEVEL
+
+        pops = dict(self.client.platform.pops)
+        if args:
+            name = args[0]
+            if name not in pops:
+                return f"error: unknown pop {name!r}"
+            pops = {name: pops[name]}
+        lines: list[str] = []
+        worst = 0
+        for name in sorted(pops):
+            pop = pops[name]
+            watchdog = getattr(pop, "watchdog", None)
+            governor = getattr(pop, "overload", None)
+            if watchdog is None or governor is None:
+                lines.append(f"{name}: overload layer not enabled")
+                continue
+            snap = watchdog.snapshot()
+            worst = max(worst, HEALTH_LEVEL[snap["state"]])
+            lines.append(
+                f"{name}: {snap['state'].upper()} "
+                f"(transitions {snap['transitions']})"
+            )
+            lines.append(f"  {snap['detail']}")
+            for peer, entry in sorted(governor.snapshot().items()):
+                parts = []
+                if "depth" in entry:
+                    parts.append(
+                        f"queue {entry['announce_depth']}"
+                        f"/{entry['capacity']}"
+                    )
+                    parts.append(f"delivered {entry['delivered']}")
+                    parts.append(f"shed {entry['shed']}")
+                    parts.append(f"rejected {entry['rejected']}")
+                if "breaker" in entry:
+                    parts.append(
+                        f"breaker {entry['breaker']} "
+                        f"(trips {entry['trips']})"
+                    )
+                lines.append(f"  {peer}: " + ", ".join(parts))
+        self.exit_code = worst
+        return "\n".join(lines) or "no PoPs"
 
     # -- chaos ---------------------------------------------------------------
 

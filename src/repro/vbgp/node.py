@@ -280,6 +280,9 @@ class VbgpNode:
         self._shard_partition_override = shard_partition
         self._direct_exec = DirectExecutor(self)
         self._shard_engine: Optional[ShardedFanout] = None
+        # Overload governor (repro.overload, §6i).  ``None`` (the
+        # default) keeps the pre-§6i unbounded ingress path.
+        self.overload = None
         self._m_frames_by_neighbor = None
         self._m_updates_by_neighbor = None
         if telemetry is not None:
@@ -426,6 +429,10 @@ class VbgpNode:
         if neighbor.supervisor is not None:
             self.counters["supervisor_reconnects"] += 1
         neighbor.session = session
+        if self.overload is not None:
+            # The per-neighbor queue is owned by the governor, so it
+            # (and its shed accounting) survives session rebuilds.
+            session.set_ingress_queue(self.overload.queue_for(name))
         return session
 
     def _provision_virtual(self, virtual: VirtualNeighbor,
@@ -650,6 +657,46 @@ class VbgpNode:
             ))
 
     # ==================================================================
+    # Overload resilience (repro.overload, DESIGN.md §6i)
+    # ==================================================================
+
+    def enable_overload(self, governor) -> None:
+        """Install the overload governor on this node (opt-in).
+
+        Existing upstream sessions get bounded ingress queues, the
+        shard engine (if any) gets bounded inboxes, breaker trips
+        quarantine the offending neighbor's supervisor, and shard-inbox
+        saturation becomes backpressure that holds queue delivery at
+        the edge.
+        """
+        self.overload = governor
+        limit = governor.policy.shard_inbox_limit
+        if limit is not None:
+            governor.backpressure = (
+                lambda: self.shard_pending() > limit
+            )
+        governor.on_breaker_open = self._overload_quarantine
+        for neighbor in self.upstreams.values():
+            if neighbor.session is not None:
+                neighbor.session.set_ingress_queue(
+                    governor.queue_for(neighbor.name)
+                )
+        if self._shard_engine is not None:
+            self._configure_engine_overload(self._shard_engine)
+
+    def _overload_quarantine(self, peer_key: str, open_time: float) -> None:
+        """A breaker opened: keep that neighbor down for its open window."""
+        neighbor = self.upstreams.get(peer_key)
+        if neighbor is not None and neighbor.supervisor is not None:
+            neighbor.supervisor.quarantine(open_time)
+
+    def _configure_engine_overload(self, engine: ShardedFanout) -> None:
+        governor = self.overload
+        if governor is not None:
+            engine.inbox_limit = governor.policy.shard_inbox_limit
+            engine.on_shed = governor.record_shard_shed
+
+    # ==================================================================
     # Experiments
     # ==================================================================
 
@@ -831,7 +878,23 @@ class VbgpNode:
         routes = update.routes()
         if not routes:
             return
+        governor = self.overload
+        breaker = None
+        if governor is not None:
+            breaker = governor.breaker_for(f"exp:{name}")
+            if not breaker.allow():
+                # Breaker open (sustained enforcer violations): refuse
+                # announcements wholesale.  Withdrawals were already
+                # processed above — retraction always goes through.
+                self.counters["announcements_blocked"] += len(routes)
+                return
         allowed = self._enforce_control(exp, routes)
+        if breaker is not None:
+            blocked = len(routes) - len(allowed)
+            if blocked > 0:
+                governor.record_violations(f"exp:{name}", blocked)
+            elif allowed:
+                breaker.record_success()
         for route in allowed:
             previous = exp.announced.get((route.prefix, route.path_id))
             exp.announced[(route.prefix, route.path_id)] = route
@@ -1330,6 +1393,7 @@ class VbgpNode:
             make_partition(strategy, count, seed=seed),
             telemetry=self.telemetry,
         )
+        self._configure_engine_overload(engine)
         self._shard_engine = engine
         return engine
 

@@ -130,6 +130,7 @@ def test_catalog_is_complete():
         "community_propagation",
         "no_cross_experiment_leakage",
         "kernel_consistency",
+        "no_withdrawal_loss_under_shed",
     }
 
 
@@ -231,6 +232,37 @@ def test_kernel_consistency_catches_missing_route(world):
     assert table.remove(prefix)
     report = CATALOG["kernel_consistency"](_context(world))
     assert not report.ok
+
+
+def test_withdrawal_loss_invariant_is_vacuous_without_overload(world):
+    report = CATALOG["no_withdrawal_loss_under_shed"](_context(world))
+    assert report.ok
+    assert report.checked == 0
+
+
+def test_withdrawal_loss_invariant_catches_shed_withdrawal(world):
+    from repro.overload import OverloadGovernor
+
+    governor = OverloadGovernor(world.scheduler, scope="diff")
+    world.pop.node.enable_overload(governor)
+    queue = governor.queue_for("upstream")
+    queue.stats.shed_withdrawals = 3
+    report = CATALOG["no_withdrawal_loss_under_shed"](_context(world))
+    assert not report.ok
+    assert "withdrawals shed" in report.violations[0]
+
+
+def test_withdrawal_loss_invariant_catches_unbalanced_ledger(world):
+    from repro.overload import OverloadGovernor
+
+    governor = OverloadGovernor(world.scheduler, scope="diff")
+    world.pop.node.enable_overload(governor)
+    queue = governor.queue_for("upstream")
+    queue.stats.withdrawals_admitted = 5
+    queue.stats.withdrawals_delivered = 4
+    report = CATALOG["no_withdrawal_loss_under_shed"](_context(world))
+    assert not report.ok
+    assert "accounted for" in report.violations[0]
 
 
 def test_kernel_consistency_catches_extra_route(world):

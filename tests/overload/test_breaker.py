@@ -1,0 +1,112 @@
+"""CircuitBreaker state machine: trip, lazy decay, half-open trials."""
+
+from repro.overload.breaker import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+)
+from repro.sim import Scheduler
+
+
+def make_breaker(threshold=4, window=5.0, open_time=10.0, trials=2):
+    scheduler = Scheduler()
+    breaker = CircuitBreaker(
+        scheduler, "peer",
+        config=BreakerConfig(
+            failure_threshold=threshold,
+            failure_window=window,
+            open_time=open_time,
+            half_open_trials=trials,
+        ),
+    )
+    return scheduler, breaker
+
+
+def test_trips_at_windowed_threshold():
+    scheduler, breaker = make_breaker(threshold=4)
+    for _ in range(3):
+        breaker.record_failure()
+    assert breaker.state == BREAKER_CLOSED
+    breaker.record_failure()
+    assert breaker.state == BREAKER_OPEN
+    assert breaker.trips == 1
+
+
+def test_failures_age_out_of_the_window():
+    scheduler, breaker = make_breaker(threshold=4, window=5.0)
+    for _ in range(3):
+        breaker.record_failure()
+    scheduler.run_for(6.0)  # the three failures fall out of the window
+    breaker.record_failure()
+    assert breaker.state == BREAKER_CLOSED
+
+
+def test_open_refuses_and_counts_rejections():
+    scheduler, breaker = make_breaker(threshold=1)
+    breaker.record_failure()
+    assert not breaker.allow()
+    assert not breaker.allow()
+    assert breaker.rejected == 2
+
+
+def test_open_decays_to_half_open_then_closes_on_trials():
+    scheduler, breaker = make_breaker(threshold=1, open_time=10.0, trials=2)
+    breaker.record_failure()
+    assert breaker.state == BREAKER_OPEN
+    scheduler.run_for(10.0)
+    assert breaker.state == BREAKER_HALF_OPEN
+    assert breaker.allow()  # trial traffic admitted
+    breaker.record_success()
+    assert breaker.state == BREAKER_HALF_OPEN
+    breaker.record_success()
+    assert breaker.state == BREAKER_CLOSED
+
+
+def test_failure_during_half_open_retrips():
+    scheduler, breaker = make_breaker(threshold=1, open_time=10.0)
+    breaker.record_failure()
+    scheduler.run_for(10.0)
+    assert breaker.state == BREAKER_HALF_OPEN
+    breaker.record_failure()
+    assert breaker.state == BREAKER_OPEN
+    assert breaker.trips == 2
+
+
+def test_success_while_closed_is_a_no_op():
+    scheduler, breaker = make_breaker(threshold=2)
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == BREAKER_OPEN  # successes do not erase history
+
+
+def test_reset_window_forgets_subthreshold_failures():
+    scheduler, breaker = make_breaker(threshold=4)
+    for _ in range(3):
+        breaker.record_failure()
+    breaker.reset_window()
+    for _ in range(3):
+        breaker.record_failure()
+    assert breaker.state == BREAKER_CLOSED
+
+
+def test_transitions_are_reported():
+    scheduler = Scheduler()
+    seen = []
+    breaker = CircuitBreaker(
+        scheduler, "peer",
+        config=BreakerConfig(failure_threshold=1, open_time=5.0,
+                             half_open_trials=1),
+        on_transition=lambda b, old, new, why: seen.append((old, new)),
+    )
+    breaker.record_failure()
+    scheduler.run_for(5.0)
+    assert breaker.state == BREAKER_HALF_OPEN
+    breaker.record_success()
+    assert seen == [
+        (BREAKER_CLOSED, BREAKER_OPEN),
+        (BREAKER_OPEN, BREAKER_HALF_OPEN),
+        (BREAKER_HALF_OPEN, BREAKER_CLOSED),
+    ]

@@ -1,0 +1,165 @@
+"""The operator surface of the overload layer: ``peering health``,
+the intent controller's critical-PoP gate, and the session
+supervisor's damping/quarantine accessors."""
+
+import pytest
+
+from repro.chaos import build_chaos_world
+from repro.toolkit.cli import ToolkitCli
+
+
+@pytest.fixture
+def world():
+    return build_chaos_world(seed=0)
+
+
+@pytest.fixture
+def cli(world):
+    return ToolkitCli(next(iter(world.clients.values())))
+
+
+def _enable(world, pop="west"):
+    governor = world.platform.pops[pop].enable_overload()
+    world.scheduler.run_for(5)
+    return governor
+
+
+# -- peering health ----------------------------------------------------------
+
+
+def test_health_reports_disabled_layer(world, cli):
+    out, code = cli.run_with_status("peering health")
+    assert code == 0
+    assert "west: overload layer not enabled" in out
+    assert "east: overload layer not enabled" in out
+
+
+def test_health_healthy_exit_zero(world, cli):
+    _enable(world)
+    out, code = cli.run_with_status("peering health")
+    assert code == 0
+    assert "west: HEALTHY" in out
+    assert "transit-west" in out
+    assert "breaker closed" in out
+
+
+def test_health_pop_filter_and_unknown_pop(world, cli):
+    _enable(world)
+    out, code = cli.run_with_status("peering health west")
+    assert code == 0
+    assert "east" not in out
+    out, code = cli.run_with_status("peering health nowhere")
+    assert code == 2
+    assert out.startswith("error:")
+
+
+def test_health_exit_codes_track_worst_state(world, cli):
+    _enable(world)
+    watchdog = world.platform.pops["west"].watchdog
+    watchdog.state = "degraded"
+    out, code = cli.run_with_status("peering health")
+    assert code == 1
+    assert "west: DEGRADED" in out
+    watchdog.state = "critical"
+    out, code = cli.run_with_status("peering health")
+    assert code == 2
+    assert "west: CRITICAL" in out
+
+
+def test_health_in_usage_text(cli):
+    assert "peering health [pop]" in cli._usage()
+
+
+# -- the intent health gate --------------------------------------------------
+
+
+def test_intent_apply_refused_against_critical_pop(world, cli):
+    _enable(world)
+    world.platform.pops["west"].watchdog.state = "critical"
+    cli.run("peering intent op announce 184.164.224.0/24 -m west")
+    out, code = cli.run_with_status("peering intent apply --force")
+    assert code == 1  # the gate ignores force
+    assert "rejected" in out
+    assert "critical health: west" in out
+
+
+def test_intent_apply_untouched_pop_commits(world, cli):
+    _enable(world)
+    world.platform.pops["west"].watchdog.state = "critical"
+    # an op scoped to the healthy east PoP is not gated by west
+    cli.run("peering intent op announce 184.164.224.0/24 -m east")
+    out, code = cli.run_with_status("peering intent apply")
+    assert code == 0
+    assert "committed" in out
+
+
+def test_intent_unscoped_op_gated_by_any_critical_pop(world, cli):
+    _enable(world)
+    world.platform.pops["west"].watchdog.state = "critical"
+    # no -m: the op targets every connected PoP, so west gates it
+    cli.run("peering intent op announce 184.164.224.0/24")
+    out, code = cli.run_with_status("peering intent apply")
+    assert code == 1
+    assert "critical health: west" in out
+
+
+def test_intent_apply_commits_after_heal(world, cli):
+    _enable(world)
+    world.platform.pops["west"].watchdog.state = "critical"
+    cli.run("peering intent op announce 184.164.224.0/24 -m west")
+    out, code = cli.run_with_status("peering intent apply")
+    assert code == 1
+    world.platform.pops["west"].watchdog.state = "healthy"
+    cli.run("peering intent op announce 184.164.224.0/24 -m west")
+    out, code = cli.run_with_status("peering intent apply")
+    assert code == 0
+    assert "committed" in out
+
+
+# -- supervisor damping / quarantine ----------------------------------------
+
+
+def _supervisor(world, name="transit-west"):
+    handle = world.neighbors[name]
+    return world.platform.pops[handle.pop].node.upstreams[
+        handle.name
+    ].supervisor
+
+
+def test_damping_state_accessor(world):
+    supervisor = _supervisor(world)
+    state = supervisor.damping_state()
+    assert state["state"] == "active"
+    assert state["suppressed"] is False
+    assert state["remaining_s"] == 0.0
+    assert state["suppressions"] == 0
+
+
+def test_quarantine_suppresses_and_reports(world):
+    supervisor = _supervisor(world)
+    supervisor.quarantine(30.0)
+    assert supervisor.suppressed
+    state = supervisor.damping_state()
+    assert state["state"] == "suppressed"
+    assert state["remaining_s"] == pytest.approx(30.0)
+    assert state["suppressions"] == 1
+    world.scheduler.run_for(31.0)
+    assert not supervisor.suppressed
+    assert supervisor.damping_state()["state"] == "active"
+
+
+def test_quarantine_extends_not_shortens(world):
+    supervisor = _supervisor(world)
+    supervisor.quarantine(30.0)
+    supervisor.quarantine(10.0)  # shorter re-quarantine must not shrink
+    assert supervisor.damping_state()["remaining_s"] == pytest.approx(30.0)
+    supervisor.quarantine(60.0)
+    assert supervisor.damping_state()["remaining_s"] == pytest.approx(60.0)
+
+
+def test_suppression_gauge_exported(world):
+    supervisor = _supervisor(world)
+    supervisor.quarantine(30.0)
+    rendered = world.telemetry.render_prometheus()
+    assert "bgp_supervisor_suppressed" in rendered
+    assert 'peer="transit-west"} 1' in rendered

@@ -1,0 +1,132 @@
+"""HealthWatchdog: escalation, hysteresis, telemetry publication."""
+
+from repro.overload import OverloadGovernor, OverloadPolicy
+from repro.overload.breaker import BreakerConfig
+from repro.overload.queues import QueuePolicy
+from repro.overload.watchdog import (
+    CRITICAL,
+    DEGRADED,
+    HEALTHY,
+    HealthWatchdog,
+    WatchdogConfig,
+)
+from repro.sim import Scheduler
+from repro.telemetry import TelemetryHub
+
+
+def make_world(recover_ticks=3, with_telemetry=False):
+    scheduler = Scheduler()
+    telemetry = TelemetryHub(scheduler) if with_telemetry else None
+    governor = OverloadGovernor(
+        scheduler, scope="pop",
+        policy=OverloadPolicy(
+            queue=QueuePolicy(depth=8),
+            breaker=BreakerConfig(failure_threshold=1, open_time=30.0),
+        ),
+        telemetry=telemetry,
+    )
+    watchdog = HealthWatchdog(
+        scheduler, "pop", governor, telemetry=telemetry,
+        config=WatchdogConfig(interval=1.0, recover_ticks=recover_ticks),
+    )
+    watchdog.start()
+    return scheduler, governor, watchdog, telemetry
+
+
+def test_starts_healthy():
+    scheduler, governor, watchdog, _ = make_world()
+    scheduler.run_for(5)
+    assert watchdog.state == HEALTHY
+
+
+def test_open_breaker_is_critical_and_recovery_needs_calm_ticks():
+    scheduler, governor, watchdog, _ = make_world(recover_ticks=3)
+    governor.breaker_for("upstream").record_failure()
+    scheduler.run_for(1.0)
+    assert watchdog.state == CRITICAL
+    # force the breaker shut: one calm tick is not enough to de-escalate
+    breaker = governor.breakers["upstream"]
+    breaker._state = "closed"
+    breaker._open_until = 0.0
+    scheduler.run_for(1.0)
+    assert watchdog.state == CRITICAL  # hysteresis holds
+    scheduler.run_for(3.0)
+    assert watchdog.state == HEALTHY
+
+
+def test_half_open_breaker_is_degraded():
+    scheduler, governor, watchdog, _ = make_world()
+    governor.breaker_for("upstream").record_failure()
+    scheduler.run_for(31.0)  # past open_time: the breaker is half-open
+    state, detail = watchdog.evaluate()
+    assert state == DEGRADED
+    assert "half-open" in detail
+
+
+def test_deep_queue_escalates():
+    scheduler, governor, watchdog, _ = make_world()
+
+    class Stalled:
+        established = True
+
+        def deliver_update(self, update):
+            pass
+
+    from types import SimpleNamespace
+
+    queue = governor.queue_for("upstream")
+    queue.slowdown(10_000.0)  # nothing drains during the test
+    for seq in range(8):
+        queue.offer(Stalled(), SimpleNamespace(
+            nlri=[(f"10.0.{seq}.0/24", None)], withdrawn=[],
+        ))
+    state, detail = watchdog.evaluate()
+    assert state == CRITICAL  # 8/8 = 100% ≥ critical_depth_fraction
+    assert "full" in detail
+
+
+def test_shed_rate_degrades():
+    scheduler, governor, watchdog, _ = make_world()
+    governor._note_shed("upstream", 25)  # 25 routes / 10 s window
+    state, _ = watchdog.evaluate()
+    assert state == DEGRADED
+    governor._note_shed("upstream", 500)
+    state, _ = watchdog.evaluate()
+    assert state == CRITICAL
+
+
+def test_transitions_publish_health_events():
+    scheduler, governor, watchdog, telemetry = make_world(
+        recover_ticks=1, with_telemetry=True
+    )
+    governor.breaker_for("upstream").record_failure()
+    scheduler.run_for(1.0)
+    assert watchdog.state == CRITICAL
+    events = [
+        message for message in telemetry.station.history
+        if message.kind == "health"
+    ]
+    assert events, "no HealthEvent published on escalation"
+    assert events[-1].state == CRITICAL
+    assert events[-1].previous == HEALTHY
+    assert events[-1].peer == "pop:pop"
+    # and the scrape-time gauge tracks the state
+    assert 'pop_health_state{pop="pop"} 2' in telemetry.render_prometheus()
+
+
+def test_snapshot_shape():
+    scheduler, governor, watchdog, _ = make_world()
+    governor.queue_for("upstream")
+    scheduler.run_for(2)
+    snap = watchdog.snapshot()
+    assert snap["state"] == HEALTHY
+    assert "upstream" in snap["breakers"]
+    assert snap["depth_fraction"] == 0.0
+
+
+def test_stop_halts_ticking():
+    scheduler, governor, watchdog, _ = make_world()
+    watchdog.stop()
+    governor.breaker_for("upstream").record_failure()
+    scheduler.run_for(10)
+    assert watchdog.state == HEALTHY  # no ticks, no escalation
