@@ -4,23 +4,35 @@ The paper's mux fans every neighbor's churn out to every experiment in
 one serial loop (§4.2–§4.4); ``BENCH_update_load`` measures that loop's
 ceiling.  This bench drives the same pipeline through
 :class:`repro.shard.ShardedFanout` at shard counts 1/2/4/8 and reports
-the *modeled* scale-out.
+the *modeled* scale-out, then re-runs the workload on the **real**
+execution backends (DESIGN.md §6j) and reports measured wall-clock.
 
 Modeled parallelism (documented per the acceptance criterion): the
-reproduction is a discrete-event simulation, so shards never run on
-threads.  Work items execute serially in global ingress order; each
-item's measured wall-clock is charged to the shard that owns its
-neighbor, and a drain window's modeled elapsed time is ``max(per-shard
-busy) + merge cost`` — the wall clock N worker processes (each owning a
-subset of the neighbor sessions) would exhibit for the same arrival
-window.  The differential harness separately proves the merged output
-is byte-identical at every shard count, so this speedup is not bought
-with divergence.
+reproduction is a discrete-event simulation, so the modeled leg's
+shards never run on threads.  Work items execute serially in global
+ingress order; each item's measured wall-clock is charged to the shard
+that owns its neighbor, and a drain window's modeled elapsed time is
+``max(per-shard busy) + merge cost`` — the wall clock N worker
+processes (each owning a subset of the neighbor sessions) would
+exhibit for the same arrival window.  The differential harness
+separately proves the merged output is byte-identical at every shard
+count, so this speedup is not bought with divergence.
+
+Real parallelism (ISSUE 9): the ``real_*`` metrics time the identical
+workload against the sync reference (a serial replay through
+``DirectExecutor``) and against the ``mp``/``async`` backends, where
+UPDATE encodes genuinely fan out across worker processes / event-loop
+tasks.  ``cpu_count`` rides along in the JSON so the regression gate
+can require ``real_speedup_mp4 >= 1.8`` only on runners with >= 4
+physical cores and skip-with-notice elsewhere — real speedup is a
+machine property, not a cost-model artefact.
 """
 
 from __future__ import annotations
 
 import gc
+import os
+import time
 
 import pytest
 
@@ -32,7 +44,7 @@ from repro.internet.churn import AMSIX_PROFILE, ChurnGenerator
 from repro.netsim.addr import IPv4Address, IPv4Prefix, MacAddress
 from repro.platform.pop import PointOfPresence, PopConfig
 from repro.security.state import EnforcerState
-from repro.shard import ShardedFanout, make_partition
+from repro.shard import DirectExecutor, ShardedFanout, make_partition
 from repro.sim import Scheduler
 from repro.vbgp.allocator import GlobalNeighborRegistry
 
@@ -147,6 +159,93 @@ def _run_sharded(shard_count: int):
     return best
 
 
+# -- the real-backend leg (ISSUE 9) ---------------------------------------
+
+#: Real legs run with the encode memo off so every UPDATE encode is
+#: real work for the workers to parallelise (with the memo on, the
+#: sync reference pays each distinct attribute set once and the
+#: comparison measures cache hits, not scale-out).
+_REAL_FLAGS = dict(encode_memo=False, fanout_batch=True)
+
+
+def _run_real_sync():
+    """The sync reference: serial replay through ``DirectExecutor``,
+    measured in real wall-clock (this is the ``model-off`` baseline
+    the relative gate compares the backends against)."""
+    scheduler, pop = _build_pop()
+    node = pop.node
+    neighbors = [node.upstreams[f"peer{i}"] for i in range(NEIGHBORS)]
+    streams = _churn_streams()
+    executor = DirectExecutor(node)
+    total = 0
+    gc.collect()
+    gc.disable()
+    try:
+        with perf.flags(**_REAL_FLAGS):
+            started = time.perf_counter()
+            for round_index in range(UPDATES_PER_NEIGHBOR):
+                for neighbor_index in range(NEIGHBORS):
+                    node._process_upstream_changes(
+                        neighbors[neighbor_index],
+                        streams[neighbor_index][round_index],
+                        executor,
+                    )
+                    total += 1
+                scheduler.run_until(scheduler.now)
+            elapsed = time.perf_counter() - started
+    finally:
+        gc.enable()
+    return total / elapsed if elapsed > 0 else 0.0
+
+
+def _run_real_backend(backend: str, shard_count: int):
+    """Replay the same windowed workload on a real backend; returns
+    (updates/s over measured wall-clock, engine stats)."""
+    scheduler, pop = _build_pop()
+    node = pop.node
+    neighbors = [node.upstreams[f"peer{i}"] for i in range(NEIGHBORS)]
+    streams = _churn_streams()
+    engine = ShardedFanout(
+        node, shard_count,
+        make_partition("neighbor", shard_count, seed=PARTITION_SEED),
+        auto_drain=False,
+        backend=backend,
+    )
+    total = 0
+    gc.collect()
+    gc.disable()
+    try:
+        with perf.flags(**_REAL_FLAGS):
+            started = time.perf_counter()
+            for round_index in range(UPDATES_PER_NEIGHBOR):
+                for neighbor_index in range(NEIGHBORS):
+                    engine.submit(
+                        neighbors[neighbor_index],
+                        streams[neighbor_index][round_index],
+                    )
+                    total += 1
+                engine.flush()
+                scheduler.run_until(scheduler.now)
+            elapsed = time.perf_counter() - started
+    finally:
+        gc.enable()
+        engine.close()
+    rate = total / elapsed if elapsed > 0 else 0.0
+    return rate, engine.stats
+
+
+def _best_real(runner, *args):
+    best = None
+    for _ in range(REPETITIONS):
+        result = runner(*args)
+        rate = result[0] if isinstance(result, tuple) else result
+        if best is None or rate > (
+            best[0] if isinstance(best, tuple) else best
+        ):
+            best = result
+    return best
+
+
 def test_shard_scaleout():
     rates = {}
     stats = {}
@@ -164,6 +263,25 @@ def test_shard_scaleout():
         ])
     speedup_x4 = rates[4] / rates[1]
     speedup_x8 = rates[8] / rates[1]
+
+    # Real-backend leg: measured wall-clock, not attribution.
+    cpu_count = os.cpu_count() or 1
+    real_sync = _best_real(_run_real_sync)
+    real_mp4, mp_stats = _best_real(_run_real_backend, "mp", 4)
+    real_async4, async_stats = _best_real(_run_real_backend, "async", 4)
+    real_speedup_mp4 = real_mp4 / real_sync if real_sync > 0 else 0.0
+    real_speedup_async4 = (
+        real_async4 / real_sync if real_sync > 0 else 0.0
+    )
+    real_rows = [
+        ["sync (DirectExecutor)", f"{real_sync:,.0f}/s", "1.00x", "-"],
+        ["mp @ 4", f"{real_mp4:,.0f}/s", f"{real_speedup_mp4:.2f}x",
+         str(mp_stats.jobs_dispatched)],
+        ["async @ 4", f"{real_async4:,.0f}/s",
+         f"{real_speedup_async4:.2f}x",
+         str(async_stats.jobs_dispatched)],
+    ]
+
     report(
         "shard_scaleout",
         "Sharded fan-out scale-out (modeled parallelism; see module "
@@ -174,7 +292,15 @@ def test_shard_scaleout():
             rows,
         )
         + f"\n\nshards=4 vs shards=1: {speedup_x4:.2f}x"
-        + f"\nshards=8 vs shards=1: {speedup_x8:.2f}x",
+        + f"\nshards=8 vs shards=1: {speedup_x8:.2f}x"
+        + "\n\nReal backends (measured wall-clock, encode memo off, "
+        + f"{cpu_count} CPU core(s) on this runner)\n"
+        + format_table(
+            ["backend", "updates/s", "vs sync", "jobs dispatched"],
+            real_rows,
+        )
+        + ("\n\nNote: real mp speedup tracks physical cores; the "
+           "regression gate requires >= 1.8x only on >= 4 cores."),
     )
     report_json("shard_scaleout", {
         "shards1_updates_per_s": rates[1],
@@ -184,6 +310,12 @@ def test_shard_scaleout():
         "speedup_x4": speedup_x4,
         "speedup_x8": speedup_x8,
         "ops_applied": stats[4].ops_applied,
+        "cpu_count": cpu_count,
+        "real_sync_updates_per_s": real_sync,
+        "real_mp4_updates_per_s": real_mp4,
+        "real_async4_updates_per_s": real_async4,
+        "real_speedup_mp4": real_speedup_mp4,
+        "real_speedup_async4": real_speedup_async4,
     })
     # Identical pipelines must apply identical op counts at every count.
     assert len({stat.ops_applied for stat in stats.values()}) == 1

@@ -17,6 +17,15 @@ CI runs the gated benchmarks (``BENCH_update_load``,
   ``…_reconnects``, and ratios such as ``utilization_at_p99_pct``) is
   informational and never gates.
 
+``real_*`` metrics (measured wall-clock on real parallel backends) and
+``cpu_count`` are machine properties, so they never gate against the
+committed baseline.  Instead they are gated *relatively* via
+``RELATIVE_GATES``: e.g. ``shard_scaleout`` must show
+``real_speedup_mp4 >= 1.8`` — mp at 4 shards beating the sync
+reference — whenever the runner has at least 4 CPU cores, and the gate
+skips with a notice on smaller runners.  This keeps the ±25% absolute
+gate machine-independent for parallel benches.
+
 Improvements beyond tolerance are reported but do not fail the gate —
 refresh the baseline in the same PR that makes things faster.
 
@@ -67,6 +76,75 @@ HIGHER_IS_BETTER = "higher"
 LOWER_IS_BETTER = "lower"
 NEUTRAL = "neutral"
 
+# Relative gates: (metric, minimum, cpu_floor, description).  The gate
+# only applies when the fresh run's ``cpu_count`` is at least
+# ``cpu_floor`` — real parallel speedup needs real cores.  On smaller
+# runners the gate skips with a notice instead of failing, so the CI
+# matrix stays green on shared/throttled machines while still catching
+# scale-out regressions wherever cores are available.
+RELATIVE_GATES = {
+    "shard_scaleout": (
+        (
+            "real_speedup_mp4",
+            1.8,
+            4,
+            "mp backend at 4 shards vs the sync reference",
+        ),
+    ),
+}
+
+
+def check_relative_gates(
+    name: str,
+    current: Dict[str, float],
+) -> Tuple[List[str], List[str]]:
+    """Apply ``RELATIVE_GATES`` for one benchmark's fresh metrics.
+
+    Returns ``(regressions, notes)``.  A missing gated metric is a
+    regression (the bench stopped measuring it); a runner below the
+    core floor produces a skip notice, never a failure.
+    """
+    regressions: List[str] = []
+    notes: List[str] = []
+    for metric, minimum, cpu_floor, description in RELATIVE_GATES.get(name, ()):
+        try:
+            cores = int(current.get("cpu_count", 0))
+        except (TypeError, ValueError):
+            cores = 0
+        value = current.get(metric)
+        if value is None:
+            regressions.append(
+                f"relative gate {metric!r} >= {minimum} "
+                f"({description}): metric missing from fresh run"
+            )
+            continue
+        try:
+            measured = float(value)
+        except (TypeError, ValueError):
+            regressions.append(
+                f"relative gate {metric!r}: non-numeric value {value!r}"
+            )
+            continue
+        if cores < cpu_floor:
+            notes.append(
+                f"skipped relative gate {metric!r} >= {minimum} "
+                f"({description}): runner has {cores} core(s) < "
+                f"{cpu_floor} floor (measured {measured:.2f}x)"
+            )
+            continue
+        if measured < minimum:
+            regressions.append(
+                f"relative gate {metric!r}: {measured:.2f}x < "
+                f"{minimum}x minimum ({description}, "
+                f"{cores} cores)"
+            )
+        else:
+            notes.append(
+                f"relative gate {metric!r}: {measured:.2f}x >= "
+                f"{minimum}x ({description}, {cores} cores)"
+            )
+    return regressions, notes
+
 
 def metric_direction(key: str) -> str:
     """Infer which way a metric is allowed to move.
@@ -75,7 +153,15 @@ def metric_direction(key: str) -> str:
     would otherwise misclassify it); trailing ``_s`` / ``_us`` mark
     durations; ``bytes`` marks memory footprints.  Everything else is
     informational.
+
+    ``real_*`` metrics and ``cpu_count`` are checked first: they are
+    properties of the machine the bench ran on (physical-core
+    wall-clock), so comparing them against a baseline recorded on a
+    different runner is meaningless — they gate relatively via
+    ``RELATIVE_GATES`` instead.
     """
+    if key.startswith("real_") or key == "cpu_count":
+        return NEUTRAL
     if "per_s" in key:
         return HIGHER_IS_BETTER
     if "bytes" in key or key.endswith(("_s", "_us", "_ms")):
@@ -188,6 +274,9 @@ def run_gate(
             exit_code = max(exit_code, 2)
             continue
         regressions, notes = compare_metrics(baseline, current, tolerance)
+        rel_regressions, rel_notes = check_relative_gates(name, current)
+        regressions.extend(rel_regressions)
+        notes.extend(rel_notes)
         verdict = "REGRESSED" if regressions else "ok"
         print(f"{name}: {verdict}", file=out)
         for line in regressions:

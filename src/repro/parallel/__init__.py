@@ -1,0 +1,39 @@
+"""Real execution backends for the shard layer (DESIGN.md §6j).
+
+``repro.parallel`` turns the PR 5 *modeled* shard executor into real
+concurrency behind the same seam: an asyncio event-loop backend and a
+``multiprocessing`` worker pool, both proven byte-identical to the sync
+reference by the differential harness (``FLAGS.shard_backend``).
+"""
+
+from repro.parallel.backends import (
+    BACKEND_NAMES,
+    AsyncShardBackend,
+    DispatchOutcome,
+    MpShardBackend,
+    live_worker_count,
+    make_backend,
+    shutdown_all,
+)
+from repro.parallel.protocol import (
+    EncodeJob,
+    EncodeResult,
+    encode_packed_batch,
+    pack_job,
+    unpack_job,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "AsyncShardBackend",
+    "DispatchOutcome",
+    "EncodeJob",
+    "EncodeResult",
+    "MpShardBackend",
+    "encode_packed_batch",
+    "live_worker_count",
+    "make_backend",
+    "pack_job",
+    "shutdown_all",
+    "unpack_job",
+]

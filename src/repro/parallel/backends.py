@@ -1,0 +1,484 @@
+"""Real execution backends behind the ``ShardedFanout`` executor seam.
+
+PR 5's shard layer *modeled* parallelism: work ran serially with
+wall-clock attributed to shards.  This module makes the same seam
+actually parallel (DESIGN.md §6j), gated by the
+``perf.FLAGS.shard_backend`` knob:
+
+* :class:`AsyncShardBackend` (``"async"``) — one asyncio task per shard
+  worker on a private event loop.  Encode jobs are processed
+  cooperatively (one yield per op), exercising the full dispatch/merge
+  protocol in-process with zero IPC — the stepping stone the ROADMAP
+  names toward a socket-driving ``Channel`` transport.
+* :class:`MpShardBackend` (``"mp"``) — a ``multiprocessing`` worker
+  pool, one OS process per shard.  Batches cross the pipe in the
+  compact packed-tuple protocol (:mod:`repro.parallel.protocol`);
+  workers encode with the same (zero-copy, when enabled) buffers the
+  in-process path uses and return raw wire frames plus their measured
+  busy time, so per-shard accounting is *real*, not attributed.
+
+Both backends are pure with respect to platform state: the control
+phase already ran in the parent, so a worker crash can lose only
+not-yet-merged frames.  The engine handles that through the existing
+kill/resurrect path — a failed shard is marked dead, its undelivered
+jobs are retained here, and :meth:`resurrect_shard` re-dispatches them
+on a fresh worker before the inbox backlog replays.
+
+Every pool registers in a module-level weak set; :func:`live_worker_count`
+/ :func:`shutdown_all` back the test-suite leak guard and an ``atexit``
+hook so no test run (or interpreter exit) can leave orphaned worker
+processes behind.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import atexit
+import multiprocessing
+import os
+import time as _time
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.parallel.protocol import (
+    EncodeJob,
+    encode_packed_batch,
+    pack_job,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "AsyncShardBackend",
+    "DispatchOutcome",
+    "MpShardBackend",
+    "live_worker_count",
+    "make_backend",
+    "shutdown_all",
+]
+
+_perf_counter = _time.perf_counter
+
+#: Every selectable backend, ``"model"`` being the PR 5 in-process
+#: reference (no backend object — the engine runs its original path).
+BACKEND_NAMES = ("model", "async", "mp")
+
+#: How long one dispatch may wait on a worker process before the engine
+#: declares it dead (hung-worker fail-fast; the CI mp tests add
+#: ``pytest-timeout`` on top as a second line of defence).
+DEFAULT_DISPATCH_TIMEOUT_S = 60.0
+
+_LIVE_BACKENDS: "weakref.WeakSet[MpShardBackend]" = weakref.WeakSet()
+
+
+@dataclass
+class DispatchOutcome:
+    """What one dispatch round produced.
+
+    ``completed`` pairs each finished job with its wire frame,
+    ``shard_busy`` carries the measured per-shard encode seconds, and
+    ``failed_shards`` names workers that died (or hung) mid-batch —
+    their unfinished jobs stay retained in the backend for replay.
+    """
+
+    completed: List[Tuple[EncodeJob, bytes]] = field(default_factory=list)
+    shard_busy: Dict[int, float] = field(default_factory=dict)
+    failed_shards: List[int] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# asyncio backend
+# ---------------------------------------------------------------------------
+
+
+class AsyncShardBackend:
+    """One asyncio task per shard worker on a private event loop.
+
+    The loop is owned by this backend (never the running thread's
+    default loop) so it composes with any host application.  Workers
+    cannot die — a task failure would propagate — so the kill/resurrect
+    surface is a no-op beyond the engine's own inbox semantics.
+    """
+
+    name = "async"
+
+    def __init__(self, shard_count: int) -> None:
+        self.shard_count = shard_count
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._retained: Dict[int, List[EncodeJob]] = {}
+        self.dispatches = 0
+
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None or self._loop.is_closed():
+            self._loop = asyncio.new_event_loop()
+        return self._loop
+
+    async def _shard_task(
+        self, jobs: List[EncodeJob]
+    ) -> Tuple[float, List[Tuple[EncodeJob, bytes]]]:
+        busy = 0.0
+        results: List[Tuple[EncodeJob, bytes]] = []
+        for job in jobs:
+            started = _perf_counter()
+            frame = job.update.encode(addpath=job.addpath)
+            busy += _perf_counter() - started
+            results.append((job, frame))
+            # Cooperative pump: yield between ops so shard tasks
+            # interleave on the loop instead of monopolising it.
+            await asyncio.sleep(0)
+        return busy, results
+
+    async def _run(
+        self, jobs_by_shard: Dict[int, List[EncodeJob]]
+    ) -> DispatchOutcome:
+        shards = sorted(jobs_by_shard)
+        tasks = [
+            asyncio.ensure_future(self._shard_task(jobs_by_shard[shard]))
+            for shard in shards
+        ]
+        outcome = DispatchOutcome()
+        for shard, task in zip(shards, tasks):
+            busy, results = await task
+            outcome.shard_busy[shard] = busy
+            outcome.completed.extend(results)
+        return outcome
+
+    def dispatch(
+        self, jobs_by_shard: Dict[int, List[EncodeJob]]
+    ) -> DispatchOutcome:
+        self.dispatches += 1
+        return self._ensure_loop().run_until_complete(
+            self._run(jobs_by_shard)
+        )
+
+    def pending_jobs(self, shard_id: int) -> int:
+        return len(self._retained.get(shard_id, ()))
+
+    def retain_jobs(self, shard_id: int, jobs: List[EncodeJob]) -> None:
+        """Hold jobs stranded by an engine-level kill for later replay."""
+        self._retained.setdefault(shard_id, []).extend(jobs)
+
+    def on_kill(self, shard_id: int) -> None:  # in-process: nothing to reap
+        return None
+
+    def resurrect_shard(self, shard_id: int) -> DispatchOutcome:
+        retained = self._retained.pop(shard_id, [])
+        if not retained:
+            return DispatchOutcome()
+        return self.dispatch({shard_id: retained})
+
+    def live_workers(self) -> int:
+        return 0
+
+    def close(self) -> None:
+        if self._loop is not None and not self._loop.is_closed():
+            self._loop.close()
+        self._loop = None
+
+
+# ---------------------------------------------------------------------------
+# multiprocessing backend
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(conn, shard_id: int) -> None:
+    """The worker-process loop: recv a batch, encode, reply, repeat.
+
+    A ``("fault", n)`` control message arms the crash-injection seam:
+    the worker hard-exits (``os._exit``) after ``n`` more jobs *without
+    replying*, which is exactly what a real mid-batch crash looks like
+    from the parent (EOF on the pipe).
+    """
+    fault_countdown: Optional[int] = None
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "fault":
+            fault_countdown = message[1]
+            conn.send(("ok",))
+            continue
+        started = _perf_counter()
+        results, fault_countdown = encode_packed_batch(
+            message[1], fault_countdown
+        )
+        if fault_countdown == 0:
+            os._exit(17)  # crash mid-batch: no reply, parent sees EOF
+        conn.send(("done", _perf_counter() - started, results))
+
+
+@dataclass
+class _MpWorker:
+    process: multiprocessing.process.BaseProcess
+    conn: object  # multiprocessing.connection.Connection
+
+
+def _continue_stopped(process) -> None:
+    """Deliver SIGCONT so a stopped (wedged) worker can receive the
+    pending SIGTERM — ``terminate()`` alone never kills a SIGSTOPped
+    process."""
+    import signal
+
+    if process.pid is None:
+        return
+    try:
+        os.kill(process.pid, signal.SIGCONT)
+    except (OSError, ProcessLookupError):
+        pass
+
+
+def _reap(workers: List[Optional[_MpWorker]]) -> None:
+    """Terminate and join every live worker (finalizer / atexit path)."""
+    for worker in workers:
+        if worker is None:
+            continue
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join(timeout=5)
+
+
+class MpShardBackend:
+    """A ``multiprocessing`` pool: one worker process per shard.
+
+    Workers spawn lazily on first dispatch (``fork`` start method when
+    the platform offers it — workers only encode, so inheriting parent
+    state is safe and start-up stays cheap).  Jobs lost to a dead or
+    hung worker are retained per shard and replayed on
+    :meth:`resurrect_shard`.
+    """
+
+    name = "mp"
+
+    def __init__(
+        self,
+        shard_count: int,
+        dispatch_timeout_s: float = DEFAULT_DISPATCH_TIMEOUT_S,
+    ) -> None:
+        self.shard_count = shard_count
+        self.dispatch_timeout_s = dispatch_timeout_s
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        self._workers: List[Optional[_MpWorker]] = [None] * shard_count
+        self._retained: Dict[int, List[EncodeJob]] = {}
+        self.dispatches = 0
+        self.worker_restarts = 0
+        self._closed = False
+        _LIVE_BACKENDS.add(self)
+        # Safety net: a pool dropped without close() still reaps its
+        # processes when garbage-collected (the list object is shared,
+        # so the finalizer sees workers spawned after registration).
+        self._finalizer = weakref.finalize(self, _reap, self._workers)
+
+    # -- worker lifecycle --------------------------------------------------
+
+    def _spawn(self, shard_id: int) -> _MpWorker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, shard_id),
+            name=f"repro-shard-worker-{shard_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        worker = _MpWorker(process=process, conn=parent_conn)
+        self._workers[shard_id] = worker
+        return worker
+
+    def _ensure_worker(self, shard_id: int) -> _MpWorker:
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        worker = self._workers[shard_id]
+        if worker is None or not worker.process.is_alive():
+            if worker is not None:
+                self._discard(shard_id)
+                self.worker_restarts += 1
+            worker = self._spawn(shard_id)
+        return worker
+
+    def _discard(self, shard_id: int) -> None:
+        worker = self._workers[shard_id]
+        if worker is None:
+            return
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():
+            worker.process.terminate()
+            _continue_stopped(worker.process)
+        worker.process.join(timeout=5)
+        if worker.process.is_alive():  # last resort for a wedged worker
+            worker.process.kill()
+            worker.process.join(timeout=5)
+        self._workers[shard_id] = None
+
+    # -- dispatch ----------------------------------------------------------
+
+    def dispatch(
+        self, jobs_by_shard: Dict[int, List[EncodeJob]]
+    ) -> DispatchOutcome:
+        """Ship every shard's batch, then collect replies.
+
+        All sends complete before the first receive so workers run
+        concurrently; a shard whose worker dies (EOF) or wedges past
+        ``dispatch_timeout_s`` is reported failed and its whole batch is
+        retained for replay — batches are all-or-nothing, so a partial
+        crash can never half-apply.
+        """
+        self.dispatches += 1
+        outcome = DispatchOutcome()
+        sent: List[Tuple[int, List[EncodeJob], _MpWorker]] = []
+        for shard in sorted(jobs_by_shard):
+            jobs = jobs_by_shard[shard]
+            if not jobs:
+                continue
+            try:
+                worker = self._ensure_worker(shard)
+                worker.conn.send(
+                    ("batch", [pack_job(i, job)
+                               for i, job in enumerate(jobs)])
+                )
+            except (OSError, ValueError, BrokenPipeError):
+                self._fail_shard(shard, jobs, outcome)
+                continue
+            sent.append((shard, jobs, worker))
+        for shard, jobs, worker in sent:
+            try:
+                if not worker.conn.poll(self.dispatch_timeout_s):
+                    raise EOFError(
+                        f"worker {shard} hung past "
+                        f"{self.dispatch_timeout_s}s"
+                    )
+                reply = worker.conn.recv()
+            except (EOFError, OSError):
+                self._fail_shard(shard, jobs, outcome)
+                continue
+            _kind, busy, results = reply
+            outcome.shard_busy[shard] = busy
+            for index, frame in results:
+                outcome.completed.append((jobs[index], frame))
+        return outcome
+
+    def _fail_shard(
+        self,
+        shard: int,
+        jobs: List[EncodeJob],
+        outcome: DispatchOutcome,
+    ) -> None:
+        self._discard(shard)
+        self._retained.setdefault(shard, []).extend(jobs)
+        outcome.failed_shards.append(shard)
+        self.worker_restarts += 1  # the replay path will respawn it
+
+    # -- fault surface -----------------------------------------------------
+
+    def inject_crash(self, shard_id: int, after_jobs: int = 0) -> None:
+        """Test seam: make the shard's worker crash mid-batch.
+
+        The worker hard-exits after processing ``after_jobs`` more jobs
+        of the *next* batch, without replying — indistinguishable from
+        a real worker-process crash.
+        """
+        worker = self._ensure_worker(shard_id)
+        worker.conn.send(("fault", after_jobs))
+        if not worker.conn.poll(self.dispatch_timeout_s):
+            raise RuntimeError("worker did not acknowledge fault arm")
+        worker.conn.recv()
+
+    def pending_jobs(self, shard_id: int) -> int:
+        return len(self._retained.get(shard_id, ()))
+
+    def retain_jobs(self, shard_id: int, jobs: List[EncodeJob]) -> None:
+        """Hold jobs stranded by an engine-level kill for later replay."""
+        self._retained.setdefault(shard_id, []).extend(jobs)
+
+    def on_kill(self, shard_id: int) -> None:
+        """Engine kill: reap the process now — no orphans, no zombies."""
+        self._discard(shard_id)
+
+    def resurrect_shard(self, shard_id: int) -> DispatchOutcome:
+        """Respawn the worker and replay its retained jobs, in order."""
+        retained = self._retained.pop(shard_id, [])
+        if not retained:
+            return DispatchOutcome()
+        return self.dispatch({shard_id: retained})
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def live_workers(self) -> int:
+        return sum(
+            1 for worker in self._workers
+            if worker is not None and worker.process.is_alive()
+        )
+
+    def close(self) -> None:
+        """Stop every worker: polite stop first, then terminate+join."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            if worker is None:
+                continue
+            try:
+                worker.conn.send(("stop",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for shard_id in range(self.shard_count):
+            self._discard(shard_id)
+        self._retained.clear()
+
+
+# ---------------------------------------------------------------------------
+# factory + leak guard
+# ---------------------------------------------------------------------------
+
+
+def make_backend(
+    name: str,
+    shard_count: int,
+    dispatch_timeout_s: float = DEFAULT_DISPATCH_TIMEOUT_S,
+):
+    """Build the backend for ``perf.FLAGS.shard_backend``.
+
+    ``"model"`` returns ``None`` — the engine runs its original
+    in-process path with modeled attribution.
+    """
+    if name == "model":
+        return None
+    if name == "async":
+        return AsyncShardBackend(shard_count)
+    if name == "mp":
+        return MpShardBackend(
+            shard_count, dispatch_timeout_s=dispatch_timeout_s
+        )
+    raise ValueError(
+        f"unknown shard backend {name!r} (expected one of {BACKEND_NAMES})"
+    )
+
+
+def live_worker_count() -> int:
+    """Live worker processes across every pool (the test leak guard)."""
+    return sum(backend.live_workers() for backend in _LIVE_BACKENDS)
+
+
+def shutdown_all() -> int:
+    """Close every live pool; returns how many workers were reaped."""
+    reaped = 0
+    for backend in list(_LIVE_BACKENDS):
+        reaped += backend.live_workers()
+        backend.close()
+    return reaped
+
+
+atexit.register(shutdown_all)

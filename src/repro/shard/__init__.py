@@ -17,7 +17,9 @@ The public surface:
   (speaker export flush) where execution must stay untouched.
 
 Enable via the perf knob: ``repro.perf.set_flags(shards=4)`` — see
-DESIGN.md §6f.
+DESIGN.md §6f.  Real execution backends (``shard_backend="async"`` /
+``"mp"``) live in :mod:`repro.parallel` and plug into the same engine
+seam — see DESIGN.md §6j.
 """
 
 from repro.shard.engine import (

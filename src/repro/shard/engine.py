@@ -75,6 +75,23 @@ __all__ = [
 
 _perf_counter = _time.perf_counter
 
+_ENCODE_JOB_CLS = None
+
+
+def _encode_job_cls():
+    """Late-bound :class:`repro.parallel.protocol.EncodeJob`.
+
+    ``repro.parallel`` imports :class:`MergeKey` from this module, so
+    the reference must resolve lazily to avoid an import cycle.  The
+    model backend never touches it.
+    """
+    global _ENCODE_JOB_CLS
+    if _ENCODE_JOB_CLS is None:
+        from repro.parallel.protocol import EncodeJob
+        _ENCODE_JOB_CLS = EncodeJob
+    return _ENCODE_JOB_CLS
+
+
 #: Bucket boundaries for the merge-latency histogram (seconds).
 MERGE_LATENCY_BUCKETS = (
     1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
@@ -98,10 +115,14 @@ class FanoutOp:
 
     ``kind`` is one of ``"add_route"`` (payload: a
     :class:`~repro.netsim.stack.KernelRoute`), ``"remove_route"``
-    (payload: a prefix) or ``"send"`` (payload: an
+    (payload: a prefix), ``"send"`` (payload: an
     :class:`~repro.bgp.messages.UpdateMessage`; ``target`` is the
-    session).  ``counter`` names the :attr:`VbgpNode.counters` key the
-    merge layer bumps when the op applies.
+    session), ``"send_job"`` (payload: an
+    :class:`~repro.parallel.protocol.EncodeJob` awaiting a backend
+    dispatch — never reaches the merge layer) or ``"send_wire"``
+    (payload: the pre-encoded wire frame a backend worker produced).
+    ``counter`` names the :attr:`VbgpNode.counters` key the merge layer
+    bumps when the op applies.
     """
 
     key: MergeKey
@@ -144,13 +165,16 @@ class DirectExecutor:
 class _ShardEmitter:
     """The buffering executor bound to one worker during item processing."""
 
-    __slots__ = ("worker", "sim_time", "seq", "emit")
+    __slots__ = ("worker", "sim_time", "seq", "emit", "collect_jobs")
 
     def __init__(self, worker: "ShardWorker") -> None:
         self.worker = worker
         self.sim_time = 0.0
         self.seq = 0
         self.emit = 0
+        # Real backends (async/mp) set this: sends become EncodeJobs
+        # dispatched to workers instead of being encoded inline.
+        self.collect_jobs = False
 
     def bind(self, sim_time: float, seq: int) -> None:
         self.sim_time = sim_time
@@ -178,6 +202,21 @@ class _ShardEmitter:
         ))
 
     def send(self, session, message, counter: str) -> None:
+        if self.collect_jobs:
+            # Real backend: defer the encode to a worker.  ``addpath``
+            # is captured *now* so the worker produces exactly the
+            # bytes ``session.send_update`` would have.
+            key = self._key()
+            self.worker.buffer.append(FanoutOp(
+                key=key, kind="send_job",
+                payload=_encode_job_cls()(
+                    key=key, session=session,
+                    addpath=session.addpath_active,
+                    update=message, counter=counter,
+                ),
+                target=session, counter=counter,
+            ))
+            return
         if perf.FLAGS.encode_memo:
             # Charge the encode to *this shard*: with the wire memo on,
             # the merge layer's actual send hits the cache, so the
@@ -248,6 +287,12 @@ class ShardStats:
     withdrawals_shed: int = 0
     merge_s: float = 0.0
     modeled_elapsed_s: float = 0.0
+    # Real-backend accounting (DESIGN.md §6j); all stay 0 under
+    # ``shard_backend="model"``.
+    dispatches: int = 0
+    jobs_dispatched: int = 0
+    dispatch_s: float = 0.0
+    worker_restarts: int = 0
 
     def serial_s(self, workers: Iterable[ShardWorker]) -> float:
         """What the same work would have cost on one shard."""
@@ -291,6 +336,18 @@ class MergeLayer:
                 if op.counter is not None:
                     counters[op.counter] += 1
                 applied += 1
+            elif op.kind == "send_wire":
+                # A backend worker already encoded this UPDATE; the
+                # session transmits the frame verbatim (same stats and
+                # liveness semantics as ``send``).
+                session = op.target
+                if session is None or not session.established:
+                    self.stats.ops_dropped += 1
+                    continue
+                session.send_wire(op.payload)
+                if op.counter is not None:
+                    counters[op.counter] += 1
+                applied += 1
             elif op.kind == "add_route":
                 stack.add_route(op.payload, table_id=op.table_id)
                 if op.counter is not None:
@@ -325,6 +382,7 @@ class ShardedFanout:
         partition: PartitionFn,
         telemetry: Optional["TelemetryHub"] = None,
         auto_drain: bool = True,
+        backend: str = "model",
     ) -> None:
         if shard_count < 1:
             raise ValueError("shard_count must be >= 1")
@@ -334,8 +392,18 @@ class ShardedFanout:
         self.shard_count = shard_count
         self.partition = partition
         self.auto_drain = auto_drain
+        self.backend_name = backend
+        if backend == "model":
+            self._backend = None
+        else:
+            # Imported late: repro.parallel depends on this module.
+            from repro.parallel.backends import make_backend
+            self._backend = make_backend(backend, shard_count)
         self.workers = [ShardWorker(shard_id=i) for i in range(shard_count)]
         self._emitters = [_ShardEmitter(worker) for worker in self.workers]
+        if self._backend is not None:
+            for emitter in self._emitters:
+                emitter.collect_jobs = True
         # Bounded inboxes (§6i, opt-in): beyond ``inbox_limit`` queued
         # items per worker, announcement-only items are shed oldest
         # first; ``on_shed(routes)`` reports each shed to the overload
@@ -346,6 +414,7 @@ class ShardedFanout:
         self.merge = MergeLayer(node, self.stats)
         self._next_seq = 0
         self._m_merge_latency = None
+        self._m_dispatch_latency = None
         if telemetry is not None:
             self._init_telemetry(telemetry)
 
@@ -402,13 +471,27 @@ class ShardedFanout:
             labels=("node",),
             buckets=MERGE_LATENCY_BUCKETS,
         ).labels(node_name)
+        self._m_dispatch_latency = registry.histogram(
+            "vbgp_shard_dispatch_latency_seconds",
+            "Wall-clock per backend dispatch round "
+            "(ship batches + worker encode + collect)",
+            labels=("node", "backend"),
+            buckets=MERGE_LATENCY_BUCKETS,
+        ).labels(node_name, self.backend_name)
 
     # -- introspection -----------------------------------------------------
 
     @property
     def pending(self) -> int:
-        """Work items queued on (dead or not-yet-pumped) shards."""
-        return sum(len(worker.inbox) for worker in self.workers)
+        """Work items queued on (dead or not-yet-pumped) shards, plus
+        encode jobs a real backend retained across a worker crash."""
+        pending = sum(len(worker.inbox) for worker in self.workers)
+        if self._backend is not None:
+            pending += sum(
+                self._backend.pending_jobs(worker.shard_id)
+                for worker in self.workers
+            )
+        return pending
 
     @property
     def buffered_ops(self) -> int:
@@ -435,11 +518,18 @@ class ShardedFanout:
     # -- fault injection (the chaos shard-kill scenario) -------------------
 
     def kill(self, shard_id: int) -> None:
-        """Stop a worker: its queued and future items accumulate."""
+        """Stop a worker: its queued and future items accumulate.
+
+        With a real backend the shard's OS worker (mp) is terminated
+        and joined *now* — a kill with in-flight work must never leave
+        an orphaned process or a pending future behind.
+        """
         worker = self.workers[shard_id]
         if worker.alive:
             worker.alive = False
             worker.kills += 1
+        if self._backend is not None:
+            self._backend.on_kill(shard_id)
 
     def resurrect(self, shard_id: int) -> int:
         """Revive a worker and replay its backlog through the merge.
@@ -447,15 +537,50 @@ class ShardedFanout:
         Returns the number of backlog items replayed.  Replay preserves
         ingress (``seq``) order within the backlog, so the healed state
         converges to exactly what in-order processing would have built.
+
+        With a real backend, encode jobs the dead worker never finished
+        replay *first* (they carry earlier ``seq`` than anything still
+        in the inbox — their control phase already ran), on a freshly
+        spawned worker; the inbox backlog then replays as before.
         """
         worker = self.workers[shard_id]
         worker.alive = True
+        replayed_frames = 0
+        if self._backend is not None:
+            outcome = self._backend.resurrect_shard(shard_id)
+            for shard, busy in outcome.shard_busy.items():
+                self.workers[shard].busy_s += busy
+                self.workers[shard].window_busy_s += busy
+            for job, frame in outcome.completed:
+                worker.buffer.append(FanoutOp(
+                    key=job.key, kind="send_wire", payload=frame,
+                    target=job.session, counter=job.counter,
+                ))
+            replayed_frames = len(outcome.completed)
+            self.stats.worker_restarts = getattr(
+                self._backend, "worker_restarts", 0
+            )
         backlog = len(worker.inbox)
         if backlog:
             self._pump()
+        if backlog or replayed_frames:
             self.flush()
             self.stats.backlog_replayed += backlog
         return backlog
+
+    def close(self) -> None:
+        """Release backend resources (worker processes, event loop).
+
+        Idempotent; the model backend has nothing to release.  Buffered
+        ops are *not* flushed — callers drain before closing.
+        """
+        if self._backend is not None:
+            self._backend.close()
+            self._backend = None
+            # Degrade gracefully if somehow used after close: inline
+            # encode (the reference path) instead of stranding jobs.
+            for emitter in self._emitters:
+                emitter.collect_jobs = False
 
     # -- the pipeline ------------------------------------------------------
 
@@ -570,11 +695,88 @@ class ShardedFanout:
             # mode, so count the tail rather than the whole buffer.
             worker.updates_emitted += sum(
                 1 for op in worker.buffer[buffered_before:]
-                if op.kind == "send"
+                if op.kind in ("send", "send_job")
             )
+
+    def _dispatch_jobs(self) -> None:
+        """Fan buffered encode jobs out to the real backend.
+
+        Runs at :meth:`flush` time so one drain window's jobs cross the
+        backend in a single dispatch round (one batch per shard — the
+        mp backend amortises its IPC over the whole window).  The
+        control phase already ran in global ingress order, so the jobs
+        are pure: each is an (update, addpath) pair whose wire bytes
+        are order-independent.  Completed jobs are rewritten in place
+        as ``send_wire`` ops (MergeKey untouched — the merged stream
+        keeps its backend-invariant order); a shard whose worker died
+        keeps its whole batch retained backend-side and is marked dead
+        for the kill/resurrect replay path.
+        """
+        jobs_by_shard: dict[int, list] = {}
+        ops_by_job: dict[int, FanoutOp] = {}
+        for worker in self.workers:
+            for op in worker.buffer:
+                if op.kind == "send_job":
+                    job = op.payload
+                    jobs_by_shard.setdefault(
+                        worker.shard_id, []
+                    ).append(job)
+                    ops_by_job[id(job)] = op
+        # Jobs emitted before a kill() landed: retain them backend-side
+        # (their control phase is committed work) instead of handing
+        # them to a worker the kill already reaped — resurrect_shard
+        # replays them on the fresh worker.
+        for shard_id in [
+            shard for shard in jobs_by_shard
+            if not self.workers[shard].alive
+        ]:
+            self._backend.retain_jobs(
+                shard_id, jobs_by_shard.pop(shard_id)
+            )
+            stranded = self.workers[shard_id]
+            stranded.buffer[:] = [
+                op for op in stranded.buffer if op.kind != "send_job"
+            ]
+        if not jobs_by_shard:
+            return
+        started = _perf_counter()
+        outcome = self._backend.dispatch(jobs_by_shard)
+        elapsed = _perf_counter() - started
+        self.stats.dispatches += 1
+        self.stats.jobs_dispatched += sum(
+            len(jobs) for jobs in jobs_by_shard.values()
+        )
+        self.stats.dispatch_s += elapsed
+        if self._m_dispatch_latency is not None:
+            self._m_dispatch_latency.observe(elapsed)
+        for shard_id, busy in outcome.shard_busy.items():
+            shard_worker = self.workers[shard_id]
+            shard_worker.busy_s += busy
+            shard_worker.window_busy_s += busy
+        for job, frame in outcome.completed:
+            op = ops_by_job[id(job)]
+            op.kind = "send_wire"
+            op.payload = frame
+        for shard_id in outcome.failed_shards:
+            failed = self.workers[shard_id]
+            # The crashed batch is retained backend-side as EncodeJobs;
+            # drop the stranded ops so the merge only sees finished
+            # work.  resurrect() re-dispatches and re-materialises them
+            # with their original MergeKeys.
+            failed.buffer[:] = [
+                op for op in failed.buffer if op.kind != "send_job"
+            ]
+            if failed.alive:
+                failed.alive = False
+                failed.kills += 1
+        self.stats.worker_restarts = getattr(
+            self._backend, "worker_restarts", 0
+        )
 
     def flush(self) -> int:
         """Drain all shard buffers through the merge layer, in order."""
+        if self._backend is not None:
+            self._dispatch_jobs()
         ops: List[FanoutOp] = []
         window_max = 0.0
         for worker in self.workers:

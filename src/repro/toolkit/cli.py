@@ -92,6 +92,7 @@ class ToolkitCli:
             "       peering verify codec [--frames n] [--seed n]\n"
             "       peering verify differential [--updates n]\n"
             "                                   [--shards n[,n...]]\n"
+            "                                   [--backend async|mp[,...]]\n"
             "                                   [--partition neighbor|prefix]\n"
             "                                   [--workload churn|fulltable]\n"
             "                                   [--prefixes n]\n"
@@ -528,7 +529,18 @@ class ToolkitCli:
             prefix_count=prefixes,
             workload=options["workload"],
         )
-        if options["shards"] is not None:
+        if options["backend"] is not None:
+            # Real-backend sweep (DESIGN.md §6j): prove every requested
+            # execution backend byte-identical to the sync reference,
+            # composed with the requested shard counts.
+            from repro.conformance.differential import SHARD_COUNTS
+
+            result = harness.run_backends(
+                backends=options["backend"],
+                counts=options["shards"] or SHARD_COUNTS,
+                partition=options["partition"],
+            )
+        elif options["shards"] is not None:
             # Shard-count sweep (DESIGN.md §6f): prove the fan-out is
             # byte-identical at every requested shard count instead of
             # sweeping the perf-flag lattice.
@@ -555,14 +567,15 @@ class ToolkitCli:
             "updates": 300,
             "seed": 0,
             "shards": None,
+            "backend": None,
             "partition": "neighbor",
             "workload": "churn",
             "prefixes": None,
             "subsample": 16,
         }
         takes_value = ("--frames", "--updates", "--seed", "--prefixes",
-                       "--subsample", "--shards", "--partition",
-                       "--workload")
+                       "--subsample", "--shards", "--backend",
+                       "--partition", "--workload")
         rest: list[str] = []
         index = 0
         while index < len(args):
@@ -577,6 +590,13 @@ class ToolkitCli:
                 index += 1
                 options["shards"] = tuple(
                     int(part)
+                    for part in args[index].split(",")
+                    if part.strip()
+                )
+            elif token == "--backend":
+                index += 1
+                options["backend"] = tuple(
+                    part.strip()
                     for part in args[index].split(",")
                     if part.strip()
                 )

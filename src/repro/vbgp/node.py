@@ -1356,42 +1356,53 @@ class VbgpNode:
     # Sharded fan-out (repro.shard, DESIGN.md §6f)
     # ==================================================================
 
-    def _shard_config(self) -> tuple[int, str, int]:
-        """Effective (count, strategy, seed): node overrides win over
-        the global ``perf.FLAGS`` knobs."""
+    def _shard_config(self) -> tuple[int, str, int, str]:
+        """Effective (count, strategy, seed, backend): node overrides
+        win over the global ``perf.FLAGS`` knobs."""
         flags = perf.FLAGS
         count = (self._shards_override if self._shards_override is not None
                  else flags.shards)
         strategy = (self._shard_partition_override
                     if self._shard_partition_override is not None
                     else flags.shard_partition)
-        return count, strategy, flags.shard_seed
+        return count, strategy, flags.shard_seed, flags.shard_backend
 
     def _shard_engine_if_enabled(self) -> Optional[ShardedFanout]:
         """The live shard engine, or ``None`` for the direct path.
 
         An engine holding queued backlog (a killed shard) is *never*
         abandoned on a flag flip — its items would be lost; it keeps
-        receiving work until the backlog drains.
+        receiving work until the backlog drains.  The engine engages
+        when ``shards > 1`` *or* a real backend is selected; the
+        ``model`` backend at ``shards=1`` stays the direct (sync
+        reference) path.  A replaced engine is closed so a real
+        backend's workers are reaped.
         """
         engine = self._shard_engine
         if engine is not None and engine.pending:
             return engine
-        count, strategy, seed = self._shard_config()
-        if count <= 1:
+        count, strategy, seed, backend = self._shard_config()
+        if count <= 1 and backend == "model":
+            if engine is not None:
+                engine.close()
+                self._shard_engine = None
             return None
         if (
             engine is not None
             and engine.shard_count == count
             and engine.partition.strategy == strategy
             and engine.partition.seed == seed
+            and engine.backend_name == backend
         ):
             return engine
+        if engine is not None:
+            engine.close()
         engine = ShardedFanout(
             self,
             count,
             make_partition(strategy, count, seed=seed),
             telemetry=self.telemetry,
+            backend=backend,
         )
         self._configure_engine_overload(engine)
         self._shard_engine = engine
@@ -1410,6 +1421,17 @@ class VbgpNode:
         """Per-shard status rows (``[]`` when the fan-out is unsharded)."""
         engine = self._shard_engine
         return engine.status() if engine is not None else []
+
+    def close_shard_engine(self) -> None:
+        """Release the shard engine's backend resources, if any.
+
+        Safe to call repeatedly; harness/teardown hook so real-backend
+        worker processes never outlive the platform that spawned them.
+        """
+        engine = self._shard_engine
+        if engine is not None:
+            engine.close()
+            self._shard_engine = None
 
     # ==================================================================
     # Introspection (used by benches and the CLI)

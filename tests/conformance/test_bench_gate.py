@@ -34,6 +34,15 @@ def test_direction_inference():
     assert gate.metric_direction("reduction_x") == "neutral"
 
 
+def test_real_metrics_and_cpu_count_are_machine_properties():
+    """Wall-clock metrics from real backends never gate absolutely —
+    even when their names contain ``per_s``."""
+    assert gate.metric_direction("real_mp4_updates_per_s") == "neutral"
+    assert gate.metric_direction("real_sync_updates_per_s") == "neutral"
+    assert gate.metric_direction("real_speedup_mp4") == "neutral"
+    assert gate.metric_direction("cpu_count") == "neutral"
+
+
 def test_identical_metrics_pass():
     metrics = {"packets_per_s": 1000.0, "per_packet_us": 20.0}
     regressions, notes = gate.compare_metrics(metrics, dict(metrics))
@@ -176,6 +185,74 @@ def test_run_gate_exit_codes(tmp_path):
     # missing fresh JSON is an infrastructure error, not a silent pass
     (current_dir / "BENCH_demo.json").unlink()
     assert gate.run_gate(baseline_dir, current_dir, names=("demo",)) == 2
+
+
+def test_relative_gate_skips_below_core_floor():
+    regressions, notes = gate.check_relative_gates(
+        "shard_scaleout", {"cpu_count": 1, "real_speedup_mp4": 0.6}
+    )
+    assert regressions == []
+    assert len(notes) == 1
+    assert "skipped" in notes[0] and "1 core(s)" in notes[0]
+
+
+def test_relative_gate_passes_on_enough_cores():
+    regressions, notes = gate.check_relative_gates(
+        "shard_scaleout", {"cpu_count": 8, "real_speedup_mp4": 2.4}
+    )
+    assert regressions == []
+    assert len(notes) == 1 and "2.40x" in notes[0]
+
+
+def test_relative_gate_fails_slow_speedup_on_enough_cores():
+    regressions, _ = gate.check_relative_gates(
+        "shard_scaleout", {"cpu_count": 4, "real_speedup_mp4": 1.2}
+    )
+    assert len(regressions) == 1
+    assert "1.20x < 1.8x" in regressions[0]
+
+
+def test_relative_gate_missing_metric_regresses():
+    regressions, _ = gate.check_relative_gates(
+        "shard_scaleout", {"cpu_count": 8}
+    )
+    assert len(regressions) == 1
+    assert "missing" in regressions[0]
+
+
+def test_relative_gate_unknown_bench_is_empty():
+    assert gate.check_relative_gates("update_load", {"x": 1}) == ([], [])
+
+
+def test_run_gate_applies_relative_gate(tmp_path):
+    import io
+
+    baseline_dir = tmp_path / "baselines"
+    current_dir = tmp_path / "fresh"
+    baseline_dir.mkdir()
+    current_dir.mkdir()
+    metrics = {
+        "shards4_updates_per_s": 10000.0,
+        "cpu_count": 8,
+        "real_speedup_mp4": 1.2,
+    }
+    _write_bench(baseline_dir, "shard_scaleout", metrics)
+    _write_bench(current_dir, "shard_scaleout", dict(metrics))
+    output = io.StringIO()
+    assert gate.run_gate(
+        baseline_dir, current_dir, names=("shard_scaleout",), out=output
+    ) == 1
+    assert "relative gate 'real_speedup_mp4'" in output.getvalue()
+
+    # On a small runner the same slow speedup only produces a notice.
+    small = dict(metrics, cpu_count=1)
+    _write_bench(baseline_dir, "shard_scaleout", small)
+    _write_bench(current_dir, "shard_scaleout", dict(small))
+    output = io.StringIO()
+    assert gate.run_gate(
+        baseline_dir, current_dir, names=("shard_scaleout",), out=output
+    ) == 0
+    assert "skipped relative gate" in output.getvalue()
 
 
 def test_main_against_committed_baselines(tmp_path):

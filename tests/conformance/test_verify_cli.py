@@ -92,8 +92,37 @@ def test_verify_differential_shard_sweep_prefix_partition(cli):
     assert "2 shard combinations" in out
 
 
+def test_verify_differential_backend_sweep(cli):
+    out = cli.run(
+        "peering verify differential --updates 40 --backend async "
+        "--shards 2,4"
+    )
+    assert "differential: ok" in out
+    # model/shards=1 reference + async at each requested count.
+    assert "3 backend combinations" in out
+
+
+def test_verify_differential_backend_mp(cli):
+    out = cli.run(
+        "peering verify differential --updates 30 --prefixes 200 "
+        "--backend mp --shards 2"
+    )
+    assert "differential: ok" in out
+    assert "2 backend combinations" in out
+
+
+def test_verify_differential_backend_list(cli):
+    out = cli.run(
+        "peering verify differential --updates 30 --prefixes 200 "
+        "--backend async,mp --shards 2"
+    )
+    assert "differential: ok" in out
+    assert "3 backend combinations" in out
+
+
 def test_verify_usage_mentions_shards(cli):
     assert "--shards" in cli.run("peering bogus")
+    assert "--backend" in cli.run("peering bogus")
 
 
 def test_verify_usage_mentions_workload(cli):

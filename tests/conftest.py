@@ -16,6 +16,28 @@ def scheduler() -> Scheduler:
     return Scheduler()
 
 
+@pytest.fixture(autouse=True)
+def _no_leaked_shard_workers():
+    """ISSUE 9 satellite: zero leaked backend workers after every test.
+
+    A test that spawns an mp shard backend (directly or via
+    ``shard_backend="mp"``) must close it — a leaked worker process
+    here would outlive the test and eventually wedge CI.  The guard
+    reaps anything it finds so one offender cannot cascade, then fails
+    the offending test by name.
+    """
+    from repro.parallel.backends import live_worker_count, shutdown_all
+
+    yield
+    leaked = live_worker_count()
+    if leaked:
+        shutdown_all()
+        pytest.fail(
+            f"{leaked} shard backend worker process(es) leaked by this "
+            "test (engine/backend not closed)"
+        )
+
+
 def small_pop_configs() -> list[PopConfig]:
     """Two university + one IXP PoPs, all on the backbone."""
     return [

@@ -1,0 +1,186 @@
+"""Real shard backends behind the engine seam (DESIGN.md §6j).
+
+Engine-level mechanics of the ``shard_backend`` knob: job collection,
+dispatch, the ``send_wire`` merge path, lifecycle (close/kill reap every
+worker), and telemetry.  Byte-identity against the sync reference is
+proven separately by ``test_backend_differential.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import perf
+from repro.bgp.attributes import local_route
+from repro.chaos import build_chaos_world
+from repro.netsim.addr import IPv4Prefix
+from repro.parallel import (
+    AsyncShardBackend,
+    MpShardBackend,
+    live_worker_count,
+    make_backend,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_perf_flags():
+    saved = perf.FLAGS
+    yield
+    perf.FLAGS = saved
+    perf.clear_caches()
+
+
+def _backend_world(backend, shards=4, seed=0, with_telemetry=False):
+    world = build_chaos_world(seed=seed, with_telemetry=with_telemetry)
+    perf.set_flags(shards=shards, shard_backend=backend)
+    node = world.platform.pops["west"].node
+    engine = node._shard_engine_if_enabled()
+    assert engine is not None and engine.backend_name == backend
+    return world, node, engine
+
+
+def _churn(world, count=6, base=120):
+    handle = world.neighbors["transit-west"]
+    prefixes = [
+        IPv4Prefix.parse(f"10.45.{base + index}.0/24")
+        for index in range(count)
+    ]
+    for prefix in prefixes:
+        handle.speaker.originate(
+            local_route(prefix, next_hop=handle.port.address)
+        )
+    world.scheduler.run_for(5)
+    for prefix in prefixes:
+        handle.speaker.withdraw(prefix)
+    world.scheduler.run_for(5)
+
+
+# -- factory --------------------------------------------------------------
+
+def test_make_backend_names():
+    assert make_backend("model", 4) is None
+    backend = make_backend("async", 4)
+    assert isinstance(backend, AsyncShardBackend)
+    backend.close()
+    backend = make_backend("mp", 2)
+    assert isinstance(backend, MpShardBackend)
+    backend.close()
+    with pytest.raises(ValueError):
+        make_backend("threads", 4)
+
+
+# -- async backend --------------------------------------------------------
+
+def test_async_backend_dispatches_and_applies():
+    world, node, engine = _backend_world("async")
+    sent_before = node.counters["updates_to_experiments"]
+    _churn(world)
+    assert engine.stats.dispatches >= 1
+    assert engine.stats.jobs_dispatched >= 1
+    assert node.counters["updates_to_experiments"] > sent_before
+    # Every job was consumed: no stranded send_job ops, nothing pending.
+    assert engine.buffered_ops == 0
+    assert engine.pending == 0
+    node.close_shard_engine()
+
+
+def test_async_backend_engages_at_one_shard():
+    """backend != model forces the engine even at shards=1; the model
+    backend at shards=1 stays the direct (engine-less) path."""
+    world, node, engine = _backend_world("async", shards=1)
+    assert engine.shard_count == 1
+    node.close_shard_engine()
+    perf.set_flags(shards=1, shard_backend="model")
+    assert node._shard_engine_if_enabled() is None
+
+
+def test_backend_change_rebuilds_and_closes_engine():
+    world, node, engine = _backend_world("async")
+    perf.set_flags(shards=4, shard_backend="mp")
+    rebuilt = node._shard_engine_if_enabled()
+    assert rebuilt is not engine
+    assert rebuilt.backend_name == "mp"
+    # The replaced async engine was closed; close the mp one too.
+    node.close_shard_engine()
+    assert live_worker_count() == 0
+
+
+# -- mp backend -----------------------------------------------------------
+
+@pytest.mark.timeout(120)
+def test_mp_backend_real_workers_encode_and_close_reaps():
+    world, node, engine = _backend_world("mp", shards=2)
+    sent_before = node.counters["updates_to_experiments"]
+    _churn(world, count=4, base=140)
+    assert engine.stats.dispatches >= 1
+    assert node.counters["updates_to_experiments"] > sent_before
+    backend = engine._backend
+    assert backend.live_workers() >= 1  # lazily spawned on dispatch
+    node.close_shard_engine()
+    assert backend.live_workers() == 0
+    assert live_worker_count() == 0
+
+
+@pytest.mark.timeout(120)
+def test_mp_kill_with_inflight_work_reaps_worker():
+    """Satellite 3: kill() on a backend with in-flight work must
+    drain/join the OS worker — no orphaned processes."""
+    world, node, engine = _backend_world("mp", shards=2)
+    handle = world.neighbors["transit-west"]
+    gid = node.upstreams[handle.name].virtual.global_id
+    victim = engine.shard_for_neighbor(gid)
+    # Force the victim's worker to exist, then kill with queued work.
+    prefix = IPv4Prefix.parse("10.46.0.0/24")
+    handle.speaker.originate(
+        local_route(prefix, next_hop=handle.port.address)
+    )
+    world.scheduler.run_for(5)
+    backend = engine._backend
+    assert backend.live_workers() >= 1
+    engine.kill(victim)
+    handle.speaker.withdraw(prefix)
+    world.scheduler.run_for(5)
+    # The victim's OS process was terminated and joined at kill time.
+    worker_entry = backend._workers[victim]
+    assert worker_entry is None or not worker_entry.process.is_alive()
+    assert engine.pending >= 1  # the withdraw backlogged on the inbox
+    replayed = engine.resurrect(victim)
+    assert replayed >= 1
+    assert engine.pending == 0
+    node.close_shard_engine()
+    assert live_worker_count() == 0
+
+
+@pytest.mark.timeout(120)
+def test_mp_backend_shutdown_all_is_leakproof():
+    from repro.parallel import shutdown_all
+
+    backend = MpShardBackend(2)
+    from repro.parallel.protocol import EncodeJob  # noqa: F401
+    backend._ensure_worker(0)
+    backend._ensure_worker(1)
+    assert backend.live_workers() == 2
+    assert shutdown_all() >= 2
+    assert backend.live_workers() == 0
+    assert live_worker_count() == 0
+    backend.close()  # idempotent
+
+
+# -- telemetry ------------------------------------------------------------
+
+def test_dispatch_latency_histogram_renders():
+    world, node, engine = _backend_world(
+        "async", shards=2, seed=1, with_telemetry=True
+    )
+    handle = world.neighbors["transit-west"]
+    prefix = IPv4Prefix.parse("10.47.0.0/24")
+    handle.speaker.originate(
+        local_route(prefix, next_hop=handle.port.address)
+    )
+    world.scheduler.run_for(5)
+    text = world.telemetry.render_prometheus()
+    assert "vbgp_shard_dispatch_latency_seconds_bucket" in text
+    assert 'backend="async"' in text
+    handle.speaker.withdraw(prefix)
+    world.scheduler.run_for(5)
+    node.close_shard_engine()
