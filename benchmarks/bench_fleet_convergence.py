@@ -1,0 +1,89 @@
+"""Fleet convergence: lockstep churn throughput over real processes.
+
+Boots the CI 3-PoP world as one OS process per PoP over loopback TCP
+(DESIGN.md §6k), wires real external speakers against the compiled
+ports, then drives a churn workload in lockstep — every update fully
+settles across all processes (sockets drained, frozen-time cascades
+run dry, quiescence confirmed against asynchronous loopback delivery)
+before the next is applied.
+
+All measured numbers are ``real_*`` wall-clock: they depend on the
+machine's process-spawn latency, loopback stack, and core count, so
+the absolute ±25% gate ignores them.  The regression gate instead
+applies the relative floor ``real_updates_per_s_fleet >= 5`` on
+runners with at least 2 cores (``scripts/check_bench_regression.py``)
+— a fleet that converges slower than that has lost its lockstep
+barrier, not a cache line.
+
+Outputs ``BENCH_fleet_convergence.json`` for CI diffing.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+from benchmarks.reporting import format_table, report, report_json
+from repro.fleet.compiler import compile_world
+from repro.fleet.differential import SocketFleetLeg
+from repro.fleet.spec import demo_world_spec
+from repro.internet.churn import AMSIX_PROFILE, ChurnGenerator
+
+POPS = 3
+UPDATES = 30
+PREFIXES = 20
+PORT_BASE = 26200
+
+
+def test_fleet_convergence_benchmark():
+    spec = demo_world_spec(pops=POPS, port_base=PORT_BASE)
+    with tempfile.TemporaryDirectory(prefix="bench-fleet-") as tmp:
+        fleet = compile_world(spec, tmp)
+
+        boot_start = time.perf_counter()
+        leg = SocketFleetLeg(fleet)
+        try:
+            leg.wire_driver()
+            assert leg.unestablished() == []
+            boot_s = time.perf_counter() - boot_start
+
+            count = len(leg.endpoints)
+            per_endpoint = -(-UPDATES // count)
+            for index, endpoint in enumerate(leg.endpoints):
+                generator = ChurnGenerator(
+                    AMSIX_PROFILE, prefix_count=PREFIXES, seed=index)
+                endpoint.updates = generator.make_updates(per_endpoint)
+
+            churn_start = time.perf_counter()
+            for step in range(UPDATES):
+                endpoint = leg.endpoints[step % count]
+                leg.apply_update(endpoint, endpoint.updates[step // count])
+                leg.settle()
+            churn_s = time.perf_counter() - churn_start
+
+            routes = sum(
+                leg.pop_call(name, "summary")["routes"]
+                for name in fleet.pop_names())
+        finally:
+            leg.close()
+
+    metrics = {
+        "pops": POPS,
+        "updates": UPDATES,
+        "routes_converged": routes,
+        "real_boot_s": round(boot_s, 3),
+        "real_converge_s": round(churn_s, 3),
+        "real_updates_per_s_fleet": round(UPDATES / churn_s, 2),
+        "cpu_count": os.cpu_count() or 1,
+    }
+    report("fleet_convergence", "\n".join([
+        "Fleet convergence (3 OS processes over loopback TCP)",
+        "",
+        format_table(
+            ["metric", "value"],
+            [[key, value] for key, value in sorted(metrics.items())],
+        ),
+    ]))
+    report_json("fleet_convergence", metrics)
+    assert metrics["real_updates_per_s_fleet"] > 0

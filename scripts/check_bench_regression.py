@@ -66,6 +66,7 @@ GATED_BENCHMARKS = (
     "fulltable_memory",
     "intent_dryrun",
     "overload_shed",
+    "fleet_convergence",
 )
 DEFAULT_TOLERANCE = 0.25
 
@@ -89,6 +90,15 @@ RELATIVE_GATES = {
             1.8,
             4,
             "mp backend at 4 shards vs the sync reference",
+        ),
+    ),
+    "fleet_convergence": (
+        (
+            "real_updates_per_s_fleet",
+            5.0,
+            2,
+            "lockstep churn throughput of a real 3-process fleet "
+            "over loopback TCP",
         ),
     ),
 }
@@ -242,13 +252,36 @@ def compare_metrics(
     return regressions, notes
 
 
-def load_metrics(path: Path) -> Optional[Dict[str, float]]:
+def load_metrics(
+    path: Path,
+) -> Tuple[Optional[Dict[str, float]], Optional[str]]:
+    """Read one ``BENCH_<name>.json``; returns ``(metrics, error)``.
+
+    Every failure mode gets its own message instead of collapsing into a
+    generic "missing": an unreadable file, invalid JSON, valid JSON whose
+    top level is not an object (a bare list or number would previously
+    escape as an ``AttributeError``), and an object without a usable
+    ``metrics`` mapping.
+    """
     try:
         payload = json.loads(path.read_text())
-    except (OSError, ValueError):
-        return None
+    except OSError:
+        return None, f"MISSING ({path})"
+    except ValueError as exc:
+        return None, f"INVALID JSON ({path}): {exc}"
+    if not isinstance(payload, dict):
+        return None, (
+            f"INVALID ({path}): top-level JSON is "
+            f"{type(payload).__name__}, expected an object with a "
+            "'metrics' mapping"
+        )
     metrics = payload.get("metrics")
-    return metrics if isinstance(metrics, dict) else None
+    if not isinstance(metrics, dict):
+        return None, (
+            f"INVALID ({path}): 'metrics' is "
+            f"{type(metrics).__name__}, expected an object"
+        )
+    return metrics, None
 
 
 def run_gate(
@@ -263,14 +296,14 @@ def run_gate(
     for name in names:
         baseline_path = baseline_dir / f"BENCH_{name}.json"
         current_path = current_dir / f"BENCH_{name}.json"
-        baseline = load_metrics(baseline_path)
-        current = load_metrics(current_path)
+        baseline, baseline_error = load_metrics(baseline_path)
+        current, current_error = load_metrics(current_path)
         if baseline is None:
-            print(f"{name}: MISSING baseline {baseline_path}", file=out)
+            print(f"{name}: baseline {baseline_error}", file=out)
             exit_code = max(exit_code, 2)
             continue
         if current is None:
-            print(f"{name}: MISSING fresh run {current_path}", file=out)
+            print(f"{name}: fresh run {current_error}", file=out)
             exit_code = max(exit_code, 2)
             continue
         regressions, notes = compare_metrics(baseline, current, tolerance)

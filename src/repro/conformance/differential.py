@@ -208,12 +208,14 @@ def _loc_rib_snapshot(speaker: BgpSpeaker) -> list:
     return snapshot
 
 
-# Public aliases: the intent layer's snapshot/diff machinery reuses this
-# module's canonicalisation so "byte-identical" means the same thing in
-# the differential sweep and in intent auto-revert verification.
+# Public aliases: the intent layer's snapshot/diff machinery and the
+# fleet differential harness (repro.fleet, §6k) reuse this module's
+# canonicalisation and wire-tap so "byte-identical" means the same thing
+# in every differential leg.
 attr_fingerprint = _attr_fingerprint
 route_fingerprint = _route_fingerprint
 loc_rib_snapshot = _loc_rib_snapshot
+changes_from_frames = _changes_from_frames
 
 
 class _WireTap:
@@ -246,6 +248,9 @@ class _WireTap:
             del self._buffer[:length]
             if frame[18] == MSG_UPDATE:
                 self.frames.append(frame)
+
+
+WireTap = _WireTap
 
 
 # ---------------------------------------------------------------------------

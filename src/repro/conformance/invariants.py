@@ -61,6 +61,7 @@ __all__ = [
     "CATALOG",
     "ConformanceContext",
     "InvariantReport",
+    "community_export_expectations",
     "run_invariants",
 ]
 
@@ -210,6 +211,56 @@ def check_addpath_completeness(ctx: ConformanceContext) -> InvariantReport:
     return report
 
 
+def community_export_expectations(
+    node, neighbor_name: str
+) -> Optional[Dict[object, bool]]:
+    """Expected §3.2.1 export presence at one upstream neighbor.
+
+    Returns prefix → "the control communities select this neighbor",
+    covering local experiment announcements and backbone-learned
+    experiment routes, or ``None`` when the neighbor is unknown or its
+    session is down (no exports can be expected over a down session).
+
+    This is the single definition of "what should this neighbor hold":
+    :func:`check_community_propagation` consumes it in-process, and the
+    fleet runtime (DESIGN.md §6k) computes it *inside* each PoP process
+    so the driver can compare against its external speakers without
+    reaching into another process's node.
+    """
+    upstream = node.upstreams.get(neighbor_name)
+    if upstream is None:
+        return None
+    session = upstream.session
+    if session is None or not session.established:
+        return None
+    gid = upstream.virtual.global_id
+    candidates = [
+        (n.virtual.global_id, node.pop_id)
+        for n in node.upstreams.values()
+    ]
+    # Expected prefixes at this neighbor: local experiment
+    # announcements whose communities select it, plus backbone-learned
+    # experiment routes that explicitly whitelist a neighbor here.
+    expectations: Dict[object, bool] = {}
+    for exp in node.experiments.values():
+        for route in exp.announced.values():
+            selected = gid in select_targets(route, candidates)
+            expectations[route.prefix] = (
+                expectations.get(route.prefix, False) or selected
+            )
+    for route in node.remote_exp_routes.values():
+        whitelisted = any(
+            c.asn == ANNOUNCE_ASN for c in route.communities
+        )
+        selected = whitelisted and gid in select_targets(
+            route, candidates
+        )
+        expectations[route.prefix] = (
+            expectations.get(route.prefix, False) or selected
+        )
+    return expectations
+
+
 def check_community_propagation(ctx: ConformanceContext) -> InvariantReport:
     report = InvariantReport("community_propagation")
     for neighbor_name, speaker in ctx.neighbor_speakers.items():
@@ -218,37 +269,11 @@ def check_community_propagation(ctx: ConformanceContext) -> InvariantReport:
         if pop is None:
             continue
         node = pop.node
-        upstream = node.upstreams.get(neighbor_name)
-        if upstream is None:
+        expectations = community_export_expectations(node, neighbor_name)
+        if expectations is None:
             continue
-        session = upstream.session
-        if session is None or not session.established:
-            continue  # cannot expect exports over a down session
+        upstream = node.upstreams[neighbor_name]
         gid = upstream.virtual.global_id
-        candidates = [
-            (n.virtual.global_id, node.pop_id)
-            for n in node.upstreams.values()
-        ]
-        # Expected prefixes at this neighbor: local experiment
-        # announcements whose communities select it, plus backbone-learned
-        # experiment routes that explicitly whitelist a neighbor here.
-        expectations: Dict[object, bool] = {}
-        for exp in node.experiments.values():
-            for route in exp.announced.values():
-                selected = gid in select_targets(route, candidates)
-                expectations[route.prefix] = (
-                    expectations.get(route.prefix, False) or selected
-                )
-        for route in node.remote_exp_routes.values():
-            whitelisted = any(
-                c.asn == ANNOUNCE_ASN for c in route.communities
-            )
-            selected = whitelisted and gid in select_targets(
-                route, candidates
-            )
-            expectations[route.prefix] = (
-                expectations.get(route.prefix, False) or selected
-            )
         for prefix, expected in expectations.items():
             report.checked += 1
             exported = speaker.best_route(prefix)

@@ -1,0 +1,61 @@
+"""repro.fleet — compile a declarative world into a PoP fleet (§6k).
+
+The subsystem has three layers:
+
+* :mod:`repro.fleet.spec` — the declarative :class:`WorldSpec` with
+  canonical JSON + digest and every deterministic derived allocation;
+* :mod:`repro.fleet.compiler` — :func:`compile_world` turning a spec
+  into self-contained per-PoP artifacts plus a world manifest;
+* :mod:`repro.fleet.runtime` / :mod:`repro.fleet.runpop` /
+  :mod:`repro.fleet.controller` — the same artifact booted either
+  in-process (the reference leg) or as one OS process per PoP over real
+  loopback TCP, launched and federated by :class:`FleetController`.
+
+:mod:`repro.fleet.differential` carries the proof obligation: one
+WorldSpec plus one churn workload, run both ways, byte-identical state.
+:mod:`repro.fleet.crash` is the fleet-pop-crash chaos scenario.
+"""
+
+from repro.fleet.compiler import CompiledFleet, compile_world, load_fleet
+from repro.fleet.controller import (
+    ControlClient,
+    FleetController,
+    live_fleet_process_count,
+    shutdown_all_fleets,
+)
+from repro.fleet.crash import FleetPopCrashScenario, run_fleet_pop_crash
+from repro.fleet.differential import (
+    FleetDifferentialHarness,
+    FleetDifferentialReport,
+    run_fleet_differential,
+)
+from repro.fleet.runtime import FleetPop, build_fleet_pop
+from repro.fleet.spec import (
+    ExperimentSpec,
+    PopSpec,
+    UpstreamSpec,
+    WorldSpec,
+    demo_world_spec,
+)
+
+__all__ = [
+    "CompiledFleet",
+    "ControlClient",
+    "ExperimentSpec",
+    "FleetController",
+    "FleetDifferentialHarness",
+    "FleetDifferentialReport",
+    "FleetPop",
+    "FleetPopCrashScenario",
+    "PopSpec",
+    "UpstreamSpec",
+    "WorldSpec",
+    "build_fleet_pop",
+    "compile_world",
+    "demo_world_spec",
+    "live_fleet_process_count",
+    "load_fleet",
+    "run_fleet_differential",
+    "run_fleet_pop_crash",
+    "shutdown_all_fleets",
+]

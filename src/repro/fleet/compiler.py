@@ -1,0 +1,190 @@
+"""Compile a :class:`~repro.fleet.spec.WorldSpec` into per-PoP artifacts.
+
+The compiler is a pure function of the spec's canonical JSON: it
+pre-computes every allocation a PoP process would otherwise draw from a
+process-local counter — upstream LAN addresses and MACs, backbone member
+addresses, experiment tunnel endpoints, the fleet-wide gid map, and the
+loopback port map — and writes one self-contained JSON artifact per PoP
+plus a world manifest.  ``peering fleet run-pop <artifact>`` (or
+``python -m repro.fleet.runpop <artifact>``) can then boot that PoP in
+its own OS process with zero shared state, and still agree with every
+sibling — and with the in-process reference — on every byte that
+reaches the wire.
+
+Artifacts are byte-identical across runs and across
+``PYTHONHASHSEED`` values (all maps are emitted through sorted-key JSON,
+all orderings come from the spec, never from set/dict iteration).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from repro.fleet.spec import WorldSpec
+
+__all__ = ["CompiledFleet", "compile_world", "load_artifact"]
+
+# Upstream LAN hosts start at .10, mirroring PointOfPresence._lan_hosts.
+UPSTREAM_HOST_BASE = 10
+# Per-(pop, experiment) tunnel endpoints live in 100.125.<pop_id>.0/24.
+TUNNEL_HOST_BASE = 10
+
+
+class CompiledFleet:
+    """Paths + parsed content of one compilation's outputs."""
+
+    def __init__(self, directory: Path, world: dict,
+                 artifacts: Dict[str, dict]) -> None:
+        self.directory = directory
+        self.world = world
+        self.artifacts = artifacts
+
+    @property
+    def digest(self) -> str:
+        return self.world["spec_digest"]
+
+    @property
+    def world_path(self) -> Path:
+        return self.directory / "world.json"
+
+    def artifact_path(self, pop_name: str) -> Path:
+        return self.directory / f"pop-{pop_name}.json"
+
+    def pop_names(self) -> List[str]:
+        return [pop["name"] for pop in self.world["spec"]["pops"]]
+
+
+def _upstream_endpoints(spec: WorldSpec, pop_index: int) -> dict:
+    """Pinned LAN address/MAC per upstream at one PoP.
+
+    Addresses mirror what ``provision_neighbor`` would allocate from the
+    PoP's ``100.{64+pop_id}.0.0/24`` subnet (hosts from .10 in attach
+    order); MACs are carved from a fleet-reserved locally-administered
+    range keyed on (pop_id, upstream index) so every process computes
+    the same value without a shared counter.
+    """
+    pop = spec.pops[pop_index]
+    gid_map = {
+        (pop_name, up_name): gid
+        for pop_name, up_name, gid in spec.global_ids()
+    }
+    endpoints = {}
+    for index, upstream in enumerate(pop.upstreams):
+        endpoints[upstream.name] = {
+            "asn": upstream.asn,
+            "kind": upstream.kind,
+            "address": f"100.{64 + pop_index}.0.{UPSTREAM_HOST_BASE + index}",
+            "mac": f"02:fe:00:00:{pop_index:02x}:{index + 1:02x}",
+            "gid": gid_map[(pop.name, upstream.name)],
+        }
+    return endpoints
+
+
+def _experiment_attachments(spec: WorldSpec, pop_index: int) -> list:
+    """Pinned tunnel endpoints for the experiments attached at one PoP."""
+    pop = spec.pops[pop_index]
+    attachments = []
+    for index, exp in enumerate(spec.experiments_at(pop.name)):
+        attachments.append({
+            "name": exp.name,
+            "prefix": exp.prefix,
+            "tunnel_ip": f"100.125.{pop_index}.{TUNNEL_HOST_BASE + index}",
+            "tunnel_mac": f"02:aa:00:00:{pop_index:02x}:{index + 1:02x}",
+        })
+    return attachments
+
+
+def _backbone_plan(spec: WorldSpec, pop_index: int, ports: dict) -> dict:
+    """This PoP's backbone attachment: pinned address + peer dial plan.
+
+    Between two backbone members the lower ``pop_id`` listens on its
+    backbone port and the higher dials it — a deterministic orientation
+    so exactly one TCP connection carries each peering.
+    """
+    pop = spec.pops[pop_index]
+    if not pop.backbone:
+        return {"address": None, "peers": []}
+    members = spec.backbone_members()
+    address = f"100.126.0.{1 + members.index(pop.name)}"
+    peers = []
+    for other in members:
+        if other == pop.name:
+            continue
+        other_index = spec.pop_id(other)
+        if other_index < pop_index:
+            peers.append({
+                "name": other,
+                "mode": "dial",
+                "port": ports["pops"][other]["backbone"],
+            })
+        else:
+            peers.append({"name": other, "mode": "listen"})
+    return {"address": address, "peers": peers}
+
+
+def compile_world(spec: WorldSpec, out_dir: Path) -> CompiledFleet:
+    """Compile ``spec`` into ``out_dir``: a world manifest plus one
+    self-contained artifact per PoP.  Idempotent; overwrites stale
+    outputs from a previous compilation of a different spec."""
+    spec.validate()
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    ports = spec.port_map()
+    gids = [list(entry) for entry in spec.global_ids()]
+    world = {
+        "artifact": "world",
+        "spec_digest": spec.digest,
+        "spec": spec.to_dict(),
+        "ports": ports,
+        "gids": gids,
+    }
+    artifacts: Dict[str, dict] = {}
+    for pop_index, pop in enumerate(spec.pops):
+        artifacts[pop.name] = {
+            "artifact": "pop",
+            "spec_digest": spec.digest,
+            "world_name": spec.name,
+            "pop": pop.name,
+            "pop_id": pop_index,
+            "kind": pop.kind,
+            "platform_asn": spec.platform_asn,
+            "ports": ports,
+            "gids": gids,
+            "upstreams": _upstream_endpoints(spec, pop_index),
+            "upstream_order": [up.name for up in pop.upstreams],
+            "experiments": _experiment_attachments(spec, pop_index),
+            "backbone": _backbone_plan(spec, pop_index, ports),
+        }
+    fleet = CompiledFleet(out_dir, world, artifacts)
+    _write_json(fleet.world_path, world)
+    for pop_name, artifact in artifacts.items():
+        _write_json(fleet.artifact_path(pop_name), artifact)
+    return fleet
+
+
+def _write_json(path: Path, payload: dict) -> None:
+    path.write_text(
+        json.dumps(payload, sort_keys=True, indent=2) + "\n"
+    )
+
+
+def load_artifact(path: Path) -> dict:
+    """Read one compiled artifact (world or pop) back from disk."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict) or "artifact" not in payload:
+        raise ValueError(f"{path}: not a fleet artifact")
+    return payload
+
+
+def load_fleet(directory: Path) -> CompiledFleet:
+    """Re-hydrate a :class:`CompiledFleet` from a compiled directory."""
+    directory = Path(directory)
+    world = load_artifact(directory / "world.json")
+    artifacts = {}
+    for pop in world["spec"]["pops"]:
+        artifacts[pop["name"]] = load_artifact(
+            directory / f"pop-{pop['name']}.json"
+        )
+    return CompiledFleet(directory, world, artifacts)

@@ -1,0 +1,285 @@
+"""Declarative world specifications for the PoP fleet (DESIGN.md §6k).
+
+A :class:`WorldSpec` describes a whole deployment — PoPs, their upstream
+neighbors, the experiments attached at each PoP, and the backbone — the
+way the seed-emulator describes an emulation: data first, runnable
+artifacts second.  The spec serializes to canonical sorted-key JSON and
+carries a sha256 digest (the same discipline as ``repro.intent``
+ChangeSets), and *everything* derived from it is a pure function of that
+canonical form:
+
+* the fleet-wide global-id map (gids in spec order, matching what an
+  in-process deployment would allocate on first attach),
+* every pinned address (upstream LAN addresses, backbone member
+  addresses, experiment tunnel endpoints),
+* the loopback port map — ports are carved deterministically from the
+  digest, so two different worlds land on different port ranges while
+  the same world always compiles to the same sockets.
+
+Determinism here is not cosmetic: the fleet differential harness runs
+one spec both in-process and as separate OS processes and compares wire
+bytes, so every value that can reach the wire must be pinned by the
+compiler rather than allocated per-process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "ExperimentSpec",
+    "PopSpec",
+    "UpstreamSpec",
+    "WorldSpec",
+    "demo_world_spec",
+]
+
+PLATFORM_ASN = 47065
+PORT_RANGE_BASE = 21000
+PORT_RANGE_SPAN = 20000
+
+
+@dataclass(frozen=True)
+class UpstreamSpec:
+    """One external AS peering with the platform at one PoP."""
+
+    name: str
+    asn: int
+    kind: str = "peer"  # "peer" | "transit" | "route-server"
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment: a leased prefix announced from client machines
+    attached (via tunnel) at ``pops``."""
+
+    name: str
+    prefix: str
+    pops: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class PopSpec:
+    """One Point of Presence; ``pop_id`` is its index in the world."""
+
+    name: str
+    kind: str = "university"  # "university" | "ixp"
+    backbone: bool = True
+    upstreams: Tuple[UpstreamSpec, ...] = ()
+
+
+@dataclass(frozen=True)
+class WorldSpec:
+    """A complete declarative deployment description."""
+
+    name: str
+    pops: Tuple[PopSpec, ...]
+    experiments: Tuple[ExperimentSpec, ...] = ()
+    platform_asn: int = PLATFORM_ASN
+    # Explicit port base pins the loopback port range; None derives it
+    # from the digest so distinct worlds avoid each other's ports.
+    port_base: Optional[int] = None
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self) -> None:
+        if not self.pops:
+            raise ValueError("a world needs at least one PoP")
+        pop_names = [pop.name for pop in self.pops]
+        if len(set(pop_names)) != len(pop_names):
+            raise ValueError("duplicate PoP names in world spec")
+        for pop in self.pops:
+            upstream_names = [up.name for up in pop.upstreams]
+            if len(set(upstream_names)) != len(upstream_names):
+                raise ValueError(
+                    f"duplicate upstream names at PoP {pop.name!r}"
+                )
+        exp_names = [exp.name for exp in self.experiments]
+        if len(set(exp_names)) != len(exp_names):
+            raise ValueError("duplicate experiment names in world spec")
+        for exp in self.experiments:
+            for pop_name in exp.pops:
+                if pop_name not in pop_names:
+                    raise ValueError(
+                        f"experiment {exp.name!r} references unknown PoP "
+                        f"{pop_name!r}"
+                    )
+
+    # -- canonical serialization ------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "platform_asn": self.platform_asn,
+            "port_base": self.port_base,
+            "pops": [
+                {
+                    "name": pop.name,
+                    "kind": pop.kind,
+                    "backbone": pop.backbone,
+                    "upstreams": [
+                        {"name": up.name, "asn": up.asn, "kind": up.kind}
+                        for up in pop.upstreams
+                    ],
+                }
+                for pop in self.pops
+            ],
+            "experiments": [
+                {
+                    "name": exp.name,
+                    "prefix": exp.prefix,
+                    "pops": list(exp.pops),
+                }
+                for exp in self.experiments
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WorldSpec":
+        spec = cls(
+            name=payload["name"],
+            platform_asn=payload.get("platform_asn", PLATFORM_ASN),
+            port_base=payload.get("port_base"),
+            pops=tuple(
+                PopSpec(
+                    name=pop["name"],
+                    kind=pop.get("kind", "university"),
+                    backbone=pop.get("backbone", True),
+                    upstreams=tuple(
+                        UpstreamSpec(
+                            name=up["name"],
+                            asn=up["asn"],
+                            kind=up.get("kind", "peer"),
+                        )
+                        for up in pop.get("upstreams", ())
+                    ),
+                )
+                for pop in payload["pops"]
+            ),
+            experiments=tuple(
+                ExperimentSpec(
+                    name=exp["name"],
+                    prefix=exp["prefix"],
+                    pops=tuple(exp["pops"]),
+                )
+                for exp in payload.get("experiments", ())
+            ),
+        )
+        spec.validate()
+        return spec
+
+    def canonical_json(self) -> str:
+        """Canonical form: sorted keys, no whitespace (intent discipline)."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    @property
+    def digest(self) -> str:
+        return hashlib.sha256(
+            self.canonical_json().encode()
+        ).hexdigest()[:12]
+
+    # -- derived, deterministic allocations --------------------------------
+
+    def global_ids(self) -> List[Tuple[str, str, int]]:
+        """The fleet-wide gid map: ``(pop, upstream, gid)`` in spec order.
+
+        Matches what a single-process deployment's
+        :class:`~repro.vbgp.allocator.GlobalNeighborRegistry` would hand
+        out when PoPs attach their upstreams in spec order — so a fleet
+        of processes, each pinning this map, agrees with the in-process
+        reference on every virtual MAC / global IP / kernel table.
+        """
+        assignments: List[Tuple[str, str, int]] = []
+        gid = 1
+        for pop in self.pops:
+            for upstream in pop.upstreams:
+                assignments.append((pop.name, upstream.name, gid))
+                gid += 1
+        return assignments
+
+    def backbone_members(self) -> List[str]:
+        return [pop.name for pop in self.pops if pop.backbone]
+
+    def pop_id(self, pop_name: str) -> int:
+        for index, pop in enumerate(self.pops):
+            if pop.name == pop_name:
+                return index
+        raise KeyError(pop_name)
+
+    def experiments_at(self, pop_name: str) -> List[ExperimentSpec]:
+        """Experiments attached at one PoP, in spec order."""
+        return [exp for exp in self.experiments if pop_name in exp.pops]
+
+    def port_map(self) -> Dict[str, object]:
+        """Deterministic loopback port assignment from the spec digest.
+
+        One federation port for the whole fleet, then per PoP in spec
+        order: a control port, a backbone port (when the PoP is a
+        backbone member), one port per upstream, one per attached
+        experiment.  The base is carved from the digest so two distinct
+        worlds land on distinct ranges; an explicit ``port_base`` pins
+        it for tests.
+        """
+        if self.port_base is not None:
+            base = self.port_base
+        else:
+            base = PORT_RANGE_BASE + (
+                int(self.digest[:8], 16) % PORT_RANGE_SPAN
+            )
+        cursor = iter(range(base, base + 1000))
+        ports: Dict[str, object] = {
+            "base": base,
+            "federation": next(cursor),
+            "pops": {},
+        }
+        for pop in self.pops:
+            entry: Dict[str, object] = {"control": next(cursor)}
+            entry["backbone"] = next(cursor) if pop.backbone else None
+            entry["upstreams"] = {
+                up.name: next(cursor) for up in pop.upstreams
+            }
+            entry["experiments"] = {
+                exp.name: next(cursor) for exp in self.experiments_at(pop.name)
+            }
+            ports["pops"][pop.name] = entry
+        return ports
+
+
+def demo_world_spec(pops: int = 3, name: str = "demo",
+                    port_base: Optional[int] = None) -> WorldSpec:
+    """The canonical small fleet: ``pops`` backbone PoPs, one transit
+    upstream each, experiment ``alpha`` attached everywhere and ``beta``
+    at the first PoP only (the CI 3-PoP world)."""
+    pop_specs = tuple(
+        PopSpec(
+            name=f"pop{index}",
+            kind="ixp" if index % 2 else "university",
+            backbone=True,
+            upstreams=(
+                UpstreamSpec(
+                    name=f"up{index}", asn=65010 + 10 * index, kind="transit"
+                ),
+            ),
+        )
+        for index in range(pops)
+    )
+    pop_names = tuple(pop.name for pop in pop_specs)
+    experiments = (
+        ExperimentSpec(
+            name="alpha", prefix="184.164.224.0/24", pops=pop_names
+        ),
+        ExperimentSpec(
+            name="beta", prefix="184.164.225.0/24", pops=pop_names[:1]
+        ),
+    )
+    spec = WorldSpec(
+        name=name, pops=pop_specs, experiments=experiments,
+        port_base=port_base,
+    )
+    spec.validate()
+    return spec

@@ -49,15 +49,25 @@ class Backbone:
         stack: NetworkStack,
         spec: Optional[BackboneLinkSpec] = None,
         iface_name: str = "bb0",
+        address: Optional[IPv4Address] = None,
     ) -> IPv4Address:
         """Provision a circuit from a PoP server into the fabric.
 
         Creates the ``bb0`` interface on the PoP stack, assigns it an
         address from the backbone subnet, and returns that address (used
         as the node's backbone BGP next hop for experiment prefixes).
+
+        ``address`` pins the assignment instead of drawing from this
+        fabric instance's counter: a fleet PoP process (DESIGN.md §6k)
+        holds its *own* ``Backbone`` whose counter would hand every PoP
+        ``100.126.0.1``, so the compiler pre-computes each member's
+        address from the world spec and pins it here — the backbone next
+        hop of experiment routes is on the wire, where byte-identity
+        with the in-process reference is checked.
         """
         spec = spec or BackboneLinkSpec()
-        address = BACKBONE_SUBNET.address_at(next(self._host_counter))
+        if address is None:
+            address = BACKBONE_SUBNET.address_at(next(self._host_counter))
         mac = MacAddress(next(self._mac_counter))
         fabric_port = self.switch.add_port(f"{self.name}-{pop_name}")
         pop_port = Port(f"{iface_name}@{pop_name}")

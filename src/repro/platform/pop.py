@@ -275,9 +275,16 @@ class PointOfPresence:
         lan_port = self.lan_switch.add_port(f"{name}@{self.config.name}")
         return address, mac, lan_port
 
-    def enable_backbone(self, backbone, spec=None) -> IPv4Address:
-        """Attach this PoP to the backbone fabric (creates ``bb0``)."""
-        address = backbone.attach(self.config.name, self.stack, spec)
+    def enable_backbone(self, backbone, spec=None,
+                        address: Optional[IPv4Address] = None) -> IPv4Address:
+        """Attach this PoP to the backbone fabric (creates ``bb0``).
+
+        ``address`` pins the backbone address (fleet compiler, §6k)
+        instead of drawing from the fabric's allocation counter.
+        """
+        address = backbone.attach(
+            self.config.name, self.stack, spec, address=address
+        )
         self.node.enable_backbone("bb0", address)
         return address
 

@@ -41,6 +41,9 @@ class ToolkitCli:
         self._intent_ops: list = []
         self._intent_controller = None
         self._intent_plan = None
+        # ``peering fleet``: live controllers keyed by compiled directory
+        # (``up`` in one command, ``status``/``down`` in later ones).
+        self._fleet_controllers: dict = {}
 
     def run(self, command: str) -> str:
         output, self.exit_code = self.run_with_status(command)
@@ -109,6 +112,13 @@ class ToolkitCli:
             "       peering intent apply [--force]\n"
             "       peering intent revert <intent-id>\n"
             "       peering intent history\n"
+            "       peering fleet compile --dir <path> [--pops n]\n"
+            "                             [--port-base n]\n"
+            "       peering fleet up|status|down --dir <path>\n"
+            "       peering fleet run-pop <pop-artifact.json>\n"
+            "       peering fleet differential [--pops n] [--updates n]\n"
+            "                                  [--seed n] [--port-base n]\n"
+            "       peering fleet crash [--seed n] [--port-base n]\n"
             "\n"
             "exit codes (verify, chaos, and intent share one convention):\n"
             "  0  clean   checks passed / intent committed\n"
@@ -338,6 +348,137 @@ class ToolkitCli:
         if any(not result.ok for result in results):
             self.exit_code = 1
         return "\n".join(result.format() for result in results)
+
+    # -- fleet ---------------------------------------------------------------
+
+    def _cmd_fleet(self, args: list[str]) -> str:
+        """Compile and operate a PoP fleet (DESIGN.md §6k).
+
+        ``compile`` turns the demo WorldSpec into per-PoP artifacts;
+        ``up``/``status``/``down`` drive them as one OS process per PoP
+        over loopback TCP; ``differential`` runs the in-process vs
+        real-fleet byte-identity proof; ``crash`` the fleet-pop-crash
+        chaos scenario.  Exit 1 when a differential or crash run fails,
+        2 on usage errors — the shared convention.
+        """
+        if not args:
+            return self._usage()
+        action, *rest = args
+        options = self._parse_fleet_options(rest)
+        if action == "compile":
+            return self._fleet_compile(options)
+        if action in ("up", "status", "down"):
+            return self._fleet_lifecycle(action, options)
+        if action == "run-pop":
+            from repro.fleet import runpop
+
+            if len(options["rest"]) != 1:
+                return "error: usage: peering fleet run-pop <artifact>"
+            status = runpop.main(options["rest"])
+            self.exit_code = status
+            return f"pop exited with status {status}"
+        if action == "differential":
+            from repro.fleet.differential import run_fleet_differential
+
+            report = run_fleet_differential(
+                pops=options["pops"], updates=options["updates"],
+                seed=options["seed"], port_base=options["port_base"],
+            )
+            if not report.ok:
+                self.exit_code = 1
+            return report.format()
+        if action == "crash":
+            from repro.fleet.crash import run_fleet_pop_crash
+
+            result = run_fleet_pop_crash(
+                seed=options["seed"], port_base=options["port_base"],
+            )
+            if not result.ok:
+                self.exit_code = 1
+            return result.format()
+        return self._usage()
+
+    def _fleet_compile(self, options: dict) -> str:
+        from repro.fleet import compile_world, demo_world_spec
+
+        if options["dir"] is None:
+            return "error: peering fleet compile requires --dir"
+        spec = demo_world_spec(
+            pops=options["pops"], port_base=options["port_base"]
+        )
+        fleet = compile_world(spec, options["dir"])
+        lines = [f"compiled world {spec.name} (digest {fleet.digest}) "
+                 f"into {fleet.directory}"]
+        lines += [f"  {name}: {fleet.artifact_path(name)}"
+                  for name in fleet.pop_names()]
+        return "\n".join(lines)
+
+    def _fleet_lifecycle(self, action: str, options: dict) -> str:
+        from repro.fleet import FleetController, load_fleet
+        from repro.fleet.controller import fleet_down, fleet_status
+
+        if options["dir"] is None:
+            return f"error: peering fleet {action} requires --dir"
+        fleet = load_fleet(options["dir"])
+        if action == "up":
+            controller = FleetController(fleet)
+            controller.up()
+            self._fleet_controllers[str(fleet.directory)] = controller
+            return "\n".join(
+                f"{name}: up (pid {proc.pid})"
+                for name, proc in sorted(controller.processes.items())
+            )
+        controller = self._fleet_controllers.get(str(fleet.directory))
+        if action == "status":
+            rows = (controller.status() if controller is not None
+                    else fleet_status(fleet))
+            lines = []
+            for name, row in sorted(rows.items()):
+                state = "running" if row["running"] else "down"
+                line = f"{name}: {state} (pid {row['pid']})"
+                summary = row.get("summary")
+                if summary:
+                    line += (f" routes={summary['routes']} upstreams="
+                             + ",".join(
+                                 f"{up}:{'up' if ok else 'down'}"
+                                 for up, ok in
+                                 sorted(summary["upstreams"].items())))
+                lines.append(line)
+            return "\n".join(lines)
+        if controller is not None:
+            controller.down()
+            del self._fleet_controllers[str(fleet.directory)]
+            return "\n".join(f"{name}: stopped"
+                             for name in sorted(fleet.pop_names()))
+        outcome = fleet_down(fleet)
+        return "\n".join(f"{name}: {state}"
+                         for name, state in sorted(outcome.items()))
+
+    @staticmethod
+    def _parse_fleet_options(args: list[str]) -> dict:
+        options = {
+            "pops": 3,
+            "updates": 18,
+            "seed": 0,
+            "port_base": None,
+            "dir": None,
+            "rest": [],
+        }
+        index = 0
+        while index < len(args):
+            token = args[index]
+            if token in ("--pops", "--updates", "--seed", "--port-base",
+                         "--dir"):
+                if index + 1 >= len(args):
+                    raise ValueError(f"{token} requires a value")
+                index += 1
+                key = token.lstrip("-").replace("-", "_")
+                options[key] = (args[index] if token == "--dir"
+                                else int(args[index]))
+            else:
+                options["rest"].append(token)
+            index += 1
+        return options
 
     # -- intent --------------------------------------------------------------
 

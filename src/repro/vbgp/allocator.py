@@ -88,6 +88,30 @@ class GlobalNeighborRegistry:
             self._next += 1
         return self._ids[key]
 
+    def preassign(self, pop: str, neighbor: str, global_id: int) -> int:
+        """Pin a neighbor's global id ahead of :meth:`register`.
+
+        The fleet compiler (DESIGN.md §6k) computes the whole fleet's id
+        map once and pins it into every per-PoP artifact, so each PoP
+        process — holding only its own registry instance — still agrees
+        with every other process (and with the in-process reference) on
+        the gid behind every virtual MAC / global IP / table id.
+        Re-pinning the same value is idempotent; a conflicting value or
+        an out-of-range id raises.
+        """
+        if not 0 < global_id < (1 << 16):
+            raise ValueError(f"global id out of range: {global_id}")
+        key = (pop, neighbor)
+        existing = self._ids.get(key)
+        if existing is not None and existing != global_id:
+            raise ValueError(
+                f"{key} already registered as gid {existing}, "
+                f"cannot preassign {global_id}"
+            )
+        self._ids[key] = global_id
+        self._next = max(self._next, global_id + 1)
+        return global_id
+
     def lookup(self, pop: str, neighbor: str) -> Optional[int]:
         return self._ids.get((pop, neighbor))
 

@@ -187,6 +187,67 @@ def test_run_gate_exit_codes(tmp_path):
     assert gate.run_gate(baseline_dir, current_dir, names=("demo",)) == 2
 
 
+def test_load_metrics_distinguishes_failure_modes(tmp_path):
+    ok = tmp_path / "ok.json"
+    ok.write_text(json.dumps({"metrics": {"a_per_s": 1.0}}))
+    metrics, error = gate.load_metrics(ok)
+    assert metrics == {"a_per_s": 1.0} and error is None
+
+    metrics, error = gate.load_metrics(tmp_path / "absent.json")
+    assert metrics is None and "MISSING" in error
+
+    bad_json = tmp_path / "bad.json"
+    bad_json.write_text("{not json")
+    metrics, error = gate.load_metrics(bad_json)
+    assert metrics is None and "INVALID JSON" in error
+
+    # Valid JSON whose top level is not an object used to escape as an
+    # uncaught AttributeError; it must be a clear per-file message.
+    top_level_list = tmp_path / "list.json"
+    top_level_list.write_text(json.dumps([1, 2, 3]))
+    metrics, error = gate.load_metrics(top_level_list)
+    assert metrics is None
+    assert "top-level JSON is list" in error and "list.json" in error
+
+    no_metrics = tmp_path / "nometrics.json"
+    no_metrics.write_text(json.dumps({"metrics": [1]}))
+    metrics, error = gate.load_metrics(no_metrics)
+    assert metrics is None and "'metrics' is list" in error
+
+
+def test_run_gate_reports_non_object_json_with_exit_2(tmp_path):
+    import io
+
+    baseline_dir = tmp_path / "baselines"
+    current_dir = tmp_path / "fresh"
+    baseline_dir.mkdir()
+    current_dir.mkdir()
+    _write_bench(baseline_dir, "demo", {"updates_per_s": 100.0})
+    (current_dir / "BENCH_demo.json").write_text(json.dumps([1, 2]))
+    output = io.StringIO()
+    assert gate.run_gate(
+        baseline_dir, current_dir, names=("demo",), out=output
+    ) == 2
+    text = output.getvalue()
+    assert "demo: fresh run INVALID" in text
+    assert "expected an object" in text
+    assert "Traceback" not in text
+
+
+def test_fleet_convergence_is_gated_relatively():
+    assert "fleet_convergence" in gate.GATED_BENCHMARKS
+    regressions, notes = gate.check_relative_gates(
+        "fleet_convergence",
+        {"cpu_count": 4, "real_updates_per_s_fleet": 2.0},
+    )
+    assert len(regressions) == 1 and "2.00x < 5.0x" in regressions[0]
+    regressions, _ = gate.check_relative_gates(
+        "fleet_convergence",
+        {"cpu_count": 4, "real_updates_per_s_fleet": 9.0},
+    )
+    assert regressions == []
+
+
 def test_relative_gate_skips_below_core_floor():
     regressions, notes = gate.check_relative_gates(
         "shard_scaleout", {"cpu_count": 1, "real_speedup_mp4": 0.6}

@@ -38,6 +38,45 @@ def _no_leaked_shard_workers():
         )
 
 
+@pytest.fixture(autouse=True)
+def _no_leaked_sockets():
+    """ISSUE 10: zero leaked transport sockets after every test.
+
+    Any test that opens a ``SocketChannel`` / ``SocketListener`` must
+    close it (directly or by tearing down its poller/fleet).  The guard
+    sweeps stragglers so one offender cannot starve later tests of FDs,
+    then fails the offending test by name.
+    """
+    from repro.bgp.transport import close_all_sockets, open_socket_count
+
+    yield
+    leaked = open_socket_count()
+    if leaked:
+        close_all_sockets()
+        pytest.fail(
+            f"{leaked} transport socket(s) leaked by this test "
+            "(channel/listener not closed)"
+        )
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_fleet_processes():
+    """ISSUE 10: zero leaked per-PoP fleet processes after every test."""
+    from repro.fleet.controller import (
+        live_fleet_process_count,
+        shutdown_all_fleets,
+    )
+
+    yield
+    leaked = live_fleet_process_count()
+    if leaked:
+        shutdown_all_fleets()
+        pytest.fail(
+            f"{leaked} fleet PoP process(es) leaked by this test "
+            "(controller not shut down)"
+        )
+
+
 def small_pop_configs() -> list[PopConfig]:
     """Two university + one IXP PoPs, all on the backbone."""
     return [

@@ -1,0 +1,77 @@
+"""Deterministic compilation: same spec, byte-identical artifacts.
+
+The fleet differential depends on every process-visible allocation being
+a pure function of the spec's canonical JSON — so compilation must be
+byte-stable across runs *and* across ``PYTHONHASHSEED`` values (hash
+randomization perturbs set/dict iteration order, the classic source of
+accidental nondeterminism in emitted artifacts).
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.fleet.compiler import compile_world, load_fleet
+from repro.fleet.spec import demo_world_spec
+
+
+def _artifact_bytes(directory: Path) -> dict:
+    return {
+        path.name: path.read_bytes()
+        for path in sorted(Path(directory).glob("*.json"))
+    }
+
+
+def test_recompilation_is_byte_identical(tmp_path):
+    spec = demo_world_spec(pops=3, port_base=23000)
+    compile_world(spec, tmp_path / "one")
+    compile_world(spec, tmp_path / "two")
+    first = _artifact_bytes(tmp_path / "one")
+    second = _artifact_bytes(tmp_path / "two")
+    assert first.keys() == {"world.json", "pop-pop0.json",
+                            "pop-pop1.json", "pop-pop2.json"}
+    assert first == second
+
+
+def test_recompile_overwrites_stale_outputs(tmp_path):
+    spec = demo_world_spec(pops=3, port_base=23000)
+    compile_world(demo_world_spec(pops=2, port_base=23000), tmp_path)
+    fleet = compile_world(spec, tmp_path)
+    assert load_fleet(tmp_path).digest == fleet.digest == spec.digest
+
+
+def test_port_map_stable_across_runs(tmp_path):
+    spec = demo_world_spec(pops=3)
+    one = compile_world(spec, tmp_path / "a").world["ports"]
+    two = compile_world(spec, tmp_path / "b").world["ports"]
+    assert one == two
+
+
+_HASHSEED_SCRIPT = """\
+import sys
+from repro.fleet.compiler import compile_world
+from repro.fleet.spec import demo_world_spec
+fleet = compile_world(demo_world_spec(pops=3, port_base=23000), sys.argv[1])
+print(fleet.digest)
+"""
+
+
+def test_artifacts_stable_under_hashseed_variation(tmp_path):
+    """Compile the same spec in subprocesses with different
+    PYTHONHASHSEED values; every emitted byte must match."""
+    outputs = {}
+    for seed in ("0", "1", "4242"):
+        out_dir = tmp_path / f"seed-{seed}"
+        env = dict(os.environ, PYTHONHASHSEED=seed)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-c", _HASHSEED_SCRIPT, str(out_dir)],
+            env=env, capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode == 0, result.stderr
+        outputs[seed] = (result.stdout, _artifact_bytes(out_dir))
+    baseline = outputs["0"]
+    for seed, produced in outputs.items():
+        assert produced == baseline, f"PYTHONHASHSEED={seed} diverged"

@@ -1,0 +1,71 @@
+"""WorldSpec: canonical form, digest, derived allocations."""
+
+import pytest
+
+from repro.fleet.spec import (
+    ExperimentSpec,
+    PopSpec,
+    UpstreamSpec,
+    WorldSpec,
+    demo_world_spec,
+)
+
+
+def test_canonical_json_round_trips():
+    spec = demo_world_spec(pops=3)
+    clone = WorldSpec.from_dict(spec.to_dict())
+    assert clone.canonical_json() == spec.canonical_json()
+    assert clone.digest == spec.digest
+
+
+def test_digest_tracks_content():
+    assert demo_world_spec(pops=2).digest != demo_world_spec(pops=3).digest
+    assert (demo_world_spec(pops=3).digest
+            == demo_world_spec(pops=3).digest)
+
+
+def test_validation_rejects_duplicates_and_dangling_refs():
+    with pytest.raises(ValueError):
+        WorldSpec(name="w", pops=(
+            PopSpec(name="a"), PopSpec(name="a"))).validate()
+    with pytest.raises(ValueError):
+        WorldSpec(name="w", pops=(PopSpec(name="a", upstreams=(
+            UpstreamSpec(name="u", asn=1),
+            UpstreamSpec(name="u", asn=2))),)).validate()
+    with pytest.raises(ValueError):
+        WorldSpec(name="w", pops=(PopSpec(name="a"),), experiments=(
+            ExperimentSpec(name="e", prefix="10.0.0.0/24",
+                           pops=("ghost",)),)).validate()
+    with pytest.raises(ValueError):
+        WorldSpec(name="w", pops=()).validate()
+
+
+def test_global_ids_follow_spec_order():
+    spec = demo_world_spec(pops=3)
+    gids = spec.global_ids()
+    assert [gid for _, _, gid in gids] == [1, 2, 3]
+    assert gids[0][:2] == ("pop0", "up0")
+    assert gids[2][:2] == ("pop2", "up2")
+
+
+def test_port_map_is_collision_free_and_pinned():
+    spec = demo_world_spec(pops=3, port_base=23000)
+    ports = spec.port_map()
+    assert ports["base"] == 23000
+    seen = [ports["federation"]]
+    for entry in ports["pops"].values():
+        seen.append(entry["control"])
+        if entry["backbone"] is not None:
+            seen.append(entry["backbone"])
+        seen += list(entry["upstreams"].values())
+        seen += list(entry["experiments"].values())
+    assert len(seen) == len(set(seen))
+    assert all(23000 <= port < 24000 for port in seen)
+
+
+def test_port_map_derives_base_from_digest():
+    ports = demo_world_spec(pops=3).port_map()
+    assert 21000 <= ports["base"] < 41000
+    # Same world, same base; a different world lands elsewhere.
+    assert demo_world_spec(pops=3).port_map()["base"] == ports["base"]
+    assert demo_world_spec(pops=2).port_map()["base"] != ports["base"]

@@ -1,0 +1,66 @@
+"""``peering fleet``: the CLI face of the fleet subsystem."""
+
+import pytest
+
+from repro.fleet import live_fleet_process_count
+from repro.toolkit import ExperimentClient, ToolkitCli
+from tests.conftest import approve_experiment
+
+
+@pytest.fixture
+def cli(small_world):
+    scheduler, platform, _internet = small_world
+    approve_experiment(platform, "exp")
+    client = ExperimentClient(scheduler, "exp", platform)
+    return ToolkitCli(client)
+
+
+def test_fleet_usage_errors(cli):
+    assert cli.run_with_status("peering fleet")[1] == 2
+    assert cli.run_with_status("peering fleet compile")[1] == 2
+    assert cli.run_with_status("peering fleet up")[1] == 2
+    assert cli.run_with_status("peering fleet run-pop")[1] == 2
+    assert cli.run_with_status("peering fleet compile --pops")[1] == 2
+
+
+def test_fleet_compile_lists_artifacts(cli, tmp_path):
+    out, code = cli.run_with_status(
+        f"peering fleet compile --dir {tmp_path} --pops 2 "
+        "--port-base 25300")
+    assert code == 0
+    assert "compiled world demo" in out
+    assert "pop-pop0.json" in out and "pop-pop1.json" in out
+    assert (tmp_path / "world.json").exists()
+
+
+def test_fleet_up_status_down_lifecycle(cli, tmp_path):
+    cli.run(f"peering fleet compile --dir {tmp_path} --pops 2 "
+            "--port-base 25340")
+    out, code = cli.run_with_status(f"peering fleet up --dir {tmp_path}")
+    assert code == 0
+    assert "pop0: up" in out and "pop1: up" in out
+    out, code = cli.run_with_status(
+        f"peering fleet status --dir {tmp_path}")
+    assert code == 0
+    assert "pop0: running" in out and "pop1: running" in out
+    out, code = cli.run_with_status(f"peering fleet down --dir {tmp_path}")
+    assert code == 0
+    assert "pop0: stopped" in out
+    assert live_fleet_process_count() == 0
+
+
+@pytest.mark.slow
+def test_fleet_differential_via_cli(cli):
+    out, code = cli.run_with_status(
+        "peering fleet differential --pops 2 --updates 6 "
+        "--port-base 25400")
+    assert code == 0, out
+    assert "fleet differential" in out and "OK" in out
+
+
+@pytest.mark.slow
+def test_fleet_crash_via_cli(cli):
+    out, code = cli.run_with_status(
+        "peering fleet crash --seed 0 --port-base 25460")
+    assert code == 0, out
+    assert "fleet-pop-crash" in out and "CONVERGED" in out
